@@ -1,0 +1,39 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! Run with `cargo bench -p p4db-bench --bench figures`. Environment knobs:
+//! `P4DB_MEASURE_MS` (per-point measurement time, default 250 ms) and
+//! `P4DB_FULL=1` (wider parameter sweeps). Output is markdown; redirect it
+//! into a file to update `EXPERIMENTS.md`.
+
+use p4db_bench::*;
+
+fn main() {
+    let profile = BenchProfile::from_env();
+    println!("# P4DB figure reproduction (measure = {:?}, full = {})\n", profile.measure, profile.full);
+
+    let figures: Vec<(&str, fn(&BenchProfile) -> p4db_core::FigureTable)> = vec![
+        ("fig01", fig01_headline),
+        ("fig11_contention", fig11_ycsb_contention),
+        ("fig11_distributed", fig11_ycsb_distributed),
+        ("fig12", fig12_hot_cold_breakdown),
+        ("fig13", fig13_smallbank),
+        ("fig14", fig14_tpcc),
+        ("fig15ab", fig15ab_hot_ratio),
+        ("fig15c", fig15c_optimizations),
+        ("fig16", fig16_data_layout),
+        ("fig17", fig17_capacity),
+        ("fig18a", fig18a_latency_breakdown),
+        ("fig18b", fig18b_existing_optimizations),
+    ];
+
+    // Allow running a subset: `cargo bench --bench figures -- fig13 fig14`.
+    let filter: Vec<String> = std::env::args().skip(1).filter(|a| a.starts_with("fig")).collect();
+    for (name, f) in figures {
+        if !filter.is_empty() && !filter.iter().any(|want| name.starts_with(want.as_str())) {
+            continue;
+        }
+        eprintln!("[figures] running {name} ...");
+        let table = f(&profile);
+        table.print();
+    }
+}

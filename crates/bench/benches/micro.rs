@@ -1,0 +1,97 @@
+//! Supporting microbenchmarks (not figures from the paper): raw component
+//! throughput of the switch pipeline, the host lock manager, the max-cut
+//! heuristic and the WAL. Used to sanity-check that the substrates are far
+//! from being the bottleneck of the figure reproduction.
+
+use p4db_common::rand_util::FastRng;
+use p4db_common::{CcScheme, LatencyConfig, NodeId, TableId, TupleId, TxnId, WorkerId};
+use p4db_layout::{max_cut, AccessGraph, TraceAccess, TxnTrace};
+use p4db_net::{EndpointId, Fabric, LatencyModel};
+use p4db_storage::{LockMode, LockTable, LogRecord, Wal};
+use p4db_switch::{start_switch, Instruction, RegisterMemory, RegisterSlot, SwitchConfig, SwitchMessage, SwitchTxn, TxnHeader};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn bench(name: &str, iters: u64, mut f: impl FnMut(u64)) {
+    let start = Instant::now();
+    for i in 0..iters {
+        f(i);
+    }
+    let elapsed = start.elapsed();
+    let per_op = elapsed.as_nanos() as f64 / iters as f64;
+    let rate = iters as f64 / elapsed.as_secs_f64();
+    println!("{name:<40} {iters:>9} iters  {per_op:>10.0} ns/op  {rate:>12.0} op/s");
+}
+
+fn switch_pipeline_throughput() {
+    let config = SwitchConfig { pass_latency_ns: 0, ..SwitchConfig::tofino_defaults() };
+    let fabric: Fabric<SwitchMessage> = Fabric::new(LatencyModel::new(LatencyConfig::zero()));
+    let memory = Arc::new(RegisterMemory::new(config));
+    let handle = start_switch(config, memory, fabric.clone());
+    let ep = EndpointId::Worker(NodeId(0), WorkerId(0));
+    let mailbox = fabric.register(ep);
+    bench("switch pipeline: 8-op single-pass txns", 50_000, |i| {
+        let instructions: Vec<_> = (0..8u8)
+            .map(|s| Instruction::add(RegisterSlot::new(s, (i % 4) as u8, (i % 1024) as u32), 1))
+            .collect();
+        let txn = SwitchTxn::new(TxnHeader::new(ep, i), instructions);
+        fabric.send(ep, EndpointId::Switch, SwitchMessage::Txn(txn));
+        loop {
+            if let Some(env) = mailbox.recv_timeout(Duration::from_secs(5)) {
+                if matches!(env.payload, SwitchMessage::TxnReply(_)) {
+                    break;
+                }
+            }
+        }
+    });
+    handle.shutdown();
+}
+
+fn lock_table_throughput() {
+    let table = LockTable::new();
+    bench("host lock table: acquire+release", 200_000, |i| {
+        let txn = TxnId::compose(i as u32, NodeId(0), WorkerId(0));
+        let tuple = TupleId::new(TableId(0), i % 1024);
+        table.acquire(txn, tuple, LockMode::Exclusive, CcScheme::NoWait).unwrap();
+        table.release(txn, tuple);
+    });
+}
+
+fn maxcut_scaling() {
+    let mut rng = FastRng::new(7);
+    for n in [100usize, 1_000, 4_000] {
+        let traces: Vec<TxnTrace> = (0..n * 4)
+            .map(|_| {
+                TxnTrace::new(
+                    (0..4)
+                        .map(|_| TraceAccess::read(TupleId::new(TableId(0), rng.gen_range(n as u64))))
+                        .collect(),
+                )
+            })
+            .collect();
+        let graph = AccessGraph::from_traces(&traces);
+        let start = Instant::now();
+        let partitioning = max_cut(&graph, 40, n.div_ceil(40) + 1, 1);
+        println!(
+            "max-cut heuristic: {n:>5} tuples -> cut weight {:>8}, intra {:>6}, {:>8.1} ms",
+            partitioning.cut_weight,
+            partitioning.intra_weight,
+            start.elapsed().as_secs_f64() * 1e3
+        );
+    }
+}
+
+fn wal_throughput() {
+    let wal = Wal::new();
+    bench("WAL append: commit records", 500_000, |i| {
+        wal.append(LogRecord::Commit { txn: TxnId::compose(i as u32, NodeId(0), WorkerId(0)) });
+    });
+}
+
+fn main() {
+    println!("# P4DB component microbenchmarks\n");
+    switch_pipeline_throughput();
+    lock_table_throughput();
+    maxcut_scaling();
+    wal_throughput();
+}

@@ -1,0 +1,537 @@
+//! # p4db-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (§7). Each `benches/` target calls the `figXX_*`
+//! functions below and prints the resulting markdown table; the same
+//! functions are used to produce `EXPERIMENTS.md`.
+//!
+//! Scale: the harness runs the cluster in the slow-motion latency profile
+//! (see `LatencyConfig::bench_profile`) so that it produces meaningful
+//! contention behaviour on machines with very few cores. Consequently the
+//! *absolute* throughput numbers are a constant factor below the paper's
+//! 10G/Tofino testbed; the reproduction targets are the relative results —
+//! who wins, by how much, and where the trends bend. Environment knobs:
+//!
+//! * `P4DB_MEASURE_MS` — measurement time per data point (default 250 ms).
+//! * `P4DB_FULL=1`     — wider sweeps (all thread counts, both CC schemes).
+
+use p4db_common::stats::{Phase, RunStats};
+use p4db_common::{CcScheme, SystemMode};
+use p4db_core::{fmt_speedup, fmt_tps, speedup, Cluster, ClusterConfig, FigureTable};
+use p4db_layout::LayoutStrategy;
+use p4db_switch::{LockGranularity, SwitchConfig};
+use p4db_workloads::{SmallBank, SmallBankConfig, Tpcc, TpccConfig, Workload, Ycsb, YcsbConfig, YcsbMix};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Harness-wide knobs read from the environment.
+#[derive(Copy, Clone, Debug)]
+pub struct BenchProfile {
+    pub measure: Duration,
+    pub full: bool,
+}
+
+impl BenchProfile {
+    pub fn from_env() -> Self {
+        let ms = std::env::var("P4DB_MEASURE_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(250u64);
+        let full = std::env::var("P4DB_FULL").map(|v| v == "1").unwrap_or(false);
+        BenchProfile { measure: Duration::from_millis(ms), full }
+    }
+
+    pub fn workers_sweep(&self) -> Vec<u16> {
+        if self.full {
+            vec![2, 3, 4, 5]
+        } else {
+            vec![2, 4]
+        }
+    }
+
+    pub fn cc_sweep(&self) -> Vec<CcScheme> {
+        if self.full {
+            vec![CcScheme::NoWait, CcScheme::WaitDie]
+        } else {
+            vec![CcScheme::NoWait]
+        }
+    }
+
+    pub fn distributed_sweep(&self) -> Vec<f64> {
+        if self.full {
+            vec![0.0, 0.25, 0.5, 0.75, 1.0]
+        } else {
+            vec![0.25, 0.75]
+        }
+    }
+}
+
+fn ycsb(mix: YcsbMix) -> Arc<dyn Workload> {
+    Arc::new(Ycsb::new(YcsbConfig { keys_per_node: 20_000, ..YcsbConfig::new(mix) }))
+}
+
+fn ycsb_with(config: YcsbConfig) -> Arc<dyn Workload> {
+    Arc::new(Ycsb::new(config))
+}
+
+fn smallbank(hot_per_node: u64) -> Arc<dyn Workload> {
+    Arc::new(SmallBank::new(SmallBankConfig {
+        customers_per_node: 20_000,
+        hot_customers_per_node: hot_per_node,
+        ..SmallBankConfig::default()
+    }))
+}
+
+fn tpcc(warehouses: u64) -> Arc<dyn Workload> {
+    Arc::new(Tpcc::new(TpccConfig { items_loaded: 5_000, ..TpccConfig::new(warehouses) }))
+}
+
+/// Builds a cluster for one data point and measures it.
+pub fn measure(
+    workload: &Arc<dyn Workload>,
+    mode: SystemMode,
+    cc: CcScheme,
+    workers_per_node: u16,
+    distributed_prob: f64,
+    profile: &BenchProfile,
+    tweak: impl FnOnce(&mut ClusterConfig),
+) -> RunStats {
+    let mut config = ClusterConfig::new(mode, cc);
+    config.workers_per_node = workers_per_node;
+    config.distributed_prob = distributed_prob;
+    tweak(&mut config);
+    let cluster = Cluster::build(config, Arc::clone(workload));
+    cluster.run_for(profile.measure)
+}
+
+fn no_tweak(_: &mut ClusterConfig) {}
+
+// ---------------------------------------------------------------------------
+// Figure 1: headline throughput + speedup for the three benchmarks.
+// ---------------------------------------------------------------------------
+
+pub fn fig01_headline(profile: &BenchProfile) -> FigureTable {
+    let mut table = FigureTable::new(
+        "Figure 1 — OLTP throughput with and without the switch (20% distributed, high load)",
+        &["Workload", "No-Switch [txn/s]", "P4DB [txn/s]", "Speedup"],
+    );
+    let workloads: Vec<(&str, Arc<dyn Workload>)> = vec![
+        ("YCSB-A", ycsb(YcsbMix::A)),
+        ("SmallBank 8x5", smallbank(5)),
+        ("TPC-C 8WH", tpcc(8)),
+    ];
+    for (name, w) in workloads {
+        let base = measure(&w, SystemMode::NoSwitch, CcScheme::NoWait, 4, 0.2, profile, no_tweak);
+        let p4db = measure(&w, SystemMode::P4db, CcScheme::NoWait, 4, 0.2, profile, no_tweak);
+        table.push_row(vec![
+            name.to_string(),
+            fmt_tps(base.throughput()),
+            fmt_tps(p4db.throughput()),
+            fmt_speedup(speedup(&p4db, &base)),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11 (and Figure 19): YCSB — contention and distributed sweeps.
+// ---------------------------------------------------------------------------
+
+pub fn fig11_ycsb_contention(profile: &BenchProfile) -> FigureTable {
+    let mut table = FigureTable::new(
+        "Figure 11 (upper) / Figure 19 — YCSB speedup over No-Switch vs. worker threads",
+        &["Mix", "CC", "Workers/node", "No-Switch [txn/s]", "LM-Switch speedup", "P4DB speedup"],
+    );
+    for mix in [YcsbMix::A, YcsbMix::B, YcsbMix::C] {
+        let w = ycsb(mix);
+        for cc in profile.cc_sweep() {
+            for workers in profile.workers_sweep() {
+                let base = measure(&w, SystemMode::NoSwitch, cc, workers, 0.2, profile, no_tweak);
+                let lm = measure(&w, SystemMode::LmSwitch, cc, workers, 0.2, profile, no_tweak);
+                let p4 = measure(&w, SystemMode::P4db, cc, workers, 0.2, profile, no_tweak);
+                table.push_row(vec![
+                    mix.label().to_string(),
+                    cc.label().to_string(),
+                    workers.to_string(),
+                    fmt_tps(base.throughput()),
+                    fmt_speedup(speedup(&lm, &base)),
+                    fmt_speedup(speedup(&p4, &base)),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+pub fn fig11_ycsb_distributed(profile: &BenchProfile) -> FigureTable {
+    let mut table = FigureTable::new(
+        "Figure 11 (lower) / Figure 19 — YCSB speedup over No-Switch vs. % distributed transactions",
+        &["Mix", "% distributed", "No-Switch [txn/s]", "LM-Switch speedup", "P4DB speedup"],
+    );
+    for mix in [YcsbMix::A, YcsbMix::B, YcsbMix::C] {
+        let w = ycsb(mix);
+        for dist in profile.distributed_sweep() {
+            let base = measure(&w, SystemMode::NoSwitch, CcScheme::NoWait, 4, dist, profile, no_tweak);
+            let lm = measure(&w, SystemMode::LmSwitch, CcScheme::NoWait, 4, dist, profile, no_tweak);
+            let p4 = measure(&w, SystemMode::P4db, CcScheme::NoWait, 4, dist, profile, no_tweak);
+            table.push_row(vec![
+                mix.label().to_string(),
+                format!("{:.0}%", dist * 100.0),
+                fmt_tps(base.throughput()),
+                fmt_speedup(speedup(&lm, &base)),
+                fmt_speedup(speedup(&p4, &base)),
+            ]);
+        }
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12: hot/cold commit breakdown for YCSB.
+// ---------------------------------------------------------------------------
+
+pub fn fig12_hot_cold_breakdown(profile: &BenchProfile) -> FigureTable {
+    let mut table = FigureTable::new(
+        "Figure 12 — committed hot vs. cold transactions (YCSB, 20% distributed, high load)",
+        &["Mix", "System", "Throughput [txn/s]", "Hot share", "Cold share", "Abort rate"],
+    );
+    for mix in [YcsbMix::A, YcsbMix::B, YcsbMix::C] {
+        let w = ycsb(mix);
+        for mode in [SystemMode::NoSwitch, SystemMode::P4db] {
+            let stats = measure(&w, mode, CcScheme::NoWait, 4, 0.2, profile, no_tweak);
+            let hot = stats.hot_fraction();
+            table.push_row(vec![
+                mix.label().to_string(),
+                mode.label().to_string(),
+                fmt_tps(stats.throughput()),
+                format!("{:.1}%", hot * 100.0),
+                format!("{:.1}%", (1.0 - hot) * 100.0),
+                format!("{:.1}%", stats.abort_rate() * 100.0),
+            ]);
+        }
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 13 / Figure 20: SmallBank.
+// ---------------------------------------------------------------------------
+
+pub fn fig13_smallbank(profile: &BenchProfile) -> FigureTable {
+    let mut table = FigureTable::new(
+        "Figure 13 / Figure 20 — SmallBank speedup over No-Switch (contention and distribution sweeps)",
+        &["Hot/node", "Sweep", "Value", "No-Switch [txn/s]", "P4DB [txn/s]", "Speedup"],
+    );
+    for hot in [5u64, 10, 15] {
+        let w = smallbank(hot);
+        for workers in profile.workers_sweep() {
+            let base = measure(&w, SystemMode::NoSwitch, CcScheme::NoWait, workers, 0.2, profile, no_tweak);
+            let p4 = measure(&w, SystemMode::P4db, CcScheme::NoWait, workers, 0.2, profile, no_tweak);
+            table.push_row(vec![
+                hot.to_string(),
+                "workers/node".into(),
+                workers.to_string(),
+                fmt_tps(base.throughput()),
+                fmt_tps(p4.throughput()),
+                fmt_speedup(speedup(&p4, &base)),
+            ]);
+        }
+        for dist in profile.distributed_sweep() {
+            let base = measure(&w, SystemMode::NoSwitch, CcScheme::NoWait, 4, dist, profile, no_tweak);
+            let p4 = measure(&w, SystemMode::P4db, CcScheme::NoWait, 4, dist, profile, no_tweak);
+            table.push_row(vec![
+                hot.to_string(),
+                "% distributed".into(),
+                format!("{:.0}%", dist * 100.0),
+                fmt_tps(base.throughput()),
+                fmt_tps(p4.throughput()),
+                fmt_speedup(speedup(&p4, &base)),
+            ]);
+        }
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 14 / Figure 21: TPC-C.
+// ---------------------------------------------------------------------------
+
+pub fn fig14_tpcc(profile: &BenchProfile) -> FigureTable {
+    let mut table = FigureTable::new(
+        "Figure 14 / Figure 21 — TPC-C speedup over No-Switch (warm transactions)",
+        &["Warehouses", "Sweep", "Value", "No-Switch [txn/s]", "P4DB [txn/s]", "Speedup"],
+    );
+    let warehouse_sweep: Vec<u64> = if profile.full { vec![8, 16, 32] } else { vec![8, 32] };
+    for wh in warehouse_sweep {
+        let w = tpcc(wh);
+        for workers in profile.workers_sweep() {
+            let base = measure(&w, SystemMode::NoSwitch, CcScheme::NoWait, workers, 0.2, profile, no_tweak);
+            let p4 = measure(&w, SystemMode::P4db, CcScheme::NoWait, workers, 0.2, profile, no_tweak);
+            table.push_row(vec![
+                wh.to_string(),
+                "workers/node".into(),
+                workers.to_string(),
+                fmt_tps(base.throughput()),
+                fmt_tps(p4.throughput()),
+                fmt_speedup(speedup(&p4, &base)),
+            ]);
+        }
+        for dist in profile.distributed_sweep() {
+            let base = measure(&w, SystemMode::NoSwitch, CcScheme::NoWait, 4, dist, profile, no_tweak);
+            let p4 = measure(&w, SystemMode::P4db, CcScheme::NoWait, 4, dist, profile, no_tweak);
+            table.push_row(vec![
+                wh.to_string(),
+                "% distributed".into(),
+                format!("{:.0}%", dist * 100.0),
+                fmt_tps(base.throughput()),
+                fmt_tps(p4.throughput()),
+                fmt_speedup(speedup(&p4, &base)),
+            ]);
+        }
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 15a/b: varying the hot/cold transaction ratio.
+// ---------------------------------------------------------------------------
+
+pub fn fig15ab_hot_ratio(profile: &BenchProfile) -> FigureTable {
+    let mut table = FigureTable::new(
+        "Figure 15a/b — varying the fraction of hot transactions (YCSB-A, 20% distributed)",
+        &["% hot txns", "No-Switch [txn/s]", "P4DB [txn/s]", "Speedup"],
+    );
+    let ratios = if profile.full { vec![0.0, 0.25, 0.5, 0.75, 1.0] } else { vec![0.0, 0.5, 1.0] };
+    for ratio in ratios {
+        let w = ycsb_with(YcsbConfig { keys_per_node: 20_000, hot_txn_prob: ratio, ..YcsbConfig::new(YcsbMix::A) });
+        let base = measure(&w, SystemMode::NoSwitch, CcScheme::NoWait, 4, 0.2, profile, no_tweak);
+        let p4 = measure(&w, SystemMode::P4db, CcScheme::NoWait, 4, 0.2, profile, no_tweak);
+        table.push_row(vec![
+            format!("{:.0}%", ratio * 100.0),
+            fmt_tps(base.throughput()),
+            fmt_tps(p4.throughput()),
+            fmt_speedup(speedup(&p4, &base)),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 15c: switch-processing optimizations ablation.
+// ---------------------------------------------------------------------------
+
+pub fn fig15c_optimizations(profile: &BenchProfile) -> FigureTable {
+    let mut table = FigureTable::new(
+        "Figure 15c — multi-pass optimizations (hot-only YCSB-A, speedup over Unoptimized)",
+        &["Configuration", "Throughput [txn/s]", "Speedup vs Unoptimized", "Single-pass fraction"],
+    );
+    // Hot-only workload: 100% hot transactions.
+    let w = ycsb_with(YcsbConfig { keys_per_node: 20_000, hot_txn_prob: 1.0, ..YcsbConfig::new(YcsbMix::A) });
+    let configs: Vec<(&str, SwitchConfig, LayoutStrategy)> = vec![
+        ("Unoptimized", SwitchConfig::unoptimized(), LayoutStrategy::Random { seed: 7 }),
+        (
+            "+Fast-Recirculate",
+            SwitchConfig { fast_recirculation: true, ..SwitchConfig::unoptimized() },
+            LayoutStrategy::Random { seed: 7 },
+        ),
+        (
+            "+Fine-Locking",
+            SwitchConfig {
+                fast_recirculation: true,
+                lock_granularity: LockGranularity::FineGrained,
+                ..SwitchConfig::unoptimized()
+            },
+            LayoutStrategy::Random { seed: 7 },
+        ),
+        ("+Declustered", SwitchConfig::tofino_defaults(), LayoutStrategy::Declustered),
+    ];
+    let mut baseline: Option<RunStats> = None;
+    for (name, switch, layout) in configs {
+        let (stats, single_pass) = {
+            let mut config = ClusterConfig::new(SystemMode::P4db, CcScheme::NoWait);
+            config.workers_per_node = 4;
+            config.distributed_prob = 0.2;
+            config.switch = switch;
+            config.layout = layout;
+            let cluster = Cluster::build(config, Arc::clone(&w));
+            let stats = cluster.run_for(profile.measure);
+            let single_pass = cluster.switch_stats().single_pass_fraction();
+            (stats, single_pass)
+        };
+        let speedup_factor = baseline.as_ref().map(|b| speedup(&stats, b)).unwrap_or(1.0);
+        table.push_row(vec![
+            name.to_string(),
+            fmt_tps(stats.throughput()),
+            fmt_speedup(speedup_factor),
+            format!("{:.1}%", single_pass * 100.0),
+        ]);
+        if baseline.is_none() {
+            baseline = Some(stats);
+        }
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 16: optimal vs. worst data layout (throughput + latency).
+// ---------------------------------------------------------------------------
+
+pub fn fig16_data_layout(profile: &BenchProfile) -> FigureTable {
+    let mut table = FigureTable::new(
+        "Figure 16 — optimal (declustered) vs. worst data layout",
+        &["Workload", "Workers/node", "Layout", "Throughput [txn/s]", "Mean latency [µs]"],
+    );
+    let workloads: Vec<(&str, Arc<dyn Workload>)> = vec![
+        ("YCSB-A", ycsb(YcsbMix::A)),
+        ("SmallBank 8x5", smallbank(5)),
+        ("TPC-C 8WH", tpcc(8)),
+    ];
+    for (name, w) in workloads {
+        for workers in profile.workers_sweep() {
+            for (label, layout) in [("optimal", LayoutStrategy::Declustered), ("worst", LayoutStrategy::Worst)] {
+                let stats = measure(&w, SystemMode::P4db, CcScheme::NoWait, workers, 0.2, profile, |c| {
+                    c.layout = layout;
+                });
+                table.push_row(vec![
+                    name.to_string(),
+                    workers.to_string(),
+                    label.to_string(),
+                    fmt_tps(stats.throughput()),
+                    format!("{:.0}", stats.mean_latency().as_secs_f64() * 1e6),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 17: hot set exceeding the switch capacity.
+// ---------------------------------------------------------------------------
+
+pub fn fig17_capacity(profile: &BenchProfile) -> FigureTable {
+    let mut table = FigureTable::new(
+        "Figure 17 — throughput while the hot set outgrows the switch capacity (YCSB-A)",
+        &["Switch capacity [rows]", "Hot-set size", "Offloaded", "No-Switch [txn/s]", "P4DB [txn/s]", "Speedup"],
+    );
+    let capacities: Vec<u64> = if profile.full { vec![1_000, 10_000, 65_000, 650_000] } else { vec![1_000, 65_000] };
+    let hot_sizes: Vec<u64> = if profile.full {
+        vec![400, 1_000, 10_000, 66_000, 655_000]
+    } else {
+        vec![400, 10_000, 66_000]
+    };
+    for capacity in capacities {
+        for &hot_total in &hot_sizes {
+            let hot_per_node = (hot_total / 4).max(1);
+            let w = ycsb_with(YcsbConfig {
+                keys_per_node: (hot_per_node * 4).max(20_000),
+                hot_keys_per_node: hot_per_node,
+                ..YcsbConfig::new(YcsbMix::A)
+            });
+            let base = measure(&w, SystemMode::NoSwitch, CcScheme::NoWait, 4, 0.2, profile, no_tweak);
+            let (p4, offloaded) = {
+                let mut config = ClusterConfig::new(SystemMode::P4db, CcScheme::NoWait);
+                config.workers_per_node = 4;
+                config.distributed_prob = 0.2;
+                config.switch = SwitchConfig::tofino_defaults().with_total_rows(capacity);
+                let cluster = Cluster::build(config, Arc::clone(&w));
+                let offloaded = cluster.offloaded_tuples();
+                (cluster.run_for(profile.measure), offloaded)
+            };
+            table.push_row(vec![
+                capacity.to_string(),
+                hot_total.to_string(),
+                offloaded.to_string(),
+                fmt_tps(base.throughput()),
+                fmt_tps(p4.throughput()),
+                fmt_speedup(speedup(&p4, &base)),
+            ]);
+        }
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 18a: latency breakdown for TPC-C.
+// ---------------------------------------------------------------------------
+
+pub fn fig18a_latency_breakdown(profile: &BenchProfile) -> FigureTable {
+    let mut table = FigureTable::new(
+        "Figure 18a — per-transaction latency breakdown (TPC-C 8WH, high load)",
+        &["System", "Lock acquisition", "Local access", "Remote access", "Switch txn", "Txn engine", "Total [µs]"],
+    );
+    let w = tpcc(8);
+    for mode in [SystemMode::NoSwitch, SystemMode::P4db] {
+        let stats = measure(&w, mode, CcScheme::NoWait, 4, 0.2, profile, no_tweak);
+        let breakdown = stats.phase_breakdown();
+        let us = |p: Phase| {
+            breakdown
+                .iter()
+                .find(|(ph, _)| *ph == p)
+                .map(|(_, d)| d.as_secs_f64() * 1e6)
+                .unwrap_or(0.0)
+        };
+        let total: f64 = breakdown.iter().map(|(_, d)| d.as_secs_f64() * 1e6).sum();
+        table.push_row(vec![
+            mode.label().to_string(),
+            format!("{:.0}µs", us(Phase::LockAcquisition)),
+            format!("{:.0}µs", us(Phase::LocalAccess)),
+            format!("{:.0}µs", us(Phase::RemoteAccess)),
+            format!("{:.0}µs", us(Phase::SwitchTxn)),
+            format!("{:.0}µs", us(Phase::TxnEngine)),
+            format!("{total:.0}"),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 18b: existing optimizations for distributed/contended transactions.
+// ---------------------------------------------------------------------------
+
+pub fn fig18b_existing_optimizations(profile: &BenchProfile) -> FigureTable {
+    let mut table = FigureTable::new(
+        "Figure 18b — existing optimizations vs. P4DB (TPC-C 8WH)",
+        &["Configuration", "Throughput [txn/s]", "Speedup vs Plain 2PL"],
+    );
+    let w = tpcc(8);
+    // Plain 2PL/2PC with poor locality (80% distributed).
+    let plain = measure(&w, SystemMode::NoSwitch, CcScheme::NoWait, 4, 0.8, profile, no_tweak);
+    // + optimal partitioning: locality brings distributed transactions down
+    //   to 20%.
+    let opt_part = measure(&w, SystemMode::NoSwitch, CcScheme::NoWait, 4, 0.2, profile, no_tweak);
+    // + Chiller-style contention-centric execution on top of the locality.
+    let chiller = measure(&w, SystemMode::NoSwitch, CcScheme::NoWait, 4, 0.2, profile, |c| c.chiller = true);
+    // + P4DB.
+    let p4db = measure(&w, SystemMode::P4db, CcScheme::NoWait, 4, 0.2, profile, no_tweak);
+
+    for (name, stats) in [("Plain 2PL", &plain), ("+Opt. Part.", &opt_part), ("+Chiller", &chiller), ("+P4DB", &p4db)] {
+        table.push_row(vec![
+            name.to_string(),
+            fmt_tps(stats.throughput()),
+            fmt_speedup(speedup(stats, &plain)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_profile() -> BenchProfile {
+        BenchProfile { measure: Duration::from_millis(60), full: false }
+    }
+
+    #[test]
+    fn fig01_produces_one_row_per_workload() {
+        let t = fig01_headline(&quick_profile());
+        assert_eq!(t.rows.len(), 3);
+        assert!(t.to_markdown().contains("YCSB-A"));
+    }
+
+    #[test]
+    fn fig15c_has_four_ablation_steps() {
+        let t = fig15c_optimizations(&quick_profile());
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.rows[0][0], "Unoptimized");
+        assert_eq!(t.rows[3][0], "+Declustered");
+    }
+}

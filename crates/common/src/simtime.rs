@@ -1,0 +1,105 @@
+//! Simulated network/hardware delays.
+//!
+//! The reproduction replaces the physical 10G network and the Tofino pipeline
+//! with in-process components, but the paper's results hinge on *relative*
+//! latencies (switch reachable in ½ RTT, pipeline pass ≪ host lock hold time).
+//! [`spin_for`] imposes such delays precisely at sub-microsecond granularity
+//! by busy-waiting; `thread::sleep` cannot be used because its granularity on
+//! Linux (~50µs once descheduled) is far coarser than the latencies being
+//! modelled.
+
+use std::time::{Duration, Instant};
+
+/// Busy-waits for `d`. Zero durations return immediately, which is what the
+/// functional tests use ([`crate::LatencyConfig::zero`]).
+#[inline]
+pub fn spin_for(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let start = Instant::now();
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+/// Threshold above which [`wait_for`] yields the CPU instead of spinning.
+/// Below it, `thread::sleep`'s wake-up granularity would distort the delay.
+pub const SLEEP_THRESHOLD: Duration = Duration::from_micros(100);
+
+/// Waits for `d`, choosing the mechanism by magnitude: short delays are
+/// busy-waited (precision), long delays sleep (so that a cluster with many
+/// worker threads can be simulated on a machine with few cores — the
+/// "slow-motion" benchmark profile, see `LatencyConfig::bench_profile`).
+#[inline]
+pub fn wait_for(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    if d >= SLEEP_THRESHOLD {
+        std::thread::sleep(d);
+    } else {
+        spin_for(d);
+    }
+}
+
+/// A simple stopwatch for latency-breakdown measurements (Fig 18a). Each
+/// worker owns one; `lap` returns the time since the previous lap and resets
+/// the reference point, so consecutive phases of a transaction can be
+/// attributed without nested timers.
+#[derive(Debug)]
+pub struct Stopwatch {
+    last: Instant,
+}
+
+impl Stopwatch {
+    pub fn start() -> Self {
+        Stopwatch { last: Instant::now() }
+    }
+
+    /// Time elapsed since start or the previous lap; resets the lap point.
+    #[inline]
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let d = now - self.last;
+        self.last = now;
+        d
+    }
+
+    /// Resets the lap point without reporting.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.last = Instant::now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_for_zero_is_instant() {
+        let start = Instant::now();
+        spin_for(Duration::ZERO);
+        assert!(start.elapsed() < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn spin_for_waits_at_least_the_requested_time() {
+        let start = Instant::now();
+        spin_for(Duration::from_micros(200));
+        assert!(start.elapsed() >= Duration::from_micros(200));
+    }
+
+    #[test]
+    fn stopwatch_laps_are_monotonic() {
+        let mut sw = Stopwatch::start();
+        spin_for(Duration::from_micros(50));
+        let first = sw.lap();
+        assert!(first >= Duration::from_micros(50));
+        let second = sw.lap();
+        // The second lap starts after the first lap's reset, so it must be
+        // (much) smaller than the first.
+        assert!(second <= first);
+    }
+}

@@ -1,0 +1,361 @@
+//! Cluster assembly and the experiment driver.
+//!
+//! A [`Cluster`] is the full system of the paper's evaluation: `n` database
+//! nodes (each with its partition, lock table and WAL), the programmable
+//! switch (simulator), the rack fabric with the ½-RTT latency model, the
+//! offloaded hot set with its declustered layout, and the worker threads that
+//! generate and execute transactions. [`Cluster::run_for`] drives a
+//! fixed-duration measurement and returns the merged statistics — one data
+//! point of one figure.
+
+use p4db_common::rand_util::FastRng;
+use p4db_common::simtime::wait_for;
+use p4db_common::stats::{RunStats, WorkerStats};
+use p4db_common::{CcScheme, LatencyConfig, NodeId, SystemMode, TupleId, WorkerId};
+use p4db_layout::{DataLayout, LayoutPlanner, LayoutStrategy};
+use p4db_net::{Fabric, LatencyModel};
+use p4db_storage::NodeStorage;
+use p4db_switch::{start_switch, ControlPlane, RegisterMemory, SwitchConfig, SwitchHandle, SwitchStatsSnapshot};
+use p4db_txn::{EngineConfig, EngineShared, HotSetIndex, Worker};
+use p4db_workloads::{Workload, WorkloadCtx};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Everything needed to build a cluster for one experiment configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    pub num_nodes: u16,
+    pub workers_per_node: u16,
+    pub mode: SystemMode,
+    pub cc: CcScheme,
+    pub latency: LatencyConfig,
+    pub switch: SwitchConfig,
+    pub layout: LayoutStrategy,
+    /// Fraction of generated transactions that are distributed.
+    pub distributed_prob: f64,
+    /// Chiller-style contention-centric host execution (Fig 18b only).
+    pub chiller: bool,
+    /// Cap on how many hot tuples are offloaded (None = switch capacity).
+    /// Used by the Fig 17 capacity experiment.
+    pub offload_limit: Option<usize>,
+    /// RNG seed (workers derive their own seeds from it).
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// A small default cluster: the paper's 8×8–20 configuration scaled down
+    /// so it can be driven by the slow-motion latency profile on machines
+    /// with few cores (see `LatencyConfig::bench_profile`).
+    pub fn new(mode: SystemMode, cc: CcScheme) -> Self {
+        ClusterConfig {
+            num_nodes: 4,
+            workers_per_node: 4,
+            mode,
+            cc,
+            latency: LatencyConfig::bench_profile(),
+            switch: SwitchConfig::tofino_defaults(),
+            layout: LayoutStrategy::Declustered,
+            distributed_prob: 0.2,
+            chiller: false,
+            offload_limit: None,
+            seed: 42,
+        }
+    }
+
+    /// Fast functional-test profile: tiny latencies, tiny switch.
+    pub fn test_profile(mode: SystemMode, cc: CcScheme) -> Self {
+        ClusterConfig {
+            num_nodes: 2,
+            workers_per_node: 2,
+            latency: LatencyConfig::zero(),
+            switch: SwitchConfig::tiny(),
+            ..Self::new(mode, cc)
+        }
+    }
+}
+
+/// A fully assembled cluster, ready to run measurements.
+pub struct Cluster {
+    config: ClusterConfig,
+    workload: Arc<dyn Workload>,
+    shared: Arc<EngineShared>,
+    switch: SwitchHandle,
+    control_plane: ControlPlane,
+    layout: DataLayout,
+    offloaded: usize,
+    hot_total: usize,
+}
+
+impl Cluster {
+    /// Builds the cluster: creates and loads every node's partition, detects
+    /// and offloads the hot set under the configured layout strategy, starts
+    /// the switch and wires up the engine.
+    pub fn build(config: ClusterConfig, workload: Arc<dyn Workload>) -> Self {
+        assert!(config.num_nodes > 0 && config.workers_per_node > 0, "cluster needs nodes and workers");
+        config.switch.validate().expect("invalid switch configuration");
+
+        // --- Host storage ----------------------------------------------------
+        let nodes: Vec<Arc<NodeStorage>> = (0..config.num_nodes)
+            .map(|n| {
+                let storage = NodeStorage::new(NodeId(n), workload.tables());
+                workload.load_node(&storage, config.num_nodes);
+                Arc::new(storage)
+            })
+            .collect();
+
+        // --- Hot set detection + declustered layout --------------------------
+        let mut rng = FastRng::new(config.seed ^ 0xFEED);
+        let hot_tuples = workload.hot_tuples(config.num_nodes);
+        let hot_total = hot_tuples.len();
+        let traces = workload.layout_traces(config.num_nodes, &mut rng);
+        let planner =
+            LayoutPlanner::new(config.switch.num_stages, config.switch.arrays_per_stage, config.switch.slots_per_array);
+        // Very large hot sets (Fig 17) skip graph construction.
+        let strategy = if matches!(config.layout, LayoutStrategy::Declustered) && hot_tuples.len() > 20_000 {
+            LayoutStrategy::Hashed
+        } else {
+            config.layout
+        };
+        let offload_candidates: Vec<TupleId> = hot_tuples
+            .iter()
+            .map(|h| h.tuple)
+            .take(config.offload_limit.unwrap_or(usize::MAX).min(config.switch.total_slots() as usize))
+            .collect();
+        let layout = planner.plan(&offload_candidates, &traces, strategy);
+
+        // --- Switch ----------------------------------------------------------
+        let memory = Arc::new(RegisterMemory::new(config.switch));
+        let mut control_plane = ControlPlane::new(config.switch, Arc::clone(&memory));
+        let mut offloaded = 0usize;
+        if config.mode == SystemMode::P4db {
+            for hot in hot_tuples.iter().take(offload_candidates.len()) {
+                let Some(at) = layout.get(hot.tuple) else { continue };
+                if control_plane
+                    .offload_into(hot.tuple, at.stage, at.array, hot.byte_width, hot.initial)
+                    .is_ok()
+                {
+                    offloaded += 1;
+                }
+            }
+        }
+
+        let latency = LatencyModel::new(config.latency);
+        let fabric = Fabric::new(latency.clone());
+        let switch = start_switch(config.switch, memory, fabric.clone());
+
+        // --- Engine ----------------------------------------------------------
+        let hot_index = match config.mode {
+            SystemMode::P4db => HotSetIndex::from_control_plane(&control_plane),
+            // The LM-Switch and Chiller baselines need hot-tuple *identity*
+            // even though the data stays on the nodes.
+            SystemMode::LmSwitch | SystemMode::NoSwitch => {
+                HotSetIndex::from_tuples(hot_tuples.iter().map(|h| h.tuple))
+            }
+        };
+        let engine_config = EngineConfig {
+            chiller: config.chiller,
+            ..EngineConfig::new(config.mode, config.cc, config.switch)
+        };
+        let shared = Arc::new(EngineShared {
+            nodes,
+            latency,
+            fabric,
+            hot_index: Arc::new(hot_index),
+            config: engine_config,
+        });
+
+        Cluster { config, workload, shared, switch, control_plane, layout, offloaded, hot_total }
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    pub fn shared(&self) -> &Arc<EngineShared> {
+        &self.shared
+    }
+
+    pub fn workload_name(&self) -> String {
+        self.workload.name()
+    }
+
+    /// Number of hot tuples actually offloaded to the switch (may be smaller
+    /// than the hot set when the switch capacity is exceeded, Fig 17).
+    pub fn offloaded_tuples(&self) -> usize {
+        self.offloaded
+    }
+
+    /// Size of the workload-defined hot set.
+    pub fn hot_set_size(&self) -> usize {
+        self.hot_total
+    }
+
+    /// The planned data layout (for layout-quality reporting).
+    pub fn layout(&self) -> &DataLayout {
+        &self.layout
+    }
+
+    /// Data-plane statistics of the switch.
+    pub fn switch_stats(&self) -> SwitchStatsSnapshot {
+        self.switch.stats()
+    }
+
+    /// The switch control plane (recovery experiments and tests).
+    pub fn control_plane(&self) -> &ControlPlane {
+        &self.control_plane
+    }
+
+    /// Current switch-side value of an offloaded tuple.
+    pub fn switch_value(&self, tuple: TupleId) -> Option<u64> {
+        self.control_plane.read_tuple(tuple)
+    }
+
+    /// Offload-time initial values of the hot set, as needed by
+    /// [`p4db_storage::recover_switch_state`].
+    pub fn offload_snapshot(&self) -> HashMap<TupleId, u64> {
+        self.workload
+            .hot_tuples(self.config.num_nodes)
+            .into_iter()
+            .map(|h| (h.tuple, h.initial))
+            .collect()
+    }
+
+    /// Runs the workload on every worker thread for `duration` and returns
+    /// the merged statistics. Can be called repeatedly; each call spawns
+    /// fresh workers (data is *not* reloaded between calls).
+    pub fn run_for(&self, duration: Duration) -> RunStats {
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for node in 0..self.config.num_nodes {
+            for wid in 0..self.config.workers_per_node {
+                let shared = Arc::clone(&self.shared);
+                let workload = Arc::clone(&self.workload);
+                let stop = Arc::clone(&stop);
+                let config = self.config.clone();
+                let seed = config
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((node as u64) << 20 | wid as u64);
+                handles.push(std::thread::spawn(move || {
+                    // Worker ids are made unique across repeated `run_for`
+                    // calls by the fabric panicking on duplicate endpoints —
+                    // avoid that by offsetting with a process-wide counter.
+                    let unique = WorkerId(next_worker_slot());
+                    let mut worker = Worker::new(shared, NodeId(node), unique);
+                    let ctx = WorkloadCtx::new(config.num_nodes, NodeId(node), config.distributed_prob);
+                    let mut rng = FastRng::new(seed);
+                    let mut stats = WorkerStats::new();
+                    let backoff = Duration::from_nanos(config.latency.one_way_ns / 2);
+                    while !stop.load(Ordering::Relaxed) {
+                        let req = workload.generate(&ctx, &mut rng);
+                        let started = Instant::now();
+                        let mut attempts = 0u32;
+                        loop {
+                            match worker.execute(&req, &mut stats) {
+                                Ok(outcome) => {
+                                    stats.record_commit(outcome.class, started.elapsed());
+                                    break;
+                                }
+                                Err(e) if e.is_abort() => {
+                                    attempts += 1;
+                                    if attempts >= 1000 || stop.load(Ordering::Relaxed) {
+                                        break;
+                                    }
+                                    // Randomised backoff proportional to the
+                                    // network latency before retrying.
+                                    wait_for(backoff.mul_f64(0.5 + rng.gen_f64()));
+                                }
+                                Err(_) => break, // cluster shutting down
+                            }
+                        }
+                    }
+                    stats
+                }));
+            }
+        }
+
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+        let worker_stats: Vec<WorkerStats> = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+        RunStats::from_workers(worker_stats.iter(), duration)
+    }
+}
+
+/// Process-wide worker-endpoint allocator: every spawned worker gets a fresh
+/// endpoint id so repeated `run_for` calls on the same cluster never collide
+/// on the fabric registry.
+fn next_worker_slot() -> u16 {
+    use std::sync::atomic::AtomicU16;
+    static NEXT: AtomicU16 = AtomicU16::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4db_workloads::{SmallBank, SmallBankConfig, Ycsb, YcsbConfig, YcsbMix};
+
+    fn small_ycsb() -> Arc<dyn Workload> {
+        Arc::new(Ycsb::new(YcsbConfig { keys_per_node: 2_000, ..YcsbConfig::new(YcsbMix::A) }))
+    }
+
+    #[test]
+    fn cluster_builds_and_offloads_hot_set_in_p4db_mode() {
+        let cluster = Cluster::build(ClusterConfig::test_profile(SystemMode::P4db, CcScheme::NoWait), small_ycsb());
+        assert_eq!(cluster.hot_set_size(), 2 * 50);
+        assert_eq!(cluster.offloaded_tuples(), 100);
+        assert!(cluster.switch_value(TupleId::new(p4db_workloads::ycsb::YCSB_TABLE, 0)).is_some());
+    }
+
+    #[test]
+    fn no_switch_mode_offloads_nothing() {
+        let cluster = Cluster::build(ClusterConfig::test_profile(SystemMode::NoSwitch, CcScheme::NoWait), small_ycsb());
+        assert_eq!(cluster.offloaded_tuples(), 0);
+    }
+
+    #[test]
+    fn run_for_commits_transactions_in_all_modes() {
+        for mode in [SystemMode::NoSwitch, SystemMode::LmSwitch, SystemMode::P4db] {
+            let cluster = Cluster::build(ClusterConfig::test_profile(mode, CcScheme::NoWait), small_ycsb());
+            let stats = cluster.run_for(Duration::from_millis(200));
+            assert!(
+                stats.merged.committed_total() > 100,
+                "{:?} committed only {}",
+                mode,
+                stats.merged.committed_total()
+            );
+            if mode == SystemMode::P4db {
+                assert!(stats.merged.committed_hot > 0, "P4DB must execute hot transactions on the switch");
+                assert!(cluster.switch_stats().txns_executed > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn offload_limit_caps_the_switch_resident_hot_set() {
+        let mut config = ClusterConfig::test_profile(SystemMode::P4db, CcScheme::NoWait);
+        config.offload_limit = Some(10);
+        let cluster = Cluster::build(config, small_ycsb());
+        assert_eq!(cluster.offloaded_tuples(), 10);
+        let stats = cluster.run_for(Duration::from_millis(100));
+        // Hot transactions over non-offloaded tuples fall back to the host
+        // path, so both hot and cold/warm commits appear.
+        assert!(stats.merged.committed_total() > 0);
+    }
+
+    #[test]
+    fn smallbank_cluster_preserves_non_negative_switch_balances() {
+        let workload: Arc<dyn Workload> = Arc::new(SmallBank::new(SmallBankConfig {
+            customers_per_node: 2_000,
+            ..SmallBankConfig::default()
+        }));
+        let cluster = Cluster::build(ClusterConfig::test_profile(SystemMode::P4db, CcScheme::NoWait), workload);
+        let _ = cluster.run_for(Duration::from_millis(200));
+        for (tuple, _) in cluster.shared().hot_index.iter() {
+            let value = cluster.switch_value(tuple).unwrap();
+            assert!((value as i64) >= 0, "balance of {tuple} went negative: {value}");
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! # p4db-core
+//!
+//! Cluster assembly and the experiment driver: builds the full system of the
+//! paper's evaluation (nodes + switch + hot-set offload + worker threads) for
+//! one configuration and runs fixed-duration measurements, producing the data
+//! points behind every figure in `EXPERIMENTS.md`.
+
+pub mod cluster;
+pub mod report;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use report::{fmt_speedup, fmt_tps, speedup, FigureTable};

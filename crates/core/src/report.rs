@@ -1,0 +1,118 @@
+//! Tabular reporting for the benchmark harness: every bench target prints the
+//! rows/series of the paper figure it reproduces through a [`FigureTable`].
+
+use p4db_common::stats::RunStats;
+use serde::Serialize;
+
+/// One reproduced figure (or sub-figure): a title plus a simple table.
+#[derive(Clone, Debug, Serialize)]
+pub struct FigureTable {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl FigureTable {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        FigureTable { title: title.into(), headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(row);
+    }
+
+    /// Renders the table as github-flavoured markdown (used for
+    /// EXPERIMENTS.md and the bench output).
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_markdown());
+    }
+}
+
+/// Formats a throughput in transactions/second with a thousands separator.
+pub fn fmt_tps(tps: f64) -> String {
+    if tps >= 1_000_000.0 {
+        format!("{:.2}M", tps / 1_000_000.0)
+    } else if tps >= 1_000.0 {
+        format!("{:.1}K", tps / 1_000.0)
+    } else {
+        format!("{tps:.0}")
+    }
+}
+
+/// Formats a speedup factor.
+pub fn fmt_speedup(speedup: f64) -> String {
+    format!("{speedup:.2}x")
+}
+
+/// Speedup of `system` over `baseline` throughput.
+pub fn speedup(system: &RunStats, baseline: &RunStats) -> f64 {
+    let base = baseline.throughput();
+    if base <= f64::EPSILON {
+        0.0
+    } else {
+        system.throughput() / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4db_common::stats::{TxnClass, WorkerStats};
+    use std::time::Duration;
+
+    fn run_with(commits: u64) -> RunStats {
+        let mut w = WorkerStats::new();
+        for _ in 0..commits {
+            w.record_commit(TxnClass::Cold, Duration::from_micros(1));
+        }
+        RunStats::from_workers([&w], Duration::from_secs(1))
+    }
+
+    #[test]
+    fn markdown_table_has_header_separator_and_rows() {
+        let mut t = FigureTable::new("Fig X", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Fig X"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_is_rejected() {
+        let mut t = FigureTable::new("Fig", &["a"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn speedup_and_formatting() {
+        let fast = run_with(3_000);
+        let slow = run_with(1_000);
+        assert!((speedup(&fast, &slow) - 3.0).abs() < 1e-9);
+        assert_eq!(fmt_speedup(3.0), "3.00x");
+        assert_eq!(fmt_tps(1_500.0), "1.5K");
+        assert_eq!(fmt_tps(2_500_000.0), "2.50M");
+        assert_eq!(fmt_tps(12.0), "12");
+    }
+
+    #[test]
+    fn zero_baseline_speedup_is_zero() {
+        let fast = run_with(100);
+        let zero = run_with(0);
+        assert_eq!(speedup(&fast, &zero), 0.0);
+    }
+}

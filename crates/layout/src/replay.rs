@@ -1,0 +1,153 @@
+//! Offline hot-set detection by statement replay (§3.1).
+//!
+//! P4DB decides which tuples are hot statically: a representative workload is
+//! replayed statement-by-statement, access frequencies are counted, and the
+//! most frequently accessed tuples (up to the switch capacity) become the hot
+//! set that gets offloaded.
+
+use crate::graph::TxnTrace;
+use p4db_common::TupleId;
+use std::collections::HashMap;
+
+/// Accumulates access frequencies from replayed transactions.
+#[derive(Clone, Debug, Default)]
+pub struct HotSetDetector {
+    counts: HashMap<TupleId, u64>,
+    total_accesses: u64,
+}
+
+impl HotSetDetector {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one access.
+    pub fn record_access(&mut self, tuple: TupleId) {
+        *self.counts.entry(tuple).or_insert(0) += 1;
+        self.total_accesses += 1;
+    }
+
+    /// Replays a whole transaction trace.
+    pub fn record_trace(&mut self, trace: &TxnTrace) {
+        for a in &trace.accesses {
+            self.record_access(a.tuple);
+        }
+    }
+
+    /// Number of distinct tuples observed.
+    pub fn distinct_tuples(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of recorded accesses.
+    pub fn total_accesses(&self) -> u64 {
+        self.total_accesses
+    }
+
+    /// Access count for one tuple.
+    pub fn count(&self, tuple: TupleId) -> u64 {
+        self.counts.get(&tuple).copied().unwrap_or(0)
+    }
+
+    /// The `k` most frequently accessed tuples, most frequent first. Ties are
+    /// broken by tuple id so the result is deterministic.
+    pub fn top_k(&self, k: usize) -> Vec<TupleId> {
+        let mut all: Vec<(TupleId, u64)> = self.counts.iter().map(|(t, c)| (*t, *c)).collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| (a.0.table.0, a.0.key).cmp(&(b.0.table.0, b.0.key))));
+        all.into_iter().take(k).map(|(t, _)| t).collect()
+    }
+
+    /// The smallest prefix of the frequency-ranked tuples that covers at
+    /// least `fraction` of all recorded accesses — the paper's notion of "the
+    /// hot tuples receive X% of all accesses", inverted.
+    pub fn covering_set(&self, fraction: f64) -> Vec<TupleId> {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+        if self.total_accesses == 0 {
+            return Vec::new();
+        }
+        let target = (fraction * self.total_accesses as f64).ceil() as u64;
+        let mut covered = 0u64;
+        let mut result = Vec::new();
+        for tuple in self.top_k(self.counts.len()) {
+            if covered >= target {
+                break;
+            }
+            covered += self.count(tuple);
+            result.push(tuple);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TraceAccess;
+    use p4db_common::TableId;
+
+    fn t(key: u64) -> TupleId {
+        TupleId::new(TableId(0), key)
+    }
+
+    #[test]
+    fn top_k_orders_by_frequency() {
+        let mut d = HotSetDetector::new();
+        for _ in 0..10 {
+            d.record_access(t(1));
+        }
+        for _ in 0..5 {
+            d.record_access(t(2));
+        }
+        d.record_access(t(3));
+        assert_eq!(d.top_k(2), vec![t(1), t(2)]);
+        assert_eq!(d.distinct_tuples(), 3);
+        assert_eq!(d.total_accesses(), 16);
+        assert_eq!(d.count(t(1)), 10);
+        assert_eq!(d.count(t(99)), 0);
+    }
+
+    #[test]
+    fn top_k_is_deterministic_under_ties() {
+        let mut d = HotSetDetector::new();
+        d.record_access(t(7));
+        d.record_access(t(3));
+        d.record_access(t(5));
+        assert_eq!(d.top_k(3), vec![t(3), t(5), t(7)]);
+    }
+
+    #[test]
+    fn covering_set_picks_smallest_prefix() {
+        let mut d = HotSetDetector::new();
+        // tuple 1: 80 accesses, tuples 2..12: 2 accesses each (20 total).
+        for _ in 0..80 {
+            d.record_access(t(1));
+        }
+        for k in 2..12 {
+            d.record_access(t(k));
+            d.record_access(t(k));
+        }
+        let hot = d.covering_set(0.75);
+        assert_eq!(hot, vec![t(1)], "a single tuple already covers 80% of accesses");
+        let hot = d.covering_set(1.0);
+        assert_eq!(hot.len(), 11);
+    }
+
+    #[test]
+    fn record_trace_counts_every_access() {
+        let mut d = HotSetDetector::new();
+        d.record_trace(&TxnTrace::new(vec![
+            TraceAccess::read(t(1)),
+            TraceAccess::write(t(1)),
+            TraceAccess::read(t(2)),
+        ]));
+        assert_eq!(d.count(t(1)), 2);
+        assert_eq!(d.count(t(2)), 1);
+    }
+
+    #[test]
+    fn empty_detector_has_empty_covering_set() {
+        let d = HotSetDetector::new();
+        assert!(d.covering_set(0.9).is_empty());
+        assert!(d.top_k(5).is_empty());
+    }
+}

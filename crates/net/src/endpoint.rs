@@ -1,0 +1,70 @@
+//! Network endpoints: every addressable entity on the simulated rack network.
+
+use p4db_common::{NodeId, WorkerId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An addressable endpoint on the rack network.
+///
+/// Worker endpoints exist because switch transaction *responses* are routed
+/// back to the issuing worker thread (the paper keeps all transaction state on
+/// the issuing database node, §5.4); giving every worker its own mailbox means
+/// responses never need demultiplexing locks.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum EndpointId {
+    /// A database node's control endpoint (2PC votes, recovery traffic).
+    Node(NodeId),
+    /// A specific worker thread on a node (switch transaction responses).
+    Worker(NodeId, WorkerId),
+    /// The programmable switch's packet-processing engine.
+    Switch,
+}
+
+impl EndpointId {
+    /// Whether this endpoint lives on the switch.
+    pub fn is_switch(self) -> bool {
+        matches!(self, EndpointId::Switch)
+    }
+
+    /// The node this endpoint belongs to (`None` for the switch).
+    pub fn node(self) -> Option<NodeId> {
+        match self {
+            EndpointId::Node(n) | EndpointId::Worker(n, _) => Some(n),
+            EndpointId::Switch => None,
+        }
+    }
+}
+
+impl fmt::Display for EndpointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EndpointId::Node(n) => write!(f, "{n}"),
+            EndpointId::Worker(n, w) => write!(f, "{n}/{w}"),
+            EndpointId::Switch => write!(f, "switch"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_node_extraction() {
+        assert_eq!(EndpointId::Node(NodeId(3)).node(), Some(NodeId(3)));
+        assert_eq!(EndpointId::Worker(NodeId(1), WorkerId(4)).node(), Some(NodeId(1)));
+        assert_eq!(EndpointId::Switch.node(), None);
+        assert!(EndpointId::Switch.is_switch());
+        assert!(!EndpointId::Node(NodeId(0)).is_switch());
+    }
+
+    #[test]
+    fn endpoints_are_distinct_hash_keys() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(EndpointId::Node(NodeId(0)));
+        set.insert(EndpointId::Worker(NodeId(0), WorkerId(0)));
+        set.insert(EndpointId::Switch);
+        assert_eq!(set.len(), 3);
+    }
+}

@@ -1,0 +1,237 @@
+//! A typed, multi-endpoint message fabric backed by lock-free channels.
+//!
+//! Endpoints register once at cluster construction time; afterwards sending
+//! is wait-free apart from the imposed wire latency. Receivers own a
+//! [`Mailbox`] and poll or block on it. The switch's ingress port, every
+//! worker's response port, and every node's 2PC control port are fabric
+//! endpoints.
+
+use crate::endpoint::EndpointId;
+use crate::latency::LatencyModel;
+use crate::message::Envelope;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The receiving end of a fabric endpoint.
+#[derive(Debug)]
+pub struct Mailbox<M> {
+    id: EndpointId,
+    rx: Receiver<Envelope<M>>,
+}
+
+impl<M> Mailbox<M> {
+    /// The endpoint this mailbox belongs to.
+    pub fn id(&self) -> EndpointId {
+        self.id
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        match self.rx.try_recv() {
+            Ok(env) => Some(env),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Blocking receive with a timeout. Returns `None` on timeout or if all
+    /// senders disconnected.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope<M>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(env) => Some(env),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Blocking receive; returns `None` only when every sender is gone.
+    pub fn recv(&self) -> Option<Envelope<M>> {
+        self.rx.recv().ok()
+    }
+
+    /// Number of queued messages (approximate).
+    pub fn len(&self) -> usize {
+        self.rx.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rx.is_empty()
+    }
+}
+
+struct Registry<M> {
+    endpoints: HashMap<EndpointId, Sender<Envelope<M>>>,
+}
+
+/// The fabric: a registry of endpoints plus the latency model. Cloning is
+/// cheap and shares the registry, so every worker and the switch thread hold
+/// their own handle.
+pub struct Fabric<M> {
+    registry: Arc<RwLock<Registry<M>>>,
+    latency: LatencyModel,
+}
+
+impl<M> Clone for Fabric<M> {
+    fn clone(&self) -> Self {
+        Fabric { registry: Arc::clone(&self.registry), latency: self.latency.clone() }
+    }
+}
+
+impl<M> Fabric<M> {
+    pub fn new(latency: LatencyModel) -> Self {
+        Fabric {
+            registry: Arc::new(RwLock::new(Registry { endpoints: HashMap::new() })),
+            latency,
+        }
+    }
+
+    /// The latency model this fabric uses (shared with direct-call accesses).
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Registers an endpoint and returns its mailbox.
+    ///
+    /// # Panics
+    /// Panics if the endpoint is already registered — endpoint identity is a
+    /// construction-time invariant of the cluster.
+    pub fn register(&self, id: EndpointId) -> Mailbox<M> {
+        let (tx, rx) = unbounded();
+        let mut reg = self.registry.write();
+        let prev = reg.endpoints.insert(id, tx);
+        assert!(prev.is_none(), "endpoint {id} registered twice");
+        Mailbox { id, rx }
+    }
+
+    /// Whether an endpoint exists.
+    pub fn is_registered(&self, id: EndpointId) -> bool {
+        self.registry.read().endpoints.contains_key(&id)
+    }
+
+    /// Sends `payload` from `src` to `dst`, imposing the one-way wire latency
+    /// on the *caller* (the sending thread models the NIC serialisation +
+    /// propagation delay; the receiver does not pay it again).
+    ///
+    /// Returns `false` if the destination endpoint is not registered or its
+    /// mailbox has been dropped (cluster shutdown).
+    pub fn send(&self, src: EndpointId, dst: EndpointId, payload: M) -> bool {
+        self.latency.impose(src, dst);
+        self.send_no_latency(src, dst, payload)
+    }
+
+    /// Sends without imposing latency. Used by the switch egress path, which
+    /// accounts for its own delays, and by tests.
+    pub fn send_no_latency(&self, src: EndpointId, dst: EndpointId, payload: M) -> bool {
+        let reg = self.registry.read();
+        match reg.endpoints.get(&dst) {
+            Some(tx) => tx.send(Envelope::new(src, dst, payload)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// All currently registered endpoints (used by the switch multicast).
+    pub fn endpoints(&self) -> Vec<EndpointId> {
+        self.registry.read().endpoints.keys().copied().collect()
+    }
+}
+
+impl<M: Clone> Fabric<M> {
+    /// Multicasts `payload` from the switch to every node endpoint
+    /// (`EndpointId::Node(_)`), the way the switch broadcasts the commit
+    /// decision + results of a warm transaction (Fig 10). Counted as a single
+    /// multicast, no per-destination latency is imposed on the caller.
+    pub fn multicast_to_nodes(&self, src: EndpointId, payload: M) -> usize {
+        self.latency.count_multicast();
+        let reg = self.registry.read();
+        let mut sent = 0;
+        for (id, tx) in reg.endpoints.iter() {
+            if matches!(id, EndpointId::Node(_)) && tx.send(Envelope::new(src, *id, payload.clone())).is_ok() {
+                sent += 1;
+            }
+        }
+        sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4db_common::{LatencyConfig, NodeId, WorkerId};
+    use std::thread;
+
+    fn fabric() -> Fabric<u64> {
+        Fabric::new(LatencyModel::new(LatencyConfig::zero()))
+    }
+
+    #[test]
+    fn send_and_receive_roundtrip() {
+        let f = fabric();
+        let switch_mb = f.register(EndpointId::Switch);
+        let node = EndpointId::Node(NodeId(0));
+        let _node_mb = f.register(node);
+        assert!(f.send(node, EndpointId::Switch, 7));
+        let env = switch_mb.try_recv().expect("message delivered");
+        assert_eq!(env.payload, 7);
+        assert_eq!(env.src, node);
+    }
+
+    #[test]
+    fn send_to_unregistered_endpoint_fails() {
+        let f = fabric();
+        let node = EndpointId::Node(NodeId(0));
+        let _mb = f.register(node);
+        assert!(!f.send(node, EndpointId::Switch, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let f = fabric();
+        let _a = f.register(EndpointId::Switch);
+        let _b = f.register(EndpointId::Switch);
+    }
+
+    #[test]
+    fn multicast_reaches_all_nodes_but_not_workers() {
+        let f = fabric();
+        let n0 = f.register(EndpointId::Node(NodeId(0)));
+        let n1 = f.register(EndpointId::Node(NodeId(1)));
+        let w = f.register(EndpointId::Worker(NodeId(0), WorkerId(0)));
+        let sent = f.multicast_to_nodes(EndpointId::Switch, 99);
+        assert_eq!(sent, 2);
+        assert_eq!(n0.try_recv().unwrap().payload, 99);
+        assert_eq!(n1.try_recv().unwrap().payload, 99);
+        assert!(w.try_recv().is_none());
+    }
+
+    #[test]
+    fn mailbox_blocks_until_message_arrives() {
+        let f = fabric();
+        let mb = f.register(EndpointId::Switch);
+        let sender = f.clone();
+        let handle = thread::spawn(move || {
+            let node = EndpointId::Node(NodeId(4));
+            let _mb = sender.register(node);
+            sender.send(node, EndpointId::Switch, 1234)
+        });
+        let env = mb.recv_timeout(Duration::from_secs(5)).expect("delivered");
+        assert_eq!(env.payload, 1234);
+        assert!(handle.join().unwrap());
+    }
+
+    #[test]
+    fn mailbox_len_tracks_backlog() {
+        let f = fabric();
+        let mb = f.register(EndpointId::Switch);
+        let node = EndpointId::Node(NodeId(0));
+        let _n = f.register(node);
+        for i in 0..5 {
+            f.send(node, EndpointId::Switch, i);
+        }
+        assert_eq!(mb.len(), 5);
+        assert!(!mb.is_empty());
+        while mb.try_recv().is_some() {}
+        assert!(mb.is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! The envelope wrapping every message on the fabric.
+
+use crate::endpoint::EndpointId;
+
+/// A message in flight: source, destination and an opaque payload.
+///
+/// The fabric is generic over the payload so that the switch crate can ship
+/// its packed packet representation and the transaction engine can ship its
+/// 2PC control messages without this crate knowing about either.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope<M> {
+    pub src: EndpointId,
+    pub dst: EndpointId,
+    pub payload: M,
+}
+
+impl<M> Envelope<M> {
+    pub fn new(src: EndpointId, dst: EndpointId, payload: M) -> Self {
+        Envelope { src, dst, payload }
+    }
+
+    /// Maps the payload, keeping addressing intact.
+    pub fn map<N>(self, f: impl FnOnce(M) -> N) -> Envelope<N> {
+        Envelope { src: self.src, dst: self.dst, payload: f(self.payload) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4db_common::NodeId;
+
+    #[test]
+    fn map_preserves_addressing() {
+        let e = Envelope::new(EndpointId::Node(NodeId(1)), EndpointId::Switch, 41u32);
+        let e = e.map(|v| v + 1);
+        assert_eq!(e.payload, 42);
+        assert_eq!(e.src, EndpointId::Node(NodeId(1)));
+        assert_eq!(e.dst, EndpointId::Switch);
+    }
+}

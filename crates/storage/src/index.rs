@@ -1,0 +1,118 @@
+//! Secondary indexes.
+//!
+//! P4DB keeps secondary indexes on the database nodes even for hot tuples
+//! (§6.1): a secondary-key lookup first resolves to a primary key on the
+//! node, and only then does the engine decide whether the primary key is hot
+//! (switch) or cold (host). Index maintenance after switch transactions is
+//! possible precisely because switch transactions cannot fail.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// A secondary index: 64-bit secondary key → primary keys.
+///
+/// Non-unique by design (e.g. several TPC-C customers share a last name).
+#[derive(Debug, Default)]
+pub struct SecondaryIndex {
+    map: RwLock<HashMap<u64, Vec<u64>>>,
+}
+
+impl SecondaryIndex {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a `(secondary, primary)` association. Duplicate associations are
+    /// ignored.
+    pub fn insert(&self, secondary: u64, primary: u64) {
+        let mut map = self.map.write();
+        let entry = map.entry(secondary).or_default();
+        if !entry.contains(&primary) {
+            entry.push(primary);
+        }
+    }
+
+    /// Removes one association; returns whether it existed.
+    pub fn remove(&self, secondary: u64, primary: u64) -> bool {
+        let mut map = self.map.write();
+        match map.get_mut(&secondary) {
+            Some(entry) => {
+                let before = entry.len();
+                entry.retain(|&p| p != primary);
+                let removed = entry.len() != before;
+                if entry.is_empty() {
+                    map.remove(&secondary);
+                }
+                removed
+            }
+            None => false,
+        }
+    }
+
+    /// All primary keys registered under `secondary`.
+    pub fn lookup(&self, secondary: u64) -> Vec<u64> {
+        self.map.read().get(&secondary).cloned().unwrap_or_default()
+    }
+
+    /// The unique primary key under `secondary`, if there is exactly one.
+    pub fn lookup_unique(&self, secondary: u64) -> Option<u64> {
+        let map = self.map.read();
+        match map.get(&secondary) {
+            Some(v) if v.len() == 1 => Some(v[0]),
+            _ => None,
+        }
+    }
+
+    /// Number of distinct secondary keys.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let idx = SecondaryIndex::new();
+        idx.insert(100, 1);
+        idx.insert(100, 2);
+        idx.insert(200, 3);
+        let mut hits = idx.lookup(100);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![1, 2]);
+        assert_eq!(idx.lookup_unique(200), Some(3));
+        assert_eq!(idx.lookup_unique(100), None);
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_insert_is_ignored() {
+        let idx = SecondaryIndex::new();
+        idx.insert(1, 7);
+        idx.insert(1, 7);
+        assert_eq!(idx.lookup(1), vec![7]);
+    }
+
+    #[test]
+    fn remove_cleans_up_empty_entries() {
+        let idx = SecondaryIndex::new();
+        idx.insert(1, 7);
+        assert!(idx.remove(1, 7));
+        assert!(!idx.remove(1, 7));
+        assert!(idx.lookup(1).is_empty());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn missing_key_lookup_is_empty() {
+        let idx = SecondaryIndex::new();
+        assert!(idx.lookup(42).is_empty());
+        assert_eq!(idx.lookup_unique(42), None);
+    }
+}

@@ -1,0 +1,22 @@
+//! # p4db-storage
+//!
+//! Host-side storage of the shared-nothing distributed DBMS that P4DB is
+//! integrated into (§6): per-node in-memory tables, the row-granularity 2PL
+//! lock manager with the NO_WAIT and WAIT_DIE deadlock-prevention variants,
+//! secondary indexes, the per-node write-ahead log with the switch-GID
+//! protocol, and the recovery procedures for both switch state and node
+//! state.
+
+pub mod index;
+pub mod locks;
+pub mod node;
+pub mod recovery;
+pub mod table;
+pub mod wal;
+
+pub use index::SecondaryIndex;
+pub use locks::{LockMode, LockTable};
+pub use node::NodeStorage;
+pub use recovery::{recover_cold_state, recover_switch_state, SwitchRecoveryOutcome};
+pub use table::{Row, Table};
+pub use wal::{LogRecord, LoggedSwitchOp, Wal};

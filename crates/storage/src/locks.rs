@@ -1,0 +1,309 @@
+//! The row-granularity 2PL lock manager of the host DBMS.
+//!
+//! Two deadlock-prevention variants are implemented, matching §7.1:
+//!
+//! * **NO_WAIT** — a transaction aborts as soon as a conflicting lock request
+//!   is denied.
+//! * **WAIT_DIE** — on conflict, the requester waits if it is *older* than
+//!   every current owner (its timestamp is smaller), otherwise it aborts
+//!   ("dies"). Waiting is deadlock-free because waits only ever go from older
+//!   to younger transactions.
+//!
+//! The table is sharded by tuple hash so that unrelated lock requests never
+//! contend on the same mutex; contention on the *same* tuple (the hot set) is
+//! exactly the effect the paper measures.
+
+use p4db_common::{CcScheme, Error, Result, TupleId, TxnId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hint;
+use std::time::{Duration, Instant};
+
+const SHARDS: usize = 64;
+
+/// Lock mode of a request / grant.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum LockMode {
+    Shared,
+    Exclusive,
+}
+
+#[derive(Debug)]
+struct LockEntry {
+    mode: LockMode,
+    owners: Vec<TxnId>,
+}
+
+/// The per-node lock table.
+#[derive(Debug)]
+pub struct LockTable {
+    shards: Vec<Mutex<HashMap<TupleId, LockEntry>>>,
+    /// Upper bound on how long WAIT_DIE waits before giving up; prevents a
+    /// simulation bug (an owner that never releases) from hanging a worker
+    /// forever. Generously larger than any realistic lock hold time.
+    wait_timeout: Duration,
+}
+
+impl Default for LockTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LockTable {
+    pub fn new() -> Self {
+        LockTable {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            wait_timeout: Duration::from_millis(100),
+        }
+    }
+
+    /// Overrides the WAIT_DIE waiting timeout (tests use a small value).
+    pub fn with_wait_timeout(mut self, timeout: Duration) -> Self {
+        self.wait_timeout = timeout;
+        self
+    }
+
+    fn shard(&self, tuple: TupleId) -> &Mutex<HashMap<TupleId, LockEntry>> {
+        // Cheap mix of table id and key; the shard count is a power of two.
+        let h = tuple.key ^ ((tuple.table.0 as u64) << 56) ^ (tuple.key >> 17);
+        &self.shards[(h as usize) & (SHARDS - 1)]
+    }
+
+    /// Attempts to acquire `tuple` in `mode` for `txn` under the given
+    /// concurrency-control scheme. Re-acquisition by the same transaction is
+    /// idempotent (upgrades from shared to exclusive are treated as a
+    /// conflict with other shared owners, as in standard 2PL).
+    pub fn acquire(&self, txn: TxnId, tuple: TupleId, mode: LockMode, scheme: CcScheme) -> Result<()> {
+        let deadline = Instant::now() + self.wait_timeout;
+        loop {
+            {
+                let mut shard = self.shard(tuple).lock();
+                match shard.get_mut(&tuple) {
+                    None => {
+                        shard.insert(tuple, LockEntry { mode, owners: vec![txn] });
+                        return Ok(());
+                    }
+                    Some(entry) => {
+                        if entry.owners.contains(&txn) {
+                            if entry.mode == LockMode::Exclusive || mode == LockMode::Shared {
+                                // Already held in a sufficient mode.
+                                return Ok(());
+                            }
+                            if entry.owners.len() == 1 {
+                                // Sole shared owner upgrading to exclusive.
+                                entry.mode = LockMode::Exclusive;
+                                return Ok(());
+                            }
+                        } else if entry.mode == LockMode::Shared && mode == LockMode::Shared {
+                            entry.owners.push(txn);
+                            return Ok(());
+                        }
+                        // Conflict.
+                        match scheme {
+                            CcScheme::NoWait => return Err(Error::lock_conflict(tuple)),
+                            CcScheme::WaitDie => {
+                                // Wait only if older than *every* owner,
+                                // otherwise die.
+                                let oldest_owner = entry
+                                    .owners
+                                    .iter()
+                                    .copied()
+                                    .filter(|o| *o != txn)
+                                    .min()
+                                    .unwrap_or(txn);
+                                if !txn.is_older_than(oldest_owner) {
+                                    return Err(Error::wait_die(tuple, oldest_owner));
+                                }
+                                // Older than every owner: fall through to wait.
+                            }
+                        }
+                    }
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(Error::lock_conflict(tuple));
+            }
+            // Back off outside the shard mutex and retry; owners release
+            // quickly (lock hold times are microseconds in this system).
+            for _ in 0..64 {
+                hint::spin_loop();
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Releases `tuple` for `txn`. Releasing a lock that is not held is a
+    /// no-op, which keeps abort paths simple (a transaction may abort halfway
+    /// through its acquisition loop).
+    pub fn release(&self, txn: TxnId, tuple: TupleId) {
+        let mut shard = self.shard(tuple).lock();
+        if let Some(entry) = shard.get_mut(&tuple) {
+            entry.owners.retain(|o| *o != txn);
+            if entry.owners.is_empty() {
+                shard.remove(&tuple);
+            } else if entry.owners.len() >= 1 && entry.mode == LockMode::Exclusive {
+                // An exclusive lock has exactly one owner; if owners remain
+                // after removing `txn`, the entry was shared all along.
+                entry.mode = LockMode::Shared;
+            }
+        }
+    }
+
+    /// Releases every lock in `tuples` for `txn` (commit / abort path).
+    pub fn release_all(&self, txn: TxnId, tuples: &[TupleId]) {
+        for &tuple in tuples {
+            self.release(txn, tuple);
+        }
+    }
+
+    /// Whether any transaction currently holds a lock on `tuple` (test /
+    /// stats helper).
+    pub fn is_locked(&self, tuple: TupleId) -> bool {
+        self.shard(tuple).lock().contains_key(&tuple)
+    }
+
+    /// Number of currently locked tuples (test / stats helper).
+    pub fn locked_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4db_common::{NodeId, TableId, WorkerId};
+    use std::sync::Arc;
+
+    fn t(key: u64) -> TupleId {
+        TupleId::new(TableId(0), key)
+    }
+
+    fn txn(seq: u32) -> TxnId {
+        TxnId::compose(seq, NodeId(0), WorkerId(0))
+    }
+
+    #[test]
+    fn exclusive_conflicts_under_no_wait() {
+        let lt = LockTable::new();
+        assert!(lt.acquire(txn(1), t(5), LockMode::Exclusive, CcScheme::NoWait).is_ok());
+        let err = lt.acquire(txn(2), t(5), LockMode::Exclusive, CcScheme::NoWait).unwrap_err();
+        assert!(err.is_abort());
+        lt.release(txn(1), t(5));
+        assert!(lt.acquire(txn(2), t(5), LockMode::Exclusive, CcScheme::NoWait).is_ok());
+    }
+
+    #[test]
+    fn shared_locks_are_compatible() {
+        let lt = LockTable::new();
+        assert!(lt.acquire(txn(1), t(5), LockMode::Shared, CcScheme::NoWait).is_ok());
+        assert!(lt.acquire(txn(2), t(5), LockMode::Shared, CcScheme::NoWait).is_ok());
+        assert!(lt.acquire(txn(3), t(5), LockMode::Exclusive, CcScheme::NoWait).is_err());
+        lt.release(txn(1), t(5));
+        lt.release(txn(2), t(5));
+        assert!(lt.acquire(txn(3), t(5), LockMode::Exclusive, CcScheme::NoWait).is_ok());
+    }
+
+    #[test]
+    fn reacquisition_is_idempotent_and_upgrade_works_when_sole_owner() {
+        let lt = LockTable::new();
+        assert!(lt.acquire(txn(1), t(9), LockMode::Shared, CcScheme::NoWait).is_ok());
+        assert!(lt.acquire(txn(1), t(9), LockMode::Shared, CcScheme::NoWait).is_ok());
+        assert!(lt.acquire(txn(1), t(9), LockMode::Exclusive, CcScheme::NoWait).is_ok());
+        // Now exclusive: another shared request conflicts.
+        assert!(lt.acquire(txn(2), t(9), LockMode::Shared, CcScheme::NoWait).is_err());
+    }
+
+    #[test]
+    fn wait_die_younger_requester_dies() {
+        let lt = LockTable::new();
+        let older = txn(1);
+        let younger = txn(2);
+        assert!(lt.acquire(older, t(3), LockMode::Exclusive, CcScheme::WaitDie).is_ok());
+        let err = lt.acquire(younger, t(3), LockMode::Exclusive, CcScheme::WaitDie).unwrap_err();
+        match err {
+            Error::Abort(p4db_common::AbortReason::WaitDieDied { owner, .. }) => assert_eq!(owner, older),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wait_die_older_requester_waits_until_release() {
+        let lt = Arc::new(LockTable::new());
+        let older = txn(1);
+        let younger = txn(2);
+        assert!(lt.acquire(younger, t(3), LockMode::Exclusive, CcScheme::WaitDie).is_ok());
+
+        let lt2 = Arc::clone(&lt);
+        let waiter = std::thread::spawn(move || lt2.acquire(older, t(3), LockMode::Exclusive, CcScheme::WaitDie));
+        std::thread::sleep(Duration::from_millis(10));
+        lt.release(younger, t(3));
+        assert!(waiter.join().unwrap().is_ok(), "older transaction must eventually obtain the lock");
+    }
+
+    #[test]
+    fn wait_die_gives_up_after_timeout() {
+        let lt = LockTable::new().with_wait_timeout(Duration::from_millis(20));
+        let older = txn(1);
+        let younger = txn(2);
+        assert!(lt.acquire(younger, t(3), LockMode::Exclusive, CcScheme::WaitDie).is_ok());
+        // The younger owner never releases: the older waiter must not hang.
+        let start = Instant::now();
+        assert!(lt.acquire(older, t(3), LockMode::Exclusive, CcScheme::WaitDie).is_err());
+        assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn release_all_clears_everything() {
+        let lt = LockTable::new();
+        let tuples: Vec<_> = (0..10).map(t).collect();
+        for &tuple in &tuples {
+            lt.acquire(txn(1), tuple, LockMode::Exclusive, CcScheme::NoWait).unwrap();
+        }
+        assert_eq!(lt.locked_count(), 10);
+        lt.release_all(txn(1), &tuples);
+        assert_eq!(lt.locked_count(), 0);
+        assert!(!lt.is_locked(t(0)));
+    }
+
+    #[test]
+    fn spurious_release_is_harmless() {
+        let lt = LockTable::new();
+        lt.release(txn(1), t(1));
+        lt.acquire(txn(2), t(1), LockMode::Shared, CcScheme::NoWait).unwrap();
+        lt.release(txn(1), t(1)); // not an owner
+        assert!(lt.is_locked(t(1)));
+    }
+
+    #[test]
+    fn no_wait_under_concurrency_never_grants_conflicting_locks() {
+        let lt = Arc::new(LockTable::new());
+        let tuple = t(0);
+        let successes = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let in_cs = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let lt = Arc::clone(&lt);
+                let successes = Arc::clone(&successes);
+                let in_cs = Arc::clone(&in_cs);
+                std::thread::spawn(move || {
+                    for s in 0..2000u32 {
+                        let id = TxnId::compose(s, NodeId(0), WorkerId(i as u16));
+                        if lt.acquire(id, tuple, LockMode::Exclusive, CcScheme::NoWait).is_ok() {
+                            let now = in_cs.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                            assert_eq!(now, 0, "two holders of an exclusive lock");
+                            successes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            in_cs.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+                            lt.release(id, tuple);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert!(successes.load(std::sync::atomic::Ordering::Relaxed) > 0);
+        assert_eq!(lt.locked_count(), 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Per-node storage assembly: the tables of the node's partition, its lock
+//! table, secondary indexes and write-ahead log.
+
+use crate::index::SecondaryIndex;
+use crate::locks::LockTable;
+use crate::table::Table;
+use crate::wal::Wal;
+use p4db_common::{Error, NodeId, Result, TableId};
+use std::collections::HashMap;
+
+/// All storage owned by one database node.
+#[derive(Debug)]
+pub struct NodeStorage {
+    node: NodeId,
+    tables: HashMap<TableId, Table>,
+    secondary: HashMap<TableId, SecondaryIndex>,
+    locks: LockTable,
+    wal: Wal,
+}
+
+impl NodeStorage {
+    /// Creates storage for `node` with the given (empty) tables.
+    pub fn new(node: NodeId, table_ids: impl IntoIterator<Item = TableId>) -> Self {
+        let tables = table_ids.into_iter().map(|id| (id, Table::new(id))).collect();
+        NodeStorage {
+            node,
+            tables,
+            secondary: HashMap::new(),
+            locks: LockTable::new(),
+            wal: Wal::new(),
+        }
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The node's partition of `table`.
+    pub fn table(&self, table: TableId) -> Result<&Table> {
+        self.tables.get(&table).ok_or_else(|| Error::InvalidConfig(format!("table {table:?} not declared on {}", self.node)))
+    }
+
+    /// All declared table ids.
+    pub fn table_ids(&self) -> Vec<TableId> {
+        let mut ids: Vec<_> = self.tables.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Registers (or returns) a secondary index for `table`.
+    pub fn secondary_index_mut(&mut self, table: TableId) -> &mut SecondaryIndex {
+        self.secondary.entry(table).or_default()
+    }
+
+    /// Looks up a secondary index.
+    pub fn secondary_index(&self, table: TableId) -> Option<&SecondaryIndex> {
+        self.secondary.get(&table)
+    }
+
+    /// The node's 2PL lock table.
+    pub fn locks(&self) -> &LockTable {
+        &self.locks
+    }
+
+    /// The node's write-ahead log.
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+
+    /// Total number of rows stored on this node (all tables).
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4db_common::Value;
+
+    #[test]
+    fn node_storage_exposes_declared_tables() {
+        let storage = NodeStorage::new(NodeId(2), [TableId(0), TableId(1)]);
+        assert_eq!(storage.node(), NodeId(2));
+        assert_eq!(storage.table_ids(), vec![TableId(0), TableId(1)]);
+        assert!(storage.table(TableId(0)).is_ok());
+        assert!(storage.table(TableId(7)).is_err());
+    }
+
+    #[test]
+    fn rows_and_secondary_indexes_work_together() {
+        let mut storage = NodeStorage::new(NodeId(0), [TableId(0)]);
+        storage.table(TableId(0)).unwrap().insert(11, Value::scalar(100));
+        storage.secondary_index_mut(TableId(0)).insert(555, 11);
+        let primary = storage.secondary_index(TableId(0)).unwrap().lookup_unique(555).unwrap();
+        assert_eq!(storage.table(TableId(0)).unwrap().read(primary).unwrap().switch_word(), 100);
+        assert_eq!(storage.total_rows(), 1);
+    }
+
+    #[test]
+    fn wal_and_locks_are_per_node() {
+        let storage = NodeStorage::new(NodeId(0), [TableId(0)]);
+        assert!(storage.wal().is_empty());
+        assert_eq!(storage.locks().locked_count(), 0);
+    }
+}

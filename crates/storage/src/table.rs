@@ -1,0 +1,196 @@
+//! In-memory tables of the host DBMS.
+//!
+//! The host DBMS in the paper is a shared-nothing main-memory store; each
+//! node owns one horizontal partition per table. A [`Table`] here is one such
+//! partition: a hash map from the 64-bit primary key to a row protected by a
+//! lightweight reader-writer latch. Latches protect *physical* consistency of
+//! a row only; *logical* (transactional) consistency is enforced by the 2PL
+//! lock table in [`crate::locks`].
+
+use p4db_common::{Error, Result, TableId, TupleId, Value};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A single row: the value behind a latch.
+#[derive(Debug)]
+pub struct Row {
+    value: RwLock<Value>,
+}
+
+impl Row {
+    fn new(value: Value) -> Self {
+        Row { value: RwLock::new(value) }
+    }
+
+    /// Reads the row.
+    pub fn read(&self) -> Value {
+        *self.value.read()
+    }
+
+    /// Overwrites the row.
+    pub fn write(&self, value: Value) {
+        *self.value.write() = value;
+    }
+
+    /// Applies a closure to the row under the write latch and returns its
+    /// result (used for read-modify-write operations like balance updates).
+    pub fn update<R>(&self, f: impl FnOnce(&mut Value) -> R) -> R {
+        f(&mut self.value.write())
+    }
+}
+
+/// One partition of one table.
+#[derive(Debug)]
+pub struct Table {
+    id: TableId,
+    rows: RwLock<HashMap<u64, Arc<Row>>>,
+}
+
+impl Table {
+    pub fn new(id: TableId) -> Self {
+        Table { id, rows: RwLock::new(HashMap::new()) }
+    }
+
+    pub fn id(&self) -> TableId {
+        self.id
+    }
+
+    /// Number of rows in this partition.
+    pub fn len(&self) -> usize {
+        self.rows.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts (or replaces) a row. Used by the loaders and by inserting
+    /// transactions (TPC-C NewOrder).
+    pub fn insert(&self, key: u64, value: Value) {
+        self.rows.write().insert(key, Arc::new(Row::new(value)));
+    }
+
+    /// Bulk-load helper: inserts many rows while holding the map latch once.
+    pub fn bulk_load(&self, rows: impl IntoIterator<Item = (u64, Value)>) {
+        let mut map = self.rows.write();
+        for (key, value) in rows {
+            map.insert(key, Arc::new(Row::new(value)));
+        }
+    }
+
+    /// Looks up a row handle. The returned `Arc` keeps the row alive even if
+    /// it is concurrently deleted, which keeps readers safe.
+    pub fn get(&self, key: u64) -> Option<Arc<Row>> {
+        self.rows.read().get(&key).cloned()
+    }
+
+    /// Looks up a row handle or returns a typed error.
+    pub fn get_or_err(&self, key: u64) -> Result<Arc<Row>> {
+        self.get(key).ok_or(Error::TupleNotFound(TupleId::new(self.id, key)))
+    }
+
+    /// Reads a row's value directly.
+    pub fn read(&self, key: u64) -> Result<Value> {
+        Ok(self.get_or_err(key)?.read())
+    }
+
+    /// Writes a row's value directly (the row must exist).
+    pub fn write(&self, key: u64, value: Value) -> Result<()> {
+        self.get_or_err(key)?.write(value);
+        Ok(())
+    }
+
+    /// Removes a row; returns whether it existed.
+    pub fn remove(&self, key: u64) -> bool {
+        self.rows.write().remove(&key).is_some()
+    }
+
+    /// Iterates a snapshot of the current keys (used by loaders and tests;
+    /// not a consistent scan).
+    pub fn keys(&self) -> Vec<u64> {
+        self.rows.read().keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        Table::new(TableId(1))
+    }
+
+    #[test]
+    fn insert_read_write_roundtrip() {
+        let t = table();
+        t.insert(7, Value::scalar(10));
+        assert_eq!(t.read(7).unwrap().switch_word(), 10);
+        t.write(7, Value::scalar(20)).unwrap();
+        assert_eq!(t.read(7).unwrap().switch_word(), 20);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn missing_key_yields_typed_error() {
+        let t = table();
+        match t.read(99) {
+            Err(Error::TupleNotFound(tid)) => {
+                assert_eq!(tid, TupleId::new(TableId(1), 99));
+            }
+            other => panic!("unexpected result {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_applies_read_modify_write() {
+        let t = table();
+        t.insert(1, Value::scalar(100));
+        let row = t.get(1).unwrap();
+        let old = row.update(|v| {
+            let old = v.switch_word();
+            v.set_switch_word(old + 5);
+            old
+        });
+        assert_eq!(old, 100);
+        assert_eq!(t.read(1).unwrap().switch_word(), 105);
+    }
+
+    #[test]
+    fn bulk_load_inserts_everything() {
+        let t = table();
+        t.bulk_load((0..100).map(|k| (k, Value::scalar(k))));
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.read(42).unwrap().switch_word(), 42);
+    }
+
+    #[test]
+    fn remove_deletes_row() {
+        let t = table();
+        t.insert(1, Value::scalar(1));
+        assert!(t.remove(1));
+        assert!(!t.remove(1));
+        assert!(t.read(1).is_err());
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_increments() {
+        let t = Arc::new(table());
+        t.insert(0, Value::scalar(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        let row = t.get(0).unwrap();
+                        row.update(|v| v.set_switch_word(v.switch_word() + 1));
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(t.read(0).unwrap().switch_word(), 8000);
+    }
+}

@@ -1,0 +1,269 @@
+//! The switch control plane: offloading hot tuples into register slots,
+//! capacity accounting, and the snapshot/restore hooks used for recovery.
+//!
+//! In the real system this is the C++ control-plane agent that installs
+//! match-action entries and initialises register cells through the Tofino
+//! driver; here it owns the placement map (tuple → register slot) and writes
+//! directly into [`RegisterMemory`]. Offloading happens in an offline step
+//! before transactions run (§3.1), so the control plane is not involved in
+//! the data path.
+
+use crate::config::SwitchConfig;
+use crate::instruction::RegisterSlot;
+use crate::memory::RegisterMemory;
+use p4db_common::{Error, Result, TupleId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One offloaded tuple: where it lives and how many register cells it
+/// occupies (wider tuples consume more SRAM, which is what shrinks the
+/// row capacity in the Fig 17 tuple-width experiment).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Placement {
+    pub slot: RegisterSlot,
+    pub cells: u32,
+}
+
+/// The control plane state.
+#[derive(Debug)]
+pub struct ControlPlane {
+    config: SwitchConfig,
+    memory: Arc<RegisterMemory>,
+    placements: HashMap<TupleId, Placement>,
+    /// Next free cell index per (stage, array).
+    next_free: Vec<Vec<u32>>,
+    /// Total cells consumed (including padding cells of wide tuples).
+    cells_used: u64,
+}
+
+impl ControlPlane {
+    pub fn new(config: SwitchConfig, memory: Arc<RegisterMemory>) -> Self {
+        assert_eq!(memory.config(), &config, "control plane and memory must share a configuration");
+        ControlPlane {
+            config,
+            memory,
+            placements: HashMap::new(),
+            next_free: vec![vec![0; config.arrays_per_stage as usize]; config.num_stages as usize],
+            cells_used: 0,
+        }
+    }
+
+    pub fn config(&self) -> &SwitchConfig {
+        &self.config
+    }
+
+    /// Number of register cells still unallocated in the given array.
+    pub fn free_cells_in(&self, stage: u8, array: u8) -> u32 {
+        self.config.slots_per_array - self.next_free[stage as usize][array as usize]
+    }
+
+    /// Total free cells on the switch.
+    pub fn free_cells(&self) -> u64 {
+        self.config.total_slots() - self.cells_used
+    }
+
+    /// Number of offloaded tuples.
+    pub fn offloaded_tuples(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// How many register cells a tuple of `byte_width` bytes occupies.
+    /// The switch column itself is one 8-byte cell; wider rows reserve
+    /// additional cells to model the SRAM they would consume.
+    pub fn cells_for_width(byte_width: usize) -> u32 {
+        (byte_width.max(8) as u32).div_ceil(8)
+    }
+
+    /// Offloads a tuple into a specific stage/array chosen by the data layout
+    /// algorithm. The concrete cell index is assigned by the control plane.
+    ///
+    /// Errors if the tuple is already offloaded or the array is full.
+    pub fn offload_into(
+        &mut self,
+        tuple: TupleId,
+        stage: u8,
+        array: u8,
+        byte_width: usize,
+        initial: u64,
+    ) -> Result<RegisterSlot> {
+        if stage >= self.config.num_stages || array >= self.config.arrays_per_stage {
+            return Err(Error::SwitchControlPlane(format!(
+                "stage {stage}/array {array} outside switch resources"
+            )));
+        }
+        if self.placements.contains_key(&tuple) {
+            return Err(Error::SwitchControlPlane(format!("{tuple} already offloaded")));
+        }
+        let cells = Self::cells_for_width(byte_width);
+        let free = self.free_cells_in(stage, array);
+        if free < cells {
+            return Err(Error::SwitchControlPlane(format!(
+                "stage {stage}/array {array} full ({free} cells free, {cells} needed)"
+            )));
+        }
+        let index = self.next_free[stage as usize][array as usize];
+        self.next_free[stage as usize][array as usize] += cells;
+        self.cells_used += cells as u64;
+        let slot = RegisterSlot::new(stage, array, index);
+        self.memory.write(slot, initial);
+        self.placements.insert(tuple, Placement { slot, cells });
+        Ok(slot)
+    }
+
+    /// Offloads a tuple into the least-loaded array of the least-loaded stage
+    /// (used when no declustered layout is available, i.e. the "random /
+    /// worst" layouts of Fig 15c and Fig 16 fall back to this after shuffling
+    /// stage preference).
+    pub fn offload_anywhere(&mut self, tuple: TupleId, byte_width: usize, initial: u64) -> Result<RegisterSlot> {
+        let cells = Self::cells_for_width(byte_width);
+        let mut best: Option<(u8, u8, u32)> = None;
+        for stage in 0..self.config.num_stages {
+            for array in 0..self.config.arrays_per_stage {
+                let free = self.free_cells_in(stage, array);
+                if free >= cells && best.map_or(true, |(_, _, f)| free > f) {
+                    best = Some((stage, array, free));
+                }
+            }
+        }
+        match best {
+            Some((stage, array, _)) => self.offload_into(tuple, stage, array, byte_width, initial),
+            None => Err(Error::SwitchControlPlane(format!(
+                "switch capacity exhausted ({} cells used of {})",
+                self.cells_used,
+                self.config.total_slots()
+            ))),
+        }
+    }
+
+    /// Where a tuple lives on the switch, if it was offloaded.
+    pub fn lookup(&self, tuple: TupleId) -> Option<RegisterSlot> {
+        self.placements.get(&tuple).map(|p| p.slot)
+    }
+
+    /// Iterates over all placements (used to replicate the hot-set index onto
+    /// the database nodes, §6.1).
+    pub fn placements(&self) -> impl Iterator<Item = (TupleId, RegisterSlot)> + '_ {
+        self.placements.iter().map(|(t, p)| (*t, p.slot))
+    }
+
+    /// Reads the current value of an offloaded tuple's switch column.
+    pub fn read_tuple(&self, tuple: TupleId) -> Option<u64> {
+        self.lookup(tuple).map(|slot| self.memory.read(slot))
+    }
+
+    /// Snapshot of all offloaded tuples and their current switch values.
+    pub fn snapshot(&self) -> Vec<(TupleId, u64)> {
+        let mut snap: Vec<_> = self
+            .placements
+            .iter()
+            .map(|(t, p)| (*t, self.memory.read(p.slot)))
+            .collect();
+        snap.sort_by_key(|(t, _)| (t.table.0, t.key));
+        snap
+    }
+
+    /// Restores register contents from recovered values (switch recovery,
+    /// §6.1/§A.3). Unknown tuples are ignored and reported back.
+    pub fn restore(&mut self, values: &[(TupleId, u64)]) -> usize {
+        let mut unknown = 0;
+        for (tuple, value) in values {
+            match self.placements.get(tuple) {
+                Some(p) => self.memory.write(p.slot, *value),
+                None => unknown += 1,
+            }
+        }
+        unknown
+    }
+
+    /// Clears all register contents but keeps placements — models a switch
+    /// crash/restart with the data-plane program re-deployed but state lost.
+    pub fn crash_data(&self) {
+        self.memory.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4db_common::TableId;
+
+    fn setup() -> (ControlPlane, Arc<RegisterMemory>) {
+        let config = SwitchConfig::tiny();
+        let memory = Arc::new(RegisterMemory::new(config));
+        (ControlPlane::new(config, Arc::clone(&memory)), memory)
+    }
+
+    fn tuple(key: u64) -> TupleId {
+        TupleId::new(TableId(0), key)
+    }
+
+    #[test]
+    fn offload_into_places_and_initialises() {
+        let (mut cp, memory) = setup();
+        let slot = cp.offload_into(tuple(1), 2, 1, 8, 77).unwrap();
+        assert_eq!(slot.stage, 2);
+        assert_eq!(slot.array, 1);
+        assert_eq!(memory.read(slot), 77);
+        assert_eq!(cp.lookup(tuple(1)), Some(slot));
+        assert_eq!(cp.offloaded_tuples(), 1);
+    }
+
+    #[test]
+    fn double_offload_is_rejected() {
+        let (mut cp, _) = setup();
+        cp.offload_into(tuple(1), 0, 0, 8, 0).unwrap();
+        assert!(cp.offload_into(tuple(1), 1, 0, 8, 0).is_err());
+    }
+
+    #[test]
+    fn capacity_is_enforced_per_array() {
+        let (mut cp, _) = setup(); // 64 cells per array
+        for i in 0..64 {
+            cp.offload_into(tuple(i), 0, 0, 8, 0).unwrap();
+        }
+        let err = cp.offload_into(tuple(64), 0, 0, 8, 0).unwrap_err();
+        assert!(matches!(err, Error::SwitchControlPlane(_)));
+        // Other arrays are unaffected.
+        assert!(cp.offload_into(tuple(64), 0, 1, 8, 0).is_ok());
+    }
+
+    #[test]
+    fn wide_tuples_consume_more_cells() {
+        let (mut cp, _) = setup();
+        assert_eq!(ControlPlane::cells_for_width(8), 1);
+        assert_eq!(ControlPlane::cells_for_width(64), 8);
+        assert_eq!(ControlPlane::cells_for_width(1), 1);
+        let before = cp.free_cells();
+        cp.offload_into(tuple(1), 0, 0, 64, 0).unwrap();
+        assert_eq!(before - cp.free_cells(), 8);
+    }
+
+    #[test]
+    fn offload_anywhere_spreads_until_exhaustion() {
+        let (mut cp, _) = setup();
+        let total = cp.config().total_slots();
+        for i in 0..total {
+            cp.offload_anywhere(tuple(i), 8, i).unwrap();
+        }
+        assert_eq!(cp.free_cells(), 0);
+        assert!(cp.offload_anywhere(tuple(total), 8, 0).is_err());
+    }
+
+    #[test]
+    fn snapshot_and_restore_roundtrip() {
+        let (mut cp, memory) = setup();
+        cp.offload_into(tuple(1), 0, 0, 8, 10).unwrap();
+        cp.offload_into(tuple(2), 1, 0, 8, 20).unwrap();
+        let snap = cp.snapshot();
+        assert_eq!(snap.len(), 2);
+        cp.crash_data();
+        assert_eq!(cp.read_tuple(tuple(1)), Some(0));
+        let unknown = cp.restore(&snap);
+        assert_eq!(unknown, 0);
+        assert_eq!(cp.read_tuple(tuple(1)), Some(10));
+        assert_eq!(cp.read_tuple(tuple(2)), Some(20));
+        assert_eq!(memory.read(cp.lookup(tuple(2)).unwrap()), 20);
+        // Restoring an unknown tuple reports it.
+        assert_eq!(cp.restore(&[(tuple(99), 1)]), 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! The in-switch lock table used by the LM-Switch baseline (NetLock-style,
+//! [69] in the paper).
+//!
+//! In this mode the switch does not store any data; it only arbitrates locks
+//! for hot tuples. Lock requests are processed at line rate in the data plane
+//! and either granted or denied immediately; the data itself still lives on
+//! the owning database node, so a transaction that obtains a lock still pays
+//! the full remote round trip to access the tuple — which is exactly why the
+//! paper finds this baseline provides little benefit under contention
+//! (§7.3).
+
+use std::collections::HashMap;
+
+/// Lock state for one lock id.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum LockState {
+    Shared(u32),
+    Exclusive,
+}
+
+/// The switch-resident lock table.
+#[derive(Debug, Default)]
+pub struct SwitchLockTable {
+    locks: HashMap<u64, LockState>,
+}
+
+impl SwitchLockTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attempts to acquire `lock_id` in the requested mode. Grants are
+    /// immediate; conflicts are denied (no queueing — the requester retries
+    /// or aborts, matching the host's NO_WAIT discipline).
+    pub fn try_acquire(&mut self, lock_id: u64, exclusive: bool) -> bool {
+        match self.locks.get_mut(&lock_id) {
+            None => {
+                self.locks.insert(lock_id, if exclusive { LockState::Exclusive } else { LockState::Shared(1) });
+                true
+            }
+            Some(LockState::Shared(n)) if !exclusive => {
+                *n += 1;
+                true
+            }
+            Some(_) => false,
+        }
+    }
+
+    /// Releases a previously granted lock. Releasing a lock that is not held
+    /// is a no-op (the release message of an aborted transaction may race
+    /// with its own denied request).
+    pub fn release(&mut self, lock_id: u64, exclusive: bool) {
+        match self.locks.get_mut(&lock_id) {
+            Some(LockState::Exclusive) if exclusive => {
+                self.locks.remove(&lock_id);
+            }
+            Some(LockState::Shared(n)) if !exclusive => {
+                *n -= 1;
+                if *n == 0 {
+                    self.locks.remove(&lock_id);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Number of currently held lock ids.
+    pub fn held(&self) -> usize {
+        self.locks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_excludes_everything() {
+        let mut t = SwitchLockTable::new();
+        assert!(t.try_acquire(1, true));
+        assert!(!t.try_acquire(1, true));
+        assert!(!t.try_acquire(1, false));
+        t.release(1, true);
+        assert!(t.try_acquire(1, false));
+    }
+
+    #[test]
+    fn shared_locks_are_compatible_with_each_other() {
+        let mut t = SwitchLockTable::new();
+        assert!(t.try_acquire(5, false));
+        assert!(t.try_acquire(5, false));
+        assert!(!t.try_acquire(5, true));
+        t.release(5, false);
+        assert!(!t.try_acquire(5, true), "one shared holder remains");
+        t.release(5, false);
+        assert!(t.try_acquire(5, true));
+    }
+
+    #[test]
+    fn distinct_lock_ids_are_independent() {
+        let mut t = SwitchLockTable::new();
+        assert!(t.try_acquire(1, true));
+        assert!(t.try_acquire(2, true));
+        assert_eq!(t.held(), 2);
+    }
+
+    #[test]
+    fn spurious_release_is_harmless() {
+        let mut t = SwitchLockTable::new();
+        t.release(42, true);
+        assert!(t.try_acquire(42, false));
+        // Releasing in the wrong mode does not corrupt the entry.
+        t.release(42, true);
+        assert!(!t.try_acquire(42, true));
+        t.release(42, false);
+        assert!(t.try_acquire(42, true));
+    }
+}

@@ -1,0 +1,177 @@
+//! The network packet format of switch transactions and the message types
+//! exchanged between database nodes and the switch.
+//!
+//! Mirrors Fig 6: a header with processing information (`is_multipass`,
+//! `locks`, `nb_recircs`) followed by a variable number of instructions. The
+//! responses carry the results of all read/write operations plus the
+//! switch-assigned globally-unique transaction id (GID) used for durability
+//! and recovery (§6.1).
+
+use crate::instruction::{InstrResult, Instruction};
+use crate::locks::LockMask;
+use p4db_common::GlobalTxnId;
+use p4db_net::EndpointId;
+use serde::{Deserialize, Serialize};
+
+/// Processing information carried in the packet header (the grey fields of
+/// Fig 6).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TxnHeader {
+    /// Endpoint (worker) that issued the transaction and receives the reply.
+    pub origin: EndpointId,
+    /// Client-chosen correlation token, echoed in the reply.
+    pub token: u64,
+    /// Whether the issuing node determined (from its replica of the data
+    /// layout) that the transaction needs more than one pipeline pass.
+    pub is_multipass: bool,
+    /// For multi-pass transactions: the pipeline locks to acquire on the
+    /// first pass and release on the last. For single-pass transactions: the
+    /// locks that must be *free* for the transaction to be admitted.
+    pub locks: LockMask,
+    /// Recirculation counter, incremented every time the transaction could
+    /// not be admitted (or needs another pass) and is recirculated.
+    pub nb_recircs: u32,
+    /// Whether the switch should multicast the commit decision and results to
+    /// all database nodes after execution (warm transactions, Fig 10).
+    pub multicast_decision: bool,
+}
+
+impl TxnHeader {
+    pub fn new(origin: EndpointId, token: u64) -> Self {
+        TxnHeader {
+            origin,
+            token,
+            is_multipass: false,
+            locks: LockMask::NONE,
+            nb_recircs: 0,
+            multicast_decision: false,
+        }
+    }
+}
+
+/// A switch transaction: one network packet, one transaction (§4.1).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct SwitchTxn {
+    pub header: TxnHeader,
+    pub instructions: Vec<Instruction>,
+}
+
+impl SwitchTxn {
+    pub fn new(header: TxnHeader, instructions: Vec<Instruction>) -> Self {
+        SwitchTxn { header, instructions }
+    }
+
+    /// Approximate wire size in bytes: a fixed header plus 16 bytes per
+    /// instruction (slot + opcode + operand). Used only for reporting.
+    pub fn wire_size(&self) -> usize {
+        32 + 16 * self.instructions.len()
+    }
+}
+
+/// Reply to a [`SwitchTxn`].
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TxnReply {
+    pub token: u64,
+    /// Globally-unique, serially-ordered id assigned by the switch; its order
+    /// is the serial execution order on the switch.
+    pub gid: GlobalTxnId,
+    /// One result per instruction, in instruction order.
+    pub results: Vec<InstrResult>,
+    /// How many times the packet was recirculated before completing.
+    pub recirculations: u32,
+}
+
+/// A lock request processed by the switch when it acts as a central lock
+/// manager (the LM-Switch / NetLock-style baseline, §7.1).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct LockRequest {
+    pub origin: EndpointId,
+    pub token: u64,
+    /// Lock name; the transaction engine hashes the tuple id into this.
+    pub lock_id: u64,
+    pub exclusive: bool,
+}
+
+/// Reply to a [`LockRequest`]. The LM-Switch grants or denies immediately
+/// (deny → the requesting transaction aborts under NO_WAIT / retries), which
+/// mirrors how the lock-manager baseline behaves under contention.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct LockReply {
+    pub token: u64,
+    pub granted: bool,
+}
+
+/// Releases a previously granted lock on the LM-Switch.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct LockRelease {
+    pub lock_id: u64,
+    pub exclusive: bool,
+}
+
+/// Commit decision + switch results multicast to all database nodes for warm
+/// transactions (Fig 10). Nodes use it to commit their cold sub-transaction
+/// without an extra coordinator round trip.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct WarmDecision {
+    pub token: u64,
+    pub gid: GlobalTxnId,
+    pub commit: bool,
+}
+
+/// Everything that travels over the rack fabric in this system.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum SwitchMessage {
+    /// Node → switch: execute a transaction on the hot set.
+    Txn(SwitchTxn),
+    /// Switch → issuing worker: transaction results.
+    TxnReply(TxnReply),
+    /// Node → switch (LM-Switch mode): acquire a lock.
+    LockRequest(LockRequest),
+    /// Switch → issuing worker (LM-Switch mode): grant / deny.
+    LockReply(LockReply),
+    /// Node → switch (LM-Switch mode): release a lock.
+    LockRelease(LockRelease),
+    /// Switch → all nodes: warm transaction decision multicast.
+    WarmDecision(WarmDecision),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::RegisterSlot;
+    use p4db_common::{NodeId, WorkerId};
+
+    fn origin() -> EndpointId {
+        EndpointId::Worker(NodeId(1), WorkerId(2))
+    }
+
+    #[test]
+    fn header_defaults_are_single_pass_no_locks() {
+        let h = TxnHeader::new(origin(), 7);
+        assert!(!h.is_multipass);
+        assert!(h.locks.is_empty());
+        assert_eq!(h.nb_recircs, 0);
+        assert!(!h.multicast_decision);
+        assert_eq!(h.token, 7);
+    }
+
+    #[test]
+    fn wire_size_grows_with_instructions() {
+        let small = SwitchTxn::new(TxnHeader::new(origin(), 1), vec![Instruction::read(RegisterSlot::new(0, 0, 0))]);
+        let big = SwitchTxn::new(
+            TxnHeader::new(origin(), 1),
+            (0..8).map(|i| Instruction::read(RegisterSlot::new(0, 0, i))).collect(),
+        );
+        assert!(big.wire_size() > small.wire_size());
+        assert_eq!(big.wire_size() - small.wire_size(), 7 * 16);
+    }
+
+    #[test]
+    fn switch_message_variants_are_distinguishable() {
+        let msg = SwitchMessage::LockReply(LockReply { token: 9, granted: true });
+        match msg {
+            SwitchMessage::LockReply(r) => assert!(r.granted),
+            _ => panic!("wrong variant"),
+        }
+    }
+}

@@ -1,0 +1,805 @@
+//! The distributed transaction engine of the host DBMS, integrating the
+//! switch as an "additional database node" (§6).
+//!
+//! Every worker thread owns a [`Worker`] handle and calls [`Worker::execute`]
+//! for each transaction. The engine classifies the request's operations into
+//! hot (offloaded to the switch) and cold (host) sets and runs one of three
+//! flows:
+//!
+//! * **hot** — all operations hot: a single switch transaction, no host locks
+//!   at all (§6.1);
+//! * **cold** — no hot operations: classic 2PL (NO_WAIT / WAIT_DIE) with 2PC
+//!   for distributed transactions (§3.2);
+//! * **warm** — a mix: the cold part runs under 2PL up to the point where it
+//!   can no longer abort, then the switch sub-transaction is sent, then the
+//!   cold part commits; the switch multicasts the decision for distributed
+//!   warm transactions (§6.2, Fig 8/10).
+//!
+//! The LM-Switch baseline (switch as central lock manager) and the
+//! Chiller-style contention-centric re-ordering (Fig 18b) are variations of
+//! the cold path selected through [`EngineConfig`].
+
+use crate::hotset::HotSetIndex;
+use crate::request::{OpKind, TxnOp, TxnOutcome, TxnRequest};
+use crate::switch_client::build_switch_txn;
+use p4db_common::simtime::Stopwatch;
+use p4db_common::stats::{Phase, TxnClass, WorkerStats};
+use p4db_common::{
+    AbortReason, CcScheme, Error, GlobalTxnId, NodeId, Result, SystemMode, TupleId, TxnId, Value, WorkerId,
+};
+use p4db_net::{EndpointId, Fabric, LatencyModel, Mailbox};
+use p4db_storage::{LockMode, LogRecord, NodeStorage};
+use p4db_switch::{SwitchConfig, SwitchMessage, TxnHeader};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Engine-wide configuration (immutable during a run).
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    pub mode: SystemMode,
+    pub cc: CcScheme,
+    pub switch_config: SwitchConfig,
+    /// Chiller-style contention-centric execution for the host path:
+    /// contended (hot-set) tuples are accessed last and their locks released
+    /// first (used only by the Fig 18b comparison).
+    pub chiller: bool,
+    /// Whether switch transactions are logged to the WAL (§6.1). On by
+    /// default; the microbenchmarks can disable it to isolate data-path cost.
+    pub log_switch_txns: bool,
+}
+
+impl EngineConfig {
+    pub fn new(mode: SystemMode, cc: CcScheme, switch_config: SwitchConfig) -> Self {
+        EngineConfig { mode, cc, switch_config, chiller: false, log_switch_txns: true }
+    }
+}
+
+/// State shared by every worker of the cluster.
+pub struct EngineShared {
+    pub nodes: Vec<Arc<NodeStorage>>,
+    pub latency: LatencyModel,
+    pub fabric: Fabric<SwitchMessage>,
+    pub hot_index: Arc<HotSetIndex>,
+    pub config: EngineConfig,
+}
+
+impl EngineShared {
+    pub fn node(&self, id: NodeId) -> &Arc<NodeStorage> {
+        &self.nodes[id.index()]
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Undo information collected while a host (sub-)transaction executes.
+#[derive(Default)]
+struct HostTxnState {
+    locks: Vec<(NodeId, TupleId)>,
+    /// Locks on contended tuples released early under the Chiller scheme.
+    early_released: Vec<(NodeId, TupleId)>,
+    undo: Vec<(NodeId, TupleId, Value)>,
+    inserted: Vec<(NodeId, TupleId)>,
+    cold_writes: Vec<LogRecord>,
+    /// LM-Switch: lock ids currently held on the switch lock manager.
+    switch_locks: Vec<(u64, bool)>,
+}
+
+/// A per-thread handle into the transaction engine.
+pub struct Worker {
+    shared: Arc<EngineShared>,
+    node: NodeId,
+    id: WorkerId,
+    endpoint: EndpointId,
+    mailbox: Mailbox<SwitchMessage>,
+    seq: u32,
+    token: u64,
+}
+
+impl Worker {
+    /// Creates the worker and registers its response endpoint on the fabric.
+    pub fn new(shared: Arc<EngineShared>, node: NodeId, id: WorkerId) -> Self {
+        let endpoint = EndpointId::Worker(node, id);
+        let mailbox = shared.fabric.register(endpoint);
+        Worker { shared, node, id, endpoint, mailbox, seq: 0, token: 0 }
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    pub fn id(&self) -> WorkerId {
+        self.id
+    }
+
+    pub fn shared(&self) -> &Arc<EngineShared> {
+        &self.shared
+    }
+
+    fn next_txn_id(&mut self) -> TxnId {
+        self.seq = self.seq.wrapping_add(1);
+        TxnId::compose(self.seq, self.node, self.id)
+    }
+
+    fn next_token(&mut self) -> u64 {
+        self.token = self.token.wrapping_add(1);
+        self.token
+    }
+
+    /// Executes one transaction attempt. Aborts are returned as
+    /// `Err(Error::Abort(_))`; the caller (worker loop) decides whether to
+    /// retry.
+    pub fn execute(&mut self, req: &TxnRequest, stats: &mut WorkerStats) -> Result<TxnOutcome> {
+        if req.is_empty() {
+            return Ok(TxnOutcome { class: TxnClass::Cold, results: Vec::new(), gid: None });
+        }
+        let (hot, cold) = self.classify(req);
+        match (hot.is_empty(), cold.is_empty()) {
+            (false, true) => self.execute_hot(req, &hot, stats),
+            (true, _) => self.execute_host(req, &[], &cold, stats),
+            (false, false) => self.execute_host(req, &hot, &cold, stats),
+        }
+    }
+
+    /// Splits the request's operation indices into hot (switch) and cold
+    /// (host) sets. Everything is cold unless the full P4DB mode is active.
+    fn classify(&self, req: &TxnRequest) -> (Vec<usize>, Vec<usize>) {
+        let mut hot = Vec::new();
+        let mut cold = Vec::new();
+        for (i, op) in req.ops.iter().enumerate() {
+            let is_hot = self.shared.config.mode == SystemMode::P4db
+                && op.kind.switch_executable()
+                && self.shared.hot_index.is_hot(op.tuple);
+            if is_hot {
+                hot.push(i);
+            } else {
+                cold.push(i);
+            }
+        }
+        (hot, cold)
+    }
+
+    // --- Hot transactions -------------------------------------------------
+
+    fn execute_hot(&mut self, req: &TxnRequest, hot: &[usize], stats: &mut WorkerStats) -> Result<TxnOutcome> {
+        let txn_id = self.next_txn_id();
+        let mut results = vec![0u64; req.ops.len()];
+        let (gid, values) = self.run_switch_subtxn(txn_id, req, hot, false, stats)?;
+        for (idx, value) in values {
+            results[idx] = value;
+        }
+        Ok(TxnOutcome { class: TxnClass::Hot, results, gid: Some(gid) })
+    }
+
+    /// Builds, logs, sends and awaits one switch sub-transaction. Returns the
+    /// GID and the per-original-op result values.
+    fn run_switch_subtxn(
+        &mut self,
+        txn_id: TxnId,
+        req: &TxnRequest,
+        hot: &[usize],
+        multicast_decision: bool,
+        stats: &mut WorkerStats,
+    ) -> Result<(GlobalTxnId, HashMap<usize, u64>)> {
+        let mut watch = Stopwatch::start();
+        let token = self.next_token();
+        let mut header = TxnHeader::new(self.endpoint, token);
+        header.multicast_decision = multicast_decision;
+        let hot_ops: Vec<(usize, TxnOp)> = hot.iter().map(|&i| (i, req.ops[i])).collect();
+        let built = build_switch_txn(&hot_ops, &self.shared.hot_index, &self.shared.config.switch_config, header);
+
+        if built.txn.header.is_multipass {
+            stats.switch_multi_pass += 1;
+        } else {
+            stats.switch_single_pass += 1;
+        }
+
+        // Durability: the intent is logged *before* the packet leaves the
+        // node; from this moment the transaction counts as committed (§6.1).
+        if self.shared.config.log_switch_txns {
+            self.coordinator_storage()
+                .wal()
+                .append(LogRecord::SwitchIntent { txn: txn_id, ops: built.logged_ops.clone() });
+        }
+        stats.record_phase(Phase::TxnEngine, watch.lap());
+
+        // ½ RTT to the switch (imposed by the fabric), execution, ½ RTT back.
+        let sent = self
+            .shared
+            .fabric
+            .send(self.endpoint, EndpointId::Switch, SwitchMessage::Txn(built.txn.clone()));
+        if !sent {
+            return Err(Error::Disconnected);
+        }
+        let reply = loop {
+            match self.mailbox.recv_timeout(Duration::from_secs(30)) {
+                Some(env) => match env.payload {
+                    SwitchMessage::TxnReply(r) if r.token == token => break r,
+                    // Stale replies (from a previous, timed-out attempt) and
+                    // unrelated messages are dropped.
+                    _ => continue,
+                },
+                None => return Err(Error::Disconnected),
+            }
+        };
+        // Return-path wire latency.
+        self.shared.latency.impose_switch_rtt_wire();
+        stats.record_phase(Phase::SwitchTxn, watch.lap());
+
+        // Scatter results back to the original operation indices and log the
+        // switch's reply (GID + read/write results) for recovery.
+        let mut values = HashMap::with_capacity(reply.results.len());
+        let mut logged_results = Vec::with_capacity(reply.results.len());
+        for (instr_idx, res) in reply.results.iter().enumerate() {
+            let orig = built.orig_index[instr_idx];
+            values.insert(orig, res.value);
+            logged_results.push((req.ops[orig].tuple, res.value));
+        }
+        if self.shared.config.log_switch_txns {
+            self.coordinator_storage()
+                .wal()
+                .append(LogRecord::SwitchResult { txn: txn_id, gid: reply.gid, results: logged_results });
+        }
+        stats.record_phase(Phase::TxnEngine, watch.lap());
+        Ok((reply.gid, values))
+    }
+
+    fn coordinator_storage(&self) -> &Arc<NodeStorage> {
+        self.shared.node(self.node)
+    }
+
+    // --- Cold / warm transactions ------------------------------------------
+
+    /// Executes the host part of a transaction (all of it for cold
+    /// transactions, the cold subset for warm ones), then — for warm
+    /// transactions — triggers the switch sub-transaction before committing.
+    fn execute_host(
+        &mut self,
+        req: &TxnRequest,
+        hot: &[usize],
+        cold: &[usize],
+        stats: &mut WorkerStats,
+    ) -> Result<TxnOutcome> {
+        let txn_id = self.next_txn_id();
+        let mut state = HostTxnState::default();
+        let mut results = vec![0u64; req.ops.len()];
+        let mut watch = Stopwatch::start();
+
+        // Chiller-style ordering: contended tuples last, so their locks are
+        // held for the shortest time.
+        let mut order: Vec<usize> = cold.to_vec();
+        if self.shared.config.chiller {
+            order.sort_by_key(|&i| self.shared.hot_index.is_hot(req.ops[i].tuple));
+        }
+
+        for &i in &order {
+            let op = &req.ops[i];
+            match self.execute_cold_op(txn_id, op, i, &mut results, &mut state, stats, &mut watch) {
+                Ok(()) => {}
+                Err(e) => {
+                    self.abort_host(txn_id, &mut state, stats);
+                    stats.record_abort(e.abort_reason().unwrap_or(AbortReason::ConstraintViolation));
+                    return Err(e);
+                }
+            }
+        }
+
+        // The cold part can no longer abort. For distributed transactions run
+        // the 2PC voting phase now (participants hold their locks and have
+        // validated constraints, so they vote yes).
+        let participants = req.participant_nodes();
+        let distributed = participants.iter().any(|&n| n != self.node);
+        if distributed {
+            self.shared.latency.impose_node_rtt();
+            stats.record_phase(Phase::RemoteAccess, watch.lap());
+        }
+
+        // Warm transactions: trigger the switch sub-transaction between the
+        // voting phase and the commit (Fig 8 / Fig 10). The switch cannot
+        // abort, so the outcome is already decided.
+        let mut gid = None;
+        if !hot.is_empty() {
+            let (g, values) = self.run_switch_subtxn(txn_id, req, hot, distributed, stats)?;
+            for (idx, value) in values {
+                results[idx] = value;
+            }
+            gid = Some(g);
+        }
+
+        // Commit: persist cold writes + commit record, release locks.
+        let wal = self.coordinator_storage().wal();
+        for record in state.cold_writes.drain(..) {
+            wal.append(record);
+        }
+        wal.append(LogRecord::Commit { txn: txn_id });
+        self.release_all(txn_id, &state);
+        stats.record_phase(Phase::TxnEngine, watch.lap());
+
+        let class = if hot.is_empty() { TxnClass::Cold } else { TxnClass::Warm };
+        Ok(TxnOutcome { class, results, gid })
+    }
+
+    /// Executes one cold operation under 2PL, recording undo information.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_cold_op(
+        &mut self,
+        txn_id: TxnId,
+        op: &TxnOp,
+        op_index: usize,
+        results: &mut [u64],
+        state: &mut HostTxnState,
+        stats: &mut WorkerStats,
+        watch: &mut Stopwatch,
+    ) -> Result<()> {
+        let remote = op.home != self.node;
+        let storage = Arc::clone(self.shared.node(op.home));
+        let lock_mode = if op.kind.is_write() { LockMode::Exclusive } else { LockMode::Shared };
+
+        // Remote operations pay a full node-to-node round trip (the request
+        // carries the lock acquisition and the data access, as in the paper's
+        // 2PL/2PC baseline).
+        if remote {
+            self.shared.latency.impose_node_rtt();
+            stats.record_phase(Phase::RemoteAccess, watch.lap());
+        }
+
+        // Lock acquisition: either at the owning node (normal path) or at the
+        // switch lock manager for hot-set tuples in LM-Switch mode.
+        let lm_lock = self.shared.config.mode == SystemMode::LmSwitch && self.shared.hot_index.is_hot(op.tuple);
+        if lm_lock {
+            let granted = self.lm_acquire(op.tuple, op.kind.is_write())?;
+            if !granted {
+                return Err(Error::lock_conflict(op.tuple));
+            }
+            state.switch_locks.push((HotSetIndex::lock_id(op.tuple), op.kind.is_write()));
+            stats.record_phase(Phase::LockAcquisition, watch.lap());
+        } else {
+            storage.locks().acquire(txn_id, op.tuple, lock_mode, self.shared.config.cc)?;
+            state.locks.push((op.home, op.tuple));
+            stats.record_phase(Phase::LockAcquisition, watch.lap());
+        }
+
+        // Data access on the owning node.
+        let table = storage.table(op.tuple.table)?;
+        let operand_override = op.operand_from.map(|src| results[src as usize]);
+        let value = match op.kind {
+            OpKind::Insert(v) => {
+                let v = operand_override.unwrap_or(v);
+                table.insert(op.tuple.key, Value::scalar(v));
+                state.inserted.push((op.home, op.tuple));
+                state.cold_writes.push(LogRecord::ColdWrite {
+                    txn: txn_id,
+                    tuple: op.tuple,
+                    before: Value::scalar(0),
+                    after: Value::scalar(v),
+                });
+                v
+            }
+            OpKind::Read => table.read(op.tuple.key)?.switch_word(),
+            _ => {
+                let row = table.get_or_err(op.tuple.key)?;
+                let before = row.read();
+                let current = before.switch_word();
+                let new = match op.kind {
+                    OpKind::Write(v) => operand_override.unwrap_or(v),
+                    OpKind::Add(d) => {
+                        let delta = operand_override.map(|v| v as i64).unwrap_or(d);
+                        (current as i64).wrapping_add(delta) as u64
+                    }
+                    OpKind::FetchAdd(d) => {
+                        let delta = operand_override.map(|v| v as i64).unwrap_or(d);
+                        (current as i64).wrapping_add(delta) as u64
+                    }
+                    OpKind::CondSub(a) => {
+                        let amount = operand_override.unwrap_or(a);
+                        if amount > i64::MAX as u64 || (current as i64) < amount as i64 {
+                            return Err(Error::Abort(AbortReason::ConstraintViolation));
+                        }
+                        ((current as i64) - amount as i64) as u64
+                    }
+                    OpKind::Read | OpKind::Insert(_) => unreachable!("handled above"),
+                };
+                let mut after = before;
+                after.set_switch_word(new);
+                row.write(after);
+                state.undo.push((op.home, op.tuple, before));
+                state.cold_writes.push(LogRecord::ColdWrite { txn: txn_id, tuple: op.tuple, before, after });
+                if matches!(op.kind, OpKind::FetchAdd(_)) {
+                    current
+                } else {
+                    new
+                }
+            }
+        };
+        results[op_index] = value;
+        stats.record_phase(
+            if remote { Phase::RemoteAccess } else { Phase::LocalAccess },
+            watch.lap(),
+        );
+
+        // Chiller: release the lock on contended tuples as soon as the
+        // operation is done (early lock release).
+        if self.shared.config.chiller && self.shared.hot_index.is_hot(op.tuple) && !lm_lock {
+            if let Some(pos) = state.locks.iter().position(|&(n, t)| n == op.home && t == op.tuple) {
+                let (home, tuple) = state.locks.remove(pos);
+                self.shared.node(home).locks().release(txn_id, tuple);
+                state.early_released.push((home, tuple));
+            }
+        }
+        Ok(())
+    }
+
+    /// Acquires a lock on the switch lock manager (LM-Switch baseline).
+    fn lm_acquire(&mut self, tuple: TupleId, exclusive: bool) -> Result<bool> {
+        let token = self.next_token();
+        let req = p4db_switch::LockRequest {
+            origin: self.endpoint,
+            token,
+            lock_id: HotSetIndex::lock_id(tuple),
+            exclusive,
+        };
+        if !self
+            .shared
+            .fabric
+            .send(self.endpoint, EndpointId::Switch, SwitchMessage::LockRequest(req))
+        {
+            return Err(Error::Disconnected);
+        }
+        let reply = loop {
+            match self.mailbox.recv_timeout(Duration::from_secs(30)) {
+                Some(env) => match env.payload {
+                    SwitchMessage::LockReply(r) if r.token == token => break r,
+                    _ => continue,
+                },
+                None => return Err(Error::Disconnected),
+            }
+        };
+        // Return-path wire latency for the grant/deny message.
+        self.shared.latency.impose_switch_rtt_wire();
+        Ok(reply.granted)
+    }
+
+    /// Rolls a host (sub-)transaction back: undoes writes, removes inserted
+    /// rows, releases all locks and logs the abort.
+    fn abort_host(&mut self, txn_id: TxnId, state: &mut HostTxnState, _stats: &mut WorkerStats) {
+        for (home, tuple, before) in state.undo.drain(..).rev() {
+            if let Ok(table) = self.shared.node(home).table(tuple.table) {
+                let _ = table.write(tuple.key, before);
+            }
+        }
+        for (home, tuple) in state.inserted.drain(..).rev() {
+            if let Ok(table) = self.shared.node(home).table(tuple.table) {
+                table.remove(tuple.key);
+            }
+        }
+        self.coordinator_storage().wal().append(LogRecord::Abort { txn: txn_id });
+        self.release_all(txn_id, state);
+    }
+
+    /// Releases every lock still held by the transaction (host lock tables
+    /// and, in LM-Switch mode, the switch lock manager).
+    fn release_all(&mut self, txn_id: TxnId, state: &HostTxnState) {
+        for &(home, tuple) in &state.locks {
+            self.shared.node(home).locks().release(txn_id, tuple);
+        }
+        for &(lock_id, exclusive) in &state.switch_locks {
+            // Releases are asynchronous (no grant to wait for); the switch
+            // processes them at line rate.
+            self.shared.fabric.send_no_latency(
+                self.endpoint,
+                EndpointId::Switch,
+                SwitchMessage::LockRelease(p4db_switch::LockRelease { lock_id, exclusive }),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4db_common::{LatencyConfig, TableId};
+    use p4db_storage::recover_switch_state;
+    use p4db_switch::{start_switch, ControlPlane, RegisterMemory, SwitchHandle};
+
+    const TBL: TableId = TableId(0);
+
+    struct Rig {
+        shared: Arc<EngineShared>,
+        _switch: SwitchHandle,
+        control_plane: ControlPlane,
+    }
+
+    fn t(key: u64) -> TupleId {
+        TupleId::new(TBL, key)
+    }
+
+    /// Two-node cluster; keys 0..10 are hot (offloaded in P4DB mode), keys
+    /// 100.. are cold. Key k lives on node (k % 2).
+    fn rig(mode: SystemMode, cc: CcScheme) -> Rig {
+        let switch_config = p4db_switch::SwitchConfig::tiny();
+        let latency = LatencyModel::new(LatencyConfig::zero());
+        let fabric: Fabric<SwitchMessage> = Fabric::new(latency.clone());
+        let memory = Arc::new(RegisterMemory::new(switch_config));
+        let mut control_plane = ControlPlane::new(switch_config, Arc::clone(&memory));
+
+        let nodes: Vec<Arc<NodeStorage>> = (0..2)
+            .map(|n| {
+                let storage = NodeStorage::new(NodeId(n), [TBL]);
+                let table = storage.table(TBL).unwrap();
+                // Hot rows 0..10 and cold rows 100..120, initial value 100.
+                for k in (0..10u64).chain(100..120) {
+                    if k % 2 == n as u64 {
+                        table.insert(k, Value::scalar(100));
+                    }
+                }
+                Arc::new(storage)
+            })
+            .collect();
+
+        // Offload the hot set (all modes build the index; only P4DB stores
+        // data on the switch, LM-Switch uses identity only).
+        for k in 0..10u64 {
+            control_plane
+                .offload_into(t(k), (k % 4) as u8, ((k / 4) % 2) as u8, 8, 100)
+                .unwrap();
+        }
+        let hot_index = match mode {
+            SystemMode::P4db => HotSetIndex::from_control_plane(&control_plane),
+            SystemMode::LmSwitch => HotSetIndex::from_tuples((0..10).map(t)),
+            SystemMode::NoSwitch => HotSetIndex::empty(),
+        };
+
+        let switch = start_switch(switch_config, memory, fabric.clone());
+        let shared = Arc::new(EngineShared {
+            nodes,
+            latency,
+            fabric,
+            hot_index: Arc::new(hot_index),
+            config: EngineConfig::new(mode, cc, switch_config),
+        });
+        Rig { shared, _switch: switch, control_plane }
+    }
+
+    fn worker(rig: &Rig, node: u16, id: u16) -> Worker {
+        Worker::new(Arc::clone(&rig.shared), NodeId(node), WorkerId(id))
+    }
+
+    fn home(key: u64) -> NodeId {
+        NodeId((key % 2) as u16)
+    }
+
+    fn op(key: u64, kind: OpKind) -> TxnOp {
+        TxnOp::new(t(key), kind, home(key))
+    }
+
+    #[test]
+    fn hot_txn_runs_entirely_on_the_switch() {
+        let rig = rig(SystemMode::P4db, CcScheme::NoWait);
+        let mut w = worker(&rig, 0, 0);
+        let mut stats = WorkerStats::new();
+        let req = TxnRequest::new(vec![op(1, OpKind::Add(5)), op(2, OpKind::Read)]);
+        let out = w.execute(&req, &mut stats).unwrap();
+        assert_eq!(out.class, TxnClass::Hot);
+        assert!(out.gid.is_some());
+        assert_eq!(out.results[0], 105);
+        assert_eq!(out.results[1], 100);
+        // Host rows are untouched; the switch is authoritative for hot data.
+        assert_eq!(rig.shared.node(home(1)).table(TBL).unwrap().read(1).unwrap().switch_word(), 100);
+        assert_eq!(rig.control_plane.read_tuple(t(1)), Some(105));
+        // No host locks were taken.
+        assert_eq!(rig.shared.node(NodeId(0)).locks().locked_count(), 0);
+        assert_eq!(rig.shared.node(NodeId(1)).locks().locked_count(), 0);
+        assert_eq!(stats.switch_single_pass, 1);
+    }
+
+    #[test]
+    fn cold_txn_updates_host_rows_under_locks() {
+        let rig = rig(SystemMode::P4db, CcScheme::NoWait);
+        let mut w = worker(&rig, 0, 0);
+        let mut stats = WorkerStats::new();
+        let req = TxnRequest::new(vec![op(100, OpKind::Add(7)), op(101, OpKind::Read)]);
+        let out = w.execute(&req, &mut stats).unwrap();
+        assert_eq!(out.class, TxnClass::Cold);
+        assert_eq!(out.results[0], 107);
+        assert_eq!(out.results[1], 100);
+        assert_eq!(rig.shared.node(home(100)).table(TBL).unwrap().read(100).unwrap().switch_word(), 107);
+        // All locks released after commit.
+        assert_eq!(rig.shared.node(NodeId(0)).locks().locked_count(), 0);
+        assert_eq!(rig.shared.node(NodeId(1)).locks().locked_count(), 0);
+        // WAL has the cold write and the commit record.
+        let records = rig.shared.node(NodeId(0)).wal().records();
+        assert!(records.iter().any(|r| matches!(r, LogRecord::ColdWrite { .. })));
+        assert!(records.iter().any(|r| matches!(r, LogRecord::Commit { .. })));
+    }
+
+    #[test]
+    fn no_switch_mode_treats_hot_tuples_as_cold() {
+        let rig = rig(SystemMode::NoSwitch, CcScheme::NoWait);
+        let mut w = worker(&rig, 0, 0);
+        let mut stats = WorkerStats::new();
+        let req = TxnRequest::new(vec![op(1, OpKind::Add(5))]);
+        let out = w.execute(&req, &mut stats).unwrap();
+        assert_eq!(out.class, TxnClass::Cold);
+        assert!(out.gid.is_none());
+        assert_eq!(rig.shared.node(home(1)).table(TBL).unwrap().read(1).unwrap().switch_word(), 105);
+    }
+
+    #[test]
+    fn warm_txn_spans_switch_and_host_and_commits_both() {
+        let rig = rig(SystemMode::P4db, CcScheme::NoWait);
+        let mut w = worker(&rig, 0, 0);
+        let mut stats = WorkerStats::new();
+        // Hot op on tuple 3 (switch) plus cold ops on 100 (node 0) and 101
+        // (node 1) → a distributed warm transaction.
+        let req = TxnRequest::new(vec![
+            op(3, OpKind::Add(10)),
+            op(100, OpKind::Add(1)),
+            op(101, OpKind::Write(55)),
+        ]);
+        let out = w.execute(&req, &mut stats).unwrap();
+        assert_eq!(out.class, TxnClass::Warm);
+        assert!(out.gid.is_some());
+        assert_eq!(out.results[0], 110);
+        assert_eq!(rig.control_plane.read_tuple(t(3)), Some(110));
+        assert_eq!(rig.shared.node(home(100)).table(TBL).unwrap().read(100).unwrap().switch_word(), 101);
+        assert_eq!(rig.shared.node(home(101)).table(TBL).unwrap().read(101).unwrap().switch_word(), 55);
+        assert_eq!(rig.shared.node(NodeId(0)).locks().locked_count(), 0);
+        assert_eq!(rig.shared.node(NodeId(1)).locks().locked_count(), 0);
+    }
+
+    #[test]
+    fn lock_conflict_aborts_and_rolls_back_under_no_wait() {
+        let rig = rig(SystemMode::P4db, CcScheme::NoWait);
+        let mut w1 = worker(&rig, 0, 0);
+        let mut w2 = worker(&rig, 0, 1);
+        let mut stats = WorkerStats::new();
+
+        // w1 manually holds an exclusive lock on tuple 101 (node 1).
+        let blocker = TxnId::compose(1, NodeId(1), WorkerId(9));
+        rig.shared
+            .node(NodeId(1))
+            .locks()
+            .acquire(blocker, t(101), LockMode::Exclusive, CcScheme::NoWait)
+            .unwrap();
+
+        // w2's transaction writes 100 first (succeeds) then 101 (conflicts).
+        let req = TxnRequest::new(vec![op(100, OpKind::Add(5)), op(101, OpKind::Add(5))]);
+        let err = w2.execute(&req, &mut stats).unwrap_err();
+        assert!(err.is_abort());
+        assert_eq!(stats.aborts_total(), 1);
+        // The write to 100 was rolled back and its lock released.
+        assert_eq!(rig.shared.node(home(100)).table(TBL).unwrap().read(100).unwrap().switch_word(), 100);
+        assert!(!rig.shared.node(NodeId(0)).locks().is_locked(t(100)));
+
+        // Cleanup so w1 is not reported unused.
+        rig.shared.node(NodeId(1)).locks().release(blocker, t(101));
+        let _ = &mut w1;
+    }
+
+    #[test]
+    fn constraint_violation_aborts_on_the_host_path() {
+        let rig = rig(SystemMode::NoSwitch, CcScheme::NoWait);
+        let mut w = worker(&rig, 0, 0);
+        let mut stats = WorkerStats::new();
+        // Balance is 100; withdrawing 150 must abort and leave state intact.
+        let req = TxnRequest::new(vec![op(100, OpKind::CondSub(150)), op(102, OpKind::Add(1))]);
+        let err = w.execute(&req, &mut stats).unwrap_err();
+        assert_eq!(err.abort_reason(), Some(AbortReason::ConstraintViolation));
+        assert_eq!(rig.shared.node(home(100)).table(TBL).unwrap().read(100).unwrap().switch_word(), 100);
+        assert_eq!(rig.shared.node(home(102)).table(TBL).unwrap().read(102).unwrap().switch_word(), 100);
+    }
+
+    #[test]
+    fn constrained_write_on_the_switch_does_not_abort() {
+        let rig = rig(SystemMode::P4db, CcScheme::NoWait);
+        let mut w = worker(&rig, 0, 0);
+        let mut stats = WorkerStats::new();
+        // Overdraft on a hot tuple: the switch simply does not apply it.
+        let req = TxnRequest::new(vec![op(1, OpKind::CondSub(500))]);
+        let out = w.execute(&req, &mut stats).unwrap();
+        assert_eq!(out.class, TxnClass::Hot);
+        assert_eq!(out.results[0], 100, "value unchanged");
+        assert_eq!(rig.control_plane.read_tuple(t(1)), Some(100));
+        assert_eq!(stats.aborts_total(), 0);
+    }
+
+    #[test]
+    fn insert_goes_to_the_host_even_in_p4db_mode() {
+        let rig = rig(SystemMode::P4db, CcScheme::NoWait);
+        let mut w = worker(&rig, 0, 0);
+        let mut stats = WorkerStats::new();
+        let req = TxnRequest::new(vec![TxnOp::new(t(5000), OpKind::Insert(42), NodeId(0))]);
+        let out = w.execute(&req, &mut stats).unwrap();
+        assert_eq!(out.class, TxnClass::Cold);
+        assert_eq!(rig.shared.node(NodeId(0)).table(TBL).unwrap().read(5000).unwrap().switch_word(), 42);
+    }
+
+    #[test]
+    fn lm_switch_mode_serialises_hot_tuples_through_the_switch_lock_manager() {
+        let rig = rig(SystemMode::LmSwitch, CcScheme::NoWait);
+        let mut w1 = worker(&rig, 0, 0);
+        let mut w2 = worker(&rig, 1, 0);
+        let mut stats = WorkerStats::new();
+
+        // Both touch hot tuple 1. Sequentially they must both succeed (locks
+        // are released after commit), and the data lives on the host.
+        let req = TxnRequest::new(vec![op(1, OpKind::Add(5))]);
+        w1.execute(&req, &mut stats).unwrap();
+        w2.execute(&req, &mut stats).unwrap();
+        assert_eq!(rig.shared.node(home(1)).table(TBL).unwrap().read(1).unwrap().switch_word(), 110);
+        // The switch data plane never executed a transaction in LM mode.
+        assert_eq!(rig._switch.stats().txns_executed, 0);
+        assert!(rig._switch.stats().lm_requests >= 2);
+    }
+
+    #[test]
+    fn wait_die_lets_the_older_transaction_wait_and_commit() {
+        let rig = rig(SystemMode::NoSwitch, CcScheme::WaitDie);
+        let shared = Arc::clone(&rig.shared);
+        // A younger transaction holds the lock briefly on another thread; the
+        // older transaction (smaller sequence from worker 0, seq 1) waits.
+        let blocker = TxnId::compose(1000, NodeId(0), WorkerId(5));
+        shared
+            .node(NodeId(1))
+            .locks()
+            .acquire(blocker, t(101), LockMode::Exclusive, CcScheme::WaitDie)
+            .unwrap();
+        let release = std::thread::spawn({
+            let shared = Arc::clone(&shared);
+            move || {
+                std::thread::sleep(Duration::from_millis(20));
+                shared.node(NodeId(1)).locks().release(blocker, t(101));
+            }
+        });
+        let mut w = worker(&rig, 0, 0);
+        let mut stats = WorkerStats::new();
+        let req = TxnRequest::new(vec![op(101, OpKind::Add(3))]);
+        let out = w.execute(&req, &mut stats).unwrap();
+        assert_eq!(out.results[0], 103);
+        release.join().unwrap();
+    }
+
+    #[test]
+    fn switch_state_is_recoverable_from_the_node_logs() {
+        let rig = rig(SystemMode::P4db, CcScheme::NoWait);
+        let mut w = worker(&rig, 0, 0);
+        let mut stats = WorkerStats::new();
+        for _ in 0..5 {
+            w.execute(&TxnRequest::new(vec![op(1, OpKind::Add(10))]), &mut stats).unwrap();
+        }
+        // Crash the switch data and recover it from the logs.
+        let initial: HashMap<TupleId, u64> = (0..10).map(|k| (t(k), 100u64)).collect();
+        let logs: Vec<&p4db_storage::Wal> = rig.shared.nodes.iter().map(|n| n.wal()).collect();
+        let outcome = recover_switch_state(&initial, &logs);
+        assert_eq!(outcome.values[&t(1)], 150);
+        assert_eq!(outcome.inconsistencies, 0);
+        assert_eq!(outcome.completed, 5);
+        assert_eq!(rig.control_plane.read_tuple(t(1)), Some(150), "recovered value matches live switch");
+    }
+
+    #[test]
+    fn chiller_mode_reorders_and_releases_contended_locks_early() {
+        let mut cfg_rig = rig(SystemMode::NoSwitch, CcScheme::NoWait);
+        // Chiller needs hot-tuple identity even though data stays on the host.
+        Arc::get_mut(&mut cfg_rig.shared).map(|_| ()).unwrap_or(());
+        let shared = Arc::new(EngineShared {
+            nodes: cfg_rig.shared.nodes.clone(),
+            latency: cfg_rig.shared.latency.clone(),
+            fabric: cfg_rig.shared.fabric.clone(),
+            hot_index: Arc::new(HotSetIndex::from_tuples((0..10).map(t))),
+            config: EngineConfig {
+                chiller: true,
+                ..EngineConfig::new(SystemMode::NoSwitch, CcScheme::NoWait, cfg_rig.shared.config.switch_config)
+            },
+        });
+        let mut w = Worker::new(shared.clone(), NodeId(0), WorkerId(7));
+        let mut stats = WorkerStats::new();
+        let req = TxnRequest::new(vec![op(1, OpKind::Add(5)), op(100, OpKind::Add(5))]);
+        let out = w.execute(&req, &mut stats).unwrap();
+        assert_eq!(out.class, TxnClass::Cold);
+        assert_eq!(shared.node(home(1)).table(TBL).unwrap().read(1).unwrap().switch_word(), 105);
+        assert_eq!(shared.node(NodeId(0)).locks().locked_count(), 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! The replicated hot-set index (§6.1).
+//!
+//! Every database node keeps a small index with the primary keys of all hot
+//! tuples and, for each, the MAU stage / register array / cell it was
+//! offloaded to. The index is consulted on every transaction to decide
+//! whether it is hot, cold or warm, and to build the switch packet (including
+//! the `is_multipass` flag and the pipeline-lock demand) without asking the
+//! switch. In this reproduction the "replica" is a shared immutable structure
+//! built once after offloading.
+
+use p4db_common::TupleId;
+use p4db_switch::{ControlPlane, RegisterSlot};
+use std::collections::HashMap;
+
+/// Immutable hot-set index, shared by all workers of all nodes.
+#[derive(Clone, Debug, Default)]
+pub struct HotSetIndex {
+    map: HashMap<TupleId, RegisterSlot>,
+}
+
+impl HotSetIndex {
+    /// An empty index: every tuple is cold (the No-Switch / LM-Switch data
+    /// path still consults it for hot-tuple *identity* in LM mode, see
+    /// [`Self::from_tuples`]).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds the index from the switch control plane after offloading.
+    pub fn from_control_plane(cp: &ControlPlane) -> Self {
+        HotSetIndex { map: cp.placements().collect() }
+    }
+
+    /// Builds an index that only records hot-tuple identity (used by the
+    /// LM-Switch baseline, where hot tuples stay on the nodes but their locks
+    /// are managed by the switch). The register slots are synthetic.
+    pub fn from_tuples(tuples: impl IntoIterator<Item = TupleId>) -> Self {
+        HotSetIndex {
+            map: tuples
+                .into_iter()
+                .map(|t| (t, RegisterSlot::new(0, 0, 0)))
+                .collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether a tuple is part of the offloaded hot set.
+    #[inline]
+    pub fn is_hot(&self, tuple: TupleId) -> bool {
+        self.map.contains_key(&tuple)
+    }
+
+    /// The register slot of a hot tuple.
+    #[inline]
+    pub fn slot(&self, tuple: TupleId) -> Option<RegisterSlot> {
+        self.map.get(&tuple).copied()
+    }
+
+    /// Iterates all `(tuple, slot)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, RegisterSlot)> + '_ {
+        self.map.iter().map(|(t, s)| (*t, *s))
+    }
+
+    /// A stable lock id for a hot tuple, used by the LM-Switch baseline.
+    pub fn lock_id(tuple: TupleId) -> u64 {
+        (tuple.table.0 as u64) << 48 ^ tuple.key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4db_common::{TableId, Value};
+    use p4db_switch::{RegisterMemory, SwitchConfig};
+    use std::sync::Arc;
+
+    fn t(key: u64) -> TupleId {
+        TupleId::new(TableId(0), key)
+    }
+
+    #[test]
+    fn from_control_plane_reflects_offloads() {
+        let config = SwitchConfig::tiny();
+        let memory = Arc::new(RegisterMemory::new(config));
+        let mut cp = ControlPlane::new(config, memory);
+        cp.offload_into(t(1), 0, 0, Value::scalar(0).byte_width(), 5).unwrap();
+        cp.offload_into(t(2), 1, 1, 8, 7).unwrap();
+        let idx = HotSetIndex::from_control_plane(&cp);
+        assert_eq!(idx.len(), 2);
+        assert!(idx.is_hot(t(1)));
+        assert!(!idx.is_hot(t(3)));
+        let slot = idx.slot(t(2)).unwrap();
+        assert_eq!((slot.stage, slot.array), (1, 1));
+    }
+
+    #[test]
+    fn from_tuples_marks_identity_only() {
+        let idx = HotSetIndex::from_tuples([t(1), t(2)]);
+        assert!(idx.is_hot(t(1)));
+        assert!(idx.slot(t(1)).is_some());
+        assert!(!idx.is_hot(t(9)));
+    }
+
+    #[test]
+    fn empty_index_classifies_everything_cold() {
+        let idx = HotSetIndex::empty();
+        assert!(idx.is_empty());
+        assert!(!idx.is_hot(t(0)));
+    }
+
+    #[test]
+    fn lock_ids_are_stable_and_distinct_enough() {
+        assert_eq!(HotSetIndex::lock_id(t(5)), HotSetIndex::lock_id(t(5)));
+        assert_ne!(HotSetIndex::lock_id(t(5)), HotSetIndex::lock_id(t(6)));
+        assert_ne!(HotSetIndex::lock_id(TupleId::new(TableId(1), 5)), HotSetIndex::lock_id(t(5)));
+    }
+}

@@ -1,0 +1,191 @@
+//! Building switch transactions on the database nodes (§5.4, §6.1).
+//!
+//! The issuing node owns all the information needed to fill in the packet's
+//! processing header: the replicated hot-set index tells it which register
+//! slot each hot tuple lives in, from which it derives the instruction order,
+//! the `is_multipass` flag and the pipeline-lock demand.
+
+use crate::hotset::HotSetIndex;
+use crate::request::{OpKind, TxnOp};
+use p4db_storage::LoggedSwitchOp;
+use p4db_switch::{
+    locks_for_stages, plan_passes, Instruction, OpCode, SwitchConfig, SwitchTxn, TxnHeader,
+};
+
+/// A switch sub-transaction built from the hot operations of a request,
+/// together with the mapping back to the original operation indices.
+#[derive(Clone, Debug)]
+pub struct BuiltSwitchTxn {
+    pub txn: SwitchTxn,
+    /// `orig_index[i]` is the index (within the original request) of the
+    /// operation that instruction `i` implements.
+    pub orig_index: Vec<usize>,
+    /// The same operations in WAL form, for the durability protocol.
+    pub logged_ops: Vec<LoggedSwitchOp>,
+}
+
+fn op_to_opcode(kind: OpKind) -> (OpCode, u64) {
+    match kind {
+        OpKind::Read => (OpCode::Read, 0),
+        OpKind::Write(v) => (OpCode::Write, v),
+        OpKind::Add(d) => (OpCode::Add, d as u64),
+        OpKind::FetchAdd(d) => (OpCode::FetchAdd, d as u64),
+        OpKind::CondSub(a) => (OpCode::CondSub, a),
+        OpKind::Insert(_) => unreachable!("inserts are never offloaded to the switch"),
+    }
+}
+
+/// Builds the switch packet for the given hot operations.
+///
+/// Operations without read-dependencies are re-ordered to follow the
+/// pipeline's stage order (the node may freely order independent operations,
+/// which is how YCSB/SmallBank hot transactions become single-pass under the
+/// declustered layout). Operations connected by `operand_from` dependencies
+/// keep their relative order.
+///
+/// # Panics
+/// Panics if an operation references (via `operand_from`) an operation that
+/// is not part of the same switch sub-transaction — workloads must keep
+/// read-dependent pairs in the same temperature class.
+pub fn build_switch_txn(
+    hot_ops: &[(usize, TxnOp)],
+    hot_index: &HotSetIndex,
+    switch_config: &SwitchConfig,
+    mut header: TxnHeader,
+) -> BuiltSwitchTxn {
+    // Re-order for stage order unless a dependency forbids it.
+    let has_dependencies = hot_ops.iter().any(|(_, op)| op.operand_from.is_some());
+    let mut ordered: Vec<(usize, TxnOp)> = hot_ops.to_vec();
+    if !has_dependencies {
+        ordered.sort_by_key(|(_, op)| {
+            let slot = hot_index.slot(op.tuple).expect("hot op must be in the hot-set index");
+            (slot.stage, slot.array, slot.index)
+        });
+    }
+
+    // Map original op index -> instruction index, needed to remap
+    // operand_from references.
+    let mut instr_of_orig = vec![usize::MAX; hot_ops.iter().map(|(i, _)| *i).max().map_or(0, |m| m + 1)];
+    for (instr_idx, (orig, _)) in ordered.iter().enumerate() {
+        instr_of_orig[*orig] = instr_idx;
+    }
+
+    let mut instructions = Vec::with_capacity(ordered.len());
+    let mut orig_index = Vec::with_capacity(ordered.len());
+    let mut logged_ops = Vec::with_capacity(ordered.len());
+    for (instr_idx, (orig, op)) in ordered.iter().enumerate() {
+        let slot = hot_index.slot(op.tuple).expect("hot op must be in the hot-set index");
+        let (opcode, operand) = op_to_opcode(op.kind);
+        let operand_from = op.operand_from.map(|src| {
+            let mapped = instr_of_orig
+                .get(src as usize)
+                .copied()
+                .filter(|&m| m != usize::MAX)
+                .expect("operand_from must reference a hot operation of the same transaction");
+            assert!(mapped < instr_idx, "operand_from must reference an earlier instruction");
+            mapped as u8
+        });
+        let mut instr = Instruction::new(slot, opcode, operand);
+        instr.operand_from = operand_from;
+        instructions.push(instr);
+        orig_index.push(*orig);
+        logged_ops.push(LoggedSwitchOp { tuple: op.tuple, op: opcode, operand, operand_from });
+    }
+
+    // Fill in the processing header from the node's view of the layout.
+    let passes = plan_passes(&instructions);
+    header.is_multipass = passes.len() > 1;
+    header.locks = locks_for_stages(instructions.iter().map(|i| i.slot.stage), switch_config);
+
+    BuiltSwitchTxn { txn: SwitchTxn::new(header, instructions), orig_index, logged_ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4db_common::{NodeId, TableId, TupleId, WorkerId};
+    use p4db_net::EndpointId;
+    use p4db_switch::{ControlPlane, LockMask, RegisterMemory, SwitchConfig};
+    use std::sync::Arc;
+
+    fn t(key: u64) -> TupleId {
+        TupleId::new(TableId(0), key)
+    }
+
+    fn header() -> TxnHeader {
+        TxnHeader::new(EndpointId::Worker(NodeId(0), WorkerId(0)), 1)
+    }
+
+    /// Hot index with tuple k offloaded to stage (k % 4), array (k % 2).
+    fn index_with(keys: &[u64]) -> (HotSetIndex, SwitchConfig) {
+        let config = SwitchConfig::tiny();
+        let memory = Arc::new(RegisterMemory::new(config));
+        let mut cp = ControlPlane::new(config, memory);
+        for &k in keys {
+            cp.offload_into(t(k), (k % 4) as u8, (k % 2) as u8, 8, 0).unwrap();
+        }
+        (HotSetIndex::from_control_plane(&cp), config)
+    }
+
+    #[test]
+    fn independent_ops_are_reordered_into_stage_order() {
+        let (idx, config) = index_with(&[3, 0, 2]);
+        let ops = vec![
+            (0usize, TxnOp::new(t(3), OpKind::Read, NodeId(0))),
+            (1, TxnOp::new(t(0), OpKind::Add(1), NodeId(0))),
+            (2, TxnOp::new(t(2), OpKind::Read, NodeId(0))),
+        ];
+        let built = build_switch_txn(&ops, &idx, &config, header());
+        // Stage order: t(0) stage 0, t(2) stage 2, t(3) stage 3.
+        assert_eq!(built.orig_index, vec![1, 2, 0]);
+        assert!(!built.txn.header.is_multipass);
+        assert_eq!(built.txn.instructions.len(), 3);
+        assert_eq!(built.logged_ops.len(), 3);
+    }
+
+    #[test]
+    fn dependent_ops_keep_order_and_remap_operand_sources() {
+        let (idx, config) = index_with(&[1, 2]);
+        // op0 reads t(1) (stage 1), op1 adds the read value to t(2) (stage 2).
+        let ops = vec![
+            (0usize, TxnOp::new(t(1), OpKind::Read, NodeId(0))),
+            (1, TxnOp::new(t(2), OpKind::Add(0), NodeId(0)).with_operand_from(0)),
+        ];
+        let built = build_switch_txn(&ops, &idx, &config, header());
+        assert_eq!(built.orig_index, vec![0, 1]);
+        assert_eq!(built.txn.instructions[1].operand_from, Some(0));
+        assert!(!built.txn.header.is_multipass);
+    }
+
+    #[test]
+    fn reverse_stage_dependency_is_flagged_multipass_with_locks() {
+        let (idx, config) = index_with(&[3, 1]);
+        // Read t(3) (stage 3) then dependent write to t(1) (stage 1): cannot
+        // be reordered, needs two passes and pipeline locks.
+        let ops = vec![
+            (0usize, TxnOp::new(t(3), OpKind::Read, NodeId(0))),
+            (1, TxnOp::new(t(1), OpKind::Write(0), NodeId(0)).with_operand_from(0)),
+        ];
+        let built = build_switch_txn(&ops, &idx, &config, header());
+        assert!(built.txn.header.is_multipass);
+        assert_ne!(built.txn.header.locks, LockMask::NONE);
+    }
+
+    #[test]
+    fn single_pass_header_still_names_locks_that_must_be_free() {
+        let (idx, config) = index_with(&[0]);
+        let ops = vec![(0usize, TxnOp::new(t(0), OpKind::Add(5), NodeId(0)))];
+        let built = build_switch_txn(&ops, &idx, &config, header());
+        assert!(!built.txn.header.is_multipass);
+        // Stage 0 is in the "left" half of the tiny config.
+        assert_eq!(built.txn.header.locks, LockMask::LEFT);
+    }
+
+    #[test]
+    #[should_panic(expected = "hot op must be in the hot-set index")]
+    fn building_with_a_cold_tuple_panics() {
+        let (idx, config) = index_with(&[0]);
+        let ops = vec![(0usize, TxnOp::new(t(99), OpKind::Read, NodeId(0)))];
+        let _ = build_switch_txn(&ops, &idx, &config, header());
+    }
+}

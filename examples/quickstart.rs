@@ -1,0 +1,58 @@
+//! Quickstart: build a 4-node P4DB cluster with a simulated programmable
+//! switch, run YCSB-A with and without in-switch transaction processing, and
+//! print the resulting throughput and speedup.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use p4db::common::{CcScheme, SystemMode};
+use p4db::core::{Cluster, ClusterConfig};
+use p4db::workloads::{Workload, Ycsb, YcsbConfig, YcsbMix};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let workload: Arc<dyn Workload> =
+        Arc::new(Ycsb::new(YcsbConfig { keys_per_node: 20_000, ..YcsbConfig::new(YcsbMix::A) }));
+    let measure = Duration::from_millis(500);
+
+    println!("P4DB quickstart — YCSB-A, 4 nodes x 4 workers, 20% distributed transactions\n");
+
+    let mut results = Vec::new();
+    for mode in [SystemMode::NoSwitch, SystemMode::LmSwitch, SystemMode::P4db] {
+        let config = ClusterConfig::new(mode, CcScheme::NoWait);
+        let cluster = Cluster::build(config, Arc::clone(&workload));
+        println!(
+            "[{}] built: {} hot tuples, {} offloaded to the switch",
+            mode.label(),
+            cluster.hot_set_size(),
+            cluster.offloaded_tuples()
+        );
+        let stats = cluster.run_for(measure);
+        println!(
+            "[{}] throughput = {:.0} txn/s, abort rate = {:.1}%, hot share = {:.0}%, mean latency = {:.0}µs",
+            mode.label(),
+            stats.throughput(),
+            stats.abort_rate() * 100.0,
+            stats.hot_fraction() * 100.0,
+            stats.mean_latency().as_secs_f64() * 1e6
+        );
+        if mode == SystemMode::P4db {
+            let sw = cluster.switch_stats();
+            println!(
+                "[{}] switch executed {} transactions ({:.0}% single-pass)",
+                mode.label(),
+                sw.txns_executed,
+                sw.single_pass_fraction() * 100.0
+            );
+        }
+        results.push((mode, stats));
+        println!();
+    }
+
+    let baseline = results.iter().find(|(m, _)| *m == SystemMode::NoSwitch).unwrap().1.throughput();
+    for (mode, stats) in &results {
+        if *mode != SystemMode::NoSwitch && baseline > 0.0 {
+            println!("{} speedup over No-Switch: {:.2}x", mode.label(), stats.throughput() / baseline);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # P4DB — The Case for In-Network OLTP (Rust reproduction)
+//!
+//! This facade crate re-exports the whole workspace behind a single
+//! dependency, which is what the examples under `examples/` and the
+//! integration tests under `tests/` use.
+//!
+//! The crates, from substrate to system:
+//!
+//! * [`common`] — ids, values, errors, workload randomness, statistics.
+//! * [`net`] — in-process message fabric with the paper's ½-RTT latency model.
+//! * [`switch`] — the PISA/Tofino pipeline simulator: register stages,
+//!   one-packet-one-transaction execution, recirculation, pipeline locks.
+//! * [`layout`] — the declustered storage model: access graph, max-cut,
+//!   direction-aware stage assignment.
+//! * [`storage`] — host node storage: tables, row locks (NO_WAIT / WAIT_DIE),
+//!   secondary indexes, write-ahead log and recovery.
+//! * [`txn`] — the distributed transaction engine: hot/cold/warm
+//!   classification, switch transaction construction, 2PC integration,
+//!   the LM-Switch and Chiller-style baselines.
+//! * [`workloads`] — YCSB, SmallBank and TPC-C generators.
+//! * [`core`] — the cluster runner, worker loops, experiment driver and
+//!   metrics used by the benchmark harness.
+
+pub use p4db_common as common;
+pub use p4db_core as core;
+pub use p4db_layout as layout;
+pub use p4db_net as net;
+pub use p4db_storage as storage;
+pub use p4db_switch as switch;
+pub use p4db_txn as txn;
+pub use p4db_workloads as workloads;
