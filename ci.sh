@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI gate for the P4DB reproduction workspace.
+#
+# Everything here must pass on a machine with NO network access: the
+# workspace deliberately has zero external dependencies (see README.md), so
+# every cargo invocation runs with --offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (workspace, all targets, warnings are errors)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> tier-1 verify: cargo build --release && cargo test -q"
+cargo build --offline --release
+cargo test --offline -q
+
+echo "==> member-crate unit tests (root package already covered by tier-1)"
+cargo test --offline --workspace --exclude p4db -q
+
+echo "==> examples"
+cargo run --offline --release --example quickstart
+cargo run --offline --release --example smallbank_recovery
+cargo run --offline --release --example tpcc_warm
+
+echo "ci.sh: all green"

@@ -7,11 +7,13 @@
 
 use p4db_bench::*;
 
+type FigureFn = fn(&BenchProfile) -> p4db_core::FigureTable;
+
 fn main() {
     let profile = BenchProfile::from_env();
     println!("# P4DB figure reproduction (measure = {:?}, full = {})\n", profile.measure, profile.full);
 
-    let figures: Vec<(&str, fn(&BenchProfile) -> p4db_core::FigureTable)> = vec![
+    let figures: Vec<(&str, FigureFn)> = vec![
         ("fig01", fig01_headline),
         ("fig11_contention", fig11_ycsb_contention),
         ("fig11_distributed", fig11_ycsb_distributed),

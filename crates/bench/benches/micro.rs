@@ -8,7 +8,9 @@ use p4db_common::{CcScheme, LatencyConfig, NodeId, TableId, TupleId, TxnId, Work
 use p4db_layout::{max_cut, AccessGraph, TraceAccess, TxnTrace};
 use p4db_net::{EndpointId, Fabric, LatencyModel};
 use p4db_storage::{LockMode, LockTable, LogRecord, Wal};
-use p4db_switch::{start_switch, Instruction, RegisterMemory, RegisterSlot, SwitchConfig, SwitchMessage, SwitchTxn, TxnHeader};
+use p4db_switch::{
+    start_switch, Instruction, RegisterMemory, RegisterSlot, SwitchConfig, SwitchMessage, SwitchTxn, TxnHeader,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -31,9 +33,8 @@ fn switch_pipeline_throughput() {
     let ep = EndpointId::Worker(NodeId(0), WorkerId(0));
     let mailbox = fabric.register(ep);
     bench("switch pipeline: 8-op single-pass txns", 50_000, |i| {
-        let instructions: Vec<_> = (0..8u8)
-            .map(|s| Instruction::add(RegisterSlot::new(s, (i % 4) as u8, (i % 1024) as u32), 1))
-            .collect();
+        let instructions: Vec<_> =
+            (0..8u8).map(|s| Instruction::add(RegisterSlot::new(s, (i % 4) as u8, (i % 1024) as u32), 1)).collect();
         let txn = SwitchTxn::new(TxnHeader::new(ep, i), instructions);
         fabric.send(ep, EndpointId::Switch, SwitchMessage::Txn(txn));
         loop {
@@ -63,9 +64,7 @@ fn maxcut_scaling() {
         let traces: Vec<TxnTrace> = (0..n * 4)
             .map(|_| {
                 TxnTrace::new(
-                    (0..4)
-                        .map(|_| TraceAccess::read(TupleId::new(TableId(0), rng.gen_range(n as u64))))
-                        .collect(),
+                    (0..4).map(|_| TraceAccess::read(TupleId::new(TableId(0), rng.gen_range(n as u64)))).collect(),
                 )
             })
             .collect();

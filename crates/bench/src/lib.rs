@@ -112,11 +112,8 @@ pub fn fig01_headline(profile: &BenchProfile) -> FigureTable {
         "Figure 1 — OLTP throughput with and without the switch (20% distributed, high load)",
         &["Workload", "No-Switch [txn/s]", "P4DB [txn/s]", "Speedup"],
     );
-    let workloads: Vec<(&str, Arc<dyn Workload>)> = vec![
-        ("YCSB-A", ycsb(YcsbMix::A)),
-        ("SmallBank 8x5", smallbank(5)),
-        ("TPC-C 8WH", tpcc(8)),
-    ];
+    let workloads: Vec<(&str, Arc<dyn Workload>)> =
+        vec![("YCSB-A", ycsb(YcsbMix::A)), ("SmallBank 8x5", smallbank(5)), ("TPC-C 8WH", tpcc(8))];
     for (name, w) in workloads {
         let base = measure(&w, SystemMode::NoSwitch, CcScheme::NoWait, 4, 0.2, profile, no_tweak);
         let p4db = measure(&w, SystemMode::P4db, CcScheme::NoWait, 4, 0.2, profile, no_tweak);
@@ -378,11 +375,8 @@ pub fn fig16_data_layout(profile: &BenchProfile) -> FigureTable {
         "Figure 16 — optimal (declustered) vs. worst data layout",
         &["Workload", "Workers/node", "Layout", "Throughput [txn/s]", "Mean latency [µs]"],
     );
-    let workloads: Vec<(&str, Arc<dyn Workload>)> = vec![
-        ("YCSB-A", ycsb(YcsbMix::A)),
-        ("SmallBank 8x5", smallbank(5)),
-        ("TPC-C 8WH", tpcc(8)),
-    ];
+    let workloads: Vec<(&str, Arc<dyn Workload>)> =
+        vec![("YCSB-A", ycsb(YcsbMix::A)), ("SmallBank 8x5", smallbank(5)), ("TPC-C 8WH", tpcc(8))];
     for (name, w) in workloads {
         for workers in profile.workers_sweep() {
             for (label, layout) in [("optimal", LayoutStrategy::Declustered), ("worst", LayoutStrategy::Worst)] {
@@ -412,11 +406,8 @@ pub fn fig17_capacity(profile: &BenchProfile) -> FigureTable {
         &["Switch capacity [rows]", "Hot-set size", "Offloaded", "No-Switch [txn/s]", "P4DB [txn/s]", "Speedup"],
     );
     let capacities: Vec<u64> = if profile.full { vec![1_000, 10_000, 65_000, 650_000] } else { vec![1_000, 65_000] };
-    let hot_sizes: Vec<u64> = if profile.full {
-        vec![400, 1_000, 10_000, 66_000, 655_000]
-    } else {
-        vec![400, 10_000, 66_000]
-    };
+    let hot_sizes: Vec<u64> =
+        if profile.full { vec![400, 1_000, 10_000, 66_000, 655_000] } else { vec![400, 10_000, 66_000] };
     for capacity in capacities {
         for &hot_total in &hot_sizes {
             let hot_per_node = (hot_total / 4).max(1);
@@ -461,13 +452,8 @@ pub fn fig18a_latency_breakdown(profile: &BenchProfile) -> FigureTable {
     for mode in [SystemMode::NoSwitch, SystemMode::P4db] {
         let stats = measure(&w, mode, CcScheme::NoWait, 4, 0.2, profile, no_tweak);
         let breakdown = stats.phase_breakdown();
-        let us = |p: Phase| {
-            breakdown
-                .iter()
-                .find(|(ph, _)| *ph == p)
-                .map(|(_, d)| d.as_secs_f64() * 1e6)
-                .unwrap_or(0.0)
-        };
+        let us =
+            |p: Phase| breakdown.iter().find(|(ph, _)| *ph == p).map(|(_, d)| d.as_secs_f64() * 1e6).unwrap_or(0.0);
         let total: f64 = breakdown.iter().map(|(_, d)| d.as_secs_f64() * 1e6).sum();
         table.push_row(vec![
             mode.label().to_string(),
@@ -503,11 +489,7 @@ pub fn fig18b_existing_optimizations(profile: &BenchProfile) -> FigureTable {
     let p4db = measure(&w, SystemMode::P4db, CcScheme::NoWait, 4, 0.2, profile, no_tweak);
 
     for (name, stats) in [("Plain 2PL", &plain), ("+Opt. Part.", &opt_part), ("+Chiller", &chiller), ("+P4DB", &p4db)] {
-        table.push_row(vec![
-            name.to_string(),
-            fmt_tps(stats.throughput()),
-            fmt_speedup(speedup(stats, &plain)),
-        ]);
+        table.push_row(vec![name.to_string(), fmt_tps(stats.throughput()), fmt_speedup(speedup(stats, &plain))]);
     }
     table
 }

@@ -1,0 +1,347 @@
+//! A small in-house MPMC channel.
+//!
+//! The build environment has no access to crates.io, so the message fabric
+//! cannot use `crossbeam::channel`. This module provides the subset the
+//! system needs: an unbounded multi-producer multi-consumer queue with
+//! cloneable senders *and* receivers, non-blocking and timed receives, and
+//! crossbeam-compatible disconnect semantics (a send fails once every
+//! receiver is gone; a receive fails once every sender is gone *and* the
+//! queue is drained).
+//!
+//! The implementation is a `Mutex<VecDeque>` plus a `Condvar`. That is not
+//! lock-free, but the fabric's queues are short (the switch drains its
+//! ingress continuously) and the critical sections are a few dozen
+//! instructions, so the mutex never becomes the bottleneck next to the
+//! imposed wire latency — see `p4db-net::latency`.
+
+use crate::sync::unpoison;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when every receiver has been dropped.
+/// Carries the rejected message back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is currently empty but senders still exist.
+    Empty,
+    /// The queue is empty and every sender has been dropped.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// The queue is empty and every sender has been dropped.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv`]: every sender has been dropped and
+/// the queue is drained.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        // A panic while holding this mutex can only happen on an allocation
+        // failure inside `VecDeque::push_back`; the queue itself is never
+        // left half-updated, so the poisoned state is safe to adopt.
+        unpoison(self.state.lock())
+    }
+}
+
+/// The sending half. Cloning produces another producer on the same queue.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half. Cloning produces another consumer on the same queue
+/// (each message is delivered to exactly one consumer).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates an unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        available: Condvar::new(),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a message. Fails (returning the message) only when every
+    /// receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.lock();
+        if state.receivers == 0 {
+            return Err(SendError(value));
+        }
+        state.queue.push_back(value);
+        drop(state);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+
+    /// Number of queued messages (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.lock();
+        state.senders -= 1;
+        let last = state.senders == 0;
+        drop(state);
+        if last {
+            // Wake blocked receivers so they can observe the disconnect.
+            self.shared.available.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.lock();
+        match state.queue.pop_front() {
+            Some(v) => Ok(v),
+            None if state.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Blocking receive: returns an error only when every sender is gone and
+    /// the queue is drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = unpoison(self.shared.available.wait(state));
+        }
+    }
+
+    /// Blocking receive with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _timed_out) = unpoison(self.shared.available.wait_timeout(state, deadline - now));
+            state = guard;
+        }
+    }
+
+    /// Number of queued messages (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().receivers += 1;
+        Receiver { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.lock();
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            // No consumer will ever drain these; free them eagerly so a
+            // shut-down mailbox does not pin large envelopes.
+            state.queue.clear();
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sender").field("len", &self.len()).finish()
+    }
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Receiver").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    #[test]
+    fn send_and_receive_in_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.try_recv(), Ok(i));
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn mpmc_fan_in_fan_out_delivers_each_message_once() {
+        let (tx, rx) = unbounded::<u64>();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        tx.send(p * 1_000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let received = Arc::new(AtomicUsize::new(0));
+        let sum = Arc::new(AtomicUsize::new(0));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                let received = Arc::clone(&received);
+                let sum = Arc::clone(&sum);
+                thread::spawn(move || {
+                    while let Ok(v) = rx.recv() {
+                        received.fetch_add(1, Ordering::Relaxed);
+                        sum.fetch_add(v as usize, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        for c in consumers {
+            c.join().unwrap();
+        }
+        assert_eq!(received.load(Ordering::Relaxed), 4_000);
+        // Each message delivered exactly once: the sum identifies the set.
+        let expected: usize = (0..4u64).flat_map(|p| (0..1_000).map(move |i| (p * 1_000 + i) as usize)).sum();
+        assert_eq!(sum.load(Ordering::Relaxed), expected);
+    }
+
+    #[test]
+    fn recv_timeout_expires_when_no_message_arrives() {
+        let (tx, rx) = unbounded::<u8>();
+        let start = Instant::now();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(30)), Err(RecvTimeoutError::Timeout));
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        drop(tx);
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_message() {
+        let (tx, rx) = unbounded();
+        let sender = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            tx.send(42u32).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(42));
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn dropping_all_senders_disconnects_after_drain() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        drop(tx);
+        // A sender is still alive: empty means Empty once drained.
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx2.send(2).unwrap();
+        drop(tx2);
+        // Queued messages survive the disconnect, then it surfaces.
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Disconnected));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn dropping_all_receivers_fails_sends() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        drop(rx);
+        assert_eq!(tx.send(2), Err(SendError(2)));
+    }
+
+    #[test]
+    fn blocked_recv_wakes_on_sender_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        let waiter = thread::spawn(move || rx.recv());
+        thread::sleep(Duration::from_millis(10));
+        drop(tx);
+        assert_eq!(waiter.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn len_tracks_queue_depth() {
+        let (tx, rx) = unbounded();
+        assert!(rx.is_empty());
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 5);
+        assert_eq!(tx.len(), 5);
+        let _ = rx.try_recv();
+        assert_eq!(rx.len(), 4);
+    }
+}

@@ -1,11 +1,10 @@
 //! Cluster- and experiment-level configuration shared by all crates.
 
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Which system variant the cluster runs. These are the three systems compared
 /// throughout the paper's evaluation (§7.1).
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum SystemMode {
     /// Baseline: the switch only forwards packets; all transactions are
     /// executed by the host DBMS with 2PL + 2PC.
@@ -30,7 +29,7 @@ impl SystemMode {
 }
 
 /// Host concurrency-control variant for cold/warm transactions (§7.1).
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum CcScheme {
     /// Abort immediately when a lock request is denied.
     NoWait,
@@ -53,7 +52,7 @@ impl CcScheme {
 /// reach another node (one hop vs. two hops through the same switch). The
 /// defaults below are calibrated so that experiments finish quickly while the
 /// ½-RTT ratio and the contention-window effects are preserved.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct LatencyConfig {
     /// One-way latency node → switch (and switch → node), in nanoseconds.
     /// A node-to-node message therefore costs `2 * one_way_ns` each way.
@@ -142,7 +141,7 @@ mod tests {
     #[test]
     fn switch_is_reachable_in_half_the_node_latency() {
         let lat = LatencyConfig { one_way_ns: 1_000, sw_overhead_ns: 0, switch_pass_ns: 0 };
-        assert_eq!(lat.to_switch().as_nanos() * 2, lat.to_node().as_nanos() * 1);
+        assert_eq!(lat.to_switch().as_nanos() * 2, lat.to_node().as_nanos());
         assert_eq!(lat.switch_rtt().as_nanos() * 2, lat.node_rtt().as_nanos());
     }
 

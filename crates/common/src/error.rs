@@ -1,7 +1,6 @@
 //! Error and abort types shared across the host DBMS and the switch client.
 
 use crate::ids::{NodeId, TupleId, TxnId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Why a host (cold / warm) transaction aborted.
@@ -9,7 +8,7 @@ use std::fmt;
 /// Switch transactions never abort (§5.1): once a packet is admitted to the
 /// pipeline its execution is unconditional, which is why none of these
 /// variants can originate from the switch data plane.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum AbortReason {
     /// NO_WAIT: a lock request was denied because the row was already locked
     /// in a conflicting mode.

@@ -5,13 +5,12 @@
 //! allocation, while still preventing accidental mixups (e.g. passing a
 //! [`NodeId`] where a [`TableId`] is expected).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a database node (server) in the cluster.
 ///
 /// Node ids are dense: a cluster of `n` nodes uses ids `0..n`.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct NodeId(pub u16);
 
 impl NodeId {
@@ -29,7 +28,7 @@ impl fmt::Display for NodeId {
 }
 
 /// Identifier of a worker thread within a node.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct WorkerId(pub u16);
 
 impl WorkerId {
@@ -47,7 +46,7 @@ impl fmt::Display for WorkerId {
 
 /// Identifier of a horizontal partition of a table. In the shared-nothing
 /// host DBMS each partition is owned by exactly one node.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct PartitionId(pub u16);
 
 impl PartitionId {
@@ -58,7 +57,7 @@ impl PartitionId {
 }
 
 /// Identifier of a table in the schema.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TableId(pub u16);
 
 impl TableId {
@@ -73,7 +72,7 @@ impl TableId {
 /// TPC-C style composite keys are encoded into the 64-bit `key` field by the
 /// workload crates (see `p4db-workloads::tpcc::keys`); the encoding is
 /// workload-local, the rest of the system treats the key as opaque.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TupleId {
     pub table: TableId,
     pub key: u64,
@@ -95,7 +94,7 @@ impl fmt::Display for TupleId {
 /// Identifier of a transaction issued by a host node, unique within the
 /// cluster run. Encodes the issuing node and worker so that WAIT_DIE
 /// timestamps are totally ordered and ties are broken deterministically.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TxnId(pub u64);
 
 impl TxnId {
@@ -145,7 +144,7 @@ impl fmt::Display for TxnId {
 /// increments it once per executed packet, so the numeric order *is* the
 /// serial execution order and it can be used to replay switch transactions
 /// during recovery.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct GlobalTxnId(pub u64);
 
 impl GlobalTxnId {

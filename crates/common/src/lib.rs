@@ -11,12 +11,14 @@
 //! depends on the rest of the system, so the crate intentionally stays small
 //! and allocation-free on hot paths.
 
+pub mod channel;
 pub mod config;
 pub mod error;
 pub mod ids;
 pub mod rand_util;
 pub mod simtime;
 pub mod stats;
+pub mod sync;
 pub mod value;
 
 pub use config::{CcScheme, LatencyConfig, SystemMode};

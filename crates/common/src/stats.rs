@@ -6,12 +6,11 @@
 //! and lock-free.
 
 use crate::error::AbortReason;
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Classification of a committed transaction, matching the paper's
 /// terminology: *hot* = switch-only, *cold* = host-only, *warm* = spans both.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum TxnClass {
     Hot,
     Cold,
@@ -29,7 +28,7 @@ impl TxnClass {
 }
 
 /// The execution phases used in the Fig 18a latency breakdown.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum Phase {
     /// Time spent acquiring (and waiting on) row locks.
     LockAcquisition,
@@ -43,13 +42,8 @@ pub enum Phase {
     TxnEngine,
 }
 
-pub const PHASES: [Phase; 5] = [
-    Phase::LockAcquisition,
-    Phase::LocalAccess,
-    Phase::RemoteAccess,
-    Phase::SwitchTxn,
-    Phase::TxnEngine,
-];
+pub const PHASES: [Phase; 5] =
+    [Phase::LockAcquisition, Phase::LocalAccess, Phase::RemoteAccess, Phase::SwitchTxn, Phase::TxnEngine];
 
 impl Phase {
     pub fn label(self) -> &'static str {
@@ -76,7 +70,7 @@ impl Phase {
 /// A fixed-bucket log-scale latency histogram (nanoseconds). Buckets are
 /// powers of two from 64 ns to ~8 s, which covers everything from a switch
 /// pass to a pathological multi-second stall.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct LatencyHistogram {
     buckets: Vec<u64>,
     count: u64,
@@ -120,10 +114,9 @@ impl LatencyHistogram {
 
     /// Mean latency.
     pub fn mean(&self) -> Duration {
-        if self.count == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_nanos(self.sum_ns / self.count)
+        match self.sum_ns.checked_div(self.count) {
+            Some(ns) => Duration::from_nanos(ns),
+            None => Duration::ZERO,
         }
     }
 
@@ -161,7 +154,7 @@ impl LatencyHistogram {
 }
 
 /// Per-worker statistics, merged into [`RunStats`] after a run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct WorkerStats {
     pub committed_hot: u64,
     pub committed_cold: u64,
@@ -247,7 +240,7 @@ impl WorkerStats {
 
 /// Aggregated statistics for one experiment run (one bar / one data point in
 /// the paper's figures).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RunStats {
     pub merged: WorkerStats,
     pub wall_time: Duration,
@@ -299,10 +292,7 @@ impl RunStats {
     /// Per-phase mean time per committed transaction, Fig 18a.
     pub fn phase_breakdown(&self) -> Vec<(Phase, Duration)> {
         let commits = self.merged.committed_total().max(1);
-        PHASES
-            .iter()
-            .map(|&p| (p, Duration::from_nanos(self.merged.phase_ns[p.index()] / commits)))
-            .collect()
+        PHASES.iter().map(|&p| (p, Duration::from_nanos(self.merged.phase_ns[p.index()] / commits))).collect()
     }
 }
 

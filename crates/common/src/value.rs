@@ -10,8 +10,6 @@
 //! the payload that stays on the host node and determines the tuple width
 //! used in the capacity experiment (Fig 17).
 
-use serde::{Deserialize, Serialize};
-
 /// Maximum number of 8-byte fields a row can carry. TPC-C's widest offloaded
 /// rows in the paper (stock quantity + payload) fit comfortably; workloads
 /// that need wider rows (the Fig 17 tuple-width sweep) use multiple logical
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 pub const MAX_FIELDS: usize = 16;
 
 /// A fixed-width row value: `width` live 64-bit fields.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Value {
     fields: [u64; MAX_FIELDS],
     width: u8,
@@ -41,7 +39,7 @@ impl Value {
     /// Panics if `width` is zero or exceeds [`MAX_FIELDS`].
     #[inline]
     pub fn zeroed(width: usize) -> Self {
-        assert!(width >= 1 && width <= MAX_FIELDS, "invalid value width {width}");
+        assert!((1..=MAX_FIELDS).contains(&width), "invalid value width {width}");
         Self { fields: [0u64; MAX_FIELDS], width: width as u8 }
     }
 

@@ -132,10 +132,7 @@ impl Cluster {
         if config.mode == SystemMode::P4db {
             for hot in hot_tuples.iter().take(offload_candidates.len()) {
                 let Some(at) = layout.get(hot.tuple) else { continue };
-                if control_plane
-                    .offload_into(hot.tuple, at.stage, at.array, hot.byte_width, hot.initial)
-                    .is_ok()
-                {
+                if control_plane.offload_into(hot.tuple, at.stage, at.array, hot.byte_width, hot.initial).is_ok() {
                     offloaded += 1;
                 }
             }
@@ -150,21 +147,12 @@ impl Cluster {
             SystemMode::P4db => HotSetIndex::from_control_plane(&control_plane),
             // The LM-Switch and Chiller baselines need hot-tuple *identity*
             // even though the data stays on the nodes.
-            SystemMode::LmSwitch | SystemMode::NoSwitch => {
-                HotSetIndex::from_tuples(hot_tuples.iter().map(|h| h.tuple))
-            }
+            SystemMode::LmSwitch | SystemMode::NoSwitch => HotSetIndex::from_tuples(hot_tuples.iter().map(|h| h.tuple)),
         };
-        let engine_config = EngineConfig {
-            chiller: config.chiller,
-            ..EngineConfig::new(config.mode, config.cc, config.switch)
-        };
-        let shared = Arc::new(EngineShared {
-            nodes,
-            latency,
-            fabric,
-            hot_index: Arc::new(hot_index),
-            config: engine_config,
-        });
+        let engine_config =
+            EngineConfig { chiller: config.chiller, ..EngineConfig::new(config.mode, config.cc, config.switch) };
+        let shared =
+            Arc::new(EngineShared { nodes, latency, fabric, hot_index: Arc::new(hot_index), config: engine_config });
 
         Cluster { config, workload, shared, switch, control_plane, layout, offloaded, hot_total }
     }
@@ -215,11 +203,7 @@ impl Cluster {
     /// Offload-time initial values of the hot set, as needed by
     /// [`p4db_storage::recover_switch_state`].
     pub fn offload_snapshot(&self) -> HashMap<TupleId, u64> {
-        self.workload
-            .hot_tuples(self.config.num_nodes)
-            .into_iter()
-            .map(|h| (h.tuple, h.initial))
-            .collect()
+        self.workload.hot_tuples(self.config.num_nodes).into_iter().map(|h| (h.tuple, h.initial)).collect()
     }
 
     /// Runs the workload on every worker thread for `duration` and returns
@@ -234,10 +218,8 @@ impl Cluster {
                 let workload = Arc::clone(&self.workload);
                 let stop = Arc::clone(&stop);
                 let config = self.config.clone();
-                let seed = config
-                    .seed
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add((node as u64) << 20 | wid as u64);
+                let seed =
+                    config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add((node as u64) << 20 | wid as u64);
                 handles.push(std::thread::spawn(move || {
                     // Worker ids are made unique across repeated `run_for`
                     // calls by the fabric panicking on duplicate endpoints —
@@ -347,10 +329,8 @@ mod tests {
 
     #[test]
     fn smallbank_cluster_preserves_non_negative_switch_balances() {
-        let workload: Arc<dyn Workload> = Arc::new(SmallBank::new(SmallBankConfig {
-            customers_per_node: 2_000,
-            ..SmallBankConfig::default()
-        }));
+        let workload: Arc<dyn Workload> =
+            Arc::new(SmallBank::new(SmallBankConfig { customers_per_node: 2_000, ..SmallBankConfig::default() }));
         let cluster = Cluster::build(ClusterConfig::test_profile(SystemMode::P4db, CcScheme::NoWait), workload);
         let _ = cluster.run_for(Duration::from_millis(200));
         for (tuple, _) in cluster.shared().hot_index.iter() {

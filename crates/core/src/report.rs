@@ -2,10 +2,9 @@
 //! rows/series of the paper figure it reproduces through a [`FigureTable`].
 
 use p4db_common::stats::RunStats;
-use serde::Serialize;
 
 /// One reproduced figure (or sub-figure): a title plus a simple table.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct FigureTable {
     pub title: String,
     pub headers: Vec<String>,

@@ -8,11 +8,10 @@
 //! contribute weight in both directions ("bidirectional" edges in the paper).
 
 use p4db_common::TupleId;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One access of a transaction trace, in execution order.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct TraceAccess {
     pub tuple: TupleId,
     /// Whether the access writes the tuple.
@@ -40,7 +39,7 @@ impl TraceAccess {
 /// The ordered accesses of one (representative) transaction, used both for
 /// building the access graph and for evaluating a layout's single-pass
 /// fraction.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TxnTrace {
     pub accesses: Vec<TraceAccess>,
 }
@@ -205,11 +204,7 @@ mod tests {
 
     #[test]
     fn trace_tuples_deduplicates_in_order() {
-        let trace = TxnTrace::new(vec![
-            TraceAccess::read(t(5)),
-            TraceAccess::write(t(3)),
-            TraceAccess::write(t(5)),
-        ]);
+        let trace = TxnTrace::new(vec![TraceAccess::read(t(5)), TraceAccess::write(t(3)), TraceAccess::write(t(5))]);
         assert_eq!(trace.tuples(), vec![t(5), t(3)]);
     }
 
@@ -250,11 +245,7 @@ mod tests {
 
     #[test]
     fn mean_position_reflects_access_order() {
-        let trace = TxnTrace::new(vec![
-            TraceAccess::read(t(1)),
-            TraceAccess::read(t(2)),
-            TraceAccess::read(t(3)),
-        ]);
+        let trace = TxnTrace::new(vec![TraceAccess::read(t(1)), TraceAccess::read(t(2)), TraceAccess::read(t(3))]);
         let g = AccessGraph::from_traces([&trace]);
         assert!(g.mean_position(g.tuple_index(t(1)).unwrap()) < g.mean_position(g.tuple_index(t(3)).unwrap()));
     }

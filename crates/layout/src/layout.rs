@@ -13,19 +13,18 @@ use crate::graph::{AccessGraph, TxnTrace};
 use crate::maxcut::max_cut;
 use p4db_common::rand_util::FastRng;
 use p4db_common::TupleId;
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// A register array position on the switch (the cell index within the array
 /// is assigned later by the switch control plane during offload).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct StageArray {
     pub stage: u8,
     pub array: u8,
 }
 
 /// The hot-set data layout: tuple → register array.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct DataLayout {
     placement: HashMap<TupleId, StageArray>,
 }
@@ -71,7 +70,7 @@ impl DataLayout {
 }
 
 /// How the planner assigns tuples to register arrays.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum LayoutStrategy {
     /// The paper's declustered storage model: max-cut + direction-aware
     /// ordering of partitions onto stages.
@@ -114,7 +113,10 @@ impl LayoutPlanner {
 
     fn nth_array(&self, n: usize) -> StageArray {
         // Stage-major order: arrays of stage 0 first, then stage 1, ...
-        StageArray { stage: (n / self.arrays_per_stage as usize) as u8, array: (n % self.arrays_per_stage as usize) as u8 }
+        StageArray {
+            stage: (n / self.arrays_per_stage as usize) as u8,
+            array: (n % self.arrays_per_stage as usize) as u8,
+        }
     }
 
     /// Plans a layout for `hot_tuples` given representative transaction
@@ -385,10 +387,7 @@ mod tests {
         for i in 0..8u64 {
             let a = t(2 * i);
             let b = t(2 * i + 1);
-            traces.push(TxnTrace::new(vec![
-                TraceAccess::read(a),
-                TraceAccess::dependent_write(b),
-            ]));
+            traces.push(TxnTrace::new(vec![TraceAccess::read(a), TraceAccess::dependent_write(b)]));
         }
         traces
     }

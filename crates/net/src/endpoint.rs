@@ -1,7 +1,6 @@
 //! Network endpoints: every addressable entity on the simulated rack network.
 
 use p4db_common::{NodeId, WorkerId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An addressable endpoint on the rack network.
@@ -10,7 +9,7 @@ use std::fmt;
 /// back to the issuing worker thread (the paper keeps all transaction state on
 /// the issuing database node, §5.4); giving every worker its own mailbox means
 /// responses never need demultiplexing locks.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum EndpointId {
     /// A database node's control endpoint (2PC votes, recovery traffic).
     Node(NodeId),

@@ -9,10 +9,10 @@
 use crate::endpoint::EndpointId;
 use crate::latency::LatencyModel;
 use crate::message::Envelope;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use parking_lot::RwLock;
+use p4db_common::channel::{unbounded, Receiver, Sender};
+use p4db_common::sync::unpoison;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
 /// The receiving end of a fabric endpoint.
@@ -30,19 +30,13 @@ impl<M> Mailbox<M> {
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<Envelope<M>> {
-        match self.rx.try_recv() {
-            Ok(env) => Some(env),
-            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
-        }
+        self.rx.try_recv().ok()
     }
 
     /// Blocking receive with a timeout. Returns `None` on timeout or if all
     /// senders disconnected.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope<M>> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(env) => Some(env),
-            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
-        }
+        self.rx.recv_timeout(timeout).ok()
     }
 
     /// Blocking receive; returns `None` only when every sender is gone.
@@ -80,10 +74,7 @@ impl<M> Clone for Fabric<M> {
 
 impl<M> Fabric<M> {
     pub fn new(latency: LatencyModel) -> Self {
-        Fabric {
-            registry: Arc::new(RwLock::new(Registry { endpoints: HashMap::new() })),
-            latency,
-        }
+        Fabric { registry: Arc::new(RwLock::new(Registry { endpoints: HashMap::new() })), latency }
     }
 
     /// The latency model this fabric uses (shared with direct-call accesses).
@@ -98,7 +89,7 @@ impl<M> Fabric<M> {
     /// construction-time invariant of the cluster.
     pub fn register(&self, id: EndpointId) -> Mailbox<M> {
         let (tx, rx) = unbounded();
-        let mut reg = self.registry.write();
+        let mut reg = unpoison(self.registry.write());
         let prev = reg.endpoints.insert(id, tx);
         assert!(prev.is_none(), "endpoint {id} registered twice");
         Mailbox { id, rx }
@@ -106,7 +97,7 @@ impl<M> Fabric<M> {
 
     /// Whether an endpoint exists.
     pub fn is_registered(&self, id: EndpointId) -> bool {
-        self.registry.read().endpoints.contains_key(&id)
+        unpoison(self.registry.read()).endpoints.contains_key(&id)
     }
 
     /// Sends `payload` from `src` to `dst`, imposing the one-way wire latency
@@ -123,7 +114,7 @@ impl<M> Fabric<M> {
     /// Sends without imposing latency. Used by the switch egress path, which
     /// accounts for its own delays, and by tests.
     pub fn send_no_latency(&self, src: EndpointId, dst: EndpointId, payload: M) -> bool {
-        let reg = self.registry.read();
+        let reg = unpoison(self.registry.read());
         match reg.endpoints.get(&dst) {
             Some(tx) => tx.send(Envelope::new(src, dst, payload)).is_ok(),
             None => false,
@@ -132,7 +123,7 @@ impl<M> Fabric<M> {
 
     /// All currently registered endpoints (used by the switch multicast).
     pub fn endpoints(&self) -> Vec<EndpointId> {
-        self.registry.read().endpoints.keys().copied().collect()
+        unpoison(self.registry.read()).endpoints.keys().copied().collect()
     }
 }
 
@@ -143,7 +134,7 @@ impl<M: Clone> Fabric<M> {
     /// multicast, no per-destination latency is imposed on the caller.
     pub fn multicast_to_nodes(&self, src: EndpointId, payload: M) -> usize {
         self.latency.count_multicast();
-        let reg = self.registry.read();
+        let reg = unpoison(self.registry.read());
         let mut sent = 0;
         for (id, tx) in reg.endpoints.iter() {
             if matches!(id, EndpointId::Node(_)) && tx.send(Envelope::new(src, *id, payload.clone())).is_ok() {

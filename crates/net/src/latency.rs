@@ -94,9 +94,7 @@ impl LatencyModel {
     /// pass (the switch simulator accounts for its own pass delay).
     pub fn impose_switch_rtt_wire(&self) {
         self.stats.messages_to_switch.fetch_add(1, Ordering::Relaxed);
-        wait_for(Duration::from_nanos(
-            2 * (self.config.one_way_ns + self.config.sw_overhead_ns),
-        ));
+        wait_for(Duration::from_nanos(2 * (self.config.one_way_ns + self.config.sw_overhead_ns)));
     }
 
     /// Counts a multicast (switch → all nodes) without blocking: the multicast

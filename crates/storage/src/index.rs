@@ -6,8 +6,9 @@
 //! (switch) or cold (host). Index maintenance after switch transactions is
 //! possible precisely because switch transactions cannot fail.
 
-use parking_lot::RwLock;
+use p4db_common::sync::unpoison;
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 /// A secondary index: 64-bit secondary key → primary keys.
 ///
@@ -25,7 +26,7 @@ impl SecondaryIndex {
     /// Adds a `(secondary, primary)` association. Duplicate associations are
     /// ignored.
     pub fn insert(&self, secondary: u64, primary: u64) {
-        let mut map = self.map.write();
+        let mut map = unpoison(self.map.write());
         let entry = map.entry(secondary).or_default();
         if !entry.contains(&primary) {
             entry.push(primary);
@@ -34,7 +35,7 @@ impl SecondaryIndex {
 
     /// Removes one association; returns whether it existed.
     pub fn remove(&self, secondary: u64, primary: u64) -> bool {
-        let mut map = self.map.write();
+        let mut map = unpoison(self.map.write());
         match map.get_mut(&secondary) {
             Some(entry) => {
                 let before = entry.len();
@@ -51,12 +52,12 @@ impl SecondaryIndex {
 
     /// All primary keys registered under `secondary`.
     pub fn lookup(&self, secondary: u64) -> Vec<u64> {
-        self.map.read().get(&secondary).cloned().unwrap_or_default()
+        unpoison(self.map.read()).get(&secondary).cloned().unwrap_or_default()
     }
 
     /// The unique primary key under `secondary`, if there is exactly one.
     pub fn lookup_unique(&self, secondary: u64) -> Option<u64> {
-        let map = self.map.read();
+        let map = unpoison(self.map.read());
         match map.get(&secondary) {
             Some(v) if v.len() == 1 => Some(v[0]),
             _ => None,
@@ -65,7 +66,7 @@ impl SecondaryIndex {
 
     /// Number of distinct secondary keys.
     pub fn len(&self) -> usize {
-        self.map.read().len()
+        unpoison(self.map.read()).len()
     }
 
     pub fn is_empty(&self) -> bool {

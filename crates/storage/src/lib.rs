@@ -19,4 +19,4 @@ pub use locks::{LockMode, LockTable};
 pub use node::NodeStorage;
 pub use recovery::{recover_cold_state, recover_switch_state, SwitchRecoveryOutcome};
 pub use table::{Row, Table};
-pub use wal::{LogRecord, LoggedSwitchOp, Wal};
+pub use wal::{LogRecord, LoggedSwitchOp, Wal, WalCodecError};

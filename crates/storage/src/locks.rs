@@ -13,10 +13,11 @@
 //! contend on the same mutex; contention on the *same* tuple (the hot set) is
 //! exactly the effect the paper measures.
 
+use p4db_common::sync::unpoison;
 use p4db_common::{CcScheme, Error, Result, TupleId, TxnId};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::hint;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 const SHARDS: usize = 64;
@@ -78,7 +79,7 @@ impl LockTable {
         let deadline = Instant::now() + self.wait_timeout;
         loop {
             {
-                let mut shard = self.shard(tuple).lock();
+                let mut shard = unpoison(self.shard(tuple).lock());
                 match shard.get_mut(&tuple) {
                     None => {
                         shard.insert(tuple, LockEntry { mode, owners: vec![txn] });
@@ -105,13 +106,8 @@ impl LockTable {
                             CcScheme::WaitDie => {
                                 // Wait only if older than *every* owner,
                                 // otherwise die.
-                                let oldest_owner = entry
-                                    .owners
-                                    .iter()
-                                    .copied()
-                                    .filter(|o| *o != txn)
-                                    .min()
-                                    .unwrap_or(txn);
+                                let oldest_owner =
+                                    entry.owners.iter().copied().filter(|o| *o != txn).min().unwrap_or(txn);
                                 if !txn.is_older_than(oldest_owner) {
                                     return Err(Error::wait_die(tuple, oldest_owner));
                                 }
@@ -137,12 +133,12 @@ impl LockTable {
     /// no-op, which keeps abort paths simple (a transaction may abort halfway
     /// through its acquisition loop).
     pub fn release(&self, txn: TxnId, tuple: TupleId) {
-        let mut shard = self.shard(tuple).lock();
+        let mut shard = unpoison(self.shard(tuple).lock());
         if let Some(entry) = shard.get_mut(&tuple) {
             entry.owners.retain(|o| *o != txn);
             if entry.owners.is_empty() {
                 shard.remove(&tuple);
-            } else if entry.owners.len() >= 1 && entry.mode == LockMode::Exclusive {
+            } else if !entry.owners.is_empty() && entry.mode == LockMode::Exclusive {
                 // An exclusive lock has exactly one owner; if owners remain
                 // after removing `txn`, the entry was shared all along.
                 entry.mode = LockMode::Shared;
@@ -160,12 +156,12 @@ impl LockTable {
     /// Whether any transaction currently holds a lock on `tuple` (test /
     /// stats helper).
     pub fn is_locked(&self, tuple: TupleId) -> bool {
-        self.shard(tuple).lock().contains_key(&tuple)
+        unpoison(self.shard(tuple).lock()).contains_key(&tuple)
     }
 
     /// Number of currently locked tuples (test / stats helper).
     pub fn locked_count(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| unpoison(s.lock()).len()).sum()
     }
 }
 

@@ -22,13 +22,7 @@ impl NodeStorage {
     /// Creates storage for `node` with the given (empty) tables.
     pub fn new(node: NodeId, table_ids: impl IntoIterator<Item = TableId>) -> Self {
         let tables = table_ids.into_iter().map(|id| (id, Table::new(id))).collect();
-        NodeStorage {
-            node,
-            tables,
-            secondary: HashMap::new(),
-            locks: LockTable::new(),
-            wal: Wal::new(),
-        }
+        NodeStorage { node, tables, secondary: HashMap::new(), locks: LockTable::new(), wal: Wal::new() }
     }
 
     pub fn node(&self) -> NodeId {
@@ -37,7 +31,9 @@ impl NodeStorage {
 
     /// The node's partition of `table`.
     pub fn table(&self, table: TableId) -> Result<&Table> {
-        self.tables.get(&table).ok_or_else(|| Error::InvalidConfig(format!("table {table:?} not declared on {}", self.node)))
+        self.tables
+            .get(&table)
+            .ok_or_else(|| Error::InvalidConfig(format!("table {table:?} not declared on {}", self.node)))
     }
 
     /// All declared table ids.

@@ -90,14 +90,11 @@ pub fn recover_switch_state(initial: &HashMap<TupleId, u64>, logs: &[&Wal]) -> S
         for record in wal.records() {
             match record {
                 LogRecord::SwitchIntent { txn, ops } => {
-                    txns.entry(txn)
-                        .or_insert_with(|| RecoveredTxn { txn, ops: Vec::new(), outcome: None })
-                        .ops = ops;
+                    txns.entry(txn).or_insert_with(|| RecoveredTxn { txn, ops: Vec::new(), outcome: None }).ops = ops;
                 }
                 LogRecord::SwitchResult { txn, gid, results } => {
-                    txns.entry(txn)
-                        .or_insert_with(|| RecoveredTxn { txn, ops: Vec::new(), outcome: None })
-                        .outcome = Some((gid.0, results));
+                    txns.entry(txn).or_insert_with(|| RecoveredTxn { txn, ops: Vec::new(), outcome: None }).outcome =
+                        Some((gid.0, results));
                 }
                 _ => {}
             }
@@ -129,10 +126,7 @@ pub fn recover_switch_state(initial: &HashMap<TupleId, u64>, logs: &[&Wal]) -> S
                 // Find an in-flight transaction that touches any tuple this
                 // completed transaction touches and promote it.
                 let touched: Vec<TupleId> = t.ops.iter().map(|o| o.tuple).collect();
-                if let Some(pos) = inflight
-                    .iter()
-                    .position(|inf| inf.ops.iter().any(|o| touched.contains(&o.tuple)))
-                {
+                if let Some(pos) = inflight.iter().position(|inf| inf.ops.iter().any(|o| touched.contains(&o.tuple))) {
                     applied_early.push(inflight.remove(pos));
                     continue 'repair;
                 }
@@ -310,12 +304,27 @@ mod tests {
         let committed = txn(1, 0);
         let aborted = txn(2, 0);
         let in_doubt = txn(3, 0);
-        wal.append(LogRecord::ColdWrite { txn: committed, tuple: tuple(1), before: Value::scalar(0), after: Value::scalar(10) });
+        wal.append(LogRecord::ColdWrite {
+            txn: committed,
+            tuple: tuple(1),
+            before: Value::scalar(0),
+            after: Value::scalar(10),
+        });
         wal.append(LogRecord::Commit { txn: committed });
-        wal.append(LogRecord::ColdWrite { txn: aborted, tuple: tuple(2), before: Value::scalar(5), after: Value::scalar(50) });
+        wal.append(LogRecord::ColdWrite {
+            txn: aborted,
+            tuple: tuple(2),
+            before: Value::scalar(5),
+            after: Value::scalar(50),
+        });
         wal.append(LogRecord::Abort { txn: aborted });
         // No commit record but a switch intent: pre-committed, must be redone.
-        wal.append(LogRecord::ColdWrite { txn: in_doubt, tuple: tuple(3), before: Value::scalar(7), after: Value::scalar(70) });
+        wal.append(LogRecord::ColdWrite {
+            txn: in_doubt,
+            tuple: tuple(3),
+            before: Value::scalar(7),
+            after: Value::scalar(70),
+        });
         wal.append(LogRecord::SwitchIntent { txn: in_doubt, ops: vec![add_op(9, 1)] });
 
         let state = recover_cold_state(&wal);

@@ -7,10 +7,10 @@
 //! a row only; *logical* (transactional) consistency is enforced by the 2PL
 //! lock table in [`crate::locks`].
 
+use p4db_common::sync::unpoison;
 use p4db_common::{Error, Result, TableId, TupleId, Value};
-use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// A single row: the value behind a latch.
 #[derive(Debug)]
@@ -25,18 +25,26 @@ impl Row {
 
     /// Reads the row.
     pub fn read(&self) -> Value {
-        *self.value.read()
+        *unpoison(self.value.read())
     }
 
     /// Overwrites the row.
     pub fn write(&self, value: Value) {
-        *self.value.write() = value;
+        *unpoison(self.value.write()) = value;
     }
 
     /// Applies a closure to the row under the write latch and returns its
     /// result (used for read-modify-write operations like balance updates).
+    ///
+    /// Unlike the other `unpoison` sites, the closure here can panic halfway
+    /// through a multi-field mutation and leave a torn value behind.
+    /// Adopting that state anyway is deliberate: it matches the seed's
+    /// `parking_lot` semantics (no poisoning), and a worker that panics does
+    /// so while holding the tuple's *logical* 2PL lock, which is never
+    /// released — so no committing transaction can observe the torn row.
     pub fn update<R>(&self, f: impl FnOnce(&mut Value) -> R) -> R {
-        f(&mut self.value.write())
+        let mut guard = unpoison(self.value.write());
+        f(&mut guard)
     }
 }
 
@@ -58,7 +66,7 @@ impl Table {
 
     /// Number of rows in this partition.
     pub fn len(&self) -> usize {
-        self.rows.read().len()
+        unpoison(self.rows.read()).len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -68,12 +76,12 @@ impl Table {
     /// Inserts (or replaces) a row. Used by the loaders and by inserting
     /// transactions (TPC-C NewOrder).
     pub fn insert(&self, key: u64, value: Value) {
-        self.rows.write().insert(key, Arc::new(Row::new(value)));
+        unpoison(self.rows.write()).insert(key, Arc::new(Row::new(value)));
     }
 
     /// Bulk-load helper: inserts many rows while holding the map latch once.
     pub fn bulk_load(&self, rows: impl IntoIterator<Item = (u64, Value)>) {
-        let mut map = self.rows.write();
+        let mut map = unpoison(self.rows.write());
         for (key, value) in rows {
             map.insert(key, Arc::new(Row::new(value)));
         }
@@ -82,7 +90,7 @@ impl Table {
     /// Looks up a row handle. The returned `Arc` keeps the row alive even if
     /// it is concurrently deleted, which keeps readers safe.
     pub fn get(&self, key: u64) -> Option<Arc<Row>> {
-        self.rows.read().get(&key).cloned()
+        unpoison(self.rows.read()).get(&key).cloned()
     }
 
     /// Looks up a row handle or returns a typed error.
@@ -103,13 +111,13 @@ impl Table {
 
     /// Removes a row; returns whether it existed.
     pub fn remove(&self, key: u64) -> bool {
-        self.rows.write().remove(&key).is_some()
+        unpoison(self.rows.write()).remove(&key).is_some()
     }
 
     /// Iterates a snapshot of the current keys (used by loaders and tests;
     /// not a consistent scan).
     pub fn keys(&self) -> Vec<u64> {
-        self.rows.read().keys().copied().collect()
+        unpoison(self.rows.read()).keys().copied().collect()
     }
 }
 

@@ -1,10 +1,8 @@
 //! Switch resource configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// How the pipeline locks used for multi-pass transactions are organised
 /// (§5.3 "Fine-grained Locking").
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum LockGranularity {
     /// A single pipeline lock: at most one multi-pass transaction in the
     /// pipeline at a time (the naïve fallback scheme of §5.2).
@@ -20,7 +18,7 @@ pub enum LockGranularity {
 /// The defaults approximate the switch used in the paper: roughly 820K 8-byte
 /// register cells usable for hot tuples per pipeline (§2.3), spread over the
 /// MAU stages.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct SwitchConfig {
     /// Number of MAU stages in the pipeline.
     pub num_stages: u8,
@@ -70,11 +68,7 @@ impl SwitchConfig {
     /// Configuration with all §5.3 optimizations disabled and no declustering
     /// assumed — the "Unoptimized" baseline of Fig 15c.
     pub const fn unoptimized() -> Self {
-        SwitchConfig {
-            lock_granularity: LockGranularity::Coarse,
-            fast_recirculation: false,
-            ..Self::tofino_defaults()
-        }
+        SwitchConfig { lock_granularity: LockGranularity::Coarse, fast_recirculation: false, ..Self::tofino_defaults() }
     }
 
     /// Derives a configuration whose total capacity is (close to, rounding

@@ -87,9 +87,7 @@ impl ControlPlane {
         initial: u64,
     ) -> Result<RegisterSlot> {
         if stage >= self.config.num_stages || array >= self.config.arrays_per_stage {
-            return Err(Error::SwitchControlPlane(format!(
-                "stage {stage}/array {array} outside switch resources"
-            )));
+            return Err(Error::SwitchControlPlane(format!("stage {stage}/array {array} outside switch resources")));
         }
         if self.placements.contains_key(&tuple) {
             return Err(Error::SwitchControlPlane(format!("{tuple} already offloaded")));
@@ -120,7 +118,7 @@ impl ControlPlane {
         for stage in 0..self.config.num_stages {
             for array in 0..self.config.arrays_per_stage {
                 let free = self.free_cells_in(stage, array);
-                if free >= cells && best.map_or(true, |(_, _, f)| free > f) {
+                if free >= cells && best.is_none_or(|(_, _, f)| free > f) {
                     best = Some((stage, array, free));
                 }
             }
@@ -153,11 +151,7 @@ impl ControlPlane {
 
     /// Snapshot of all offloaded tuples and their current switch values.
     pub fn snapshot(&self) -> Vec<(TupleId, u64)> {
-        let mut snap: Vec<_> = self
-            .placements
-            .iter()
-            .map(|(t, p)| (*t, self.memory.read(p.slot)))
-            .collect();
+        let mut snap: Vec<_> = self.placements.iter().map(|(t, p)| (*t, self.memory.read(p.slot))).collect();
         snap.sort_by_key(|(t, _)| (t.table.0, t.key));
         snap
     }

@@ -17,8 +17,8 @@
 
 use crate::config::SwitchConfig;
 use crate::instruction::{plan_passes, InstrResult};
-use crate::locks::{LockMask, PipelineLocks};
 use crate::lock_manager::SwitchLockTable;
+use crate::locks::{LockMask, PipelineLocks};
 use crate::memory::RegisterMemory;
 use crate::packet::{LockReply, SwitchMessage, SwitchTxn, TxnReply, WarmDecision};
 use crate::stats::{SwitchStats, SwitchStatsSnapshot};
@@ -106,11 +106,7 @@ impl Drop for SwitchHandle {
 ///
 /// # Panics
 /// Panics if the switch endpoint is already registered on this fabric.
-pub fn start_switch(
-    config: SwitchConfig,
-    memory: Arc<RegisterMemory>,
-    fabric: Fabric<SwitchMessage>,
-) -> SwitchHandle {
+pub fn start_switch(config: SwitchConfig, memory: Arc<RegisterMemory>, fabric: Fabric<SwitchMessage>) -> SwitchHandle {
     config.validate().expect("invalid switch configuration");
     assert_eq!(memory.config(), &config, "switch engine and memory must share a configuration");
     let ingress = fabric.register(EndpointId::Switch);
@@ -195,9 +191,8 @@ impl Engine {
             }
 
             // 3. Ingress: pull the next packet off the wire.
-            match self.ingress.recv_timeout(idle_wait) {
-                Some(env) => self.handle_ingress(env.payload),
-                None => {}
+            if let Some(env) = self.ingress.recv_timeout(idle_wait) {
+                self.handle_ingress(env.payload);
             }
         }
     }
@@ -280,12 +275,7 @@ impl Engine {
         }
 
         let header = pkt.txn.header;
-        let reply = TxnReply {
-            token: header.token,
-            gid,
-            results: pkt.results,
-            recirculations: header.nb_recircs,
-        };
+        let reply = TxnReply { token: header.token, gid, results: pkt.results, recirculations: header.nb_recircs };
         self.fabric.send_no_latency(EndpointId::Switch, header.origin, SwitchMessage::TxnReply(reply));
 
         if header.multicast_decision {
@@ -408,10 +398,7 @@ mod tests {
         rig.handle.memory().write(slot(2, 0, 7), 50);
         // Read stage 2 then write stage 0: violates stage order, needs 2
         // passes.
-        let instructions = vec![
-            Instruction::read(slot(2, 0, 7)),
-            Instruction::add(slot(0, 0, 3), 50),
-        ];
+        let instructions = vec![Instruction::read(slot(2, 0, 7)), Instruction::add(slot(0, 0, 3), 50)];
         let mut header = TxnHeader::new(rig.worker_ep, 1);
         header.is_multipass = true;
         header.locks = locks_for_stages([2u8, 0u8], &config);
@@ -458,10 +445,7 @@ mod tests {
         let src = slot(2, 0, 1);
         let dst = slot(0, 0, 2);
         rig.handle.memory().write(src, 77);
-        let instructions = vec![
-            Instruction::read(src),
-            Instruction::with_operand_from(dst, OpCode::Write, 0),
-        ];
+        let instructions = vec![Instruction::read(src), Instruction::with_operand_from(dst, OpCode::Write, 0)];
         let mut header = TxnHeader::new(rig.worker_ep, 9);
         header.is_multipass = true;
         header.locks = locks_for_stages([2u8, 0u8], &config);
@@ -475,10 +459,7 @@ mod tests {
         let rig = rig(SwitchConfig::tiny());
         let mut gids = Vec::new();
         for i in 0..20u64 {
-            let txn = SwitchTxn::new(
-                TxnHeader::new(rig.worker_ep, i),
-                vec![Instruction::add(slot(0, 0, 0), 1)],
-            );
+            let txn = SwitchTxn::new(TxnHeader::new(rig.worker_ep, i), vec![Instruction::add(slot(0, 0, 0), 1)]);
             gids.push(send_and_wait(&rig, txn).gid.0);
         }
         // One client sending synchronously: GIDs must be exactly 0..20 in
@@ -518,9 +499,8 @@ mod tests {
     #[test]
     fn lock_manager_requests_are_served() {
         let rig = rig(SwitchConfig::tiny());
-        let req = |token, lock_id, exclusive| {
-            crate::packet::LockRequest { origin: rig.worker_ep, token, lock_id, exclusive }
-        };
+        let req =
+            |token, lock_id, exclusive| crate::packet::LockRequest { origin: rig.worker_ep, token, lock_id, exclusive };
         rig.fabric.send(rig.worker_ep, EndpointId::Switch, SwitchMessage::LockRequest(req(1, 99, true)));
         let granted = match rig.worker.recv_timeout(Duration::from_secs(5)).unwrap().payload {
             SwitchMessage::LockReply(r) => r.granted,
@@ -570,10 +550,8 @@ mod tests {
                 let mb = fabric.register(ep);
                 let mut gids = Vec::new();
                 for i in 0..per_client {
-                    let txn = SwitchTxn::new(
-                        TxnHeader::new(ep, i),
-                        vec![Instruction::add(RegisterSlot::new(0, 0, 0), 1)],
-                    );
+                    let txn =
+                        SwitchTxn::new(TxnHeader::new(ep, i), vec![Instruction::add(RegisterSlot::new(0, 0, 0), 1)]);
                     fabric.send(ep, EndpointId::Switch, SwitchMessage::Txn(txn));
                     match mb.recv_timeout(Duration::from_secs(20)).expect("reply").payload {
                         SwitchMessage::TxnReply(r) => gids.push(r.gid.0),

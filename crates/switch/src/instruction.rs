@@ -7,10 +7,8 @@
 //! Tofino's `RegisterAction`s provide: one read-modify-write per register per
 //! packet pass.
 
-use serde::{Deserialize, Serialize};
-
 /// Address of a single register cell on the switch.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct RegisterSlot {
     /// MAU stage index (0-based, increasing along the pipeline).
     pub stage: u8,
@@ -33,7 +31,7 @@ impl RegisterSlot {
 /// *constrained write* of §5.1 (a predicate-guarded update), which is how
 /// P4DB implements simple integrity constraints such as SmallBank's
 /// non-negative balances without aborts.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum OpCode {
     /// Return the current value; leave the register unchanged.
     Read,
@@ -60,6 +58,31 @@ impl OpCode {
     pub fn is_write(self) -> bool {
         !matches!(self, OpCode::Read)
     }
+
+    /// Stable wire name, used by the WAL text encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpCode::Read => "read",
+            OpCode::Write => "write",
+            OpCode::Add => "add",
+            OpCode::FetchAdd => "fetchadd",
+            OpCode::CondSub => "condsub",
+            OpCode::WriteIfGreater => "writeifgreater",
+        }
+    }
+
+    /// Inverse of [`OpCode::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "read" => OpCode::Read,
+            "write" => OpCode::Write,
+            "add" => OpCode::Add,
+            "fetchadd" => OpCode::FetchAdd,
+            "condsub" => OpCode::CondSub,
+            "writeifgreater" => OpCode::WriteIfGreater,
+            _ => return None,
+        })
+    }
 }
 
 /// One operation of a switch transaction.
@@ -70,7 +93,7 @@ impl OpCode {
 /// writes on the switch (Table 1): the earlier stage writes its result into
 /// packet metadata and a later stage consumes it — e.g. SmallBank's
 /// `Amalgamate` drains account A and credits the drained amount to account B.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct Instruction {
     pub slot: RegisterSlot,
     pub op: OpCode,
@@ -118,7 +141,7 @@ impl Instruction {
 }
 
 /// Result of executing one instruction.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct InstrResult {
     /// Value reported back to the issuing node (semantics depend on the
     /// opcode, see [`OpCode`]).
@@ -278,11 +301,8 @@ mod tests {
 
     #[test]
     fn same_stage_different_arrays_is_single_pass() {
-        let instrs = vec![
-            Instruction::read(slot(1, 0, 1)),
-            Instruction::read(slot(1, 1, 2)),
-            Instruction::read(slot(1, 2, 3)),
-        ];
+        let instrs =
+            vec![Instruction::read(slot(1, 0, 1)), Instruction::read(slot(1, 1, 2)), Instruction::read(slot(1, 2, 3))];
         assert!(is_single_pass(&instrs));
     }
 
@@ -305,10 +325,7 @@ mod tests {
     fn repeated_access_to_same_register_array_forces_second_pass() {
         // Two operations on the same (stage, array) cannot share a pass even
         // if the stage order is fine.
-        let instrs = vec![
-            Instruction::read(slot(3, 0, 1)),
-            Instruction::write(slot(3, 0, 1), 10),
-        ];
+        let instrs = vec![Instruction::read(slot(3, 0, 1)), Instruction::write(slot(3, 0, 1), 10)];
         let passes = plan_passes(&instrs);
         assert_eq!(passes.len(), 2);
     }

@@ -10,11 +10,10 @@
 //! generation, which is why the maximum here is two as well.
 
 use crate::config::{LockGranularity, SwitchConfig};
-use serde::{Deserialize, Serialize};
 
 /// A set of pipeline locks, as a bitmask. Bit 0 = the single coarse lock or
 /// the "left" fine-grained lock, bit 1 = the "right" fine-grained lock.
-#[derive(Copy, Clone, PartialEq, Eq, Default, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Default, Debug)]
 pub struct LockMask(pub u8);
 
 impl LockMask {

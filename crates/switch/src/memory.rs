@@ -25,7 +25,9 @@ impl RegisterMemory {
         let stages = (0..config.num_stages)
             .map(|_| {
                 (0..config.arrays_per_stage)
-                    .map(|_| (0..config.slots_per_array).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().into_boxed_slice())
+                    .map(|_| {
+                        (0..config.slots_per_array).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().into_boxed_slice()
+                    })
                     .collect()
             })
             .collect();

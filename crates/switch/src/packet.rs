@@ -11,11 +11,10 @@ use crate::instruction::{InstrResult, Instruction};
 use crate::locks::LockMask;
 use p4db_common::GlobalTxnId;
 use p4db_net::EndpointId;
-use serde::{Deserialize, Serialize};
 
 /// Processing information carried in the packet header (the grey fields of
 /// Fig 6).
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct TxnHeader {
     /// Endpoint (worker) that issued the transaction and receives the reply.
     pub origin: EndpointId,
@@ -50,7 +49,7 @@ impl TxnHeader {
 }
 
 /// A switch transaction: one network packet, one transaction (§4.1).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SwitchTxn {
     pub header: TxnHeader,
     pub instructions: Vec<Instruction>,
@@ -69,7 +68,7 @@ impl SwitchTxn {
 }
 
 /// Reply to a [`SwitchTxn`].
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TxnReply {
     pub token: u64,
     /// Globally-unique, serially-ordered id assigned by the switch; its order
@@ -83,7 +82,7 @@ pub struct TxnReply {
 
 /// A lock request processed by the switch when it acts as a central lock
 /// manager (the LM-Switch / NetLock-style baseline, §7.1).
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct LockRequest {
     pub origin: EndpointId,
     pub token: u64,
@@ -95,14 +94,14 @@ pub struct LockRequest {
 /// Reply to a [`LockRequest`]. The LM-Switch grants or denies immediately
 /// (deny → the requesting transaction aborts under NO_WAIT / retries), which
 /// mirrors how the lock-manager baseline behaves under contention.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct LockReply {
     pub token: u64,
     pub granted: bool,
 }
 
 /// Releases a previously granted lock on the LM-Switch.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct LockRelease {
     pub lock_id: u64,
     pub exclusive: bool,
@@ -111,7 +110,7 @@ pub struct LockRelease {
 /// Commit decision + switch results multicast to all database nodes for warm
 /// transactions (Fig 10). Nodes use it to commit their cold sub-transaction
 /// without an extra coordinator round trip.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct WarmDecision {
     pub token: u64,
     pub gid: GlobalTxnId,
@@ -119,7 +118,7 @@ pub struct WarmDecision {
 }
 
 /// Everything that travels over the rack fabric in this system.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum SwitchMessage {
     /// Node → switch: execute a transaction on the hot set.
     Txn(SwitchTxn),

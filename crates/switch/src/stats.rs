@@ -1,6 +1,5 @@
 //! Data-plane statistics exported by the switch simulator.
 
-use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters maintained by the pipeline thread. Shared via `Arc` so the
@@ -30,7 +29,7 @@ pub struct SwitchStats {
 }
 
 /// A point-in-time copy of [`SwitchStats`].
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct SwitchStatsSnapshot {
     pub txns_executed: u64,
     pub single_pass: u64,

@@ -206,10 +206,7 @@ impl Worker {
         stats.record_phase(Phase::TxnEngine, watch.lap());
 
         // ½ RTT to the switch (imposed by the fabric), execution, ½ RTT back.
-        let sent = self
-            .shared
-            .fabric
-            .send(self.endpoint, EndpointId::Switch, SwitchMessage::Txn(built.txn.clone()));
+        let sent = self.shared.fabric.send(self.endpoint, EndpointId::Switch, SwitchMessage::Txn(built.txn.clone()));
         if !sent {
             return Err(Error::Disconnected);
         }
@@ -238,9 +235,11 @@ impl Worker {
             logged_results.push((req.ops[orig].tuple, res.value));
         }
         if self.shared.config.log_switch_txns {
-            self.coordinator_storage()
-                .wal()
-                .append(LogRecord::SwitchResult { txn: txn_id, gid: reply.gid, results: logged_results });
+            self.coordinator_storage().wal().append(LogRecord::SwitchResult {
+                txn: txn_id,
+                gid: reply.gid,
+                results: logged_results,
+            });
         }
         stats.record_phase(Phase::TxnEngine, watch.lap());
         Ok((reply.gid, values))
@@ -414,10 +413,7 @@ impl Worker {
             }
         };
         results[op_index] = value;
-        stats.record_phase(
-            if remote { Phase::RemoteAccess } else { Phase::LocalAccess },
-            watch.lap(),
-        );
+        stats.record_phase(if remote { Phase::RemoteAccess } else { Phase::LocalAccess }, watch.lap());
 
         // Chiller: release the lock on contended tuples as soon as the
         // operation is done (early lock release).
@@ -434,17 +430,9 @@ impl Worker {
     /// Acquires a lock on the switch lock manager (LM-Switch baseline).
     fn lm_acquire(&mut self, tuple: TupleId, exclusive: bool) -> Result<bool> {
         let token = self.next_token();
-        let req = p4db_switch::LockRequest {
-            origin: self.endpoint,
-            token,
-            lock_id: HotSetIndex::lock_id(tuple),
-            exclusive,
-        };
-        if !self
-            .shared
-            .fabric
-            .send(self.endpoint, EndpointId::Switch, SwitchMessage::LockRequest(req))
-        {
+        let req =
+            p4db_switch::LockRequest { origin: self.endpoint, token, lock_id: HotSetIndex::lock_id(tuple), exclusive };
+        if !self.shared.fabric.send(self.endpoint, EndpointId::Switch, SwitchMessage::LockRequest(req)) {
             return Err(Error::Disconnected);
         }
         let reply = loop {
@@ -541,9 +529,7 @@ mod tests {
         // Offload the hot set (all modes build the index; only P4DB stores
         // data on the switch, LM-Switch uses identity only).
         for k in 0..10u64 {
-            control_plane
-                .offload_into(t(k), (k % 4) as u8, ((k / 4) % 2) as u8, 8, 100)
-                .unwrap();
+            control_plane.offload_into(t(k), (k % 4) as u8, ((k / 4) % 2) as u8, 8, 100).unwrap();
         }
         let hot_index = match mode {
             SystemMode::P4db => HotSetIndex::from_control_plane(&control_plane),
@@ -633,11 +619,7 @@ mod tests {
         let mut stats = WorkerStats::new();
         // Hot op on tuple 3 (switch) plus cold ops on 100 (node 0) and 101
         // (node 1) → a distributed warm transaction.
-        let req = TxnRequest::new(vec![
-            op(3, OpKind::Add(10)),
-            op(100, OpKind::Add(1)),
-            op(101, OpKind::Write(55)),
-        ]);
+        let req = TxnRequest::new(vec![op(3, OpKind::Add(10)), op(100, OpKind::Add(1)), op(101, OpKind::Write(55))]);
         let out = w.execute(&req, &mut stats).unwrap();
         assert_eq!(out.class, TxnClass::Warm);
         assert!(out.gid.is_some());
@@ -658,11 +640,7 @@ mod tests {
 
         // w1 manually holds an exclusive lock on tuple 101 (node 1).
         let blocker = TxnId::compose(1, NodeId(1), WorkerId(9));
-        rig.shared
-            .node(NodeId(1))
-            .locks()
-            .acquire(blocker, t(101), LockMode::Exclusive, CcScheme::NoWait)
-            .unwrap();
+        rig.shared.node(NodeId(1)).locks().acquire(blocker, t(101), LockMode::Exclusive, CcScheme::NoWait).unwrap();
 
         // w2's transaction writes 100 first (succeeds) then 101 (conflicts).
         let req = TxnRequest::new(vec![op(100, OpKind::Add(5)), op(101, OpKind::Add(5))]);
@@ -741,11 +719,7 @@ mod tests {
         // A younger transaction holds the lock briefly on another thread; the
         // older transaction (smaller sequence from worker 0, seq 1) waits.
         let blocker = TxnId::compose(1000, NodeId(0), WorkerId(5));
-        shared
-            .node(NodeId(1))
-            .locks()
-            .acquire(blocker, t(101), LockMode::Exclusive, CcScheme::WaitDie)
-            .unwrap();
+        shared.node(NodeId(1)).locks().acquire(blocker, t(101), LockMode::Exclusive, CcScheme::WaitDie).unwrap();
         let release = std::thread::spawn({
             let shared = Arc::clone(&shared);
             move || {

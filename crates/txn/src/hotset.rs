@@ -35,12 +35,7 @@ impl HotSetIndex {
     /// LM-Switch baseline, where hot tuples stay on the nodes but their locks
     /// are managed by the switch). The register slots are synthetic.
     pub fn from_tuples(tuples: impl IntoIterator<Item = TupleId>) -> Self {
-        HotSetIndex {
-            map: tuples
-                .into_iter()
-                .map(|t| (t, RegisterSlot::new(0, 0, 0)))
-                .collect(),
-        }
+        HotSetIndex { map: tuples.into_iter().map(|t| (t, RegisterSlot::new(0, 0, 0))).collect() }
     }
 
     pub fn len(&self) -> usize {

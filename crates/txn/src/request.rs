@@ -9,12 +9,11 @@
 
 use p4db_common::stats::TxnClass;
 use p4db_common::{NodeId, TupleId};
-use serde::{Deserialize, Serialize};
 
 /// What an operation does to its tuple. All operations work on the tuple's
 /// 64-bit switch column (field 0 of the row); wider payload fields only
 /// matter for capacity accounting.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum OpKind {
     /// Read the value.
     Read,
@@ -48,7 +47,7 @@ impl OpKind {
 }
 
 /// One operation of a transaction.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct TxnOp {
     pub tuple: TupleId,
     pub kind: OpKind,
@@ -72,7 +71,7 @@ impl TxnOp {
 }
 
 /// A logical transaction request.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TxnRequest {
     pub ops: Vec<TxnOp>,
 }
@@ -135,10 +134,8 @@ mod tests {
 
     #[test]
     fn distributed_detection() {
-        let req = TxnRequest::new(vec![
-            TxnOp::new(t(1), OpKind::Read, NodeId(0)),
-            TxnOp::new(t(2), OpKind::Read, NodeId(1)),
-        ]);
+        let req =
+            TxnRequest::new(vec![TxnOp::new(t(1), OpKind::Read, NodeId(0)), TxnOp::new(t(2), OpKind::Read, NodeId(1))]);
         assert!(req.is_distributed(NodeId(0)));
         assert!(req.is_distributed(NodeId(2)));
         assert_eq!(req.participant_nodes(), vec![NodeId(0), NodeId(1)]);

@@ -8,9 +8,7 @@
 use crate::hotset::HotSetIndex;
 use crate::request::{OpKind, TxnOp};
 use p4db_storage::LoggedSwitchOp;
-use p4db_switch::{
-    locks_for_stages, plan_passes, Instruction, OpCode, SwitchConfig, SwitchTxn, TxnHeader,
-};
+use p4db_switch::{locks_for_stages, plan_passes, Instruction, OpCode, SwitchConfig, SwitchTxn, TxnHeader};
 
 /// A switch sub-transaction built from the hot operations of a request,
 /// together with the mapping back to the original operation indices.

@@ -41,12 +41,7 @@ pub struct SmallBankConfig {
 
 impl Default for SmallBankConfig {
     fn default() -> Self {
-        SmallBankConfig {
-            customers_per_node: 125_000,
-            hot_customers_per_node: 5,
-            hot_txn_prob: 0.9,
-            max_amount: 50,
-        }
+        SmallBankConfig { customers_per_node: 125_000, hot_customers_per_node: 5, hot_txn_prob: 0.9, max_amount: 50 }
     }
 }
 
@@ -126,10 +121,9 @@ impl SmallBank {
     /// `c2` for two-customer transactions).
     fn build(&self, txn: SmallBankTxn, c1: u64, c2: u64, rng: &mut FastRng) -> Vec<TxnOp> {
         match txn {
-            SmallBankTxn::Balance => vec![
-                self.op(self.savings(c1), OpKind::Read),
-                self.op(self.checking(c1), OpKind::Read),
-            ],
+            SmallBankTxn::Balance => {
+                vec![self.op(self.savings(c1), OpKind::Read), self.op(self.checking(c1), OpKind::Read)]
+            }
             SmallBankTxn::DepositChecking => {
                 vec![self.op(self.checking(c1), OpKind::Add(self.amount(rng) as i64))]
             }
@@ -296,7 +290,11 @@ mod tests {
 
     #[test]
     fn hot_transactions_hit_the_hot_customers() {
-        let w = SmallBank::new(SmallBankConfig { customers_per_node: 1_000, hot_txn_prob: 1.0, ..SmallBankConfig::default() });
+        let w = SmallBank::new(SmallBankConfig {
+            customers_per_node: 1_000,
+            hot_txn_prob: 1.0,
+            ..SmallBankConfig::default()
+        });
         let ctx = WorkloadCtx::new(4, NodeId(1), 0.0);
         let mut rng = FastRng::new(3);
         for _ in 0..200 {

@@ -207,10 +207,7 @@ impl Workload for Tpcc {
         let last = (first + per_node).min(self.config.warehouses);
 
         // Replicated read-only item catalogue.
-        storage
-            .table(ITEM)
-            .unwrap()
-            .bulk_load((0..self.config.items_loaded).map(|i| (i, Value::scalar(100 + i))));
+        storage.table(ITEM).unwrap().bulk_load((0..self.config.items_loaded).map(|i| (i, Value::scalar(100 + i))));
 
         for w in first..last {
             storage.table(WAREHOUSE).unwrap().insert(keys::warehouse(w), Value::scalar(0));
@@ -237,7 +234,11 @@ impl Workload for Tpcc {
                     initial: INITIAL_NEXT_O_ID,
                     byte_width: 8,
                 });
-                hot.push(HotTuple { tuple: TupleId::new(DISTRICT_YTD, keys::district(w, d)), initial: 0, byte_width: 8 });
+                hot.push(HotTuple {
+                    tuple: TupleId::new(DISTRICT_YTD, keys::district(w, d)),
+                    initial: 0,
+                    byte_width: 8,
+                });
             }
             for i in 0..self.config.hot_items {
                 hot.push(HotTuple {

@@ -202,11 +202,8 @@ impl Workload for Ycsb {
             let node = self.pick_node(ctx, rng, distributed, op_idx);
             let local = if hot { self.pick_hot_local(rng, op_idx) } else { self.pick_cold_local(rng) };
             let key = self.key(node, local);
-            let kind = if rng.gen_f64() < self.config.mix.read_ratio() {
-                OpKind::Read
-            } else {
-                OpKind::Write(rng.next_u64())
-            };
+            let kind =
+                if rng.gen_f64() < self.config.mix.read_ratio() { OpKind::Read } else { OpKind::Write(rng.next_u64()) };
             ops.push(TxnOp::new(self.tuple(key), kind, node));
         }
         TxnRequest::new(ops)
@@ -267,9 +264,7 @@ mod tests {
         let w = ycsb();
         let mut rng = FastRng::new(9);
         let ctx = WorkloadCtx::new(4, NodeId(1), 0.5);
-        let distributed = (0..2_000)
-            .filter(|_| w.generate(&ctx, &mut rng).is_distributed(NodeId(1)))
-            .count();
+        let distributed = (0..2_000).filter(|_| w.generate(&ctx, &mut rng).is_distributed(NodeId(1))).count();
         let frac = distributed as f64 / 2_000.0;
         assert!((frac - 0.5).abs() < 0.05, "distributed fraction {frac}");
     }

@@ -45,6 +45,12 @@ fn main() {
                 sw.single_pass_fraction() * 100.0
             );
         }
+        assert!(
+            stats.merged.committed_total() > 100,
+            "{} committed only {} transactions in {measure:?} — the cluster is not making progress",
+            mode.label(),
+            stats.merged.committed_total()
+        );
         results.push((mode, stats));
         println!();
     }

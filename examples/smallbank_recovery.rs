@@ -25,10 +25,7 @@ fn main() {
 
     let config = ClusterConfig::new(SystemMode::P4db, CcScheme::NoWait);
     let cluster = Cluster::build(config, Arc::clone(&workload));
-    println!(
-        "SmallBank cluster: {} hot account balances offloaded to the switch",
-        cluster.offloaded_tuples()
-    );
+    println!("SmallBank cluster: {} hot account balances offloaded to the switch", cluster.offloaded_tuples());
 
     let stats = cluster.run_for(Duration::from_millis(500));
     println!(
@@ -36,6 +33,11 @@ fn main() {
         stats.merged.committed_total(),
         stats.throughput(),
         stats.abort_rate() * 100.0
+    );
+    assert!(
+        stats.merged.committed_total() > 100,
+        "cluster committed only {} transactions — not enough work to exercise recovery",
+        stats.merged.committed_total()
     );
 
     // Capture the live switch state, then "crash" and recover from the logs.

@@ -29,6 +29,12 @@ fn main() {
             config.distributed_prob = distributed;
             let cluster = Cluster::build(config, Arc::clone(&workload));
             let stats = cluster.run_for(measure);
+            assert!(
+                stats.merged.committed_total() > 100,
+                "{} committed only {} transactions in {measure:?} — the cluster is not making progress",
+                mode.label(),
+                stats.merged.committed_total()
+            );
             println!(
                 "  {:<10} {:>9.0} txn/s   abort rate {:>5.1}%   warm share {:>5.1}%",
                 mode.label(),

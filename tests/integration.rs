@@ -76,9 +76,10 @@ fn tpcc_money_is_conserved_between_customers_and_ytd_counters() {
     // it from a customer balance; NewOrder does not touch balances. So the
     // total warehouse YTD must equal the total amount deducted from
     // customers, whichever path (switch or host) executed the update.
-    use p4db::workloads::tpcc::{keys, CUSTOMER, DISTRICTS_PER_WAREHOUSE, CUSTOMERS_PER_DISTRICT, WAREHOUSE};
+    use p4db::workloads::tpcc::{keys, CUSTOMER, CUSTOMERS_PER_DISTRICT, DISTRICTS_PER_WAREHOUSE, WAREHOUSE};
     let workload = tpcc();
-    let cluster = Cluster::build(ClusterConfig::test_profile(SystemMode::P4db, CcScheme::NoWait), Arc::clone(&workload));
+    let cluster =
+        Cluster::build(ClusterConfig::test_profile(SystemMode::P4db, CcScheme::NoWait), Arc::clone(&workload));
     let _ = cluster.run_for(Duration::from_millis(300));
 
     let mut ytd_total: i128 = 0;
@@ -106,12 +107,8 @@ fn switch_state_recovers_from_node_logs_after_a_crash() {
     let cluster = Cluster::build(ClusterConfig::test_profile(SystemMode::P4db, CcScheme::NoWait), smallbank());
     let _ = cluster.run_for(Duration::from_millis(200));
 
-    let live: HashMap<TupleId, u64> = cluster
-        .shared()
-        .hot_index
-        .iter()
-        .map(|(t, _)| (t, cluster.switch_value(t).unwrap()))
-        .collect();
+    let live: HashMap<TupleId, u64> =
+        cluster.shared().hot_index.iter().map(|(t, _)| (t, cluster.switch_value(t).unwrap())).collect();
 
     let initial = cluster.offload_snapshot();
     let logs: Vec<&p4db::storage::Wal> = cluster.shared().nodes.iter().map(|n| n.wal()).collect();

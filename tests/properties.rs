@@ -1,106 +1,134 @@
-//! Property-based tests (proptest) on the core invariants of the system:
-//! the switch ALU and pass planner, the pipeline locks, the declustered
-//! layout, the host lock table and the recovery replay.
+//! Property-based tests on the core invariants of the system: the switch ALU
+//! and pass planner, the pipeline locks, the declustered layout, the host
+//! lock table and the recovery replay.
+//!
+//! The build environment has no crates.io access, so instead of `proptest`
+//! these use a small deterministic case-generation harness driven by the
+//! workspace's own [`FastRng`]: each property runs against a few hundred
+//! pseudo-random cases derived from a fixed seed, and a failure message
+//! reports the case seed so the exact case can be replayed.
 
 use p4db::common::rand_util::FastRng;
 use p4db::common::{CcScheme, GlobalTxnId, NodeId, TableId, TupleId, TxnId, WorkerId};
 use p4db::layout::{single_pass_fraction, LayoutPlanner, LayoutStrategy, TraceAccess, TxnTrace};
 use p4db::storage::{recover_switch_state, LockMode, LockTable, LogRecord, LoggedSwitchOp, Wal};
 use p4db::switch::{apply_op, plan_passes, Instruction, OpCode, RegisterSlot};
-use proptest::prelude::*;
 use std::collections::HashMap;
 
-fn arb_opcode() -> impl Strategy<Value = OpCode> {
-    prop_oneof![
-        Just(OpCode::Read),
-        Just(OpCode::Write),
-        Just(OpCode::Add),
-        Just(OpCode::FetchAdd),
-        Just(OpCode::CondSub),
-        Just(OpCode::WriteIfGreater),
-    ]
+/// Number of pseudo-random cases generated per property.
+const CASES: u64 = 300;
+
+/// Runs `property` once per case with an rng seeded from the case index, so
+/// every case is independent and reproducible: re-running a reported seed
+/// replays exactly the failing case.
+fn check(name: &str, property: impl Fn(&mut FastRng)) {
+    for case in 0..CASES {
+        let seed = 0x5EED_0000_0000 ^ (case + 1);
+        let mut rng = FastRng::new(seed);
+        // The panic payload propagates unchanged; the seed line below is
+        // printed *after* the panic message, just before re-raising it.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| property(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!("property {name:?} failed for case seed {seed:#x}");
+            std::panic::resume_unwind(payload);
+        }
+    }
 }
 
-fn arb_slot() -> impl Strategy<Value = RegisterSlot> {
-    (0u8..10, 0u8..4, 0u32..64).prop_map(|(s, a, i)| RegisterSlot::new(s, a, i))
+fn rand_opcode(rng: &mut FastRng) -> OpCode {
+    match rng.gen_range(6) {
+        0 => OpCode::Read,
+        1 => OpCode::Write,
+        2 => OpCode::Add,
+        3 => OpCode::FetchAdd,
+        4 => OpCode::CondSub,
+        _ => OpCode::WriteIfGreater,
+    }
 }
 
-proptest! {
-    /// The switch ALU never corrupts a register: reads leave it unchanged and
-    /// CondSub never drives a non-negative balance negative.
-    #[test]
-    fn alu_invariants(cell in any::<u64>(), op in arb_opcode(), operand in any::<u64>()) {
+fn rand_slot(rng: &mut FastRng) -> RegisterSlot {
+    RegisterSlot::new(rng.gen_range(10) as u8, rng.gen_range(4) as u8, rng.gen_range(64) as u32)
+}
+
+/// The switch ALU never corrupts a register: reads leave it unchanged and
+/// CondSub never drives a non-negative balance negative.
+#[test]
+fn alu_invariants() {
+    check("alu_invariants", |rng| {
+        let cell = rng.next_u64();
+        let op = rand_opcode(rng);
+        let operand = rng.next_u64();
         let (new, result) = apply_op(cell, op, operand);
         match op {
             OpCode::Read => {
-                prop_assert_eq!(new, cell);
-                prop_assert_eq!(result.value, cell);
+                assert_eq!(new, cell);
+                assert_eq!(result.value, cell);
             }
-            OpCode::Write => prop_assert_eq!(new, operand),
-            OpCode::Add => prop_assert_eq!(new, cell.wrapping_add(operand)),
+            OpCode::Write => assert_eq!(new, operand),
+            OpCode::Add => assert_eq!(new, cell.wrapping_add(operand)),
             OpCode::FetchAdd => {
-                prop_assert_eq!(result.value, cell);
-                prop_assert_eq!(new, cell.wrapping_add(operand));
+                assert_eq!(result.value, cell);
+                assert_eq!(new, cell.wrapping_add(operand));
             }
             OpCode::CondSub => {
                 if (cell as i64) >= 0 {
-                    prop_assert!((new as i64) >= 0, "CondSub must never overdraft");
+                    assert!((new as i64) >= 0, "CondSub must never overdraft");
                 }
                 if !result.applied {
-                    prop_assert_eq!(new, cell);
+                    assert_eq!(new, cell);
                 }
             }
             OpCode::WriteIfGreater => {
-                prop_assert!(new >= cell || new == operand);
+                assert!(new >= cell || new == operand);
             }
         }
-    }
+    });
+}
 
-    /// The pass planner always produces passes that (a) cover every
-    /// instruction exactly once, in order, (b) never decrease the stage
-    /// within a pass and (c) never touch the same register array twice within
-    /// a pass — the Tofino memory-model constraints of §2.3 / Table 1.
-    #[test]
-    fn pass_planner_respects_tofino_constraints(slots in proptest::collection::vec(arb_slot(), 0..20)) {
-        let instructions: Vec<Instruction> = slots.iter().map(|&s| Instruction::read(s)).collect();
+/// The pass planner always produces passes that (a) cover every instruction
+/// exactly once, in order, (b) never decrease the stage within a pass and
+/// (c) never touch the same register array twice within a pass — the Tofino
+/// memory-model constraints of §2.3 / Table 1.
+#[test]
+fn pass_planner_respects_tofino_constraints() {
+    check("pass_planner_respects_tofino_constraints", |rng| {
+        let n = rng.gen_range(20) as usize;
+        let instructions: Vec<Instruction> = (0..n).map(|_| Instruction::read(rand_slot(rng))).collect();
         let passes = plan_passes(&instructions);
         // Coverage in order.
         let mut covered = Vec::new();
         for pass in &passes {
-            prop_assert!(!pass.is_empty());
+            assert!(!pass.is_empty());
             covered.extend(pass.clone());
         }
-        prop_assert_eq!(covered, (0..instructions.len()).collect::<Vec<_>>());
+        assert_eq!(covered, (0..instructions.len()).collect::<Vec<_>>());
         // Per-pass constraints.
         for pass in &passes {
             let mut last_stage = -1i32;
             let mut touched = Vec::new();
             for idx in pass.clone() {
                 let slot = instructions[idx].slot;
-                prop_assert!(slot.stage as i32 >= last_stage, "stage order violated");
-                prop_assert!(!touched.contains(&(slot.stage, slot.array)), "register array reused in a pass");
+                assert!(slot.stage as i32 >= last_stage, "stage order violated");
+                assert!(!touched.contains(&(slot.stage, slot.array)), "register array reused in a pass");
                 last_stage = slot.stage as i32;
                 touched.push((slot.stage, slot.array));
             }
         }
-    }
+    });
+}
 
-    /// Any layout produced by any strategy respects the per-array capacity
-    /// and places every hot tuple exactly once.
-    #[test]
-    fn layouts_respect_capacity(n in 1usize..200, seed in any::<u64>(), strategy_idx in 0usize..4) {
+/// Any layout produced by any strategy respects the per-array capacity and
+/// places every hot tuple exactly once.
+#[test]
+fn layouts_respect_capacity() {
+    check("layouts_respect_capacity", |rng| {
+        let n = 1 + rng.gen_range(199) as usize;
+        let seed = rng.next_u64();
         let tuples: Vec<TupleId> = (0..n as u64).map(|k| TupleId::new(TableId(0), k)).collect();
-        let mut rng = FastRng::new(seed);
         let traces: Vec<TxnTrace> = (0..64)
-            .map(|_| {
-                TxnTrace::new(
-                    (0..4)
-                        .map(|_| TraceAccess::read(tuples[rng.pick(tuples.len())]))
-                        .collect(),
-                )
-            })
+            .map(|_| TxnTrace::new((0..4).map(|_| TraceAccess::read(tuples[rng.pick(tuples.len())])).collect()))
             .collect();
-        let strategy = match strategy_idx {
+        let strategy = match rng.gen_range(4) {
             0 => LayoutStrategy::Declustered,
             1 => LayoutStrategy::Random { seed },
             2 => LayoutStrategy::Worst,
@@ -108,24 +136,30 @@ proptest! {
         };
         let planner = LayoutPlanner::new(5, 2, 32); // 10 arrays x 32 = 320 >= 200
         let layout = planner.plan(&tuples, &traces, strategy);
-        prop_assert_eq!(layout.len(), n);
+        assert_eq!(layout.len(), n);
         for (_, count) in layout.occupancy() {
-            prop_assert!(count <= 32, "array over capacity: {}", count);
+            assert!(count <= 32, "array over capacity: {count}");
         }
-        // The declustered layout should never be *worse* than 0 single-pass.
+        // The single-pass fraction is a fraction.
         let frac = single_pass_fraction(&layout, &traces);
-        prop_assert!((0.0..=1.0).contains(&frac));
-    }
+        assert!((0.0..=1.0).contains(&frac));
+    });
+}
 
-    /// The host lock table never grants incompatible locks simultaneously,
-    /// regardless of the request sequence, and releasing everything leaves it
-    /// empty.
-    #[test]
-    fn lock_table_compatibility(ops in proptest::collection::vec((0u32..6, 0u64..4, any::<bool>()), 1..60)) {
+/// The host lock table never grants incompatible locks simultaneously,
+/// regardless of the request sequence, and releasing everything leaves it
+/// empty.
+#[test]
+fn lock_table_compatibility() {
+    check("lock_table_compatibility", |rng| {
         let table = LockTable::new();
+        let n_ops = 1 + rng.gen_range(59);
         // Track which (txn, tuple, exclusive) grants are outstanding.
         let mut granted: Vec<(TxnId, TupleId, bool)> = Vec::new();
-        for (txn_seq, key, exclusive) in ops {
+        for _ in 0..n_ops {
+            let txn_seq = rng.gen_range(6) as u32;
+            let key = rng.gen_range(4);
+            let exclusive = rng.gen_bool(0.5);
             let txn = TxnId::compose(txn_seq, NodeId(0), WorkerId(txn_seq as u16));
             let tuple = TupleId::new(TableId(0), key);
             let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
@@ -134,8 +168,7 @@ proptest! {
                 // if we got exclusive, nobody else may hold anything.
                 for (other_txn, other_tuple, other_ex) in &granted {
                     if *other_tuple == tuple && *other_txn != txn {
-                        prop_assert!(!(*other_ex || exclusive),
-                            "incompatible grant: {exclusive} vs existing {other_ex}");
+                        assert!(!(*other_ex || exclusive), "incompatible grant: {exclusive} vs existing {other_ex}");
                     }
                 }
                 granted.retain(|(t, tu, _)| !(*t == txn && *tu == tuple));
@@ -145,16 +178,19 @@ proptest! {
         for (txn, tuple, _) in &granted {
             table.release(*txn, *tuple);
         }
-        prop_assert_eq!(table.locked_count(), 0);
-    }
+        assert_eq!(table.locked_count(), 0);
+    });
+}
 
-    /// Switch recovery replays completed transactions to exactly the state
-    /// the switch had, for arbitrary interleavings of Add operations across
-    /// two node logs.
-    #[test]
-    fn recovery_replay_matches_live_execution(
-        deltas in proptest::collection::vec((0u64..4, 1u64..100, any::<bool>()), 1..40)
-    ) {
+/// Switch recovery replays completed transactions to exactly the state the
+/// switch had, for arbitrary interleavings of Add operations across two node
+/// logs.
+#[test]
+fn recovery_replay_matches_live_execution() {
+    check("recovery_replay_matches_live_execution", |rng| {
+        let n_txns = 1 + rng.gen_range(39) as usize;
+        let deltas: Vec<(u64, u64, bool)> =
+            (0..n_txns).map(|_| (rng.gen_range(4), 1 + rng.gen_range(99), rng.gen_bool(0.5))).collect();
         let tuple = |k: u64| TupleId::new(TableId(0), k);
         let initial: HashMap<TupleId, u64> = (0..4u64).map(|k| (tuple(k), 1_000)).collect();
         let node0 = Wal::new();
@@ -173,9 +209,9 @@ proptest! {
             wal.append(LogRecord::SwitchResult { txn, gid: GlobalTxnId(gid as u64), results: vec![(t, new)] });
         }
         let outcome = recover_switch_state(&initial, &[&node0, &node1]);
-        prop_assert_eq!(outcome.inconsistencies, 0);
+        assert_eq!(outcome.inconsistencies, 0);
         for (t, v) in live {
-            prop_assert_eq!(outcome.values.get(&t).copied().unwrap_or(initial[&t]), v);
+            assert_eq!(outcome.values.get(&t).copied().unwrap_or(initial[&t]), v);
         }
-    }
+    });
 }
