@@ -20,8 +20,16 @@ cargo test --offline -q
 echo "==> member-crate unit tests (root package already covered by tier-1)"
 cargo test --offline --workspace --exclude p4db -q
 
+echo "==> rustdoc: public API docs must build warning-free"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
+
+echo "==> doctests: README + rustdoc examples of the client API"
+cargo test --offline --doc -q
+cargo test --offline --doc -q --workspace --exclude p4db
+
 echo "==> examples"
 cargo run --offline --release --example quickstart
+cargo run --offline --release --example client_api
 cargo run --offline --release --example smallbank_recovery
 cargo run --offline --release --example tpcc_warm
 

@@ -10,8 +10,8 @@ pub enum SystemMode {
     /// executed by the host DBMS with 2PL + 2PC.
     NoSwitch,
     /// The switch acts as a central lock manager for hot tuples (NetLock-style
-    /// baseline, [69] in the paper): lock requests travel ½ RTT, data stays on
-    /// the nodes.
+    /// baseline, reference \[69\] in the paper): lock requests travel ½ RTT,
+    /// data stays on the nodes.
     LmSwitch,
     /// Full P4DB: hot tuples are stored and processed on the switch.
     P4db,

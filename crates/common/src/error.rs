@@ -56,6 +56,14 @@ pub enum Error {
     SwitchControlPlane(String),
     /// A configuration value was inconsistent (e.g. zero nodes).
     InvalidConfig(String),
+    /// A client-submitted transaction failed builder/placement validation
+    /// before it reached the engine (e.g. an `operand_from` reference to a
+    /// later operation).
+    InvalidTxn(String),
+    /// The process-wide worker-endpoint id space (one `u16` per spawned
+    /// executor) is exhausted; no further clusters can be built in this
+    /// process.
+    WorkerIdSpaceExhausted,
     /// A network endpoint was disconnected (cluster shutdown while a request
     /// was in flight).
     Disconnected,
@@ -69,6 +77,10 @@ impl fmt::Display for Error {
             Error::UnknownNode(n) => write!(f, "unknown node: {n}"),
             Error::SwitchControlPlane(msg) => write!(f, "switch control plane error: {msg}"),
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::InvalidTxn(msg) => write!(f, "invalid transaction: {msg}"),
+            Error::WorkerIdSpaceExhausted => {
+                write!(f, "worker endpoint id space exhausted (65536 executors spawned in this process)")
+            }
             Error::Disconnected => write!(f, "network endpoint disconnected"),
         }
     }

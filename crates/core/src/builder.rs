@@ -1,0 +1,148 @@
+//! Fluent cluster construction.
+//!
+//! [`ClusterBuilder`] replaces field-bag [`ClusterConfig`] literals for
+//! library users: start from [`Cluster::builder`], override what the
+//! experiment needs, and `build()`. `ClusterConfig` remains the internal
+//! resolved form (and stays constructible directly for the benchmark
+//! harness's sweep loops).
+
+use crate::cluster::{Cluster, ClusterConfig};
+use p4db_common::{CcScheme, LatencyConfig, Result, SystemMode};
+use p4db_layout::LayoutStrategy;
+use p4db_switch::SwitchConfig;
+use p4db_workloads::Workload;
+use std::sync::Arc;
+
+/// Fluent builder for a [`Cluster`].
+///
+/// ```
+/// use p4db_common::{CcScheme, SystemMode};
+/// use p4db_core::Cluster;
+/// use p4db_workloads::{Workload, Ycsb, YcsbConfig, YcsbMix};
+/// use std::sync::Arc;
+///
+/// let workload: Arc<dyn Workload> =
+///     Arc::new(Ycsb::new(YcsbConfig { keys_per_node: 1_000, ..YcsbConfig::new(YcsbMix::A) }));
+/// let cluster = Cluster::builder(workload)
+///     .nodes(4)
+///     .workers(2)
+///     .mode(SystemMode::P4db)
+///     .cc(CcScheme::NoWait)
+///     .test_latencies() // zero-latency functional profile; omit to measure
+///     .build();
+/// assert_eq!(cluster.config().num_nodes, 4);
+/// ```
+pub struct ClusterBuilder {
+    workload: Arc<dyn Workload>,
+    config: ClusterConfig,
+}
+
+impl ClusterBuilder {
+    /// Starts from the default experiment configuration (4×4 P4DB cluster,
+    /// NO_WAIT, slow-motion benchmark latencies).
+    pub fn new(workload: Arc<dyn Workload>) -> Self {
+        ClusterBuilder { workload, config: ClusterConfig::new(SystemMode::P4db, CcScheme::NoWait) }
+    }
+
+    /// Number of database nodes.
+    pub fn nodes(mut self, num_nodes: u16) -> Self {
+        self.config.num_nodes = num_nodes;
+        self
+    }
+
+    /// Executor threads per node (the submission pool size; also the
+    /// closed-loop driver's generator count).
+    pub fn workers(mut self, workers_per_node: u16) -> Self {
+        self.config.workers_per_node = workers_per_node;
+        self
+    }
+
+    /// System variant: No-Switch, LM-Switch or full P4DB.
+    pub fn mode(mut self, mode: SystemMode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Host concurrency-control scheme for cold/warm transactions.
+    pub fn cc(mut self, cc: CcScheme) -> Self {
+        self.config.cc = cc;
+        self
+    }
+
+    /// Network latency model.
+    pub fn latency(mut self, latency: LatencyConfig) -> Self {
+        self.config.latency = latency;
+        self
+    }
+
+    /// Switch pipeline geometry.
+    pub fn switch(mut self, switch: SwitchConfig) -> Self {
+        self.config.switch = switch;
+        self
+    }
+
+    /// Hot-set layout strategy.
+    pub fn layout(mut self, layout: LayoutStrategy) -> Self {
+        self.config.layout = layout;
+        self
+    }
+
+    /// Fraction of *generated* transactions that are distributed (only
+    /// affects the built-in workload generators, not ad-hoc sessions).
+    pub fn distributed_prob(mut self, prob: f64) -> Self {
+        self.config.distributed_prob = prob;
+        self
+    }
+
+    /// Chiller-style contention-centric host execution (Fig 18b baseline).
+    pub fn chiller(mut self, chiller: bool) -> Self {
+        self.config.chiller = chiller;
+        self
+    }
+
+    /// Caps how many hot tuples are offloaded (Fig 17 capacity experiment).
+    pub fn offload_limit(mut self, limit: usize) -> Self {
+        self.config.offload_limit = Some(limit);
+        self
+    }
+
+    /// RNG seed for generators and backoff.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Zero latencies and a tiny switch: the functional-test profile, for
+    /// when wall-clock time is irrelevant.
+    pub fn test_latencies(mut self) -> Self {
+        self.config.latency = LatencyConfig::zero();
+        self.config.switch = SwitchConfig::tiny();
+        self
+    }
+
+    /// The full functional-test profile: 2 nodes × 2 workers with
+    /// [`ClusterBuilder::test_latencies`].
+    pub fn test_profile(self) -> Self {
+        self.nodes(2).workers(2).test_latencies()
+    }
+
+    /// The resolved configuration as built so far.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Builds the cluster: loads every partition, plans and offloads the hot
+    /// set, starts the switch and the submission pool.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration, like [`Cluster::build`].
+    pub fn build(self) -> Cluster {
+        Cluster::build(self.config, self.workload)
+    }
+
+    /// Like [`ClusterBuilder::build`], but reports construction failures
+    /// (invalid switch geometry, exhausted worker-id space) as errors.
+    pub fn try_build(self) -> Result<Cluster> {
+        Cluster::try_build(self.config, self.workload)
+    }
+}

@@ -3,27 +3,32 @@
 //! A [`Cluster`] is the full system of the paper's evaluation: `n` database
 //! nodes (each with its partition, lock table and WAL), the programmable
 //! switch (simulator), the rack fabric with the ½-RTT latency model, the
-//! offloaded hot set with its declustered layout, and the worker threads that
-//! generate and execute transactions. [`Cluster::run_for`] drives a
-//! fixed-duration measurement and returns the merged statistics — one data
-//! point of one figure.
+//! offloaded hot set with its declustered layout, and the per-node executor
+//! pool that runs submitted transactions. The cluster is a *database first*:
+//! any code can open a [`Session`] and execute ad-hoc
+//! transactions; [`Cluster::run_for`] is merely the built-in closed-loop
+//! client that drives the workload generators through the same session API
+//! to produce one data point of one figure.
 
+use crate::session::{Session, SubmissionPool};
 use p4db_common::rand_util::FastRng;
-use p4db_common::simtime::wait_for;
 use p4db_common::stats::{RunStats, WorkerStats};
-use p4db_common::{CcScheme, LatencyConfig, NodeId, SystemMode, TupleId, WorkerId};
+use p4db_common::{CcScheme, Error, LatencyConfig, NodeId, Result, SystemMode, TupleId};
 use p4db_layout::{DataLayout, LayoutPlanner, LayoutStrategy};
 use p4db_net::{Fabric, LatencyModel};
 use p4db_storage::NodeStorage;
 use p4db_switch::{start_switch, ControlPlane, RegisterMemory, SwitchConfig, SwitchHandle, SwitchStatsSnapshot};
-use p4db_txn::{EngineConfig, EngineShared, HotSetIndex, Worker};
-use p4db_workloads::{Workload, WorkloadCtx};
+use p4db_txn::{EngineConfig, EngineShared, HotSetIndex};
+use p4db_workloads::{PartitionMap, Workload, WorkloadCtx};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Everything needed to build a cluster for one experiment configuration.
+///
+/// This is the *resolved* form that [`crate::ClusterBuilder`] produces; the
+/// benchmark harness still constructs it directly for its sweep loops.
 #[derive(Clone, Debug)]
 pub struct ClusterConfig {
     pub num_nodes: u16,
@@ -76,11 +81,18 @@ impl ClusterConfig {
     }
 }
 
-/// A fully assembled cluster, ready to run measurements.
+/// A fully assembled cluster, ready to serve sessions and run measurements.
 pub struct Cluster {
     config: ClusterConfig,
     workload: Arc<dyn Workload>,
     shared: Arc<EngineShared>,
+    partition_map: PartitionMap,
+    /// Offload-time initial values of the full hot set, captured once at
+    /// build time (recovery reads this repeatedly).
+    offload_snapshot: HashMap<TupleId, u64>,
+    /// Declared before `switch` so the executors drain and stop while the
+    /// switch is still alive (struct fields drop in declaration order).
+    pool: SubmissionPool,
     switch: SwitchHandle,
     control_plane: ControlPlane,
     layout: DataLayout,
@@ -89,12 +101,29 @@ pub struct Cluster {
 }
 
 impl Cluster {
+    /// Starts a fluent [`crate::ClusterBuilder`] for this workload.
+    pub fn builder(workload: Arc<dyn Workload>) -> crate::ClusterBuilder {
+        crate::ClusterBuilder::new(workload)
+    }
+
     /// Builds the cluster: creates and loads every node's partition, detects
     /// and offloads the hot set under the configured layout strategy, starts
-    /// the switch and wires up the engine.
+    /// the switch, wires up the engine and spawns the submission pool.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration; see [`Cluster::try_build`] for
+    /// the error-reporting variant.
     pub fn build(config: ClusterConfig, workload: Arc<dyn Workload>) -> Self {
-        assert!(config.num_nodes > 0 && config.workers_per_node > 0, "cluster needs nodes and workers");
-        config.switch.validate().expect("invalid switch configuration");
+        Self::try_build(config, workload).expect("failed to build cluster")
+    }
+
+    /// Builds the cluster, reporting invalid configurations and worker-id
+    /// exhaustion as structured errors instead of panicking.
+    pub fn try_build(config: ClusterConfig, workload: Arc<dyn Workload>) -> Result<Self> {
+        if config.num_nodes == 0 || config.workers_per_node == 0 {
+            return Err(Error::InvalidConfig("cluster needs nodes and workers".into()));
+        }
+        config.switch.validate().map_err(Error::InvalidConfig)?;
 
         // --- Host storage ----------------------------------------------------
         let nodes: Vec<Arc<NodeStorage>> = (0..config.num_nodes)
@@ -109,6 +138,7 @@ impl Cluster {
         let mut rng = FastRng::new(config.seed ^ 0xFEED);
         let hot_tuples = workload.hot_tuples(config.num_nodes);
         let hot_total = hot_tuples.len();
+        let offload_snapshot: HashMap<TupleId, u64> = hot_tuples.iter().map(|h| (h.tuple, h.initial)).collect();
         let traces = workload.layout_traces(config.num_nodes, &mut rng);
         let planner =
             LayoutPlanner::new(config.switch.num_stages, config.switch.arrays_per_stage, config.switch.slots_per_array);
@@ -154,7 +184,23 @@ impl Cluster {
         let shared =
             Arc::new(EngineShared { nodes, latency, fabric, hot_index: Arc::new(hot_index), config: engine_config });
 
-        Cluster { config, workload, shared, switch, control_plane, layout, offloaded, hot_total }
+        // --- Submission pool --------------------------------------------------
+        let pool = SubmissionPool::spawn(&shared, &config)?;
+        let partition_map = PartitionMap::new(Arc::clone(&workload), config.num_nodes);
+
+        Ok(Cluster {
+            config,
+            workload,
+            shared,
+            partition_map,
+            offload_snapshot,
+            pool,
+            switch,
+            control_plane,
+            layout,
+            offloaded,
+            hot_total,
+        })
     }
 
     pub fn config(&self) -> &ClusterConfig {
@@ -167,6 +213,19 @@ impl Cluster {
 
     pub fn workload_name(&self) -> String {
         self.workload.name()
+    }
+
+    /// The workload's partitioning scheme bound to this cluster's size, used
+    /// to resolve [`p4db_txn::Txn`] builders into placed requests.
+    pub fn partition_map(&self) -> PartitionMap {
+        self.partition_map.clone()
+    }
+
+    /// Opens a client session coordinated by `node`. Sessions are cheap and
+    /// independent; open as many as needed and move them across threads.
+    pub fn session(&self, node: NodeId) -> Result<Session> {
+        let submit = self.pool.queue(node).ok_or(Error::UnknownNode(node))?.clone();
+        Ok(Session::new(node, submit, self.partition_map.clone(), Arc::clone(&self.shared)))
     }
 
     /// Number of hot tuples actually offloaded to the switch (may be smaller
@@ -201,82 +260,66 @@ impl Cluster {
     }
 
     /// Offload-time initial values of the hot set, as needed by
-    /// [`p4db_storage::recover_switch_state`].
-    pub fn offload_snapshot(&self) -> HashMap<TupleId, u64> {
-        self.workload.hot_tuples(self.config.num_nodes).into_iter().map(|h| (h.tuple, h.initial)).collect()
+    /// [`p4db_storage::recover_switch_state`]. Captured once at build time.
+    pub fn offload_snapshot(&self) -> &HashMap<TupleId, u64> {
+        &self.offload_snapshot
     }
 
-    /// Runs the workload on every worker thread for `duration` and returns
-    /// the merged statistics. Can be called repeatedly; each call spawns
-    /// fresh workers (data is *not* reloaded between calls).
+    /// Runs the workload generators closed-loop for `duration` and returns
+    /// the merged statistics. Each node contributes `workers_per_node` driver
+    /// threads, each owning a [`Session`] — the measurement exercises exactly
+    /// the code path ad-hoc clients use. Can be called repeatedly (data is
+    /// *not* reloaded between calls).
     pub fn run_for(&self, duration: Duration) -> RunStats {
         let stop = Arc::new(AtomicBool::new(false));
         let mut handles = Vec::new();
         for node in 0..self.config.num_nodes {
             for wid in 0..self.config.workers_per_node {
-                let shared = Arc::clone(&self.shared);
+                let mut session = self.session(NodeId(node)).expect("driver node exists");
+                // The stop signal doubles as the retry-loop cancellation so
+                // an aborting transaction cannot drag the measurement past
+                // its window.
+                session.set_cancel_flag(Arc::clone(&stop));
                 let workload = Arc::clone(&self.workload);
                 let stop = Arc::clone(&stop);
                 let config = self.config.clone();
                 let seed =
                     config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add((node as u64) << 20 | wid as u64);
                 handles.push(std::thread::spawn(move || {
-                    // Worker ids are made unique across repeated `run_for`
-                    // calls by the fabric panicking on duplicate endpoints —
-                    // avoid that by offsetting with a process-wide counter.
-                    let unique = WorkerId(next_worker_slot());
-                    let mut worker = Worker::new(shared, NodeId(node), unique);
                     let ctx = WorkloadCtx::new(config.num_nodes, NodeId(node), config.distributed_prob);
                     let mut rng = FastRng::new(seed);
-                    let mut stats = WorkerStats::new();
-                    let backoff = Duration::from_nanos(config.latency.one_way_ns / 2);
                     while !stop.load(Ordering::Relaxed) {
                         let req = workload.generate(&ctx, &mut rng);
-                        let started = Instant::now();
-                        let mut attempts = 0u32;
-                        loop {
-                            match worker.execute(&req, &mut stats) {
-                                Ok(outcome) => {
-                                    stats.record_commit(outcome.class, started.elapsed());
-                                    break;
-                                }
-                                Err(e) if e.is_abort() => {
-                                    attempts += 1;
-                                    if attempts >= 1000 || stop.load(Ordering::Relaxed) {
-                                        break;
-                                    }
-                                    // Randomised backoff proportional to the
-                                    // network latency before retrying.
-                                    wait_for(backoff.mul_f64(0.5 + rng.gen_f64()));
-                                }
-                                Err(_) => break, // cluster shutting down
-                            }
+                        // A transaction that exhausts its retry budget (or a
+                        // cluster shutting down) just moves the closed loop
+                        // on to the next generated request; the aborts are
+                        // already in the session's statistics. A *rejected*
+                        // request, however, is a generator bug — fail loudly
+                        // instead of silently skewing the workload mix.
+                        if let Err(e) = session.execute_request(&req) {
+                            assert!(
+                                !matches!(e, Error::InvalidTxn(_) | Error::UnknownNode(_)),
+                                "workload generator produced an invalid transaction: {e}"
+                            );
                         }
                     }
-                    stats
+                    session.take_stats()
                 }));
             }
         }
 
         std::thread::sleep(duration);
         stop.store(true, Ordering::Relaxed);
-        let worker_stats: Vec<WorkerStats> = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+        let worker_stats: Vec<WorkerStats> = handles.into_iter().map(|h| h.join().expect("driver panicked")).collect();
         RunStats::from_workers(worker_stats.iter(), duration)
     }
-}
-
-/// Process-wide worker-endpoint allocator: every spawned worker gets a fresh
-/// endpoint id so repeated `run_for` calls on the same cluster never collide
-/// on the fabric registry.
-fn next_worker_slot() -> u16 {
-    use std::sync::atomic::AtomicU16;
-    static NEXT: AtomicU16 = AtomicU16::new(0);
-    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use p4db_common::stats::TxnClass;
+    use p4db_txn::Txn;
     use p4db_workloads::{SmallBank, SmallBankConfig, Ycsb, YcsbConfig, YcsbMix};
 
     fn small_ycsb() -> Arc<dyn Workload> {
@@ -298,6 +341,35 @@ mod tests {
     }
 
     #[test]
+    fn builder_resolves_the_same_config_as_the_field_bag() {
+        let cluster = Cluster::builder(small_ycsb())
+            .nodes(3)
+            .workers(1)
+            .mode(SystemMode::NoSwitch)
+            .cc(CcScheme::WaitDie)
+            .distributed_prob(0.4)
+            .seed(7)
+            .test_latencies()
+            .build();
+        let config = cluster.config();
+        assert_eq!(config.num_nodes, 3);
+        assert_eq!(config.workers_per_node, 1);
+        assert_eq!(config.mode, SystemMode::NoSwitch);
+        assert_eq!(config.cc, CcScheme::WaitDie);
+        assert_eq!(config.distributed_prob, 0.4);
+        assert_eq!(config.seed, 7);
+        assert_eq!(config.latency, LatencyConfig::zero());
+    }
+
+    #[test]
+    fn try_build_reports_invalid_configs_as_errors() {
+        match Cluster::builder(small_ycsb()).nodes(0).try_build() {
+            Err(err) => assert!(matches!(err, Error::InvalidConfig(_)), "got {err:?}"),
+            Ok(_) => panic!("a zero-node cluster must not build"),
+        }
+    }
+
+    #[test]
     fn run_for_commits_transactions_in_all_modes() {
         for mode in [SystemMode::NoSwitch, SystemMode::LmSwitch, SystemMode::P4db] {
             let cluster = Cluster::build(ClusterConfig::test_profile(mode, CcScheme::NoWait), small_ycsb());
@@ -313,6 +385,58 @@ mod tests {
                 assert!(cluster.switch_stats().txns_executed > 0);
             }
         }
+    }
+
+    #[test]
+    fn sessions_execute_ad_hoc_transactions() {
+        let cluster = Cluster::build(ClusterConfig::test_profile(SystemMode::P4db, CcScheme::NoWait), small_ycsb());
+        let mut session = cluster.session(NodeId(0)).unwrap();
+        let t = |key| TupleId::new(p4db_workloads::ycsb::YCSB_TABLE, key);
+
+        // Hot tuple (local key 1 on node 0): executed on the switch.
+        let hot = session.execute(&Txn::new().add(t(1), 5)).unwrap();
+        assert_eq!(hot.class, TxnClass::Hot);
+        assert_eq!(hot.results[0], 5);
+        assert!(hot.gid.is_some());
+
+        // Cold tuples spanning both nodes: a distributed host transaction.
+        let cold = session.execute(&Txn::new().add(t(100), 1).add(t(2_100), 2)).unwrap();
+        assert_eq!(cold.class, TxnClass::Cold);
+        assert_eq!(cold.results, vec![1, 2]);
+        assert_eq!(session.stats().committed_total(), 2);
+
+        // Sessions for unknown nodes are rejected.
+        assert!(matches!(cluster.session(NodeId(9)), Err(Error::UnknownNode(_))));
+    }
+
+    #[test]
+    fn open_loop_submission_overlaps_transactions() {
+        let cluster = Cluster::build(ClusterConfig::test_profile(SystemMode::P4db, CcScheme::NoWait), small_ycsb());
+        let mut session = cluster.session(NodeId(1)).unwrap();
+        let t = |key| TupleId::new(p4db_workloads::ycsb::YCSB_TABLE, key);
+        let tickets: Vec<_> =
+            (0..32).map(|i| session.submit(&Txn::new().add(t(2_000 + 100 + i), 1)).unwrap()).collect();
+        for ticket in tickets {
+            let outcome = session.wait(ticket).unwrap();
+            assert_eq!(outcome.results[0], 1);
+        }
+        assert_eq!(session.stats().committed_total(), 32);
+    }
+
+    #[test]
+    fn session_rejects_malformed_requests() {
+        let cluster = Cluster::build(ClusterConfig::test_profile(SystemMode::P4db, CcScheme::NoWait), small_ycsb());
+        let mut session = cluster.session(NodeId(0)).unwrap();
+        let t = |key| TupleId::new(p4db_workloads::ycsb::YCSB_TABLE, key);
+
+        // A read-dependency crossing the hot/cold split.
+        let split = Txn::new().read(t(100)).add(t(1), 0).operand_from(0);
+        assert!(matches!(session.execute(&split), Err(Error::InvalidTxn(_))));
+
+        // An explicit home outside the cluster.
+        use p4db_txn::{OpKind, TxnOp, TxnRequest};
+        let bad = TxnRequest::new(vec![TxnOp::new(t(0), OpKind::Read, NodeId(7))]);
+        assert!(matches!(session.execute_request(&bad), Err(Error::UnknownNode(_))));
     }
 
     #[test]

@@ -1,12 +1,18 @@
 //! # p4db-core
 //!
-//! Cluster assembly and the experiment driver: builds the full system of the
-//! paper's evaluation (nodes + switch + hot-set offload + worker threads) for
-//! one configuration and runs fixed-duration measurements, producing the data
-//! points behind every figure in `EXPERIMENTS.md`.
+//! Cluster assembly and the client/driver layer: builds the full system of
+//! the paper's evaluation (nodes + switch + hot-set offload + executor pool)
+//! for one configuration, serves ad-hoc transactions through [`Session`]s,
+//! and runs fixed-duration closed-loop measurements on top of the same
+//! session API, producing the data points behind every figure in
+//! `EXPERIMENTS.md`.
 
+pub mod builder;
 pub mod cluster;
 pub mod report;
+pub mod session;
 
+pub use builder::ClusterBuilder;
 pub use cluster::{Cluster, ClusterConfig};
 pub use report::{fmt_speedup, fmt_tps, speedup, FigureTable};
+pub use session::{Pending, Session, DEFAULT_MAX_ATTEMPTS};

@@ -1,0 +1,362 @@
+//! Client sessions and the per-node open-loop submission pool.
+//!
+//! The pool decouples *submitting* a transaction from *executing* it: every
+//! node owns `workers_per_node` executor threads fed by one MPMC queue (the
+//! in-house `p4db_common::channel`), so any number of lightweight [`Session`]
+//! handles can drive the cluster concurrently — closed-loop via
+//! [`Session::execute`], or open-loop via [`Session::submit`] +
+//! [`Session::wait`] — without owning a worker thread. The benchmark driver
+//! (`Cluster::run_for`) is itself a session client, so the closed-loop
+//! measurement path and the ad-hoc client path are the same code.
+
+use p4db_common::channel::{unbounded, Receiver, Sender};
+use p4db_common::rand_util::FastRng;
+use p4db_common::simtime::wait_for;
+use p4db_common::stats::WorkerStats;
+use p4db_common::{Error, NodeId, Result, SystemMode, WorkerId};
+use p4db_txn::{EngineShared, Txn, TxnOp, TxnOutcome, TxnRequest, Worker};
+use p4db_workloads::PartitionMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering as AtomicOrdering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::cluster::ClusterConfig;
+
+/// Default cap on execution attempts per submitted transaction, matching the
+/// closed-loop driver's historical retry budget.
+pub const DEFAULT_MAX_ATTEMPTS: u32 = 1000;
+
+/// One unit of work travelling from a session to a pool executor.
+pub(crate) enum Job {
+    Execute {
+        req: TxnRequest,
+        max_attempts: u32,
+        /// Cooperative cancellation: checked between retry attempts so a
+        /// closed-loop driver's stop signal ends a retry storm promptly.
+        cancel: Option<Arc<AtomicBool>>,
+        reply: Sender<JobReply>,
+    },
+    /// Poison pill: the receiving executor exits without re-queueing it.
+    Shutdown,
+}
+
+/// What an executor sends back for one job: the outcome plus everything the
+/// engine recorded while producing it (phases, switch passes, aborts, the
+/// commit itself). The waiting session folds the stats into its own counters,
+/// which is how `run_for` assembles a complete [`p4db_common::stats::RunStats`]
+/// without workers that outlive the measurement window.
+pub(crate) struct JobReply {
+    pub result: Result<TxnOutcome>,
+    pub stats: WorkerStats,
+}
+
+/// Process-wide worker-endpoint allocator: every spawned executor gets a
+/// fresh endpoint id so repeated cluster builds in one process never collide
+/// on the fabric registry. The id space is a `u16` (it is embedded in
+/// transaction ids and switch packets); exhausting it is reported as
+/// [`Error::WorkerIdSpaceExhausted`] instead of silently wrapping into a
+/// fabric endpoint collision panic.
+fn next_worker_slot() -> Result<WorkerId> {
+    static NEXT: AtomicU32 = AtomicU32::new(0);
+    let slot = NEXT.fetch_add(1, AtomicOrdering::Relaxed);
+    if slot > u16::MAX as u32 {
+        // Park the counter just past the limit so it cannot creep towards a
+        // u32 wrap-around over billions of failed calls.
+        NEXT.store(u16::MAX as u32 + 1, AtomicOrdering::Relaxed);
+        return Err(Error::WorkerIdSpaceExhausted);
+    }
+    Ok(WorkerId(slot as u16))
+}
+
+/// The per-node executor pool. Owned by the cluster; dropped before the
+/// switch handle so in-flight jobs can still complete.
+pub(crate) struct SubmissionPool {
+    /// One submission queue per node, indexed by `NodeId`.
+    queues: Vec<Sender<Job>>,
+    threads_per_node: u16,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl SubmissionPool {
+    /// Spawns `workers_per_node` executor threads per node, each owning a
+    /// registered fabric endpoint.
+    pub(crate) fn spawn(shared: &Arc<EngineShared>, config: &ClusterConfig) -> Result<SubmissionPool> {
+        let backoff = Duration::from_nanos(config.latency.one_way_ns / 2);
+        let mut queues = Vec::with_capacity(config.num_nodes as usize);
+        let mut handles = Vec::new();
+        for node in 0..config.num_nodes {
+            let (tx, rx) = unbounded();
+            for slot in 0..config.workers_per_node {
+                let wid = next_worker_slot()?;
+                let shared = Arc::clone(shared);
+                let rx = rx.clone();
+                let seed = config.seed ^ ((wid.0 as u64) << 32) ^ 0xC0FF_EE00;
+                let thread = std::thread::Builder::new()
+                    .name(format!("p4db-exec-{node}.{slot}"))
+                    .spawn(move || executor_loop(shared, NodeId(node), wid, rx, backoff, seed))
+                    .expect("spawn executor thread");
+                handles.push(thread);
+            }
+            queues.push(tx);
+        }
+        Ok(SubmissionPool { queues, threads_per_node: config.workers_per_node, handles })
+    }
+
+    pub(crate) fn queue(&self, node: NodeId) -> Option<&Sender<Job>> {
+        self.queues.get(node.index())
+    }
+}
+
+impl Drop for SubmissionPool {
+    fn drop(&mut self) {
+        // One poison pill per executor; the MPMC queue delivers each exactly
+        // once, and jobs enqueued before the pills are still served.
+        for queue in &self.queues {
+            for _ in 0..self.threads_per_node {
+                let _ = queue.send(Job::Shutdown);
+            }
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Body of one executor thread: pop a job, run it to commit or to its retry
+/// budget (randomised latency-proportional backoff between attempts, as the
+/// paper's closed-loop workers do), reply with the outcome and the recorded
+/// statistics.
+fn executor_loop(
+    shared: Arc<EngineShared>,
+    node: NodeId,
+    wid: WorkerId,
+    rx: Receiver<Job>,
+    backoff: Duration,
+    seed: u64,
+) {
+    let mut worker = Worker::new(shared, node, wid);
+    let mut rng = FastRng::new(seed);
+    while let Ok(job) = rx.recv() {
+        let Job::Execute { req, max_attempts, cancel, reply } = job else { break };
+        let cancelled = || cancel.as_ref().is_some_and(|c| c.load(AtomicOrdering::Relaxed));
+        let mut stats = WorkerStats::new();
+        let started = Instant::now();
+        let mut attempts = 0u32;
+        let result = loop {
+            match worker.execute(&req, &mut stats) {
+                Ok(outcome) => {
+                    stats.record_commit(outcome.class, started.elapsed());
+                    break Ok(outcome);
+                }
+                Err(e) if e.is_abort() => {
+                    attempts += 1;
+                    if attempts >= max_attempts || cancelled() {
+                        break Err(e);
+                    }
+                    wait_for(backoff.mul_f64(0.5 + rng.gen_f64()));
+                }
+                Err(e) => break Err(e), // cluster shutting down
+            }
+        };
+        // A session that stopped waiting is not an error.
+        let _ = reply.send(JobReply { result, stats });
+    }
+}
+
+/// A ticket for a transaction submitted open-loop; redeem it with
+/// [`Session::wait`]. Dropping the ticket abandons the result (the
+/// transaction still executes).
+#[must_use = "redeem the ticket with Session::wait to observe the outcome"]
+pub struct Pending {
+    reply: Receiver<JobReply>,
+}
+
+/// A client handle for submitting transactions to one node of a cluster.
+///
+/// Sessions are cheap (a queue handle plus a partition map) and independent:
+/// create as many as needed, move them across threads freely. Each submitted
+/// transaction is executed by the node's executor pool through the full
+/// hot/cold/warm classification, switch path and 2PC of the engine; the
+/// session accumulates the statistics of everything it has waited on.
+///
+/// ```
+/// use p4db_common::{NodeId, TupleId};
+/// use p4db_core::Cluster;
+/// use p4db_txn::Txn;
+/// use p4db_workloads::{Workload, Ycsb, YcsbConfig, YcsbMix};
+/// use std::sync::Arc;
+///
+/// let workload: Arc<dyn Workload> =
+///     Arc::new(Ycsb::new(YcsbConfig { keys_per_node: 1_000, ..YcsbConfig::new(YcsbMix::A) }));
+/// let cluster = Cluster::builder(workload).test_profile().build();
+/// let mut session = cluster.session(NodeId(0)).unwrap();
+///
+/// // An ad-hoc read-modify-write over two tuples; their home nodes are
+/// // resolved by the cluster's partition map, not by the caller.
+/// let t = |key| TupleId::new(p4db_workloads::ycsb::YCSB_TABLE, key);
+/// let outcome = session.execute(&Txn::new().add(t(3), 5).read(t(1_003))).unwrap();
+/// assert_eq!(outcome.results[0], 5);
+/// assert_eq!(session.stats().committed_total(), 1);
+/// ```
+pub struct Session {
+    node: NodeId,
+    submit: Sender<Job>,
+    partition_map: PartitionMap,
+    shared: Arc<EngineShared>,
+    max_attempts: u32,
+    cancel: Option<Arc<AtomicBool>>,
+    stats: WorkerStats,
+}
+
+impl Session {
+    pub(crate) fn new(
+        node: NodeId,
+        submit: Sender<Job>,
+        partition_map: PartitionMap,
+        shared: Arc<EngineShared>,
+    ) -> Self {
+        Session {
+            node,
+            submit,
+            partition_map,
+            shared,
+            max_attempts: DEFAULT_MAX_ATTEMPTS,
+            cancel: None,
+            stats: WorkerStats::new(),
+        }
+    }
+
+    /// The node this session submits through (the coordinator of its
+    /// transactions).
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The partition map this session resolves transactions against.
+    pub fn partition_map(&self) -> &PartitionMap {
+        &self.partition_map
+    }
+
+    /// Caps the number of execution attempts per transaction (aborted
+    /// attempts are retried with randomised backoff up to this budget).
+    /// Values below 1 are treated as 1.
+    pub fn set_max_attempts(&mut self, attempts: u32) {
+        self.max_attempts = attempts.max(1);
+    }
+
+    /// Attaches a cooperative cancellation flag to this session's future
+    /// submissions: once the flag is set, an aborting transaction stops
+    /// retrying and returns its abort error instead of burning the rest of
+    /// its retry budget. The closed-loop driver uses this so its stop signal
+    /// ends the measurement promptly; long-lived clients can use it for
+    /// graceful shutdown.
+    pub fn set_cancel_flag(&mut self, flag: Arc<AtomicBool>) {
+        self.cancel = Some(flag);
+    }
+
+    /// Statistics accumulated over everything this session has waited on:
+    /// commits by class, latency, aborts, engine phases, switch passes.
+    pub fn stats(&self) -> &WorkerStats {
+        &self.stats
+    }
+
+    /// Takes the accumulated statistics, resetting the session's counters.
+    pub fn take_stats(&mut self) -> WorkerStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Executes a transaction built with [`Txn`], blocking until it commits
+    /// or exhausts its retry budget. Home nodes are resolved through the
+    /// cluster's partition map with this session's node as coordinator.
+    pub fn execute(&mut self, txn: &Txn) -> Result<TxnOutcome> {
+        let pending = self.submit(txn)?;
+        self.wait(pending)
+    }
+
+    /// Executes an already-placed [`TxnRequest`], blocking until done.
+    pub fn execute_request(&mut self, req: &TxnRequest) -> Result<TxnOutcome> {
+        let pending = self.submit_request(req)?;
+        self.wait(pending)
+    }
+
+    /// Submits a transaction without waiting for it (open loop). Any number
+    /// of submissions can be in flight per session; redeem the tickets with
+    /// [`Session::wait`] in any order.
+    pub fn submit(&mut self, txn: &Txn) -> Result<Pending> {
+        let req = txn.resolve(&self.partition_map, self.node)?;
+        self.submit_request(&req)
+    }
+
+    /// Submits an already-placed request without waiting for it.
+    pub fn submit_request(&mut self, req: &TxnRequest) -> Result<Pending> {
+        self.validate(req)?;
+        let (reply_tx, reply_rx) = unbounded();
+        let job = Job::Execute {
+            req: req.clone(),
+            max_attempts: self.max_attempts,
+            cancel: self.cancel.clone(),
+            reply: reply_tx,
+        };
+        if self.submit.send(job).is_err() {
+            return Err(Error::Disconnected);
+        }
+        Ok(Pending { reply: reply_rx })
+    }
+
+    /// Waits for a submitted transaction and folds the execution's
+    /// statistics into this session's counters.
+    pub fn wait(&mut self, pending: Pending) -> Result<TxnOutcome> {
+        match pending.reply.recv() {
+            Ok(reply) => {
+                self.stats.merge(&reply.stats);
+                reply.result
+            }
+            // Pool shut down with the job still queued.
+            Err(_) => Err(Error::Disconnected),
+        }
+    }
+
+    /// Rejects requests the engine would panic on instead of abort: homes
+    /// outside the cluster, forward `operand_from` references, and
+    /// read-dependencies that cross the hot/cold split (the switch cannot
+    /// consume a host-produced operand mid-transaction, §6.2).
+    fn validate(&self, req: &TxnRequest) -> Result<()> {
+        let is_hot = |op: &TxnOp| {
+            self.shared.config.mode == SystemMode::P4db
+                && op.kind.switch_executable()
+                && self.shared.hot_index.is_hot(op.tuple)
+        };
+        for (index, op) in req.ops.iter().enumerate() {
+            if op.home.index() >= self.shared.num_nodes() {
+                return Err(Error::UnknownNode(op.home));
+            }
+            if let Some(src) = op.operand_from {
+                if src as usize >= index {
+                    return Err(Error::InvalidTxn(format!(
+                        "operation {index} takes its operand from operation {src}, which is not an earlier operation"
+                    )));
+                }
+                let src_op = &req.ops[src as usize];
+                if is_hot(op) != is_hot(src_op) {
+                    return Err(Error::InvalidTxn(format!(
+                        "operation {index} ({}) and its operand source {src} ({}) are split between the switch and \
+                         the host; read-dependent pairs must share a temperature class",
+                        op.tuple, src_op.tuple
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("node", &self.node)
+            .field("max_attempts", &self.max_attempts)
+            .field("committed", &self.stats.committed_total())
+            .finish()
+    }
+}

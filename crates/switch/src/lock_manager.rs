@@ -1,5 +1,5 @@
 //! The in-switch lock table used by the LM-Switch baseline (NetLock-style,
-//! [69] in the paper).
+//! reference \[69\] in the paper).
 //!
 //! In this mode the switch does not store any data; it only arbitrates locks
 //! for hot tuples. Lock requests are processed at line rate in the data plane

@@ -1,0 +1,252 @@
+//! The typed, placement-aware transaction builder — the client-facing way to
+//! construct transactions without hand-assigning per-operation `home` nodes.
+//!
+//! A [`Txn`] accumulates operations over [`TupleId`]s only; the node that
+//! owns each tuple is resolved when the builder is [`Txn::resolve`]d against
+//! a [`Placement`] (in practice the cluster's `PartitionMap`, which wraps the
+//! workload's static partitioning scheme). Tuples the placement does not
+//! claim — replicated catalogues, freshly inserted rows — run on the
+//! coordinating node. Both the ad-hoc client path (`Session::execute`) and
+//! the built-in workload generators produce their requests through this
+//! builder, so there is exactly one way transactions are formed.
+
+use crate::request::{OpKind, TxnOp, TxnRequest};
+use p4db_common::{Error, NodeId, Result, TupleId};
+
+/// Resolves a tuple's home node under a static partitioning scheme.
+///
+/// Returning `None` means the tuple has no fixed owner (replicated read-only
+/// data, or rows created by the transaction itself); such operations execute
+/// on the transaction's coordinator node.
+///
+/// Any `Fn(TupleId) -> Option<NodeId>` is a placement, so tests and small
+/// tools can pass a closure instead of a full partition map.
+pub trait Placement {
+    /// The node owning `tuple`, or `None` for coordinator-local data.
+    fn home_of(&self, tuple: TupleId) -> Option<NodeId>;
+}
+
+impl<F> Placement for F
+where
+    F: Fn(TupleId) -> Option<NodeId>,
+{
+    fn home_of(&self, tuple: TupleId) -> Option<NodeId> {
+        self(tuple)
+    }
+}
+
+/// One not-yet-placed operation of a [`Txn`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+struct PendingOp {
+    tuple: TupleId,
+    kind: OpKind,
+    operand_from: Option<usize>,
+    /// Explicit placement override (see [`Txn::at`]); `None` = resolve.
+    pinned: Option<NodeId>,
+}
+
+/// A typed transaction under construction.
+///
+/// Operations are appended fluently and refer to tuples only; call
+/// [`Txn::resolve`] (or hand the builder to a `Session`) to obtain an
+/// executable [`TxnRequest`] with every operation's home node filled in.
+///
+/// ```
+/// use p4db_common::{NodeId, TableId, TupleId};
+/// use p4db_txn::Txn;
+///
+/// let accounts = TableId(2);
+/// let t = |key| TupleId::new(accounts, key);
+/// // Key k lives on node (k % 2) — normally this comes from the cluster's
+/// // partition map; any closure works as a placement.
+/// let placement = |tuple: TupleId| Some(NodeId((tuple.key % 2) as u16));
+///
+/// // Transfer 5 from account 0 to account 1, aborting on overdraft.
+/// let req = Txn::new()
+///     .cond_sub(t(0), 5)
+///     .add(t(1), 5)
+///     .resolve(&placement, NodeId(0))
+///     .unwrap();
+/// assert_eq!(req.ops.len(), 2);
+/// assert_eq!(req.ops[1].home, NodeId(1));
+/// assert!(req.is_distributed(NodeId(0)));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Txn {
+    ops: Vec<PendingOp>,
+}
+
+impl Txn {
+    /// Starts an empty transaction.
+    pub fn new() -> Self {
+        Txn::default()
+    }
+
+    /// Appends an operation of arbitrary kind (escape hatch; prefer the named
+    /// methods).
+    pub fn op(mut self, tuple: TupleId, kind: OpKind) -> Self {
+        self.ops.push(PendingOp { tuple, kind, operand_from: None, pinned: None });
+        self
+    }
+
+    /// Reads the tuple's switch column.
+    pub fn read(self, tuple: TupleId) -> Self {
+        self.op(tuple, OpKind::Read)
+    }
+
+    /// Overwrites the tuple's switch column.
+    pub fn write(self, tuple: TupleId, value: u64) -> Self {
+        self.op(tuple, OpKind::Write(value))
+    }
+
+    /// Adds a signed delta to the tuple's switch column.
+    pub fn add(self, tuple: TupleId, delta: i64) -> Self {
+        self.op(tuple, OpKind::Add(delta))
+    }
+
+    /// Adds a delta and yields the *previous* value (TPC-C `d_next_o_id`).
+    pub fn fetch_add(self, tuple: TupleId, delta: i64) -> Self {
+        self.op(tuple, OpKind::FetchAdd(delta))
+    }
+
+    /// Subtracts `amount` only if the result stays non-negative. On the host
+    /// path a failed check aborts the transaction; on the switch it becomes a
+    /// constrained write that simply does not apply.
+    pub fn cond_sub(self, tuple: TupleId, amount: u64) -> Self {
+        self.op(tuple, OpKind::CondSub(amount))
+    }
+
+    /// Inserts a new row (always executed on the host).
+    pub fn insert(self, tuple: TupleId, value: u64) -> Self {
+        self.op(tuple, OpKind::Insert(value))
+    }
+
+    /// Makes the *last appended* operation take its operand from the result
+    /// of the earlier operation at index `src` (a read-dependent write, e.g.
+    /// SmallBank `Amalgamate` crediting the amount read from another
+    /// account). Validated by [`Txn::resolve`].
+    ///
+    /// # Panics
+    /// Panics if no operation has been appended yet.
+    pub fn operand_from(mut self, src: usize) -> Self {
+        self.ops.last_mut().expect("operand_from must follow an operation").operand_from = Some(src);
+        self
+    }
+
+    /// Pins the *last appended* operation to an explicit home node,
+    /// bypassing placement resolution — needed for inserts of new rows that
+    /// should live on a specific partition.
+    ///
+    /// # Panics
+    /// Panics if no operation has been appended yet.
+    pub fn at(mut self, home: NodeId) -> Self {
+        self.ops.last_mut().expect("at must follow an operation").pinned = Some(home);
+        self
+    }
+
+    /// Number of operations appended so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Resolves every operation's home node against `placement` and returns
+    /// the executable request. Operations the placement does not claim (and
+    /// operations over rows the transaction inserts itself) are placed on
+    /// `coordinator`.
+    ///
+    /// Fails with [`Error::InvalidTxn`] if an `operand_from` reference does
+    /// not point at an earlier operation or exceeds the engine's `u8` operand
+    /// index space.
+    pub fn resolve(&self, placement: &impl Placement, coordinator: NodeId) -> Result<TxnRequest> {
+        let mut ops = Vec::with_capacity(self.ops.len());
+        for (index, op) in self.ops.iter().enumerate() {
+            if let Some(src) = op.operand_from {
+                if src >= index {
+                    return Err(Error::InvalidTxn(format!(
+                        "operation {index} takes its operand from operation {src}, which is not an earlier operation"
+                    )));
+                }
+                if src > u8::MAX as usize {
+                    return Err(Error::InvalidTxn(format!(
+                        "operand_from source {src} exceeds the engine's 255-operation index space"
+                    )));
+                }
+            }
+            let home = op.pinned.or_else(|| placement.home_of(op.tuple)).unwrap_or(coordinator);
+            let mut resolved = TxnOp::new(op.tuple, op.kind, home);
+            resolved.operand_from = op.operand_from.map(|src| src as u8);
+            ops.push(resolved);
+        }
+        Ok(TxnRequest::new(ops))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4db_common::TableId;
+
+    fn t(key: u64) -> TupleId {
+        TupleId::new(TableId(0), key)
+    }
+
+    fn mod2(tuple: TupleId) -> Option<NodeId> {
+        Some(NodeId((tuple.key % 2) as u16))
+    }
+
+    #[test]
+    fn builder_resolves_homes_from_the_placement() {
+        let req = Txn::new().read(t(4)).add(t(5), 3).resolve(&mod2, NodeId(0)).unwrap();
+        assert_eq!(req.ops[0].home, NodeId(0));
+        assert_eq!(req.ops[1].home, NodeId(1));
+        assert_eq!(req.ops[0].kind, OpKind::Read);
+        assert_eq!(req.ops[1].kind, OpKind::Add(3));
+    }
+
+    #[test]
+    fn unclaimed_tuples_fall_back_to_the_coordinator() {
+        let nowhere = |_: TupleId| None;
+        let req = Txn::new().insert(t(99), 7).resolve(&nowhere, NodeId(3)).unwrap();
+        assert_eq!(req.ops[0].home, NodeId(3));
+    }
+
+    #[test]
+    fn at_pins_an_operation_and_overrides_the_placement() {
+        let req = Txn::new().insert(t(4), 1).at(NodeId(1)).resolve(&mod2, NodeId(0)).unwrap();
+        assert_eq!(req.ops[0].home, NodeId(1));
+    }
+
+    #[test]
+    fn operand_from_attaches_to_the_last_operation() {
+        let req = Txn::new().read(t(0)).write(t(0), 0).add(t(1), 0).operand_from(0).resolve(&mod2, NodeId(0)).unwrap();
+        assert_eq!(req.ops[2].operand_from, Some(0));
+        assert_eq!(req.ops[0].operand_from, None);
+        assert_eq!(req.ops[1].operand_from, None);
+    }
+
+    #[test]
+    fn forward_operand_reference_is_rejected() {
+        let err = Txn::new().add(t(0), 0).operand_from(0).resolve(&mod2, NodeId(0)).unwrap_err();
+        assert!(matches!(err, Error::InvalidTxn(_)), "got {err:?}");
+        let err = Txn::new().read(t(0)).add(t(1), 0).operand_from(5).resolve(&mod2, NodeId(0)).unwrap_err();
+        assert!(matches!(err, Error::InvalidTxn(_)), "got {err:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "operand_from must follow an operation")]
+    fn operand_from_on_an_empty_builder_panics() {
+        let _ = Txn::new().operand_from(0);
+    }
+
+    #[test]
+    fn empty_txn_resolves_to_an_empty_request() {
+        let req = Txn::new().resolve(&mod2, NodeId(0)).unwrap();
+        assert!(req.is_empty());
+        assert!(Txn::new().is_empty());
+        assert_eq!(Txn::new().read(t(0)).len(), 1);
+    }
+}

@@ -8,11 +8,13 @@
 //! the durability protocol (switch intents and GIDs in the node WALs), and
 //! the LM-Switch / Chiller baselines used in the evaluation.
 
+pub mod builder;
 pub mod executor;
 pub mod hotset;
 pub mod request;
 pub mod switch_client;
 
+pub use builder::{Placement, Txn};
 pub use executor::{EngineConfig, EngineShared, Worker};
 pub use hotset::HotSetIndex;
 pub use request::{OpKind, TxnOp, TxnOutcome, TxnRequest};

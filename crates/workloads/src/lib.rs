@@ -12,6 +12,6 @@ pub mod tpcc;
 pub mod ycsb;
 
 pub use smallbank::{SmallBank, SmallBankConfig};
-pub use spec::{HotTuple, Workload, WorkloadCtx};
+pub use spec::{HotTuple, PartitionMap, Workload, WorkloadCtx};
 pub use tpcc::{Tpcc, TpccConfig};
 pub use ycsb::{Ycsb, YcsbConfig, YcsbMix};

@@ -13,7 +13,7 @@ use p4db_common::rand_util::FastRng;
 use p4db_common::{NodeId, TableId, TupleId, Value};
 use p4db_layout::{TraceAccess, TxnTrace};
 use p4db_storage::NodeStorage;
-use p4db_txn::{OpKind, TxnOp, TxnRequest};
+use p4db_txn::{Txn, TxnRequest};
 
 /// Savings balances, keyed by customer id.
 pub const SAVINGS: TableId = TableId(1);
@@ -113,43 +113,32 @@ impl SmallBank {
         1 + rng.gen_range(self.config.max_amount)
     }
 
-    fn op(&self, tuple: TupleId, kind: OpKind) -> TxnOp {
-        TxnOp::new(tuple, kind, self.home_of(tuple.key))
-    }
-
-    /// Builds the operations of one transaction over customers `c1` (and
-    /// `c2` for two-customer transactions).
-    fn build(&self, txn: SmallBankTxn, c1: u64, c2: u64, rng: &mut FastRng) -> Vec<TxnOp> {
+    /// Builds one transaction over customers `c1` (and `c2` for two-customer
+    /// transactions) as an unplaced [`Txn`]; homes are resolved against
+    /// [`Workload::tuple_home`] when the request is finalised.
+    fn build(&self, txn: SmallBankTxn, c1: u64, c2: u64, rng: &mut FastRng) -> Txn {
         match txn {
-            SmallBankTxn::Balance => {
-                vec![self.op(self.savings(c1), OpKind::Read), self.op(self.checking(c1), OpKind::Read)]
-            }
-            SmallBankTxn::DepositChecking => {
-                vec![self.op(self.checking(c1), OpKind::Add(self.amount(rng) as i64))]
-            }
-            SmallBankTxn::TransactSavings => {
-                vec![self.op(self.savings(c1), OpKind::CondSub(self.amount(rng)))]
-            }
-            SmallBankTxn::WriteCheck => vec![
-                self.op(self.savings(c1), OpKind::Read),
-                self.op(self.checking(c1), OpKind::CondSub(self.amount(rng))),
-            ],
-            SmallBankTxn::Amalgamate => vec![
+            SmallBankTxn::Balance => Txn::new().read(self.savings(c1)).read(self.checking(c1)),
+            SmallBankTxn::DepositChecking => Txn::new().add(self.checking(c1), self.amount(rng) as i64),
+            SmallBankTxn::TransactSavings => Txn::new().cond_sub(self.savings(c1), self.amount(rng)),
+            SmallBankTxn::WriteCheck => Txn::new().read(self.savings(c1)).cond_sub(self.checking(c1), self.amount(rng)),
+            SmallBankTxn::Amalgamate => {
                 // Drain c1's savings and credit the drained amount to c2's
                 // checking account: a read-dependent write (the operand of
                 // the credit is the value read from the savings account).
-                self.op(self.savings(c1), OpKind::Read),
-                self.op(self.savings(c1), OpKind::Write(0)),
-                self.op(self.checking(c2), OpKind::Add(0)).with_operand_from(0),
-            ],
+                Txn::new().read(self.savings(c1)).write(self.savings(c1), 0).add(self.checking(c2), 0).operand_from(0)
+            }
             SmallBankTxn::SendPayment => {
                 let amount = self.amount(rng);
-                vec![
-                    self.op(self.checking(c1), OpKind::CondSub(amount)),
-                    self.op(self.checking(c2), OpKind::Add(amount as i64)),
-                ]
+                Txn::new().cond_sub(self.checking(c1), amount).add(self.checking(c2), amount as i64)
             }
         }
+    }
+
+    /// Resolves a built transaction's homes for a cluster of `num_nodes`.
+    fn place(&self, txn: Txn, num_nodes: u16, coordinator: NodeId) -> TxnRequest {
+        txn.resolve(&|t: TupleId| self.tuple_home(t, num_nodes), coordinator)
+            .expect("generated SmallBank transactions are well-formed")
     }
 
     fn pick_type(rng: &mut FastRng) -> SmallBankTxn {
@@ -198,7 +187,7 @@ impl Workload for SmallBank {
             let c1 = self.pick_customer(coordinator, rng, true);
             let c2 = self.pick_customer(node2, rng, true);
             let txn = Self::pick_type(rng);
-            let ops = self.build(txn, c1, c2, rng);
+            let ops = self.place(self.build(txn, c1, c2, rng), num_nodes, coordinator).ops;
             let mut accesses = Vec::with_capacity(ops.len());
             for op in &ops {
                 let access = match (op.kind.is_write(), op.operand_from.is_some()) {
@@ -232,10 +221,22 @@ impl Workload for SmallBank {
             if c2 == c1 {
                 // Degenerate single-customer hot set: fall back to a
                 // one-customer transaction type.
-                return TxnRequest::new(self.build(SmallBankTxn::DepositChecking, c1, c1, rng));
+                return self.place(
+                    self.build(SmallBankTxn::DepositChecking, c1, c1, rng),
+                    ctx.num_nodes,
+                    ctx.coordinator,
+                );
             }
         }
-        TxnRequest::new(self.build(txn, c1, c2, rng))
+        self.place(self.build(txn, c1, c2, rng), ctx.num_nodes, ctx.coordinator)
+    }
+
+    fn tuple_home(&self, tuple: TupleId, num_nodes: u16) -> Option<NodeId> {
+        if tuple.table != SAVINGS && tuple.table != CHECKING {
+            return None;
+        }
+        let home = self.home_of(tuple.key);
+        (home.0 < num_nodes).then_some(home)
     }
 }
 
@@ -243,6 +244,7 @@ impl Workload for SmallBank {
 mod tests {
     use super::*;
     use p4db_layout::{single_pass_fraction, LayoutPlanner, LayoutStrategy};
+    use p4db_txn::OpKind;
 
     fn small() -> SmallBank {
         SmallBank::new(SmallBankConfig { customers_per_node: 1_000, ..SmallBankConfig::default() })
@@ -268,7 +270,7 @@ mod tests {
     fn amalgamate_is_a_read_dependent_write() {
         let w = small();
         let mut rng = FastRng::new(1);
-        let ops = w.build(SmallBankTxn::Amalgamate, 3, 7, &mut rng);
+        let ops = w.place(w.build(SmallBankTxn::Amalgamate, 3, 7, &mut rng), 2, NodeId(0)).ops;
         assert_eq!(ops.len(), 3);
         assert_eq!(ops[2].operand_from, Some(0));
         assert!(ops[2].kind.is_write());
@@ -278,7 +280,7 @@ mod tests {
     fn send_payment_moves_a_bounded_amount() {
         let w = small();
         let mut rng = FastRng::new(2);
-        let ops = w.build(SmallBankTxn::SendPayment, 1, 2, &mut rng);
+        let ops = w.place(w.build(SmallBankTxn::SendPayment, 1, 2, &mut rng), 2, NodeId(0)).ops;
         match (ops[0].kind, ops[1].kind) {
             (OpKind::CondSub(a), OpKind::Add(b)) => {
                 assert_eq!(a as i64, b);
@@ -304,6 +306,15 @@ mod tests {
                 assert!(local < w.config().hot_customers_per_node, "local customer {local} is not hot");
             }
         }
+    }
+
+    #[test]
+    fn tuple_home_resolves_both_account_tables() {
+        let w = small();
+        assert_eq!(w.tuple_home(TupleId::new(SAVINGS, 0), 4), Some(NodeId(0)));
+        assert_eq!(w.tuple_home(TupleId::new(CHECKING, 1_500), 4), Some(NodeId(1)));
+        assert_eq!(w.tuple_home(TupleId::new(SAVINGS, 999_999), 4), None, "beyond the loaded partitions");
+        assert_eq!(w.tuple_home(TupleId::new(TableId(9), 0), 4), None, "foreign table");
     }
 
     #[test]

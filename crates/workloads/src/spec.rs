@@ -3,14 +3,18 @@
 //! A workload knows how to (1) populate every node's partition, (2) name the
 //! hot tuples that should be offloaded to the switch together with their
 //! initial switch-column values, (3) provide representative transaction
-//! traces for the declustered layout planner (§3.1's offline replay), and
-//! (4) generate transaction requests for the worker threads at runtime.
+//! traces for the declustered layout planner (§3.1's offline replay),
+//! (4) generate transaction requests for the worker threads at runtime, and
+//! (5) resolve any tuple's home node ([`Workload::tuple_home`]), which the
+//! [`PartitionMap`] exposes to ad-hoc clients so they never hand-place
+//! operations.
 
 use p4db_common::rand_util::FastRng;
 use p4db_common::{NodeId, TableId, TupleId};
 use p4db_layout::TxnTrace;
 use p4db_storage::NodeStorage;
-use p4db_txn::TxnRequest;
+use p4db_txn::{Placement, TxnRequest};
+use std::sync::Arc;
 
 /// A tuple to offload to the switch.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -75,6 +79,53 @@ pub trait Workload: Send + Sync {
 
     /// Generates the next transaction request for a worker.
     fn generate(&self, ctx: &WorkloadCtx, rng: &mut FastRng) -> TxnRequest;
+
+    /// The node owning `tuple` under this workload's static partitioning
+    /// scheme, or `None` when the tuple has no fixed owner (replicated
+    /// read-only data, rows created at runtime): such operations execute on
+    /// whichever node coordinates the transaction.
+    fn tuple_home(&self, tuple: TupleId, num_nodes: u16) -> Option<NodeId>;
+}
+
+/// The workload's partitioning scheme, bound to a concrete cluster size — the
+/// [`Placement`] that ad-hoc clients resolve [`p4db_txn::Txn`] builders
+/// against instead of hand-constructing `TxnOp`s with explicit homes.
+#[derive(Clone)]
+pub struct PartitionMap {
+    workload: Arc<dyn Workload>,
+    num_nodes: u16,
+}
+
+impl PartitionMap {
+    pub fn new(workload: Arc<dyn Workload>, num_nodes: u16) -> Self {
+        assert!(num_nodes > 0, "a partition map needs at least one node");
+        PartitionMap { workload, num_nodes }
+    }
+
+    /// Number of nodes the map resolves against.
+    pub fn num_nodes(&self) -> u16 {
+        self.num_nodes
+    }
+
+    /// The node owning `tuple`, or `None` for coordinator-local data.
+    pub fn home(&self, tuple: TupleId) -> Option<NodeId> {
+        self.workload.tuple_home(tuple, self.num_nodes)
+    }
+}
+
+impl Placement for PartitionMap {
+    fn home_of(&self, tuple: TupleId) -> Option<NodeId> {
+        self.home(tuple)
+    }
+}
+
+impl std::fmt::Debug for PartitionMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartitionMap")
+            .field("workload", &self.workload.name())
+            .field("num_nodes", &self.num_nodes)
+            .finish()
+    }
 }
 
 #[cfg(test)]

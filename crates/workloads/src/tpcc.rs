@@ -19,7 +19,7 @@ use p4db_common::rand_util::FastRng;
 use p4db_common::{NodeId, TableId, TupleId, Value};
 use p4db_layout::{TraceAccess, TxnTrace};
 use p4db_storage::NodeStorage;
-use p4db_txn::{OpKind, TxnOp, TxnRequest};
+use p4db_txn::{Txn, TxnRequest};
 
 pub const WAREHOUSE: TableId = TableId(10); // switch column: w_ytd
 pub const DISTRICT: TableId = TableId(11); // switch column: d_next_o_id
@@ -126,21 +126,28 @@ impl Tpcc {
         item < self.config.hot_items
     }
 
+    /// Resolves a built transaction's homes for the generating context.
+    /// Replicated item reads and the synthetic-key inserts have no fixed home
+    /// ([`Workload::tuple_home`] returns `None`) and land on the coordinator.
+    fn place(&self, txn: Txn, ctx: &WorkloadCtx) -> TxnRequest {
+        txn.resolve(&|t: TupleId| self.tuple_home(t, ctx.num_nodes), ctx.coordinator)
+            .expect("generated TPC-C transactions are well-formed")
+    }
+
     fn new_order(&self, ctx: &WorkloadCtx, rng: &mut FastRng) -> TxnRequest {
         let num_nodes = ctx.num_nodes;
         let w = self.local_warehouse(ctx.coordinator, num_nodes, rng);
         let d = rng.gen_range(DISTRICTS_PER_WAREHOUSE);
         let c = rng.gen_range(CUSTOMERS_PER_DISTRICT);
-        let home_w = self.home_of_warehouse(w, num_nodes);
 
-        let mut ops = Vec::with_capacity(3 + 3 * self.config.order_lines);
-        // d_next_o_id++ on the home district (contended → offloaded).
-        ops.push(TxnOp::new(TupleId::new(DISTRICT, keys::district(w, d)), OpKind::FetchAdd(1), home_w));
-        // Customer read (cold, local).
-        ops.push(TxnOp::new(TupleId::new(CUSTOMER, keys::customer(w, d, c)), OpKind::Read, home_w));
-        // Order + NewOrder inserts (cold, local; synthetic unique keys).
-        ops.push(TxnOp::new(TupleId::new(ORDER, rng.next_u64()), OpKind::Insert(c), home_w));
-        ops.push(TxnOp::new(TupleId::new(NEW_ORDER, rng.next_u64()), OpKind::Insert(0), home_w));
+        let mut txn = Txn::new()
+            // d_next_o_id++ on the home district (contended → offloaded).
+            .fetch_add(TupleId::new(DISTRICT, keys::district(w, d)), 1)
+            // Customer read (cold, local).
+            .read(TupleId::new(CUSTOMER, keys::customer(w, d, c)))
+            // Order + NewOrder inserts (cold, local; synthetic unique keys).
+            .insert(TupleId::new(ORDER, rng.next_u64()), c)
+            .insert(TupleId::new(NEW_ORDER, rng.next_u64()), 0);
         for _ in 0..self.config.order_lines {
             let item = self.pick_item(rng);
             // "Varying distributed transactions": the probability that an
@@ -150,24 +157,23 @@ impl Tpcc {
             } else {
                 w
             };
-            let supply_home = self.home_of_warehouse(supply_w, num_nodes);
             let qty = 1 + rng.gen_range(10) as i64;
-            // Item lookup: replicated read-only catalogue, read locally.
-            ops.push(TxnOp::new(TupleId::new(ITEM, item % self.config.items_loaded), OpKind::Read, ctx.coordinator));
-            // Stock decrement at the supplying warehouse (hot items are
-            // offloaded, the rest is a cold — possibly remote — update).
-            ops.push(TxnOp::new(TupleId::new(STOCK, keys::stock(supply_w, item)), OpKind::Add(-qty), supply_home));
-            // Order line insert (cold, local).
-            ops.push(TxnOp::new(TupleId::new(ORDER_LINE, rng.next_u64()), OpKind::Insert(item), home_w));
+            txn = txn
+                // Item lookup: replicated read-only catalogue, read locally.
+                .read(TupleId::new(ITEM, item % self.config.items_loaded))
+                // Stock decrement at the supplying warehouse (hot items are
+                // offloaded, the rest is a cold — possibly remote — update).
+                .add(TupleId::new(STOCK, keys::stock(supply_w, item)), -qty)
+                // Order line insert (cold, local).
+                .insert(TupleId::new(ORDER_LINE, rng.next_u64()), item);
         }
-        TxnRequest::new(ops)
+        self.place(txn, ctx)
     }
 
     fn payment(&self, ctx: &WorkloadCtx, rng: &mut FastRng) -> TxnRequest {
         let num_nodes = ctx.num_nodes;
         let w = self.local_warehouse(ctx.coordinator, num_nodes, rng);
         let d = rng.gen_range(DISTRICTS_PER_WAREHOUSE);
-        let home_w = self.home_of_warehouse(w, num_nodes);
         let amount = 1 + rng.gen_range(5_000) as i64;
 
         // The paying customer may belong to a remote warehouse (§7.5).
@@ -177,17 +183,16 @@ impl Tpcc {
         } else {
             (w, d, rng.gen_range(CUSTOMERS_PER_DISTRICT))
         };
-        let customer_home = self.home_of_warehouse(cw, num_nodes);
 
-        TxnRequest::new(vec![
+        let txn = Txn::new()
             // Contended year-to-date counters (offloaded).
-            TxnOp::new(TupleId::new(WAREHOUSE, keys::warehouse(w)), OpKind::Add(amount), home_w),
-            TxnOp::new(TupleId::new(DISTRICT_YTD, keys::district(w, d)), OpKind::Add(amount), home_w),
+            .add(TupleId::new(WAREHOUSE, keys::warehouse(w)), amount)
+            .add(TupleId::new(DISTRICT_YTD, keys::district(w, d)), amount)
             // Customer balance update (cold, possibly remote).
-            TxnOp::new(TupleId::new(CUSTOMER, keys::customer(cw, cd, cc)), OpKind::Add(-amount), customer_home),
+            .add(TupleId::new(CUSTOMER, keys::customer(cw, cd, cc)), -amount)
             // History insert (cold, local).
-            TxnOp::new(TupleId::new(HISTORY, rng.next_u64()), OpKind::Insert(amount as u64), home_w),
-        ])
+            .insert(TupleId::new(HISTORY, rng.next_u64()), amount as u64);
+        self.place(txn, ctx)
     }
 }
 
@@ -283,11 +288,27 @@ impl Workload for Tpcc {
             self.payment(ctx, rng)
         }
     }
+
+    fn tuple_home(&self, tuple: TupleId, num_nodes: u16) -> Option<NodeId> {
+        let warehouse = match tuple.table {
+            WAREHOUSE => tuple.key,
+            DISTRICT | DISTRICT_YTD => tuple.key / DISTRICTS_PER_WAREHOUSE,
+            CUSTOMER => tuple.key / (DISTRICTS_PER_WAREHOUSE * CUSTOMERS_PER_DISTRICT),
+            STOCK => tuple.key / ITEMS,
+            // The item catalogue is replicated read-only data; order /
+            // order-line / new-order / history rows use synthetic keys
+            // created by the inserting transaction. Both execute on the
+            // coordinator.
+            _ => return None,
+        };
+        (warehouse < self.config.warehouses).then(|| self.home_of_warehouse(warehouse, num_nodes))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use p4db_txn::OpKind;
 
     fn tpcc() -> Tpcc {
         Tpcc::new(TpccConfig { items_loaded: 1_000, ..TpccConfig::new(8) })
@@ -353,6 +374,21 @@ mod tests {
         assert_eq!(req.ops[1].tuple.table, DISTRICT_YTD);
         assert_eq!(req.ops[2].tuple.table, CUSTOMER);
         assert_eq!(req.ops[3].tuple.table, HISTORY);
+    }
+
+    #[test]
+    fn tuple_home_follows_the_warehouse_partitioning() {
+        let w = tpcc();
+        assert_eq!(w.tuple_home(TupleId::new(WAREHOUSE, 3), 4), Some(NodeId(1)));
+        assert_eq!(w.tuple_home(TupleId::new(DISTRICT, keys::district(7, 9)), 4), Some(NodeId(3)));
+        assert_eq!(w.tuple_home(TupleId::new(DISTRICT_YTD, keys::district(0, 0)), 4), Some(NodeId(0)));
+        assert_eq!(w.tuple_home(TupleId::new(CUSTOMER, keys::customer(5, 2, 17)), 4), Some(NodeId(2)));
+        assert_eq!(w.tuple_home(TupleId::new(STOCK, keys::stock(6, 42)), 4), Some(NodeId(3)));
+        // Replicated / synthetic-key tables are coordinator-local.
+        assert_eq!(w.tuple_home(TupleId::new(ITEM, 5), 4), None);
+        assert_eq!(w.tuple_home(TupleId::new(ORDER, 12345), 4), None);
+        // Warehouses beyond the configured count have no home.
+        assert_eq!(w.tuple_home(TupleId::new(WAREHOUSE, 99), 4), None);
     }
 
     #[test]

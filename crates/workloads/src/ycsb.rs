@@ -13,7 +13,7 @@ use p4db_common::rand_util::FastRng;
 use p4db_common::{NodeId, TableId, TupleId, Value};
 use p4db_layout::{TraceAccess, TxnTrace};
 use p4db_storage::NodeStorage;
-use p4db_txn::{OpKind, TxnOp, TxnRequest};
+use p4db_txn::{Txn, TxnRequest};
 
 /// The YCSB table.
 pub const YCSB_TABLE: TableId = TableId(0);
@@ -197,16 +197,27 @@ impl Workload for Ycsb {
     fn generate(&self, ctx: &WorkloadCtx, rng: &mut FastRng) -> TxnRequest {
         let hot = rng.gen_bool(self.config.hot_txn_prob);
         let distributed = rng.gen_bool(ctx.distributed_prob);
-        let mut ops = Vec::with_capacity(self.config.ops_per_txn);
+        let mut txn = Txn::new();
         for op_idx in 0..self.config.ops_per_txn {
             let node = self.pick_node(ctx, rng, distributed, op_idx);
             let local = if hot { self.pick_hot_local(rng, op_idx) } else { self.pick_cold_local(rng) };
-            let key = self.key(node, local);
-            let kind =
-                if rng.gen_f64() < self.config.mix.read_ratio() { OpKind::Read } else { OpKind::Write(rng.next_u64()) };
-            ops.push(TxnOp::new(self.tuple(key), kind, node));
+            let tuple = self.tuple(self.key(node, local));
+            txn = if rng.gen_f64() < self.config.mix.read_ratio() {
+                txn.read(tuple)
+            } else {
+                txn.write(tuple, rng.next_u64())
+            };
         }
-        TxnRequest::new(ops)
+        txn.resolve(&|t: TupleId| self.tuple_home(t, ctx.num_nodes), ctx.coordinator)
+            .expect("generated YCSB transactions are well-formed")
+    }
+
+    fn tuple_home(&self, tuple: TupleId, num_nodes: u16) -> Option<NodeId> {
+        if tuple.table != YCSB_TABLE {
+            return None;
+        }
+        let home = self.home_of(tuple.key);
+        (home.0 < num_nodes).then_some(home)
     }
 }
 
@@ -214,6 +225,7 @@ impl Workload for Ycsb {
 mod tests {
     use super::*;
     use p4db_layout::{single_pass_fraction, LayoutPlanner, LayoutStrategy};
+    use p4db_txn::OpKind;
 
     fn ycsb() -> Ycsb {
         let mut config = YcsbConfig::new(YcsbMix::A);
@@ -278,6 +290,16 @@ mod tests {
             let req = w.generate(&ctx, &mut rng);
             assert!(req.ops.iter().all(|op| op.kind == OpKind::Read));
         }
+    }
+
+    #[test]
+    fn tuple_home_matches_the_key_partitioning() {
+        let w = ycsb();
+        assert_eq!(w.tuple_home(TupleId::new(YCSB_TABLE, 0), 4), Some(NodeId(0)));
+        assert_eq!(w.tuple_home(TupleId::new(YCSB_TABLE, 2_500), 4), Some(NodeId(2)));
+        // Keys beyond the cluster's partitions and foreign tables have no home.
+        assert_eq!(w.tuple_home(TupleId::new(YCSB_TABLE, 999_999), 4), None);
+        assert_eq!(w.tuple_home(TupleId::new(TableId(9), 0), 4), None);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use p4db::common::{CcScheme, SystemMode};
-use p4db::core::{Cluster, ClusterConfig};
+use p4db::core::Cluster;
 use p4db::workloads::{Workload, Ycsb, YcsbConfig, YcsbMix};
 use std::sync::Arc;
 use std::time::Duration;
@@ -19,8 +19,8 @@ fn main() {
 
     let mut results = Vec::new();
     for mode in [SystemMode::NoSwitch, SystemMode::LmSwitch, SystemMode::P4db] {
-        let config = ClusterConfig::new(mode, CcScheme::NoWait);
-        let cluster = Cluster::build(config, Arc::clone(&workload));
+        let cluster =
+            Cluster::builder(Arc::clone(&workload)).nodes(4).workers(4).mode(mode).cc(CcScheme::NoWait).build();
         println!(
             "[{}] built: {} hot tuples, {} offloaded to the switch",
             mode.label(),

@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release --example smallbank_recovery`
 
 use p4db::common::{CcScheme, SystemMode};
-use p4db::core::{Cluster, ClusterConfig};
+use p4db::core::Cluster;
 use p4db::storage::recover_switch_state;
 use p4db::workloads::{SmallBank, SmallBankConfig, Workload};
 use std::sync::Arc;
@@ -23,8 +23,7 @@ fn main() {
         ..SmallBankConfig::default()
     }));
 
-    let config = ClusterConfig::new(SystemMode::P4db, CcScheme::NoWait);
-    let cluster = Cluster::build(config, Arc::clone(&workload));
+    let cluster = Cluster::builder(Arc::clone(&workload)).mode(SystemMode::P4db).cc(CcScheme::NoWait).build();
     println!("SmallBank cluster: {} hot account balances offloaded to the switch", cluster.offloaded_tuples());
 
     let stats = cluster.run_for(Duration::from_millis(500));
@@ -53,7 +52,7 @@ fn main() {
 
     let initial = cluster.offload_snapshot();
     let logs: Vec<&p4db::storage::Wal> = cluster.shared().nodes.iter().map(|n| n.wal()).collect();
-    let recovered = recover_switch_state(&initial, &logs);
+    let recovered = recover_switch_state(initial, &logs);
     println!(
         "recovery replayed {} completed switch transactions ({} in-flight ordered by dependencies, {} unordered)",
         recovered.completed, recovered.inflight_ordered, recovered.inflight_unordered

@@ -12,7 +12,7 @@
 
 use p4db::common::stats::PHASES;
 use p4db::common::{CcScheme, SystemMode};
-use p4db::core::{Cluster, ClusterConfig};
+use p4db::core::Cluster;
 use p4db::workloads::{Tpcc, TpccConfig, Workload};
 use std::sync::Arc;
 use std::time::Duration;
@@ -25,9 +25,11 @@ fn main() {
         println!("== TPC-C 8 warehouses, {:.0}% distributed ==", distributed * 100.0);
         let mut baseline = None;
         for mode in [SystemMode::NoSwitch, SystemMode::P4db] {
-            let mut config = ClusterConfig::new(mode, CcScheme::NoWait);
-            config.distributed_prob = distributed;
-            let cluster = Cluster::build(config, Arc::clone(&workload));
+            let cluster = Cluster::builder(Arc::clone(&workload))
+                .mode(mode)
+                .cc(CcScheme::NoWait)
+                .distributed_prob(distributed)
+                .build();
             let stats = cluster.run_for(measure);
             assert!(
                 stats.merged.committed_total() > 100,

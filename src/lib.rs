@@ -29,3 +29,16 @@ pub use p4db_storage as storage;
 pub use p4db_switch as switch;
 pub use p4db_txn as txn;
 pub use p4db_workloads as workloads;
+
+// The client-facing API at the crate root: build a cluster, open sessions,
+// submit typed transactions. See README.md § "Using P4DB as a library".
+pub use p4db_common::{CcScheme, Error, NodeId, Result, SystemMode, TableId, TupleId};
+pub use p4db_core::{Cluster, ClusterBuilder, ClusterConfig, Pending, Session};
+pub use p4db_txn::{OpKind, Placement, Txn, TxnOutcome, TxnRequest};
+pub use p4db_workloads::{PartitionMap, Workload};
+
+/// Compiles the README's code blocks as doctests so the documented client
+/// API can never drift from the code.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;

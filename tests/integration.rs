@@ -1,10 +1,13 @@
 //! Cross-crate integration tests: full clusters (nodes + switch + engine +
 //! workloads) exercised end to end in the zero-latency test profile.
 
-use p4db::common::{CcScheme, SystemMode, TupleId};
+use p4db::common::stats::TxnClass;
+use p4db::common::{AbortReason, CcScheme, Error, NodeId, SystemMode, TupleId};
 use p4db::core::{Cluster, ClusterConfig};
 use p4db::storage::recover_switch_state;
+use p4db::workloads::smallbank::{CHECKING, INITIAL_BALANCE, SAVINGS};
 use p4db::workloads::{SmallBank, SmallBankConfig, Tpcc, TpccConfig, Workload, Ycsb, YcsbConfig, YcsbMix};
+use p4db::Txn;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
@@ -112,7 +115,7 @@ fn switch_state_recovers_from_node_logs_after_a_crash() {
 
     let initial = cluster.offload_snapshot();
     let logs: Vec<&p4db::storage::Wal> = cluster.shared().nodes.iter().map(|n| n.wal()).collect();
-    let outcome = recover_switch_state(&initial, &logs);
+    let outcome = recover_switch_state(initial, &logs);
     assert_eq!(outcome.inconsistencies, 0);
     for (tuple, value) in live {
         let recovered = outcome.values.get(&tuple).copied().unwrap_or(initial[&tuple]);
@@ -127,6 +130,109 @@ fn lm_switch_keeps_data_on_the_hosts() {
     assert!(stats.merged.committed_total() > 0);
     assert_eq!(cluster.switch_stats().txns_executed, 0, "LM-Switch must not execute data-plane transactions");
     assert!(cluster.switch_stats().lm_requests > 0, "LM-Switch must process lock requests");
+}
+
+/// SmallBank customer ids for the session tests: customers_per_node = 2 000,
+/// hot customers 0..5 per node; savings/checking of hot customers live on the
+/// switch in P4DB mode.
+fn smallbank_cluster() -> Cluster {
+    Cluster::builder(smallbank()).test_profile().mode(SystemMode::P4db).cc(CcScheme::NoWait).build()
+}
+
+#[test]
+fn operand_from_forwards_results_on_the_host_path_through_a_session() {
+    let cluster = smallbank_cluster();
+    let mut session = cluster.session(NodeId(0)).unwrap();
+
+    // Amalgamate over two *cold* customers on different nodes: drain c1's
+    // savings and credit the read amount to c2's checking — entirely on the
+    // host path, distributed, with the operand forwarded from operation 0.
+    let (c1, c2) = (100u64, 2_100u64);
+    let txn = Txn::new()
+        .read(TupleId::new(SAVINGS, c1))
+        .write(TupleId::new(SAVINGS, c1), 0)
+        .add(TupleId::new(CHECKING, c2), 0)
+        .operand_from(0);
+    let outcome = session.execute(&txn).unwrap();
+    assert_eq!(outcome.class, TxnClass::Cold);
+    // Per-op results in operation order: the read value, the written value,
+    // the credited balance.
+    assert_eq!(outcome.results, vec![INITIAL_BALANCE, 0, 2 * INITIAL_BALANCE]);
+    let node1 = &cluster.shared().nodes[1];
+    assert_eq!(node1.table(CHECKING).unwrap().read(c2).unwrap().switch_word(), 2 * INITIAL_BALANCE);
+    assert_eq!(cluster.shared().nodes[0].table(SAVINGS).unwrap().read(c1).unwrap().switch_word(), 0);
+}
+
+#[test]
+fn operand_from_forwards_results_on_the_switch_path_through_a_session() {
+    let cluster = smallbank_cluster();
+    let mut session = cluster.session(NodeId(0)).unwrap();
+
+    // The same amalgamate over two *hot* customers: all three operations are
+    // offloaded, so the dependency is resolved inside the switch pipeline.
+    let (c1, c2) = (1u64, 2u64);
+    let txn = Txn::new()
+        .read(TupleId::new(SAVINGS, c1))
+        .write(TupleId::new(SAVINGS, c1), 0)
+        .add(TupleId::new(CHECKING, c2), 0)
+        .operand_from(0);
+    let outcome = session.execute(&txn).unwrap();
+    assert_eq!(outcome.class, TxnClass::Hot);
+    assert!(outcome.gid.is_some());
+    assert_eq!(outcome.results, vec![INITIAL_BALANCE, 0, 2 * INITIAL_BALANCE]);
+    assert_eq!(cluster.switch_value(TupleId::new(SAVINGS, c1)), Some(0));
+    assert_eq!(cluster.switch_value(TupleId::new(CHECKING, c2)), Some(2 * INITIAL_BALANCE));
+}
+
+#[test]
+fn cond_sub_aborts_on_the_host_but_is_a_constrained_no_apply_on_the_switch() {
+    let cluster = smallbank_cluster();
+    let mut session = cluster.session(NodeId(0)).unwrap();
+    session.set_max_attempts(1); // a constraint violation is deterministic — don't retry
+
+    // Host path: overdrawing a cold account aborts the transaction.
+    let cold = TupleId::new(CHECKING, 200);
+    let err = session.execute(&Txn::new().cond_sub(cold, INITIAL_BALANCE + 1)).unwrap_err();
+    assert_eq!(err.abort_reason(), Some(AbortReason::ConstraintViolation));
+    assert_eq!(cluster.shared().nodes[0].table(CHECKING).unwrap().read(200).unwrap().switch_word(), INITIAL_BALANCE);
+
+    // Switch path: the same overdraft on a hot account commits as a
+    // constrained write that simply does not apply (§5.1 — the switch never
+    // aborts).
+    let hot = TupleId::new(CHECKING, 3);
+    let outcome = session.execute(&Txn::new().cond_sub(hot, INITIAL_BALANCE + 1)).unwrap();
+    assert_eq!(outcome.class, TxnClass::Hot);
+    assert_eq!(outcome.results, vec![INITIAL_BALANCE], "the balance is reported unchanged");
+    assert_eq!(cluster.switch_value(hot), Some(INITIAL_BALANCE));
+
+    // The session's merged statistics saw exactly one constraint abort.
+    assert_eq!(session.stats().aborts_constraint, 1);
+    assert_eq!(session.stats().committed_total(), 1);
+}
+
+#[test]
+fn warm_transactions_keep_per_op_results_in_operation_order() {
+    let cluster = smallbank_cluster();
+    let mut session = cluster.session(NodeId(0)).unwrap();
+
+    // hot / cold / hot interleaving: results must come back in op order even
+    // though the engine executes the cold part first and scatters the switch
+    // results afterwards.
+    let txn =
+        Txn::new().read(TupleId::new(CHECKING, 4)).add(TupleId::new(SAVINGS, 300), 5).read(TupleId::new(SAVINGS, 4));
+    let outcome = session.execute(&txn).unwrap();
+    assert_eq!(outcome.class, TxnClass::Warm);
+    assert_eq!(outcome.results, vec![INITIAL_BALANCE, INITIAL_BALANCE + 5, INITIAL_BALANCE]);
+}
+
+#[test]
+fn sessions_reject_cross_temperature_operand_dependencies() {
+    let cluster = smallbank_cluster();
+    let mut session = cluster.session(NodeId(0)).unwrap();
+    // Operand produced on the host, consumed on the switch: structured error,
+    // not an executor panic.
+    let txn = Txn::new().read(TupleId::new(SAVINGS, 100)).add(TupleId::new(CHECKING, 1), 0).operand_from(0);
+    assert!(matches!(session.execute(&txn), Err(Error::InvalidTxn(_))));
 }
 
 #[test]
