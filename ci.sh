@@ -20,6 +20,9 @@ cargo test --offline -q
 echo "==> member-crate unit tests (root package already covered by tier-1)"
 cargo test --offline --workspace --exclude p4db -q
 
+echo "==> chaos smoke gate: fixed-seed fault + crash paths with invariant checking"
+cargo test --offline --release -q --test chaos smoke_ -- --nocapture
+
 echo "==> rustdoc: public API docs must build warning-free"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
 
@@ -32,5 +35,6 @@ cargo run --offline --release --example quickstart
 cargo run --offline --release --example client_api
 cargo run --offline --release --example smallbank_recovery
 cargo run --offline --release --example tpcc_warm
+cargo run --offline --release --example chaos_drill
 
 echo "ci.sh: all green"

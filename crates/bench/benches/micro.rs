@@ -38,7 +38,7 @@ fn switch_pipeline_throughput() {
         let txn = SwitchTxn::new(TxnHeader::new(ep, i), instructions);
         fabric.send(ep, EndpointId::Switch, SwitchMessage::Txn(txn));
         loop {
-            if let Some(env) = mailbox.recv_timeout(Duration::from_secs(5)) {
+            if let Some(env) = mailbox.recv_timeout(Duration::from_secs(5)).msg() {
                 if matches!(env.payload, SwitchMessage::TxnReply(_)) {
                     break;
                 }

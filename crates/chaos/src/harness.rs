@@ -1,0 +1,499 @@
+//! The chaos harness: seeded fault-injection runs over real workloads with
+//! invariant checking after every wave.
+//!
+//! A run is a sequence of *waves*: every `(node, worker)` pair drives a
+//! session through a fixed number of generated transactions, then the
+//! cluster is quiesced (held-back messages flushed, switch drained) and the
+//! invariants are checked. Between waves the harness can crash and recover a
+//! database node, and crash the switch and recover it from the WALs —
+//! optionally re-offloading the hot set into fresh register slots.
+//!
+//! Everything derives from `ChaosOptions::seed`: the workload streams, the
+//! fault decision stream and the re-offload shuffle, so a failing seed is
+//! re-run with one command. When violations are found and the plan mixes
+//! several fault classes, the harness re-runs the seed with one class at a
+//! time to report the minimal set that still reproduces the failure.
+
+use crate::invariants::{self, InvariantReport, SemanticChecks};
+use p4db_common::faults::{FaultEvent, FaultPlan};
+use p4db_common::rand_util::FastRng;
+use p4db_common::{Error, NodeId, Result, SystemMode, TxnId};
+use p4db_core::{Cluster, NodeRecoveryReport, SwitchRecoveryReport};
+use p4db_net::{EndpointId, RecvOutcome};
+use p4db_storage::LogRecord;
+use p4db_switch::{Instruction, SwitchMessage, SwitchTxn, TxnHeader};
+use p4db_workloads::{SmallBank, SmallBankConfig, Tpcc, TpccConfig, Workload, WorkloadCtx, Ycsb, YcsbConfig, YcsbMix};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which workload a chaos run drives.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ChaosWorkload {
+    Ycsb,
+    SmallBank,
+    Tpcc,
+}
+
+impl ChaosWorkload {
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosWorkload::Ycsb => "ycsb",
+            ChaosWorkload::SmallBank => "smallbank",
+            ChaosWorkload::Tpcc => "tpcc",
+        }
+    }
+
+    /// Parses the `CHAOS_WORKLOAD` environment value.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "ycsb" => Some(ChaosWorkload::Ycsb),
+            "smallbank" => Some(ChaosWorkload::SmallBank),
+            "tpcc" => Some(ChaosWorkload::Tpcc),
+            _ => None,
+        }
+    }
+}
+
+/// One chaos scenario, fully determined by its fields.
+#[derive(Clone, Debug)]
+pub struct ChaosOptions {
+    pub workload: ChaosWorkload,
+    /// Master seed: workload streams, fault stream and re-offload shuffle
+    /// all derive from it.
+    pub seed: u64,
+    pub mode: SystemMode,
+    pub nodes: u16,
+    pub workers: u16,
+    /// Traffic waves; crashes (if any) happen after the first wave.
+    pub waves: usize,
+    /// Transactions per driver per wave.
+    pub txns_per_wave: usize,
+    pub distributed_prob: f64,
+    /// Message faults; `None` runs the faults-off control arm (still with
+    /// audit log + invariant checking).
+    pub faults: Option<FaultPlan>,
+    /// Crash + WAL-recover this node between waves. Crash scenarios should
+    /// run with `distributed_prob == 0.0` so cross-coordinator write
+    /// ordering cannot make recovery ambiguous.
+    pub crash_node: Option<NodeId>,
+    /// Crash the switch between waves and recover it from the WALs.
+    pub crash_switch: bool,
+    /// With `crash_switch`: re-offload the hot set into fresh register slots
+    /// and swap the replicated index, instead of restoring in place.
+    pub reoffload: bool,
+    /// Retry budget per transaction (aborts only; in-doubt is never retried).
+    pub max_attempts: u32,
+}
+
+impl ChaosOptions {
+    /// A standard faulty scenario: 2×2 cluster, two waves, seeded faults.
+    pub fn new(workload: ChaosWorkload, seed: u64) -> Self {
+        ChaosOptions {
+            workload,
+            seed,
+            mode: SystemMode::P4db,
+            nodes: 2,
+            workers: 2,
+            waves: 2,
+            txns_per_wave: 120,
+            distributed_prob: 0.2,
+            faults: Some(FaultPlan::seeded(seed)),
+            crash_node: None,
+            crash_switch: false,
+            reoffload: false,
+            max_attempts: 30,
+        }
+    }
+
+    /// The faults-off control arm of the same scenario.
+    pub fn faults_off(mut self) -> Self {
+        self.faults = None;
+        self
+    }
+
+    /// The `VAR=value` environment prefix that makes
+    /// [`ChaosOptions::from_env`] rebuild this exact scenario. Only
+    /// non-default knobs are emitted.
+    pub fn repro_env(&self) -> String {
+        let defaults = ChaosOptions::new(self.workload, self.seed);
+        let mut env = format!("CHAOS_WORKLOAD={} CHAOS_SEED={}", self.workload.name(), self.seed);
+        if self.faults.is_none() {
+            env.push_str(" CHAOS_FAULTS=off");
+        }
+        if self.mode != defaults.mode {
+            let mode = match self.mode {
+                SystemMode::P4db => "p4db",
+                SystemMode::LmSwitch => "lmswitch",
+                SystemMode::NoSwitch => "noswitch",
+            };
+            env.push_str(&format!(" CHAOS_MODE={mode}"));
+        }
+        if self.distributed_prob != defaults.distributed_prob {
+            env.push_str(&format!(" CHAOS_DIST={}", self.distributed_prob));
+        }
+        if let Some(node) = self.crash_node {
+            env.push_str(&format!(" CHAOS_CRASH_NODE={}", node.0));
+        }
+        if self.crash_switch {
+            env.push_str(" CHAOS_CRASH_SWITCH=1");
+        }
+        if self.reoffload {
+            env.push_str(" CHAOS_REOFFLOAD=1");
+        }
+        for (var, actual, default) in [
+            ("CHAOS_NODES", self.nodes as u64, defaults.nodes as u64),
+            ("CHAOS_WORKERS", self.workers as u64, defaults.workers as u64),
+            ("CHAOS_WAVES", self.waves as u64, defaults.waves as u64),
+            ("CHAOS_TXNS", self.txns_per_wave as u64, defaults.txns_per_wave as u64),
+            ("CHAOS_ATTEMPTS", self.max_attempts as u64, defaults.max_attempts as u64),
+        ] {
+            if actual != default {
+                env.push_str(&format!(" {var}={actual}"));
+            }
+        }
+        env
+    }
+
+    /// Rebuilds a scenario from `CHAOS_*` environment variables (the
+    /// counterpart of [`ChaosOptions::repro_env`]); unset variables keep the
+    /// standard-scenario defaults. Used by the repro test a failing run
+    /// points at.
+    pub fn from_env() -> Self {
+        let var = |name: &str| std::env::var(name).ok();
+        let parse = |name: &str| var(name).and_then(|v| v.parse::<u64>().ok());
+        let workload = var("CHAOS_WORKLOAD").and_then(|w| ChaosWorkload::parse(&w)).unwrap_or(ChaosWorkload::SmallBank);
+        let seed = parse("CHAOS_SEED").unwrap_or(7);
+        let mut options = ChaosOptions::new(workload, seed);
+        if var("CHAOS_FAULTS").as_deref() == Some("off") {
+            options.faults = None;
+        }
+        options.mode = match var("CHAOS_MODE").as_deref() {
+            Some("lmswitch") => SystemMode::LmSwitch,
+            Some("noswitch") => SystemMode::NoSwitch,
+            _ => options.mode,
+        };
+        if let Some(p) = var("CHAOS_DIST").and_then(|v| v.parse::<f64>().ok()) {
+            options.distributed_prob = p;
+        }
+        let flag = |name: &str| matches!(var(name).as_deref(), Some("1") | Some("true"));
+        options.crash_node = parse("CHAOS_CRASH_NODE").map(|n| NodeId(n as u16));
+        options.crash_switch = flag("CHAOS_CRASH_SWITCH");
+        options.reoffload = flag("CHAOS_REOFFLOAD");
+        if let Some(n) = parse("CHAOS_NODES") {
+            options.nodes = n as u16;
+        }
+        if let Some(n) = parse("CHAOS_WORKERS") {
+            options.workers = n as u16;
+        }
+        if let Some(n) = parse("CHAOS_WAVES") {
+            options.waves = n as usize;
+        }
+        if let Some(n) = parse("CHAOS_TXNS") {
+            options.txns_per_wave = n as usize;
+        }
+        if let Some(n) = parse("CHAOS_ATTEMPTS") {
+            options.max_attempts = n as u32;
+        }
+        options
+    }
+}
+
+/// Everything a chaos run observed.
+#[derive(Debug)]
+pub struct ChaosReport {
+    pub workload: &'static str,
+    pub seed: u64,
+    pub committed: u64,
+    pub aborted: u64,
+    /// Transactions that committed in doubt (switch reply lost).
+    pub in_doubt: u64,
+    /// Total network faults injected (the trace below is capped, this is
+    /// not).
+    pub faults_injected: u64,
+    pub fault_events: Vec<FaultEvent>,
+    pub invariants: InvariantReport,
+    pub node_recovery: Option<NodeRecoveryReport>,
+    pub switch_recovery: Option<SwitchRecoveryReport>,
+    /// Whether every quiesce completed before its timeout.
+    pub quiesced: bool,
+    /// Fault classes that alone still reproduce the failure (populated only
+    /// when the full plan failed and mixes several classes).
+    pub minimized_faults: Vec<&'static str>,
+    /// One command that reproduces this exact scenario.
+    pub repro: String,
+}
+
+impl ChaosReport {
+    /// No invariant violations, no recovery divergence, clean quiesce.
+    pub fn is_clean(&self) -> bool {
+        self.invariants.is_clean()
+            && self.quiesced
+            && self
+                .node_recovery
+                .as_ref()
+                .is_none_or(|r| r.divergences.is_empty() && r.ambiguous == 0 && r.codec_error.is_none())
+            && self.switch_recovery.as_ref().is_none_or(|r| r.unexplained_divergences.is_empty())
+    }
+
+    /// A one-screen failure summary: seed, violations, minimized fault trace.
+    pub fn failure_summary(&self) -> String {
+        let mut out = format!(
+            "chaos run failed: workload={} seed={} ({} committed, {} in doubt)\nreproduce with: {}\n",
+            self.workload, self.seed, self.committed, self.in_doubt, self.repro
+        );
+        for v in &self.invariants.violations {
+            out.push_str(&format!("  violation: {v}\n"));
+        }
+        if let Some(r) = &self.node_recovery {
+            if !r.divergences.is_empty() {
+                out.push_str(&format!("  node recovery divergences: {:?}\n", r.divergences));
+            }
+        }
+        if let Some(r) = &self.switch_recovery {
+            if !r.unexplained_divergences.is_empty() {
+                out.push_str(&format!("  switch recovery divergences: {:?}\n", r.unexplained_divergences));
+            }
+        }
+        if !self.minimized_faults.is_empty() {
+            out.push_str(&format!("  minimized fault classes: {:?}\n", self.minimized_faults));
+        }
+        let shown = self.fault_events.len().min(12);
+        for event in &self.fault_events[..shown] {
+            out.push_str(&format!("  fault: {:?} on {}\n", event.kind, event.link));
+        }
+        if self.faults_injected > shown as u64 {
+            out.push_str(&format!("  ... {} more faults\n", self.faults_injected - shown as u64));
+        }
+        out
+    }
+}
+
+fn build_workload(options: &ChaosOptions) -> (Arc<dyn Workload>, SemanticChecks) {
+    match options.workload {
+        ChaosWorkload::Ycsb => {
+            let w = Ycsb::new(YcsbConfig { keys_per_node: 2_000, ..YcsbConfig::new(YcsbMix::A) });
+            (Arc::new(w), SemanticChecks::None)
+        }
+        ChaosWorkload::SmallBank => {
+            let config = SmallBankConfig { customers_per_node: 2_000, ..SmallBankConfig::default() };
+            let checks = SemanticChecks::SmallBank {
+                initial_balance: p4db_workloads::smallbank::INITIAL_BALANCE,
+                max_amount: config.max_amount,
+            };
+            (Arc::new(SmallBank::new(config)), checks)
+        }
+        ChaosWorkload::Tpcc => {
+            let config = TpccConfig { items_loaded: 300, ..TpccConfig::new(2) };
+            let checks = SemanticChecks::Tpcc { warehouses: config.warehouses, initial_customer_balance: 1_000 };
+            (Arc::new(Tpcc::new(config)), checks)
+        }
+    }
+}
+
+/// Runs one chaos scenario end to end and returns the full report. On
+/// failure (and a multi-class fault plan) the seed is re-run once per fault
+/// class to minimize the reproducing trace.
+pub fn run_chaos(options: &ChaosOptions) -> Result<ChaosReport> {
+    let mut report = run_once(options)?;
+    if !report.is_clean() {
+        if let Some(plan) = &options.faults {
+            let kinds = plan.active_kinds();
+            if kinds.len() > 1 {
+                for kind in kinds {
+                    let mut narrowed = options.clone();
+                    narrowed.faults = Some(plan.only(kind));
+                    if let Ok(rerun) = run_once(&narrowed) {
+                        if !rerun.is_clean() {
+                            report.minimized_faults.push(kind.name());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn run_once(options: &ChaosOptions) -> Result<ChaosReport> {
+    let (workload, semantics) = build_workload(options);
+    let mut builder = Cluster::builder(Arc::clone(&workload))
+        .nodes(options.nodes)
+        .workers(options.workers)
+        .mode(options.mode)
+        .distributed_prob(options.distributed_prob)
+        .seed(options.seed)
+        .test_latencies();
+    if let Some(plan) = &options.faults {
+        builder = builder.with_faults(plan.clone());
+    }
+    let mut cluster = builder.try_build()?;
+
+    let mut committed = 0u64;
+    let mut aborted = 0u64;
+    let mut in_doubt = 0u64;
+    let mut quiesced = true;
+    let mut node_recovery = None;
+    let mut switch_recovery = None;
+
+    for wave in 0..options.waves.max(1) {
+        let (c, a, d) = drive_wave(&cluster, &workload, options, wave)?;
+        committed += c;
+        aborted += a;
+        in_doubt += d;
+        quiesced &= cluster.quiesce_switch(Duration::from_secs(10));
+
+        if wave == 0 {
+            if let Some(node) = options.crash_node {
+                node_recovery = Some(cluster.crash_and_recover_node(node)?);
+            }
+            if options.crash_switch {
+                let reoffload_seed = options.reoffload.then_some(options.seed ^ 0xC0DE);
+                switch_recovery = Some(cluster.crash_and_recover_switch(reoffload_seed)?);
+            }
+        }
+    }
+
+    // Every wave already ended in a quiesce, so the cluster is quiet here.
+    let invariants = invariants::check(&cluster, semantics);
+    let repro =
+        format!("{} cargo test --offline --test chaos smoke_reproduce_from_env -- --nocapture", options.repro_env());
+    Ok(ChaosReport {
+        workload: options.workload.name(),
+        seed: options.seed,
+        committed,
+        aborted,
+        in_doubt,
+        faults_injected: cluster.faults_injected(),
+        fault_events: cluster.fault_trace(),
+        invariants,
+        node_recovery,
+        switch_recovery,
+        quiesced,
+        minimized_faults: Vec::new(),
+        repro,
+    })
+}
+
+/// One traffic wave: every `(node, worker)` pair drives its session through
+/// `txns_per_wave` generated transactions. Returns (committed, aborted,
+/// in-doubt) counts.
+fn drive_wave(
+    cluster: &Cluster,
+    workload: &Arc<dyn Workload>,
+    options: &ChaosOptions,
+    wave: usize,
+) -> Result<(u64, u64, u64)> {
+    let mut handles = Vec::new();
+    for node in 0..options.nodes {
+        for worker in 0..options.workers {
+            let mut session = cluster.session(NodeId(node))?;
+            session.set_max_attempts(options.max_attempts);
+            let workload = Arc::clone(workload);
+            let ctx = WorkloadCtx::new(options.nodes, NodeId(node), options.distributed_prob);
+            let seed = options
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((wave as u64) << 40 | (node as u64) << 20 | worker as u64);
+            let count = options.txns_per_wave;
+            handles.push(std::thread::spawn(move || {
+                let mut rng = FastRng::new(seed);
+                let (mut committed, mut aborted, mut in_doubt) = (0u64, 0u64, 0u64);
+                for _ in 0..count {
+                    let req = workload.generate(&ctx, &mut rng);
+                    match session.execute_request(&req) {
+                        Ok(outcome) => {
+                            committed += 1;
+                            if outcome.in_doubt {
+                                in_doubt += 1;
+                            }
+                        }
+                        Err(e) if e.is_abort() => aborted += 1,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok((committed, aborted, in_doubt))
+            }));
+        }
+    }
+    // Join *every* driver before propagating any error, so no driver thread
+    // outlives the wave and keeps submitting into a cluster the caller
+    // believes is quiet. A driver panic is re-raised with its own payload —
+    // it carries the seed-specific diagnostic the repro workflow needs.
+    let joined: Vec<std::thread::Result<Result<(u64, u64, u64)>>> = handles.into_iter().map(|h| h.join()).collect();
+    let results: Vec<Result<(u64, u64, u64)>> =
+        joined.into_iter().map(|r| r.unwrap_or_else(|payload| std::panic::resume_unwind(payload))).collect();
+    let (mut committed, mut aborted, mut in_doubt) = (0u64, 0u64, 0u64);
+    for result in results {
+        let (c, a, d) = result?;
+        committed += c;
+        aborted += a;
+        in_doubt += d;
+    }
+    Ok((committed, aborted, in_doubt))
+}
+
+/// Re-sends an already-executed logged intent to the switch, byte for byte —
+/// the retransmission bug the exactly-once invariant exists to catch. Used
+/// by the negative tests to prove the checker is alive. Returns the tuple
+/// count of the replayed intent.
+///
+/// # Panics
+/// Panics if called twice on the same cluster (its reply endpoint can only
+/// be registered once).
+pub fn resend_logged_intent(cluster: &Cluster, txn: TxnId) -> Result<usize> {
+    let ops = cluster
+        .shared()
+        .nodes
+        .iter()
+        .find_map(|storage| {
+            storage.wal().records().into_iter().find_map(|r| match r {
+                LogRecord::SwitchIntent { txn: t, ops } if t == txn => Some(ops),
+                _ => None,
+            })
+        })
+        .ok_or_else(|| Error::InvalidTxn(format!("no logged intent for {txn}")))?;
+
+    let index = cluster.shared().hot_index.load();
+    let mut instructions = Vec::with_capacity(ops.len());
+    for op in &ops {
+        let slot =
+            index.slot(op.tuple).ok_or_else(|| Error::InvalidTxn(format!("{} is no longer offloaded", op.tuple)))?;
+        let mut instr = Instruction::new(slot, op.op, op.operand);
+        instr.operand_from = op.operand_from;
+        instructions.push(instr);
+    }
+
+    // A rogue endpoint outside the worker id space.
+    let origin = EndpointId::Node(NodeId(u16::MAX));
+    let mailbox = cluster.shared().fabric.register(origin);
+    let mut header = TxnHeader::new(origin, u64::MAX);
+    header.txn_id = txn;
+    let sent = cluster.shared().fabric.send(
+        origin,
+        EndpointId::Switch,
+        SwitchMessage::Txn(SwitchTxn::new(header, instructions)),
+    );
+    if !sent {
+        return Err(Error::Disconnected);
+    }
+    // Wait for the duplicate execution to finish so the checker sees it.
+    loop {
+        match mailbox.recv_timeout(Duration::from_secs(10)) {
+            RecvOutcome::Msg(env) => {
+                if matches!(env.payload, SwitchMessage::TxnReply(_)) {
+                    break;
+                }
+            }
+            // The two outcomes are distinct: a timeout means the duplicated
+            // packet (or its reply) was lost — possible when the cluster
+            // itself injects faults — while a disconnect means it shut down.
+            RecvOutcome::TimedOut => {
+                return Err(Error::SwitchControlPlane(format!(
+                    "no reply to the duplicated intent of {txn} within 10s (packet lost under fault injection?)"
+                )));
+            }
+            RecvOutcome::Disconnected => return Err(Error::Disconnected),
+        }
+    }
+    Ok(ops.len())
+}

@@ -1,0 +1,519 @@
+//! Cluster-wide invariant checking: replay the committed history against a
+//! shadow single-threaded store and compare it with the live cluster.
+//!
+//! The checker treats the cluster as a white box and uses three sources of
+//! ground truth that the real system also relies on (plus one that only the
+//! simulator can provide):
+//!
+//! 1. **The node WALs** — every switch intent, switch result, cold
+//!    before/after image and commit/abort decision (§6.1).
+//! 2. **The switch data-plane audit log** — the `(TxnId, GID)` sequence in
+//!    true serial execution order (simulator-only oracle, enabled by
+//!    [`p4db_switch::SwitchConfig::audit_data_plane`]).
+//! 3. **The live state** — register memory and host tables.
+//!
+//! From these it asserts, per [`check`]:
+//!
+//! * **serializability equivalence** — replaying the audited execution order
+//!   on a shadow store reproduces every logged result *and* the live
+//!   register state exactly;
+//! * **exactly-once application** — no intent executed twice, nothing
+//!   executed without a logged intent, every completed intent executed
+//!   exactly once under its logged GID;
+//! * **cold durability** — redo/undo replay of every coordinator log matches
+//!   the live host tables;
+//! * **workload semantics** — SmallBank balance conservation and
+//!   non-negativity, TPC-C warehouse-YTD vs. customer-deduction
+//!   conservation (with in-doubt, not-yet-applied intents accounted for).
+
+use p4db_common::{GlobalTxnId, NodeId, TupleId, TxnId};
+use p4db_core::Cluster;
+use p4db_storage::{recover_cold_state, replay_logged_op, LogRecord, LoggedSwitchOp};
+use p4db_workloads::smallbank::{CHECKING, SAVINGS};
+use p4db_workloads::tpcc::{keys, CUSTOMER, CUSTOMERS_PER_DISTRICT, DISTRICTS_PER_WAREHOUSE, WAREHOUSE};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// One invariant violation. Every variant names enough state to reproduce
+/// the investigation; the chaos harness attaches the seed and fault trace.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// A live switch register disagrees with the shadow replay.
+    SwitchDivergence { tuple: TupleId, live: u64, shadow: u64 },
+    /// The switch executed the same intent more than once.
+    DoubleExecution { txn: TxnId, times: usize },
+    /// The switch executed a transaction no node ever logged an intent for
+    /// (the durability protocol logs the intent *before* sending, §6.1).
+    ExecutedWithoutIntent { txn: TxnId },
+    /// A transaction with a logged result never shows up in the audit log.
+    MissingExecution { txn: TxnId },
+    /// The GID a node logged differs from the GID the switch assigned.
+    GidMismatch { txn: TxnId, logged: GlobalTxnId, executed: GlobalTxnId },
+    /// Replaying a transaction does not reproduce its logged result values.
+    ResultMismatch { txn: TxnId },
+    /// Redo/undo replay of the coordinator logs disagrees with a live host
+    /// row.
+    ColdDivergence { node: NodeId, tuple: TupleId, live: u64, recovered: u64 },
+    /// An account balance went negative.
+    NegativeBalance { tuple: TupleId, value: u64 },
+    /// Total money in the system differs from what the committed history
+    /// injected or removed.
+    ConservationViolation { expected: i128, actual: i128, context: &'static str },
+    /// A committed host transaction moved money in a shape no SmallBank
+    /// transaction type can produce.
+    IllegalMoneyMovement { txn: TxnId, delta: i128 },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::SwitchDivergence { tuple, live, shadow } => {
+                write!(f, "switch register {tuple} holds {live}, replay says {shadow}")
+            }
+            Violation::DoubleExecution { txn, times } => write!(f, "{txn} executed {times} times on the switch"),
+            Violation::ExecutedWithoutIntent { txn } => write!(f, "{txn} executed without a logged intent"),
+            Violation::MissingExecution { txn } => write!(f, "{txn} has a logged result but never executed"),
+            Violation::GidMismatch { txn, logged, executed } => {
+                write!(f, "{txn} logged {logged} but executed as {executed}")
+            }
+            Violation::ResultMismatch { txn } => write!(f, "replaying {txn} does not reproduce its logged results"),
+            Violation::ColdDivergence { node, tuple, live, recovered } => {
+                write!(f, "{node} row {tuple} holds {live}, log replay says {recovered}")
+            }
+            Violation::NegativeBalance { tuple, value } => {
+                write!(f, "balance {tuple} is negative ({value} as i64 = {})", *value as i64)
+            }
+            Violation::ConservationViolation { expected, actual, context } => {
+                write!(f, "{context}: expected total {expected}, found {actual}")
+            }
+            Violation::IllegalMoneyMovement { txn, delta } => {
+                write!(f, "committed {txn} moved a net of {delta} across accounts")
+            }
+        }
+    }
+}
+
+/// Workload-specific semantic invariants to check on top of the generic
+/// replay and exactly-once checks.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum SemanticChecks {
+    /// Generic checks only (YCSB has no cross-tuple semantics).
+    None,
+    /// Balance conservation + non-negativity over savings/checking.
+    SmallBank { initial_balance: u64, max_amount: u64 },
+    /// Warehouse YTD must equal the total deducted from customers.
+    Tpcc { warehouses: u64, initial_customer_balance: u64 },
+}
+
+/// The checker's findings plus the bookkeeping that explains them.
+#[derive(Clone, Debug, Default)]
+pub struct InvariantReport {
+    pub violations: Vec<Violation>,
+    /// Switch transactions replayed from the audit log (this epoch).
+    pub replayed: usize,
+    /// In-doubt intents that did execute (reply lost).
+    pub in_doubt_executed: usize,
+    /// In-doubt intents that never executed (request lost) — recovery is
+    /// responsible for them.
+    pub in_doubt_lost: usize,
+    /// Constrained switch writes whose predicate failed during replay.
+    pub partial_applies: usize,
+    /// Cold tuples compared against log replay.
+    pub cold_compared: usize,
+}
+
+impl InvariantReport {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Switch transactions the nodes logged during the current epoch.
+struct EpochLog {
+    intents: HashMap<TxnId, Vec<LoggedSwitchOp>>,
+    results: HashMap<TxnId, (GlobalTxnId, Vec<(TupleId, u64)>)>,
+}
+
+fn epoch_log(cluster: &Cluster) -> EpochLog {
+    let epoch = cluster.switch_epoch();
+    let mut intents = HashMap::new();
+    let mut results = HashMap::new();
+    for (n, storage) in cluster.shared().nodes.iter().enumerate() {
+        let records = storage.wal().records();
+        let start = epoch.wal_start.get(n).copied().unwrap_or(0).min(records.len());
+        for record in &records[start..] {
+            match record {
+                LogRecord::SwitchIntent { txn, ops } => {
+                    intents.insert(*txn, ops.clone());
+                }
+                LogRecord::SwitchResult { txn, gid, results: r } => {
+                    results.insert(*txn, (*gid, r.clone()));
+                }
+                _ => {}
+            }
+        }
+    }
+    EpochLog { intents, results }
+}
+
+/// Replays one logged transaction on the shadow store through the storage
+/// crate's ALU-exact replayer (operand forwarding included). Returns the
+/// per-op values and accumulates the money delta over `money_tables`.
+fn replay_txn(
+    shadow: &mut HashMap<TupleId, u64>,
+    ops: &[LoggedSwitchOp],
+    money_tables: &[p4db_common::TableId],
+    money_delta: &mut i128,
+    partial_applies: &mut usize,
+) -> Vec<u64> {
+    let mut values = Vec::with_capacity(ops.len());
+    for op in ops {
+        let effect = replay_logged_op(shadow, &values, op);
+        if !effect.applied {
+            *partial_applies += 1;
+        }
+        if money_tables.contains(&op.tuple.table) {
+            *money_delta += effect.new as i64 as i128 - effect.previous as i64 as i128;
+        }
+        values.push(effect.value);
+    }
+    values
+}
+
+/// Runs every applicable invariant against the cluster. The caller must have
+/// quiesced traffic first ([`Cluster::quiesce_switch`]) — the checker reads
+/// logs, audit and live state non-atomically.
+pub fn check(cluster: &Cluster, semantics: SemanticChecks) -> InvariantReport {
+    let mut report = InvariantReport::default();
+    let money_tables: Vec<p4db_common::TableId> = match semantics {
+        SemanticChecks::SmallBank { .. } => vec![SAVINGS, CHECKING],
+        SemanticChecks::Tpcc { .. } => vec![WAREHOUSE],
+        SemanticChecks::None => Vec::new(),
+    };
+
+    // The committed history is materialized once: every sub-check reads the
+    // same epoch-relative log and audit snapshot.
+    let audit_enabled = cluster.config().switch.audit_data_plane;
+    let log = epoch_log(cluster);
+    let audit: Vec<(TxnId, GlobalTxnId)> = {
+        let full = cluster.switch_audit();
+        let start = cluster.switch_epoch().audit_start.min(full.len());
+        full[start..].to_vec()
+    };
+
+    let mut switch_money_delta: i128 = 0;
+    if audit_enabled {
+        check_switch(cluster, &log, &audit, &mut report, &money_tables, &mut switch_money_delta);
+    }
+    let cold_money_delta = check_cold(cluster, &mut report, &money_tables);
+
+    match semantics {
+        SemanticChecks::None => {}
+        SemanticChecks::SmallBank { initial_balance, max_amount } => {
+            check_smallbank(
+                cluster,
+                audit_enabled,
+                &mut report,
+                initial_balance,
+                max_amount,
+                switch_money_delta,
+                cold_money_delta,
+            );
+        }
+        SemanticChecks::Tpcc { warehouses, initial_customer_balance } => {
+            check_tpcc(cluster, &log, &audit, audit_enabled, &mut report, warehouses, initial_customer_balance);
+        }
+    }
+    report
+}
+
+/// Commit status of every transaction in one coordinator's log, under the
+/// rules recovery applies (§A.3): an explicit `Commit`/`Abort` decides, and
+/// a logged switch intent pre-commits the transaction.
+fn commit_status(records: &[LogRecord]) -> HashMap<TxnId, bool> {
+    let mut committed: HashMap<TxnId, bool> = HashMap::new();
+    for r in records {
+        match r {
+            LogRecord::Commit { txn } => {
+                committed.insert(*txn, true);
+            }
+            LogRecord::Abort { txn } => {
+                committed.insert(*txn, false);
+            }
+            LogRecord::SwitchIntent { txn, .. } => {
+                committed.entry(*txn).or_insert(true);
+            }
+            _ => {}
+        }
+    }
+    committed
+}
+
+/// Serializability replay + exactly-once accounting for the switch.
+fn check_switch(
+    cluster: &Cluster,
+    log: &EpochLog,
+    audit: &[(TxnId, GlobalTxnId)],
+    report: &mut InvariantReport,
+    money_tables: &[p4db_common::TableId],
+    money_delta: &mut i128,
+) {
+    let epoch = cluster.switch_epoch();
+
+    // --- Exactly-once accounting ---------------------------------------
+    let mut executed_times: HashMap<TxnId, usize> = HashMap::new();
+    let mut executed_gid: HashMap<TxnId, GlobalTxnId> = HashMap::new();
+    for (txn, gid) in audit {
+        *executed_times.entry(*txn).or_insert(0) += 1;
+        executed_gid.insert(*txn, *gid);
+    }
+    for (&txn, &times) in &executed_times {
+        if txn == TxnId(0) {
+            continue; // raw clients outside the durability protocol
+        }
+        if times > 1 {
+            report.violations.push(Violation::DoubleExecution { txn, times });
+        }
+        if !log.intents.contains_key(&txn) {
+            report.violations.push(Violation::ExecutedWithoutIntent { txn });
+        }
+    }
+    for (&txn, &(logged_gid, _)) in &log.results {
+        match executed_gid.get(&txn) {
+            None => report.violations.push(Violation::MissingExecution { txn }),
+            Some(&gid) if gid != logged_gid => {
+                report.violations.push(Violation::GidMismatch { txn, logged: logged_gid, executed: gid });
+            }
+            Some(_) => {}
+        }
+    }
+    for &txn in log.intents.keys() {
+        if !log.results.contains_key(&txn) {
+            if executed_times.contains_key(&txn) {
+                report.in_doubt_executed += 1;
+            } else {
+                report.in_doubt_lost += 1;
+            }
+        }
+    }
+
+    // --- Shadow replay in audited serial order -------------------------
+    // Each committed intent is replayed exactly once, at its first audited
+    // position: a duplicate execution (retransmission bug) is excluded from
+    // the shadow, so its effect on the live registers surfaces as a
+    // divergence on top of the DoubleExecution violation.
+    let mut shadow = epoch.baseline.clone();
+    let mut replayed_txns: HashSet<TxnId> = HashSet::new();
+    for (txn, _) in audit {
+        if !replayed_txns.insert(*txn) {
+            continue;
+        }
+        let Some(ops) = log.intents.get(txn) else { continue };
+        let values = replay_txn(&mut shadow, ops, money_tables, money_delta, &mut report.partial_applies);
+        report.replayed += 1;
+        if let Some((_, logged)) = log.results.get(txn) {
+            let matches = logged.len() == values.len()
+                && logged.iter().zip(ops.iter()).all(|((t, _), op)| *t == op.tuple)
+                && logged.iter().zip(values.iter()).all(|((_, want), got)| want == got);
+            if !matches {
+                report.violations.push(Violation::ResultMismatch { txn: *txn });
+            }
+        }
+    }
+    for (tuple, live) in cluster.control_plane().snapshot() {
+        let expected = shadow.get(&tuple).copied().unwrap_or_else(|| epoch.baseline.get(&tuple).copied().unwrap_or(0));
+        if live != expected {
+            report.violations.push(Violation::SwitchDivergence { tuple, live, shadow: expected });
+        }
+    }
+}
+
+/// Cold durability: redo/undo replay of every coordinator log must match the
+/// live host tables. Returns the committed money delta over `money_tables`.
+fn check_cold(cluster: &Cluster, report: &mut InvariantReport, money_tables: &[p4db_common::TableId]) -> i128 {
+    let map = cluster.partition_map();
+    // (home, tuple) -> recovered final images from each coordinator's log.
+    let mut candidates: HashMap<(NodeId, TupleId), Vec<u64>> = HashMap::new();
+    let mut money_delta: i128 = 0;
+
+    for storage in cluster.shared().nodes.iter() {
+        let wal = storage.wal();
+        let records = wal.records();
+
+        let committed = commit_status(&records);
+        for r in &records {
+            if let LogRecord::ColdWrite { txn, tuple, before, after } = r {
+                if committed.get(txn).copied().unwrap_or(false) && money_tables.contains(&tuple.table) {
+                    money_delta += after.switch_word() as i64 as i128 - before.switch_word() as i64 as i128;
+                }
+            }
+        }
+
+        let recovered = recover_cold_state(wal);
+        for (tuple, value) in recovered {
+            let home = map.home(tuple).unwrap_or(storage.node());
+            candidates.entry((home, tuple)).or_default().push(value.switch_word());
+        }
+    }
+
+    for ((home, tuple), images) in candidates {
+        let Ok(table) = cluster.shared().node(home).table(tuple.table) else { continue };
+        let Ok(live) = table.read(tuple.key) else {
+            // A logged row absent from the live table is an undone insert.
+            continue;
+        };
+        let live = live.switch_word();
+        report.cold_compared += 1;
+        // With several coordinators the cross-log order is unknown: the live
+        // value must match at least one final image. With one log it must
+        // match exactly.
+        if !images.contains(&live) {
+            report.violations.push(Violation::ColdDivergence { node: home, tuple, live, recovered: images[0] });
+        }
+    }
+    money_delta
+}
+
+/// SmallBank: every balance non-negative; total money == initial money plus
+/// what the committed history injected; committed host transactions move
+/// money only in legal shapes.
+#[allow(clippy::too_many_arguments)]
+fn check_smallbank(
+    cluster: &Cluster,
+    audit_enabled: bool,
+    report: &mut InvariantReport,
+    initial_balance: u64,
+    max_amount: u64,
+    switch_money_delta: i128,
+    cold_money_delta: i128,
+) {
+    let shared = cluster.shared();
+    let mut live_total: i128 = 0;
+    let mut accounts: i128 = 0;
+    for storage in shared.nodes.iter() {
+        for table in [SAVINGS, CHECKING] {
+            let Ok(table) = storage.table(table) else { continue };
+            for key in table.keys() {
+                let tuple = TupleId::new(table.id(), key);
+                // The switch is authoritative for offloaded accounts.
+                let value = cluster
+                    .switch_value(tuple)
+                    .unwrap_or_else(|| table.read(key).map(|v| v.switch_word()).unwrap_or(0));
+                if (value as i64) < 0 {
+                    report.violations.push(Violation::NegativeBalance { tuple, value });
+                }
+                live_total += value as i64 as i128;
+                accounts += 1;
+            }
+        }
+    }
+
+    // The epoch baseline already contains pre-epoch switch deltas; account
+    // for them relative to the offload-time values.
+    let epoch = cluster.switch_epoch();
+    let pre_epoch_delta: i128 = epoch
+        .baseline
+        .iter()
+        .filter(|(t, _)| t.table == SAVINGS || t.table == CHECKING)
+        .map(|(t, &v)| v as i64 as i128 - cluster.offload_snapshot().get(t).copied().unwrap_or(v) as i64 as i128)
+        .sum();
+
+    // Without the audit log there is no switch delta to account against, so
+    // the conservation equation would flag healthy hot traffic; only the
+    // per-balance and per-transaction checks apply then (check_tpcc guards
+    // its pending-YTD term the same way).
+    let expected = accounts * initial_balance as i128 + cold_money_delta + switch_money_delta + pre_epoch_delta;
+    if audit_enabled && expected != live_total {
+        report.violations.push(Violation::ConservationViolation {
+            expected,
+            actual: live_total,
+            context: "SmallBank total balance",
+        });
+    }
+
+    // Per-transaction shape check on the host path: net delta of a committed
+    // transaction's cold money writes is 0 (transfer) or ±amount.
+    for storage in shared.nodes.iter() {
+        let records = storage.wal().records();
+        let committed = commit_status(&records);
+        let mut per_txn: HashMap<TxnId, i128> = HashMap::new();
+        let mut touched_money: HashSet<TxnId> = HashSet::new();
+        for r in &records {
+            if let LogRecord::ColdWrite { txn, tuple, before, after } = r {
+                if (tuple.table == SAVINGS || tuple.table == CHECKING) && committed.get(txn).copied().unwrap_or(false) {
+                    *per_txn.entry(*txn).or_insert(0) +=
+                        after.switch_word() as i64 as i128 - before.switch_word() as i64 as i128;
+                    touched_money.insert(*txn);
+                }
+            }
+        }
+        for txn in touched_money {
+            let delta = per_txn[&txn];
+            // Amalgamate drains a whole balance (net 0); every other type
+            // moves at most max_amount in one direction.
+            if delta != 0 && delta.unsigned_abs() > max_amount as u128 {
+                report.violations.push(Violation::IllegalMoneyMovement { txn, delta });
+            }
+        }
+    }
+}
+
+/// TPC-C: the warehouse YTD counters must account for every committed
+/// customer deduction — including Payments whose switch part is still
+/// in-doubt and unexecuted (recovery will apply them; until then their YTD
+/// contribution is pending).
+#[allow(clippy::too_many_arguments)]
+fn check_tpcc(
+    cluster: &Cluster,
+    log: &EpochLog,
+    audit: &[(TxnId, GlobalTxnId)],
+    audit_enabled: bool,
+    report: &mut InvariantReport,
+    warehouses: u64,
+    initial_customer_balance: u64,
+) {
+    let shared = cluster.shared();
+    let mut live_ytd: i128 = 0;
+    for w in 0..warehouses {
+        let tuple = TupleId::new(WAREHOUSE, keys::warehouse(w));
+        let value = cluster.switch_value(tuple).unwrap_or_else(|| {
+            let home = cluster.partition_map().home(tuple).unwrap_or(NodeId(0));
+            shared.node(home).table(WAREHOUSE).and_then(|t| t.read(tuple.key)).map(|v| v.switch_word()).unwrap_or(0)
+        });
+        live_ytd += value as i64 as i128;
+    }
+
+    let mut customer_delta: i128 = 0;
+    for storage in shared.nodes.iter() {
+        let Ok(table) = storage.table(CUSTOMER) else { continue };
+        for key in table.keys() {
+            let balance = table.read(key).map(|v| v.switch_word()).unwrap_or(0);
+            customer_delta += initial_customer_balance as i128 - balance as i64 as i128;
+        }
+    }
+
+    // Unexecuted in-doubt intents of this epoch still owe their YTD adds.
+    let mut pending_ytd: i128 = 0;
+    if audit_enabled {
+        let executed: HashSet<TxnId> = audit.iter().map(|(t, _)| *t).collect();
+        for (txn, ops) in &log.intents {
+            if log.results.contains_key(txn) || executed.contains(txn) {
+                continue;
+            }
+            for op in ops {
+                if op.tuple.table == WAREHOUSE {
+                    pending_ytd += op.operand as i64 as i128;
+                }
+            }
+        }
+    }
+
+    if live_ytd + pending_ytd != customer_delta {
+        report.violations.push(Violation::ConservationViolation {
+            expected: customer_delta,
+            actual: live_ytd + pending_ytd,
+            context: "TPC-C warehouse YTD vs customer deductions",
+        });
+    }
+    let _ = (DISTRICTS_PER_WAREHOUSE, CUSTOMERS_PER_DISTRICT);
+}

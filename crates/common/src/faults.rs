@@ -1,0 +1,290 @@
+//! Seeded fault-injection plans for chaos testing.
+//!
+//! A [`FaultPlan`] describes, from a single seed, every fault a chaos run may
+//! inject: message drops, delays and reorderings on the rack fabric, plus the
+//! switch-reply timeout the transaction engine uses while faults are active
+//! (so a dropped packet surfaces as an *in-doubt* transaction in tens of
+//! milliseconds instead of the production 30-second budget).
+//!
+//! The plan itself is pure data — it lives in `p4db-common` so that the
+//! network fabric (which executes the message faults), the cluster builder
+//! (which installs them) and the chaos harness (which sweeps seeds and
+//! checks invariants) can all share it without dependency cycles. The
+//! [`FaultInjector`] is the runtime half: a seeded decision stream plus a
+//! bounded trace of every fault it injected, which failing runs report so
+//! the seed reproduces them with one command.
+
+use crate::rand_util::FastRng;
+use crate::sync::unpoison;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Message-level fault probabilities for the rack fabric.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct NetFaultConfig {
+    /// Probability that a unicast message is silently dropped on the wire
+    /// (the sender cannot tell — exactly like a lost packet).
+    pub drop_prob: f64,
+    /// Probability that a message is delayed before delivery.
+    pub delay_prob: f64,
+    /// Upper bound on an injected delay, in microseconds.
+    pub max_delay_us: u64,
+    /// Probability that a message is held back and delivered *after* the
+    /// next message to the same destination (a reordering).
+    pub reorder_prob: f64,
+    /// Hard budget on injected faults per run, so a chaos run degrades the
+    /// cluster without starving it.
+    pub max_faults: u64,
+}
+
+impl NetFaultConfig {
+    /// No message faults.
+    pub const fn none() -> Self {
+        NetFaultConfig { drop_prob: 0.0, delay_prob: 0.0, max_delay_us: 0, reorder_prob: 0.0, max_faults: 0 }
+    }
+
+    /// The default chaos profile: a few percent of messages dropped, delayed
+    /// or reordered, bounded to a few dozen faults per run.
+    pub const fn light() -> Self {
+        NetFaultConfig { drop_prob: 0.02, delay_prob: 0.05, max_delay_us: 300, reorder_prob: 0.03, max_faults: 48 }
+    }
+}
+
+/// A complete, seed-derived fault plan for one chaos run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault decision stream (independent of the workload seed).
+    pub seed: u64,
+    /// Message faults injected by the fabric.
+    pub net: NetFaultConfig,
+    /// How long a worker waits for a switch reply before declaring the
+    /// transaction in-doubt. The production default (30 s) makes every
+    /// dropped packet stall a whole test, so fault plans shrink it.
+    pub switch_timeout: Duration,
+}
+
+impl FaultPlan {
+    /// The standard chaos plan for a seed: light message faults, short
+    /// switch timeout.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan { seed, net: NetFaultConfig::light(), switch_timeout: Duration::from_millis(75) }
+    }
+
+    /// A plan that injects nothing but still arms the chaos bookkeeping
+    /// (audit log, short timeouts) — the faults-off control arm of a sweep.
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan { seed, net: NetFaultConfig::none(), switch_timeout: Duration::from_millis(250) }
+    }
+
+    /// Returns a copy with every fault class except `kind` disabled — the
+    /// building block of the fault-trace minimizer.
+    pub fn only(&self, kind: FaultKind) -> Self {
+        let mut net = NetFaultConfig { max_faults: self.net.max_faults, ..NetFaultConfig::none() };
+        match kind {
+            FaultKind::Drop => net.drop_prob = self.net.drop_prob,
+            FaultKind::Delay => {
+                net.delay_prob = self.net.delay_prob;
+                net.max_delay_us = self.net.max_delay_us;
+            }
+            FaultKind::Reorder => net.reorder_prob = self.net.reorder_prob,
+        }
+        FaultPlan { seed: self.seed, net, switch_timeout: self.switch_timeout }
+    }
+
+    /// The fault classes this plan can inject.
+    pub fn active_kinds(&self) -> Vec<FaultKind> {
+        let mut kinds = Vec::new();
+        if self.net.drop_prob > 0.0 {
+            kinds.push(FaultKind::Drop);
+        }
+        if self.net.delay_prob > 0.0 {
+            kinds.push(FaultKind::Delay);
+        }
+        if self.net.reorder_prob > 0.0 {
+            kinds.push(FaultKind::Reorder);
+        }
+        kinds
+    }
+}
+
+/// What the injector decided for one message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver normally.
+    Deliver,
+    /// Silently discard; the sender still sees a successful send.
+    Drop,
+    /// Impose an extra wire delay before delivery.
+    Delay(Duration),
+    /// Hold the message back until the next message to the same destination
+    /// has been delivered (reordering).
+    HoldBack,
+}
+
+/// A fault class, used in traces and by the minimizer.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    Drop,
+    Delay,
+    Reorder,
+}
+
+impl FaultKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Delay => "delay",
+            FaultKind::Reorder => "reorder",
+        }
+    }
+}
+
+/// One injected fault, recorded for the failure report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    pub kind: FaultKind,
+    /// Human-readable `src->dst` link description.
+    pub link: String,
+}
+
+struct InjectorState {
+    rng: FastRng,
+    injected: u64,
+    trace: Vec<FaultEvent>,
+}
+
+/// The runtime fault decision stream: seeded, budgeted, traced.
+///
+/// Decisions are drawn from one seeded RNG, so a given seed always produces
+/// the same fault *distribution*; the exact messages hit depend on thread
+/// interleaving, which is why every injected fault is recorded in the trace.
+pub struct FaultInjector {
+    config: NetFaultConfig,
+    state: Mutex<InjectorState>,
+}
+
+/// Cap on the recorded trace; faults beyond it are still injected and
+/// counted, just not individually remembered.
+const TRACE_CAP: usize = 256;
+
+impl FaultInjector {
+    pub fn new(plan: &FaultPlan) -> Self {
+        FaultInjector {
+            config: plan.net,
+            state: Mutex::new(InjectorState {
+                rng: FastRng::new(plan.seed ^ 0x000F_A017_5EED),
+                injected: 0,
+                trace: Vec::new(),
+            }),
+        }
+    }
+
+    /// Decides the fate of one message on `link` (e.g. `"node0/worker1->switch"`).
+    pub fn decide(&self, link: &dyn Fn() -> String) -> FaultAction {
+        let mut state = unpoison(self.state.lock());
+        if state.injected >= self.config.max_faults {
+            return FaultAction::Deliver;
+        }
+        let (kind, action) = if state.rng.gen_bool(self.config.drop_prob) {
+            (FaultKind::Drop, FaultAction::Drop)
+        } else if state.rng.gen_bool(self.config.reorder_prob) {
+            (FaultKind::Reorder, FaultAction::HoldBack)
+        } else if state.rng.gen_bool(self.config.delay_prob) {
+            let us = 1 + state.rng.gen_range(self.config.max_delay_us.max(1));
+            (FaultKind::Delay, FaultAction::Delay(Duration::from_micros(us)))
+        } else {
+            return FaultAction::Deliver;
+        };
+        state.injected += 1;
+        if state.trace.len() < TRACE_CAP {
+            let link = link();
+            state.trace.push(FaultEvent { kind, link });
+        }
+        action
+    }
+
+    /// Number of faults injected so far.
+    pub fn injected(&self) -> u64 {
+        unpoison(self.state.lock()).injected
+    }
+
+    /// Snapshot of the recorded fault trace.
+    pub fn trace(&self) -> Vec<FaultEvent> {
+        unpoison(self.state.lock()).trace.clone()
+    }
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector").field("config", &self.config).field("injected", &self.injected()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_actions(plan: &FaultPlan, draws: usize) -> (usize, usize, usize, usize) {
+        let injector = FaultInjector::new(plan);
+        let (mut deliver, mut drop, mut delay, mut hold) = (0, 0, 0, 0);
+        for _ in 0..draws {
+            match injector.decide(&|| "a->b".to_string()) {
+                FaultAction::Deliver => deliver += 1,
+                FaultAction::Drop => drop += 1,
+                FaultAction::Delay(_) => delay += 1,
+                FaultAction::HoldBack => hold += 1,
+            }
+        }
+        (deliver, drop, delay, hold)
+    }
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        let (deliver, drop, delay, hold) = count_actions(&FaultPlan::quiet(1), 10_000);
+        assert_eq!((drop, delay, hold), (0, 0, 0));
+        assert_eq!(deliver, 10_000);
+    }
+
+    #[test]
+    fn seeded_plan_injects_all_classes_up_to_the_budget() {
+        let plan = FaultPlan::seeded(7);
+        let (_, drop, delay, hold) = count_actions(&plan, 50_000);
+        assert!(drop > 0 && delay > 0 && hold > 0, "drop={drop} delay={delay} hold={hold}");
+        assert_eq!((drop + delay + hold) as u64, plan.net.max_faults, "budget caps total faults");
+    }
+
+    #[test]
+    fn decision_stream_is_deterministic_per_seed() {
+        let plan = FaultPlan::seeded(42);
+        let a = FaultInjector::new(&plan);
+        let b = FaultInjector::new(&plan);
+        for _ in 0..5_000 {
+            assert_eq!(a.decide(&|| String::new()), b.decide(&|| String::new()));
+        }
+        assert_eq!(a.trace(), b.trace());
+    }
+
+    #[test]
+    fn only_isolates_one_fault_class() {
+        let plan = FaultPlan::seeded(3);
+        let drops_only = plan.only(FaultKind::Drop);
+        let (_, drop, delay, hold) = count_actions(&drops_only, 50_000);
+        assert!(drop > 0);
+        assert_eq!((delay, hold), (0, 0));
+        assert_eq!(drops_only.active_kinds(), vec![FaultKind::Drop]);
+        assert_eq!(plan.active_kinds(), vec![FaultKind::Drop, FaultKind::Delay, FaultKind::Reorder]);
+    }
+
+    #[test]
+    fn trace_records_kind_and_link() {
+        let plan =
+            FaultPlan { net: NetFaultConfig { drop_prob: 1.0, ..NetFaultConfig::light() }, ..FaultPlan::seeded(1) };
+        let injector = FaultInjector::new(&plan);
+        let _ = injector.decide(&|| "node0->switch".to_string());
+        let trace = injector.trace();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].kind, FaultKind::Drop);
+        assert_eq!(trace[0].link, "node0->switch");
+        assert_eq!(injector.injected(), 1);
+    }
+}

@@ -14,6 +14,7 @@
 pub mod channel;
 pub mod config;
 pub mod error;
+pub mod faults;
 pub mod ids;
 pub mod rand_util;
 pub mod simtime;
@@ -23,5 +24,6 @@ pub mod value;
 
 pub use config::{CcScheme, LatencyConfig, SystemMode};
 pub use error::{AbortReason, Error, Result};
+pub use faults::{FaultAction, FaultEvent, FaultInjector, FaultKind, FaultPlan, NetFaultConfig};
 pub use ids::{GlobalTxnId, NodeId, PartitionId, TableId, TupleId, TxnId, WorkerId};
 pub use value::Value;

@@ -7,6 +7,7 @@
 //! harness's sweep loops).
 
 use crate::cluster::{Cluster, ClusterConfig};
+use p4db_common::faults::FaultPlan;
 use p4db_common::{CcScheme, LatencyConfig, Result, SystemMode};
 use p4db_layout::LayoutStrategy;
 use p4db_switch::SwitchConfig;
@@ -109,6 +110,16 @@ impl ClusterBuilder {
     /// RNG seed for generators and backoff.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
+        self
+    }
+
+    /// Attaches a seeded fault-injection plan: the fabric drops, delays and
+    /// reorders messages per the plan, workers use its short switch-reply
+    /// timeout (lost packets surface as in-doubt transactions instead of
+    /// stalls), and the switch keeps its data-plane audit log so the
+    /// `p4db-chaos` invariant checker can verify the run afterwards.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.config.faults = Some(plan);
         self
     }
 

@@ -11,19 +11,20 @@
 //! to produce one data point of one figure.
 
 use crate::session::{Session, SubmissionPool};
+use p4db_common::faults::{FaultEvent, FaultInjector, FaultPlan};
 use p4db_common::rand_util::FastRng;
 use p4db_common::stats::{RunStats, WorkerStats};
-use p4db_common::{CcScheme, Error, LatencyConfig, NodeId, Result, SystemMode, TupleId};
+use p4db_common::{CcScheme, Error, GlobalTxnId, LatencyConfig, NodeId, Result, SystemMode, TupleId, TxnId, Value};
 use p4db_layout::{DataLayout, LayoutPlanner, LayoutStrategy};
 use p4db_net::{Fabric, LatencyModel};
-use p4db_storage::NodeStorage;
+use p4db_storage::{recover_cold_state, recover_switch_state, LogRecord, NodeStorage, SwitchRecoveryOutcome, Wal};
 use p4db_switch::{start_switch, ControlPlane, RegisterMemory, SwitchConfig, SwitchHandle, SwitchStatsSnapshot};
-use p4db_txn::{EngineConfig, EngineShared, HotSetIndex};
+use p4db_txn::{EngineConfig, EngineShared, HotIndexCell, HotSetIndex};
 use p4db_workloads::{PartitionMap, Workload, WorkloadCtx};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Everything needed to build a cluster for one experiment configuration.
 ///
@@ -47,6 +48,11 @@ pub struct ClusterConfig {
     pub offload_limit: Option<usize>,
     /// RNG seed (workers derive their own seeds from it).
     pub seed: u64,
+    /// Seeded fault-injection plan (chaos testing). When set, the fabric
+    /// routes every unicast send through a [`FaultInjector`], workers use the
+    /// plan's short switch timeout, and the switch keeps its data-plane
+    /// audit log for the invariant checker.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ClusterConfig {
@@ -66,6 +72,7 @@ impl ClusterConfig {
             chiller: false,
             offload_limit: None,
             seed: 42,
+            faults: None,
         }
     }
 
@@ -79,6 +86,61 @@ impl ClusterConfig {
             ..Self::new(mode, cc)
         }
     }
+}
+
+/// The checker baseline for the current *switch epoch*.
+///
+/// A switch epoch starts at offload time and at every switch recovery event
+/// ([`Cluster::crash_and_recover_switch`]): recovery may fold previously
+/// in-flight intents into the restored state, so invariant checking replays
+/// the audit log only from the epoch start against the epoch's baseline
+/// values, and reads WAL records only from the epoch's per-node offsets.
+#[derive(Clone, Debug)]
+pub struct SwitchEpoch {
+    /// Value of every offloaded tuple at the epoch start.
+    pub baseline: HashMap<TupleId, u64>,
+    /// Audit-log length at the epoch start.
+    pub audit_start: usize,
+    /// Per-node WAL lengths at the epoch start.
+    pub wal_start: Vec<usize>,
+}
+
+/// What [`Cluster::crash_and_recover_node`] did and found.
+#[derive(Clone, Debug)]
+pub struct NodeRecoveryReport {
+    pub node: NodeId,
+    /// Total WAL records replayed (across all coordinators' logs).
+    pub wal_records: usize,
+    /// Tuples of the crashed node's partition restored from the logs.
+    pub restored_tuples: usize,
+    /// Tuples whose recovered value disagreed with the pre-crash live value
+    /// — must be empty; anything here is a durability bug.
+    pub divergences: Vec<(TupleId, u64, u64)>,
+    /// Tuples written by more than one coordinator with disagreeing final
+    /// images (cross-log ordering unknown — only possible with distributed
+    /// transactions, which crash scenarios avoid).
+    pub ambiguous: usize,
+    /// Rows present in a log but absent from the live table (undone inserts;
+    /// skipped rather than resurrected).
+    pub missing_rows: usize,
+    /// Set when a serialised log failed to parse cleanly.
+    pub codec_error: Option<String>,
+}
+
+/// What [`Cluster::crash_and_recover_switch`] did and found.
+#[derive(Clone, Debug)]
+pub struct SwitchRecoveryReport {
+    /// The raw log-replay outcome (completed / in-flight counts).
+    pub outcome: SwitchRecoveryOutcome,
+    /// Tuples written back into register memory.
+    pub restored_tuples: usize,
+    /// Whether the hot set was re-offloaded into fresh register slots (and
+    /// the replicated hot-set index swapped cluster-wide).
+    pub reoffloaded: bool,
+    /// Tuples whose recovered value differs from the pre-crash live value
+    /// with no unexecuted in-flight intent explaining the difference — must
+    /// be empty.
+    pub unexplained_divergences: Vec<(TupleId, u64, u64)>,
 }
 
 /// A fully assembled cluster, ready to serve sessions and run measurements.
@@ -98,6 +160,7 @@ pub struct Cluster {
     layout: DataLayout,
     offloaded: usize,
     hot_total: usize,
+    epoch: SwitchEpoch,
 }
 
 impl Cluster {
@@ -119,9 +182,14 @@ impl Cluster {
 
     /// Builds the cluster, reporting invalid configurations and worker-id
     /// exhaustion as structured errors instead of panicking.
-    pub fn try_build(config: ClusterConfig, workload: Arc<dyn Workload>) -> Result<Self> {
+    pub fn try_build(mut config: ClusterConfig, workload: Arc<dyn Workload>) -> Result<Self> {
         if config.num_nodes == 0 || config.workers_per_node == 0 {
             return Err(Error::InvalidConfig("cluster needs nodes and workers".into()));
+        }
+        // Fault injection needs the data-plane audit log as ground truth for
+        // the invariant checker, whatever switch profile was selected.
+        if config.faults.is_some() {
+            config.switch.audit_data_plane = true;
         }
         config.switch.validate().map_err(Error::InvalidConfig)?;
 
@@ -169,7 +237,10 @@ impl Cluster {
         }
 
         let latency = LatencyModel::new(config.latency);
-        let fabric = Fabric::new(latency.clone());
+        let fabric = match &config.faults {
+            Some(plan) => Fabric::with_faults(latency.clone(), Arc::new(FaultInjector::new(plan))),
+            None => Fabric::new(latency.clone()),
+        };
         let switch = start_switch(config.switch, memory, fabric.clone());
 
         // --- Engine ----------------------------------------------------------
@@ -179,15 +250,29 @@ impl Cluster {
             // even though the data stays on the nodes.
             SystemMode::LmSwitch | SystemMode::NoSwitch => HotSetIndex::from_tuples(hot_tuples.iter().map(|h| h.tuple)),
         };
-        let engine_config =
+        let mut engine_config =
             EngineConfig { chiller: config.chiller, ..EngineConfig::new(config.mode, config.cc, config.switch) };
-        let shared =
-            Arc::new(EngineShared { nodes, latency, fabric, hot_index: Arc::new(hot_index), config: engine_config });
+        if let Some(plan) = &config.faults {
+            engine_config.switch_timeout = plan.switch_timeout;
+            engine_config.in_doubt_on_timeout = true;
+        }
+        let shared = Arc::new(EngineShared {
+            nodes,
+            latency,
+            fabric,
+            hot_index: HotIndexCell::new(hot_index),
+            config: engine_config,
+        });
 
         // --- Submission pool --------------------------------------------------
         let pool = SubmissionPool::spawn(&shared, &config)?;
         let partition_map = PartitionMap::new(Arc::clone(&workload), config.num_nodes);
 
+        let epoch = SwitchEpoch {
+            baseline: control_plane.snapshot().into_iter().collect(),
+            audit_start: 0,
+            wal_start: vec![0; config.num_nodes as usize],
+        };
         Ok(Cluster {
             config,
             workload,
@@ -200,6 +285,7 @@ impl Cluster {
             layout,
             offloaded,
             hot_total,
+            epoch,
         })
     }
 
@@ -263,6 +349,278 @@ impl Cluster {
     /// [`p4db_storage::recover_switch_state`]. Captured once at build time.
     pub fn offload_snapshot(&self) -> &HashMap<TupleId, u64> {
         &self.offload_snapshot
+    }
+
+    // --- Chaos-testing surface --------------------------------------------
+
+    /// The recorded network fault trace (empty without fault injection).
+    pub fn fault_trace(&self) -> Vec<FaultEvent> {
+        self.shared.fabric.fault_trace()
+    }
+
+    /// Number of network faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.shared.fabric.faults_injected()
+    }
+
+    /// Delivers every message the fault injector is still holding back, so
+    /// reordered messages do not retroactively become drops. Call between
+    /// chaos waves.
+    pub fn flush_network(&self) {
+        self.shared.fabric.flush_faults();
+    }
+
+    /// The switch data-plane audit log (`(TxnId, GID)` in serial execution
+    /// order). Empty unless the switch profile enables
+    /// `audit_data_plane` (the test profile and every fault-injection
+    /// cluster do).
+    pub fn switch_audit(&self) -> Vec<(TxnId, GlobalTxnId)> {
+        self.switch.audit_log()
+    }
+
+    /// The checker baseline of the current switch epoch.
+    pub fn switch_epoch(&self) -> &SwitchEpoch {
+        &self.epoch
+    }
+
+    /// Waits until the switch has gone quiet: no execution progress across
+    /// several consecutive polls (so a briefly descheduled switch thread or
+    /// a still-recirculating multi-pass packet is not mistaken for silence)
+    /// and no held-back messages. Returns `false` if the switch is still
+    /// moving when `timeout` expires. Call after the chaos drivers stopped
+    /// submitting (flushes the network first so stranded reordered packets
+    /// get executed rather than lost).
+    pub fn quiesce_switch(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut last = self.switch.executed_count();
+        let mut stable_polls = 0;
+        loop {
+            // Flushing inside the loop: a message held back *during* the
+            // drain (e.g. the reply to a just-flushed request) is released
+            // on the next poll rather than left stranded.
+            self.flush_network();
+            std::thread::sleep(Duration::from_millis(5));
+            let now = self.switch.executed_count();
+            if now == last {
+                stable_polls += 1;
+                if stable_polls >= 4 {
+                    return true;
+                }
+            } else {
+                stable_polls = 0;
+                last = now;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+        }
+    }
+
+    /// Simulates a crash + WAL-driven restart of one database node: the
+    /// node's volatile partition state is rebuilt from the *serialised* logs
+    /// (round-tripping the on-disk format), compared against the pre-crash
+    /// state, and written back.
+    ///
+    /// Every coordinator logs its own cold writes, so the crashed node's
+    /// tuples are recovered from all logs and filtered to its partition; a
+    /// tuple written by several coordinators whose final images disagree has
+    /// no recoverable order and is reported as ambiguous (crash scenarios
+    /// run single-partition traffic, where this cannot happen). Call only
+    /// while the node's traffic is quiesced.
+    pub fn crash_and_recover_node(&self, node: NodeId) -> Result<NodeRecoveryReport> {
+        if node.index() >= self.shared.num_nodes() {
+            return Err(Error::UnknownNode(node));
+        }
+        let mut report = NodeRecoveryReport {
+            node,
+            wal_records: 0,
+            restored_tuples: 0,
+            divergences: Vec::new(),
+            ambiguous: 0,
+            missing_rows: 0,
+            codec_error: None,
+        };
+
+        // Recover each coordinator's log through the serialised format and
+        // keep the images of tuples homed on the crashed node.
+        let mut candidates: HashMap<TupleId, Vec<Value>> = HashMap::new();
+        for storage in &self.shared.nodes {
+            let serialized = storage.wal().serialize();
+            let (wal, codec_error) = Wal::deserialize_prefix(&serialized);
+            if let Some(err) = codec_error {
+                report.codec_error = Some(err.to_string());
+            }
+            report.wal_records += wal.len();
+            for (tuple, value) in recover_cold_state(&wal) {
+                if self.partition_map.home(tuple) == Some(node) {
+                    candidates.entry(tuple).or_default().push(value);
+                }
+            }
+        }
+
+        let storage = self.shared.node(node);
+        for (tuple, images) in candidates {
+            if images.iter().any(|v| *v != images[0]) {
+                report.ambiguous += 1;
+                continue;
+            }
+            let recovered = images[0];
+            let table = storage.table(tuple.table)?;
+            match table.read(tuple.key) {
+                Ok(live) => {
+                    if live != recovered {
+                        report.divergences.push((tuple, live.switch_word(), recovered.switch_word()));
+                    }
+                    // The "restart": volatile state is rebuilt from the log.
+                    table.write(tuple.key, recovered)?;
+                    report.restored_tuples += 1;
+                }
+                // A logged row absent from the live table is an undone
+                // insert; recovery must not resurrect it.
+                Err(_) => report.missing_rows += 1,
+            }
+        }
+        Ok(report)
+    }
+
+    /// Simulates a switch crash + recovery from the node WALs (§6.1, §A.3):
+    /// register state is lost, rebuilt by replaying the *serialised* logs of
+    /// all nodes in GID order (in-flight intents ordered by data
+    /// dependencies, Fig 9), and written back — either into the existing
+    /// placements, or, with `reoffload_seed`, into **fresh register slots**
+    /// chosen in a seeded random order, after which the rebuilt hot-set
+    /// index is swapped in cluster-wide (the mid-run re-offload path).
+    ///
+    /// Starts a new [`SwitchEpoch`]: recovery legitimately applies intents
+    /// whose packets never reached the switch, so the checker baseline moves
+    /// here. Call only while switch traffic is quiesced
+    /// ([`Cluster::quiesce_switch`]).
+    pub fn crash_and_recover_switch(&mut self, reoffload_seed: Option<u64>) -> Result<SwitchRecoveryReport> {
+        let pre_crash: HashMap<TupleId, u64> = self.control_plane.snapshot().into_iter().collect();
+
+        // Recover from the serialised logs (round-tripping the format).
+        let mut wals = Vec::with_capacity(self.shared.num_nodes());
+        for storage in &self.shared.nodes {
+            let serialized = storage.wal().serialize();
+            let wal = Wal::deserialize(&serialized)
+                .map_err(|e| Error::InvalidConfig(format!("WAL round-trip failed during recovery: {e}")))?;
+            wals.push(wal);
+        }
+        let wal_refs: Vec<&Wal> = wals.iter().collect();
+        let outcome = recover_switch_state(&self.offload_snapshot, &wal_refs);
+
+        // Intents without a result record are in-flight as far as the logs
+        // are concerned: recovery chooses *a* valid position for them (§A.3
+        // — "any order is valid"), which need not be where the live switch
+        // actually executed them (if it did at all), so their tuples may
+        // legitimately diverge from the pre-crash values — and the
+        // difference propagates through any completed transaction that
+        // touches the same tuples (its read-dependent writes replay with
+        // different operands). Tuples outside that closure must match
+        // exactly.
+        let mut explained: HashSet<TupleId> = HashSet::new();
+        let mut completed_ops: Vec<Vec<TupleId>> = Vec::new();
+        for wal in &wals {
+            let records = wal.records();
+            let with_result: HashSet<TxnId> = records
+                .iter()
+                .filter_map(|r| match r {
+                    LogRecord::SwitchResult { txn, .. } => Some(*txn),
+                    _ => None,
+                })
+                .collect();
+            for record in &records {
+                if let LogRecord::SwitchIntent { txn, ops } = record {
+                    let tuples: Vec<TupleId> = ops.iter().map(|op| op.tuple).collect();
+                    if with_result.contains(txn) {
+                        completed_ops.push(tuples);
+                    } else {
+                        explained.extend(tuples);
+                    }
+                }
+            }
+        }
+        loop {
+            let before = explained.len();
+            for tuples in &completed_ops {
+                if tuples.iter().any(|t| explained.contains(t)) {
+                    explained.extend(tuples.iter().copied());
+                }
+            }
+            if explained.len() == before {
+                break;
+            }
+        }
+        let mut unexplained_divergences = Vec::new();
+        for (&tuple, &live) in &pre_crash {
+            let recovered = outcome.values.get(&tuple).copied().unwrap_or(live);
+            if recovered != live && !explained.contains(&tuple) {
+                unexplained_divergences.push((tuple, live, recovered));
+            }
+        }
+
+        // The crash: register memory is gone. Restore it — into fresh
+        // placements when re-offloading.
+        let mut original: Vec<(TupleId, p4db_switch::RegisterSlot)> = self.control_plane.placements().collect();
+        // Cell indices are assigned in next_free order, so replaying inserts
+        // in slot order reproduces the original placement exactly.
+        original.sort_by_key(|&(_, slot)| (slot.stage, slot.array, slot.index));
+        let recovered_value = |tuple: TupleId| {
+            outcome.values.get(&tuple).copied().unwrap_or_else(|| pre_crash.get(&tuple).copied().unwrap_or(0))
+        };
+        let reoffloaded = if let Some(seed) = reoffload_seed {
+            let widths: HashMap<TupleId, usize> =
+                self.workload.hot_tuples(self.config.num_nodes).into_iter().map(|h| (h.tuple, h.byte_width)).collect();
+            self.control_plane.reset();
+            // Seeded shuffle so the new placement differs from the old one.
+            let mut order: Vec<TupleId> = original.iter().map(|&(t, _)| t).collect();
+            let mut rng = FastRng::new(seed ^ 0x0FF_10AD);
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.pick(i + 1));
+            }
+            let mut failure = None;
+            for &tuple in &order {
+                let width = widths.get(&tuple).copied().unwrap_or(8);
+                if let Err(e) = self.control_plane.offload_anywhere(tuple, width, recovered_value(tuple)) {
+                    failure = Some(e);
+                    break;
+                }
+            }
+            if let Some(e) = failure {
+                // A partial re-offload must not leave workers with a stale
+                // index over reshuffled registers: rebuild the *original*
+                // placement (which held every tuple before the crash), then
+                // report the failure.
+                self.control_plane.reset();
+                for &(tuple, slot) in &original {
+                    let width = widths.get(&tuple).copied().unwrap_or(8);
+                    self.control_plane.offload_into(tuple, slot.stage, slot.array, width, recovered_value(tuple))?;
+                }
+                self.shared.hot_index.swap(Arc::new(HotSetIndex::from_control_plane(&self.control_plane)));
+                return Err(e);
+            }
+            self.shared.hot_index.swap(Arc::new(HotSetIndex::from_control_plane(&self.control_plane)));
+            true
+        } else {
+            self.control_plane.crash_data();
+            let restore: Vec<(TupleId, u64)> = original.iter().map(|&(t, _)| (t, recovered_value(t))).collect();
+            self.control_plane.restore(&restore);
+            false
+        };
+
+        // New epoch: the restored values are the checker's new baseline.
+        self.epoch = SwitchEpoch {
+            baseline: self.control_plane.snapshot().into_iter().collect(),
+            audit_start: self.switch.audit_len(),
+            wal_start: self.shared.nodes.iter().map(|n| n.wal().len()).collect(),
+        };
+
+        Ok(SwitchRecoveryReport {
+            restored_tuples: self.epoch.baseline.len(),
+            outcome,
+            reoffloaded,
+            unexplained_divergences,
+        })
     }
 
     /// Runs the workload generators closed-loop for `duration` and returns
@@ -452,12 +810,84 @@ mod tests {
     }
 
     #[test]
+    fn node_crash_recovery_round_trips_the_serialised_wal() {
+        let workload: Arc<dyn Workload> =
+            Arc::new(SmallBank::new(SmallBankConfig { customers_per_node: 2_000, ..SmallBankConfig::default() }));
+        let mut config = ClusterConfig::test_profile(SystemMode::P4db, CcScheme::NoWait);
+        config.distributed_prob = 0.0; // single-partition traffic: unambiguous recovery
+        let cluster = Cluster::build(config, workload);
+        let _ = cluster.run_for(Duration::from_millis(150));
+        assert!(cluster.quiesce_switch(Duration::from_secs(5)));
+        let report = cluster.crash_and_recover_node(NodeId(0)).unwrap();
+        assert!(report.wal_records > 0, "the run must have logged something");
+        assert!(report.restored_tuples > 0);
+        assert!(report.divergences.is_empty(), "recovered state diverges: {:?}", report.divergences);
+        assert_eq!(report.ambiguous, 0);
+        assert!(report.codec_error.is_none(), "{:?}", report.codec_error);
+        // Recovering an unknown node is a structured error.
+        assert!(matches!(cluster.crash_and_recover_node(NodeId(9)), Err(Error::UnknownNode(_))));
+    }
+
+    #[test]
+    fn switch_crash_recovery_restores_registers_and_reoffload_swaps_the_index() {
+        let workload: Arc<dyn Workload> =
+            Arc::new(SmallBank::new(SmallBankConfig { customers_per_node: 2_000, ..SmallBankConfig::default() }));
+        let mut cluster = Cluster::build(ClusterConfig::test_profile(SystemMode::P4db, CcScheme::NoWait), workload);
+        let _ = cluster.run_for(Duration::from_millis(150));
+        assert!(cluster.quiesce_switch(Duration::from_secs(5)));
+
+        let live: Vec<(TupleId, u64)> = cluster.control_plane().snapshot();
+        let old_slots: HashMap<TupleId, _> = cluster.shared().hot_index.load().iter().collect();
+
+        // Plain restore first: values come back into the same placements.
+        let report = cluster.crash_and_recover_switch(None).unwrap();
+        assert!(!report.reoffloaded);
+        assert!(report.unexplained_divergences.is_empty(), "{:?}", report.unexplained_divergences);
+        assert_eq!(cluster.control_plane().snapshot(), live);
+
+        // Re-offload: same values, fresh placements, index swapped.
+        let report = cluster.crash_and_recover_switch(Some(7)).unwrap();
+        assert!(report.reoffloaded);
+        assert!(report.unexplained_divergences.is_empty(), "{:?}", report.unexplained_divergences);
+        for (tuple, value) in &live {
+            assert_eq!(cluster.switch_value(*tuple), Some(*value), "value of {tuple} lost in re-offload");
+        }
+        let new_slots: HashMap<TupleId, _> = cluster.shared().hot_index.load().iter().collect();
+        assert_eq!(new_slots.len(), old_slots.len());
+        assert!(
+            old_slots.iter().any(|(t, slot)| new_slots.get(t) != Some(slot)),
+            "a seeded re-offload should move at least one tuple"
+        );
+        // The epoch moved: the checker baseline is the restored state.
+        assert_eq!(cluster.switch_epoch().audit_start, cluster.switch_audit().len());
+
+        // The cluster still serves transactions against the new layout.
+        let stats = cluster.run_for(Duration::from_millis(100));
+        assert!(stats.merged.committed_total() > 0);
+        assert!(stats.merged.committed_hot > 0, "hot path must survive the re-offload");
+    }
+
+    #[test]
+    fn faulty_cluster_still_commits_and_records_its_fault_trace() {
+        use p4db_common::faults::FaultPlan;
+        let cluster = Cluster::builder(small_ycsb()).test_profile().with_faults(FaultPlan::seeded(11)).build();
+        let stats = cluster.run_for(Duration::from_millis(200));
+        assert!(stats.merged.committed_total() > 10, "faults must degrade, not stop, the cluster");
+        assert!(cluster.faults_injected() > 0, "the seeded plan should have fired");
+        assert!(!cluster.fault_trace().is_empty());
+        cluster.flush_network();
+        // The audit log was forced on and tracks executions.
+        assert!(cluster.quiesce_switch(Duration::from_secs(5)));
+        assert_eq!(cluster.switch_audit().len() as u64, cluster.switch_stats().txns_executed);
+    }
+
+    #[test]
     fn smallbank_cluster_preserves_non_negative_switch_balances() {
         let workload: Arc<dyn Workload> =
             Arc::new(SmallBank::new(SmallBankConfig { customers_per_node: 2_000, ..SmallBankConfig::default() }));
         let cluster = Cluster::build(ClusterConfig::test_profile(SystemMode::P4db, CcScheme::NoWait), workload);
         let _ = cluster.run_for(Duration::from_millis(200));
-        for (tuple, _) in cluster.shared().hot_index.iter() {
+        for (tuple, _) in cluster.shared().hot_index.load().iter() {
             let value = cluster.switch_value(tuple).unwrap();
             assert!((value as i64) >= 0, "balance of {tuple} went negative: {value}");
         }

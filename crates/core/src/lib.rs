@@ -13,6 +13,6 @@ pub mod report;
 pub mod session;
 
 pub use builder::ClusterBuilder;
-pub use cluster::{Cluster, ClusterConfig};
+pub use cluster::{Cluster, ClusterConfig, NodeRecoveryReport, SwitchEpoch, SwitchRecoveryReport};
 pub use report::{fmt_speedup, fmt_tps, speedup, FigureTable};
 pub use session::{Pending, Session, DEFAULT_MAX_ATTEMPTS};

@@ -322,10 +322,9 @@ impl Session {
     /// read-dependencies that cross the hot/cold split (the switch cannot
     /// consume a host-produced operand mid-transaction, §6.2).
     fn validate(&self, req: &TxnRequest) -> Result<()> {
+        let hot_index = self.shared.hot_index.load();
         let is_hot = |op: &TxnOp| {
-            self.shared.config.mode == SystemMode::P4db
-                && op.kind.switch_executable()
-                && self.shared.hot_index.is_hot(op.tuple)
+            self.shared.config.mode == SystemMode::P4db && op.kind.switch_executable() && hot_index.is_hot(op.tuple)
         };
         for (index, op) in req.ops.iter().enumerate() {
             if op.home.index() >= self.shared.num_nodes() {

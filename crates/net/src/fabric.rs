@@ -5,15 +5,57 @@
 //! [`Mailbox`] and poll or block on it. The switch's ingress port, every
 //! worker's response port, and every node's 2PC control port are fabric
 //! endpoints.
+//!
+//! The fabric is also the chaos-testing injection point for network faults:
+//! when constructed with [`Fabric::with_faults`], every unicast send consults
+//! a seeded [`FaultInjector`] which may drop the message (the sender still
+//! sees success, exactly like a lost packet), delay it, or hold it back until
+//! the next message to the same destination (a reordering).
 
 use crate::endpoint::EndpointId;
 use crate::latency::LatencyModel;
 use crate::message::Envelope;
-use p4db_common::channel::{unbounded, Receiver, Sender};
+use p4db_common::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use p4db_common::faults::{FaultAction, FaultEvent, FaultInjector};
+use p4db_common::simtime::wait_for;
 use p4db_common::sync::unpoison;
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
+
+/// Outcome of a timed receive, distinguishing "nothing arrived in time" from
+/// "no sender can ever deliver again". The distinction matters to
+/// fault-injection clients: a timeout means the request (or its reply) may
+/// have been lost on the wire and the transaction is *in doubt*, while a
+/// disconnect means the cluster is shutting down.
+#[derive(Debug, PartialEq)]
+pub enum RecvOutcome<M> {
+    /// A message arrived.
+    Msg(Envelope<M>),
+    /// The timeout elapsed with senders still connected.
+    TimedOut,
+    /// Every sender has been dropped and the queue is drained.
+    Disconnected,
+}
+
+impl<M> RecvOutcome<M> {
+    /// The received envelope, if any — convenient for tests and callers that
+    /// treat both failure modes alike.
+    pub fn msg(self) -> Option<Envelope<M>> {
+        match self {
+            RecvOutcome::Msg(env) => Some(env),
+            RecvOutcome::TimedOut | RecvOutcome::Disconnected => None,
+        }
+    }
+
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, RecvOutcome::TimedOut)
+    }
+
+    pub fn is_disconnected(&self) -> bool {
+        matches!(self, RecvOutcome::Disconnected)
+    }
+}
 
 /// The receiving end of a fabric endpoint.
 #[derive(Debug)]
@@ -33,10 +75,14 @@ impl<M> Mailbox<M> {
         self.rx.try_recv().ok()
     }
 
-    /// Blocking receive with a timeout. Returns `None` on timeout or if all
-    /// senders disconnected.
-    pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope<M>> {
-        self.rx.recv_timeout(timeout).ok()
+    /// Blocking receive with a timeout, reporting timeout and sender
+    /// disconnect as distinct outcomes.
+    pub fn recv_timeout(&self, timeout: Duration) -> RecvOutcome<M> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(env) => RecvOutcome::Msg(env),
+            Err(RecvTimeoutError::Timeout) => RecvOutcome::TimedOut,
+            Err(RecvTimeoutError::Disconnected) => RecvOutcome::Disconnected,
+        }
     }
 
     /// Blocking receive; returns `None` only when every sender is gone.
@@ -58,28 +104,55 @@ struct Registry<M> {
     endpoints: HashMap<EndpointId, Sender<Envelope<M>>>,
 }
 
+/// Chaos-testing state attached to a fabric: the seeded fault decision
+/// stream plus the per-destination holdback buffer implementing reorders.
+struct ChaosState<M> {
+    injector: Arc<FaultInjector>,
+    held: Mutex<HashMap<EndpointId, Vec<Envelope<M>>>>,
+}
+
 /// The fabric: a registry of endpoints plus the latency model. Cloning is
 /// cheap and shares the registry, so every worker and the switch thread hold
 /// their own handle.
 pub struct Fabric<M> {
     registry: Arc<RwLock<Registry<M>>>,
     latency: LatencyModel,
+    chaos: Option<Arc<ChaosState<M>>>,
 }
 
 impl<M> Clone for Fabric<M> {
     fn clone(&self) -> Self {
-        Fabric { registry: Arc::clone(&self.registry), latency: self.latency.clone() }
+        Fabric { registry: Arc::clone(&self.registry), latency: self.latency.clone(), chaos: self.chaos.clone() }
     }
 }
 
 impl<M> Fabric<M> {
     pub fn new(latency: LatencyModel) -> Self {
-        Fabric { registry: Arc::new(RwLock::new(Registry { endpoints: HashMap::new() })), latency }
+        Fabric { registry: Arc::new(RwLock::new(Registry { endpoints: HashMap::new() })), latency, chaos: None }
+    }
+
+    /// A fabric that routes every unicast send through `injector`.
+    pub fn with_faults(latency: LatencyModel, injector: Arc<FaultInjector>) -> Self {
+        Fabric {
+            registry: Arc::new(RwLock::new(Registry { endpoints: HashMap::new() })),
+            latency,
+            chaos: Some(Arc::new(ChaosState { injector, held: Mutex::new(HashMap::new()) })),
+        }
     }
 
     /// The latency model this fabric uses (shared with direct-call accesses).
     pub fn latency(&self) -> &LatencyModel {
         &self.latency
+    }
+
+    /// The fault trace recorded so far (empty without fault injection).
+    pub fn fault_trace(&self) -> Vec<FaultEvent> {
+        self.chaos.as_ref().map(|c| c.injector.trace()).unwrap_or_default()
+    }
+
+    /// Number of faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.chaos.as_ref().map(|c| c.injector.injected()).unwrap_or(0)
     }
 
     /// Registers an endpoint and returns its mailbox.
@@ -113,7 +186,46 @@ impl<M> Fabric<M> {
 
     /// Sends without imposing latency. Used by the switch egress path, which
     /// accounts for its own delays, and by tests.
+    ///
+    /// Under fault injection a message may be dropped (the send still
+    /// reports success — a lost packet is invisible to the sender), delayed,
+    /// or delivered after the next message to the same destination.
     pub fn send_no_latency(&self, src: EndpointId, dst: EndpointId, payload: M) -> bool {
+        let Some(chaos) = self.chaos.as_ref() else {
+            return self.deliver(src, dst, payload);
+        };
+        match chaos.injector.decide(&|| format!("{src}->{dst}")) {
+            FaultAction::Deliver => {}
+            FaultAction::Drop => return true,
+            FaultAction::Delay(d) => wait_for(d),
+            FaultAction::HoldBack => {
+                unpoison(chaos.held.lock()).entry(dst).or_default().push(Envelope::new(src, dst, payload));
+                return true;
+            }
+        }
+        let sent = self.deliver(src, dst, payload);
+        // Release any held messages for this destination *after* the fresh
+        // one: the held message has now been overtaken — a reordering.
+        let held = unpoison(chaos.held.lock()).remove(&dst);
+        if let Some(envelopes) = held {
+            for env in envelopes {
+                self.deliver(env.src, env.dst, env.payload);
+            }
+        }
+        sent
+    }
+
+    /// Delivers every held-back message (end of a chaos wave, so reordered
+    /// messages are not retroactively turned into drops).
+    pub fn flush_faults(&self) {
+        let Some(chaos) = self.chaos.as_ref() else { return };
+        let held: Vec<Envelope<M>> = unpoison(chaos.held.lock()).drain().flat_map(|(_, envelopes)| envelopes).collect();
+        for env in held {
+            self.deliver(env.src, env.dst, env.payload);
+        }
+    }
+
+    fn deliver(&self, src: EndpointId, dst: EndpointId, payload: M) -> bool {
         let reg = unpoison(self.registry.read());
         match reg.endpoints.get(&dst) {
             Some(tx) => tx.send(Envelope::new(src, dst, payload)).is_ok(),
@@ -132,6 +244,9 @@ impl<M: Clone> Fabric<M> {
     /// (`EndpointId::Node(_)`), the way the switch broadcasts the commit
     /// decision + results of a warm transaction (Fig 10). Counted as a single
     /// multicast, no per-destination latency is imposed on the caller.
+    /// Multicasts bypass fault injection: the warm-decision broadcast is
+    /// advisory and injecting faults there would only hide message faults on
+    /// the paths the invariants actually depend on.
     pub fn multicast_to_nodes(&self, src: EndpointId, payload: M) -> usize {
         self.latency.count_multicast();
         let reg = unpoison(self.registry.read());
@@ -148,6 +263,7 @@ impl<M: Clone> Fabric<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use p4db_common::faults::{FaultKind, FaultPlan, NetFaultConfig};
     use p4db_common::{LatencyConfig, NodeId, WorkerId};
     use std::thread;
 
@@ -206,9 +322,20 @@ mod tests {
             let _mb = sender.register(node);
             sender.send(node, EndpointId::Switch, 1234)
         });
-        let env = mb.recv_timeout(Duration::from_secs(5)).expect("delivered");
+        let env = mb.recv_timeout(Duration::from_secs(5)).msg().expect("delivered");
         assert_eq!(env.payload, 1234);
         assert!(handle.join().unwrap());
+    }
+
+    #[test]
+    fn recv_timeout_distinguishes_timeout_from_disconnect() {
+        let f = fabric();
+        let mb = f.register(EndpointId::Switch);
+        // Senders (fabric clones) still alive: a short wait times out.
+        assert!(mb.recv_timeout(Duration::from_millis(5)).is_timeout());
+        // Dropping the whole fabric (all senders) disconnects the mailbox.
+        drop(f);
+        assert!(mb.recv_timeout(Duration::from_millis(5)).is_disconnected());
     }
 
     #[test]
@@ -224,5 +351,68 @@ mod tests {
         assert!(!mb.is_empty());
         while mb.try_recv().is_some() {}
         assert!(mb.is_empty());
+    }
+
+    fn chaos_fabric(net: NetFaultConfig) -> Fabric<u64> {
+        let plan = FaultPlan { net, ..FaultPlan::seeded(1) };
+        Fabric::with_faults(LatencyModel::new(LatencyConfig::zero()), Arc::new(FaultInjector::new(&plan)))
+    }
+
+    #[test]
+    fn dropped_messages_report_success_but_never_arrive() {
+        let f = chaos_fabric(NetFaultConfig { drop_prob: 1.0, max_faults: u64::MAX, ..NetFaultConfig::none() });
+        let mb = f.register(EndpointId::Switch);
+        let node = EndpointId::Node(NodeId(0));
+        let _n = f.register(node);
+        for i in 0..10 {
+            assert!(f.send(node, EndpointId::Switch, i), "drops are invisible to the sender");
+        }
+        assert!(mb.is_empty());
+        assert_eq!(f.faults_injected(), 10);
+        assert!(f.fault_trace().iter().all(|e| e.kind == FaultKind::Drop));
+    }
+
+    #[test]
+    fn held_back_message_is_delivered_after_the_next_one() {
+        let f = chaos_fabric(NetFaultConfig { reorder_prob: 1.0, max_faults: 1, ..NetFaultConfig::none() });
+        let mb = f.register(EndpointId::Switch);
+        let node = EndpointId::Node(NodeId(0));
+        let _n = f.register(node);
+        // First send is held back (budget 1), second is delivered and
+        // releases the first: arrival order is 2, 1.
+        assert!(f.send(node, EndpointId::Switch, 1));
+        assert!(mb.is_empty());
+        assert!(f.send(node, EndpointId::Switch, 2));
+        assert_eq!(mb.try_recv().unwrap().payload, 2);
+        assert_eq!(mb.try_recv().unwrap().payload, 1);
+    }
+
+    #[test]
+    fn flush_faults_delivers_stranded_holdbacks() {
+        let f = chaos_fabric(NetFaultConfig { reorder_prob: 1.0, max_faults: 1, ..NetFaultConfig::none() });
+        let mb = f.register(EndpointId::Switch);
+        let node = EndpointId::Node(NodeId(0));
+        let _n = f.register(node);
+        assert!(f.send(node, EndpointId::Switch, 7));
+        assert!(mb.is_empty());
+        f.flush_faults();
+        assert_eq!(mb.try_recv().unwrap().payload, 7);
+        // Flushing twice is harmless.
+        f.flush_faults();
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn budget_exhaustion_restores_normal_delivery() {
+        let f = chaos_fabric(NetFaultConfig { drop_prob: 1.0, max_faults: 3, ..NetFaultConfig::none() });
+        let mb = f.register(EndpointId::Switch);
+        let node = EndpointId::Node(NodeId(0));
+        let _n = f.register(node);
+        for i in 0..10 {
+            f.send(node, EndpointId::Switch, i);
+        }
+        // The first three were dropped; everything after the budget arrives.
+        let received: Vec<u64> = std::iter::from_fn(|| mb.try_recv().map(|e| e.payload)).collect();
+        assert_eq!(received, vec![3, 4, 5, 6, 7, 8, 9]);
     }
 }

@@ -27,6 +27,6 @@ pub mod latency;
 pub mod message;
 
 pub use endpoint::EndpointId;
-pub use fabric::{Fabric, Mailbox};
+pub use fabric::{Fabric, Mailbox, RecvOutcome};
 pub use latency::{LatencyModel, NetStats};
 pub use message::Envelope;

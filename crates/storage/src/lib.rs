@@ -17,6 +17,9 @@ pub mod wal;
 pub use index::SecondaryIndex;
 pub use locks::{LockMode, LockTable};
 pub use node::NodeStorage;
-pub use recovery::{recover_cold_state, recover_switch_state, SwitchRecoveryOutcome};
+pub use recovery::{
+    recover_cold_state, recover_switch_state, replay_logged_op, replay_logged_txn, LoggedOpEffect,
+    SwitchRecoveryOutcome,
+};
 pub use table::{Row, Table};
 pub use wal::{LogRecord, LoggedSwitchOp, Wal, WalCodecError};

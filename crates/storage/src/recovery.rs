@@ -44,8 +44,30 @@ pub struct SwitchRecoveryOutcome {
     pub inconsistencies: usize,
 }
 
-/// Replays one logged operation against the recovered state.
-fn apply_logged_op(state: &mut HashMap<TupleId, u64>, results_so_far: &[u64], op: &LoggedSwitchOp) -> u64 {
+/// Effect of replaying one logged operation: everything a replayer (the
+/// recovery repair loop, the chaos invariant checker) needs to track state
+/// changes, reported values and constrained-write outcomes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct LoggedOpEffect {
+    /// Cell value before the operation.
+    pub previous: u64,
+    /// Cell value after the operation.
+    pub new: u64,
+    /// Value the switch would report for this operation.
+    pub value: u64,
+    /// Whether a constrained write's predicate held (always `true` for
+    /// unconditional opcodes).
+    pub applied: bool,
+}
+
+/// Replays one logged operation against a shadow state, mirroring the switch
+/// ALU exactly — including operand forwarding from earlier results of the
+/// same transaction.
+pub fn replay_logged_op(
+    state: &mut HashMap<TupleId, u64>,
+    results_so_far: &[u64],
+    op: &LoggedSwitchOp,
+) -> LoggedOpEffect {
     let current = state.get(&op.tuple).copied().unwrap_or(0);
     let operand = match op.operand_from {
         Some(src) if (src as usize) < results_so_far.len() => results_so_far[src as usize],
@@ -53,15 +75,15 @@ fn apply_logged_op(state: &mut HashMap<TupleId, u64>, results_so_far: &[u64], op
     };
     let (new, result) = apply_op(current, op.op, operand);
     state.insert(op.tuple, new);
-    result.value
+    LoggedOpEffect { previous: current, new, value: result.value, applied: result.applied }
 }
 
-/// Replays a whole transaction; returns the per-op result values.
-fn replay_txn(state: &mut HashMap<TupleId, u64>, ops: &[LoggedSwitchOp]) -> Vec<u64> {
+/// Replays a whole logged transaction; returns the per-op result values.
+pub fn replay_logged_txn(state: &mut HashMap<TupleId, u64>, ops: &[LoggedSwitchOp]) -> Vec<u64> {
     let mut results = Vec::with_capacity(ops.len());
     for op in ops {
-        let value = apply_logged_op(state, &results, op);
-        results.push(value);
+        let effect = replay_logged_op(state, &results, op);
+        results.push(effect.value);
     }
     results
 }
@@ -70,7 +92,7 @@ fn replay_txn(state: &mut HashMap<TupleId, u64>, ops: &[LoggedSwitchOp]) -> Vec<
 /// recorded `expected` results.
 fn replay_matches(state: &HashMap<TupleId, u64>, ops: &[LoggedSwitchOp], expected: &[(TupleId, u64)]) -> bool {
     let mut scratch = state.clone();
-    let results = replay_txn(&mut scratch, ops);
+    let results = replay_logged_txn(&mut scratch, ops);
     if results.len() != expected.len() {
         return false;
     }
@@ -118,7 +140,7 @@ pub fn recover_switch_state(initial: &HashMap<TupleId, u64>, logs: &[&Wal]) -> S
     'repair: loop {
         let mut state = initial.clone();
         for t in &applied_early {
-            replay_txn(&mut state, &t.ops);
+            replay_logged_txn(&mut state, &t.ops);
         }
         for t in &completed {
             let (_, expected) = t.outcome.as_ref().expect("completed txns carry results");
@@ -134,12 +156,12 @@ pub fn recover_switch_state(initial: &HashMap<TupleId, u64>, logs: &[&Wal]) -> S
                 // whatever the replay produces.
                 outcome.inconsistencies += 1;
             }
-            replay_txn(&mut state, &t.ops);
+            replay_logged_txn(&mut state, &t.ops);
         }
         // Remaining in-flight transactions have no ordering constraint:
         // append them at the end (any order is valid, §A.3).
         for t in &inflight {
-            replay_txn(&mut state, &t.ops);
+            replay_logged_txn(&mut state, &t.ops);
         }
         outcome.inflight_ordered = applied_early.len();
         outcome.inflight_unordered = inflight.len();

@@ -35,6 +35,11 @@ pub struct SwitchConfig {
     /// Per-pass pipeline latency in nanoseconds (models the time a packet
     /// spends traversing the MAU stages once).
     pub pass_latency_ns: u64,
+    /// Whether the data plane keeps an audit log of executed transactions
+    /// (`(TxnId, GID)` pairs, in serial execution order). The chaos harness
+    /// uses it as ground truth for exactly-once checking; it is off in the
+    /// performance profiles because the log grows with every transaction.
+    pub audit_data_plane: bool,
 }
 
 impl SwitchConfig {
@@ -49,6 +54,7 @@ impl SwitchConfig {
             lock_granularity: LockGranularity::FineGrained,
             fast_recirculation: true,
             pass_latency_ns: 60,
+            audit_data_plane: false,
         }
     }
 
@@ -62,6 +68,7 @@ impl SwitchConfig {
             lock_granularity: LockGranularity::FineGrained,
             fast_recirculation: true,
             pass_latency_ns: 0,
+            audit_data_plane: true,
         }
     }
 

@@ -174,6 +174,16 @@ impl ControlPlane {
     pub fn crash_data(&self) {
         self.memory.clear();
     }
+
+    /// Forgets every placement *and* clears register memory — a switch
+    /// crash/restart where the hot set will be offloaded from scratch,
+    /// possibly into different register slots (mid-run re-offload recovery).
+    pub fn reset(&mut self) {
+        self.placements.clear();
+        self.next_free = vec![vec![0; self.config.arrays_per_stage as usize]; self.config.num_stages as usize];
+        self.cells_used = 0;
+        self.memory.clear();
+    }
 }
 
 #[cfg(test)]
@@ -259,5 +269,19 @@ mod tests {
         assert_eq!(memory.read(cp.lookup(tuple(2)).unwrap()), 20);
         // Restoring an unknown tuple reports it.
         assert_eq!(cp.restore(&[(tuple(99), 1)]), 1);
+    }
+
+    #[test]
+    fn reset_forgets_placements_and_frees_capacity() {
+        let (mut cp, memory) = setup();
+        let slot = cp.offload_into(tuple(1), 0, 0, 8, 42).unwrap();
+        let total = cp.config().total_slots();
+        cp.reset();
+        assert_eq!(cp.offloaded_tuples(), 0);
+        assert_eq!(cp.free_cells(), total);
+        assert_eq!(cp.lookup(tuple(1)), None);
+        assert_eq!(memory.read(slot), 0);
+        // The tuple can be offloaded again, into any slot.
+        assert!(cp.offload_into(tuple(1), 1, 1, 8, 7).is_ok());
     }
 }

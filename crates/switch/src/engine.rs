@@ -23,12 +23,13 @@ use crate::memory::RegisterMemory;
 use crate::packet::{LockReply, SwitchMessage, SwitchTxn, TxnReply, WarmDecision};
 use crate::stats::{SwitchStats, SwitchStatsSnapshot};
 use p4db_common::simtime::spin_for;
-use p4db_common::GlobalTxnId;
-use p4db_net::{EndpointId, Fabric, Mailbox};
+use p4db_common::sync::unpoison;
+use p4db_common::{GlobalTxnId, TxnId};
+use p4db_net::{EndpointId, Fabric, Mailbox, RecvOutcome};
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -60,6 +61,7 @@ pub struct SwitchHandle {
     stats: Arc<SwitchStats>,
     memory: Arc<RegisterMemory>,
     gid_counter: Arc<AtomicU64>,
+    audit: Arc<Mutex<Vec<(TxnId, GlobalTxnId)>>>,
     shutdown: Arc<AtomicBool>,
     join: Option<JoinHandle<()>>,
 }
@@ -79,6 +81,20 @@ impl SwitchHandle {
     /// assigned).
     pub fn executed_count(&self) -> u64 {
         self.gid_counter.load(Ordering::Relaxed)
+    }
+
+    /// The data-plane audit log: `(issuing TxnId, assigned GID)` of every
+    /// executed transaction, in serial execution order. Empty unless
+    /// [`SwitchConfig::audit_data_plane`] is enabled. This is the ground
+    /// truth the chaos invariant checker replays against — it exists only in
+    /// the simulator, never in the real data plane.
+    pub fn audit_log(&self) -> Vec<(TxnId, GlobalTxnId)> {
+        unpoison(self.audit.lock()).clone()
+    }
+
+    /// Number of audit-log entries, without cloning the log.
+    pub fn audit_len(&self) -> usize {
+        unpoison(self.audit.lock()).len()
     }
 
     /// Stops the pipeline thread and waits for it to exit. Queued packets
@@ -112,6 +128,7 @@ pub fn start_switch(config: SwitchConfig, memory: Arc<RegisterMemory>, fabric: F
     let ingress = fabric.register(EndpointId::Switch);
     let stats = Arc::new(SwitchStats::default());
     let gid_counter = Arc::new(AtomicU64::new(0));
+    let audit = Arc::new(Mutex::new(Vec::new()));
     let shutdown = Arc::new(AtomicBool::new(false));
 
     let engine = Engine {
@@ -121,6 +138,7 @@ pub fn start_switch(config: SwitchConfig, memory: Arc<RegisterMemory>, fabric: F
         ingress,
         stats: Arc::clone(&stats),
         gid_counter: Arc::clone(&gid_counter),
+        audit: Arc::clone(&audit),
         shutdown: Arc::clone(&shutdown),
         locks: PipelineLocks::new(),
         lock_table: SwitchLockTable::new(),
@@ -132,7 +150,7 @@ pub fn start_switch(config: SwitchConfig, memory: Arc<RegisterMemory>, fabric: F
         .spawn(move || engine.run())
         .expect("failed to spawn switch pipeline thread");
 
-    SwitchHandle { stats, memory, gid_counter, shutdown, join: Some(join) }
+    SwitchHandle { stats, memory, gid_counter, audit, shutdown, join: Some(join) }
 }
 
 struct Engine {
@@ -142,6 +160,7 @@ struct Engine {
     ingress: Mailbox<SwitchMessage>,
     stats: Arc<SwitchStats>,
     gid_counter: Arc<AtomicU64>,
+    audit: Arc<Mutex<Vec<(TxnId, GlobalTxnId)>>>,
     shutdown: Arc<AtomicBool>,
     locks: PipelineLocks,
     lock_table: SwitchLockTable,
@@ -190,8 +209,10 @@ impl Engine {
                 continue;
             }
 
-            // 3. Ingress: pull the next packet off the wire.
-            if let Some(env) = self.ingress.recv_timeout(idle_wait) {
+            // 3. Ingress: pull the next packet off the wire. A timeout just
+            //    loops back around; a disconnect means the cluster is being
+            //    torn down and the shutdown flag will be observed shortly.
+            if let RecvOutcome::Msg(env) = self.ingress.recv_timeout(idle_wait) {
                 self.handle_ingress(env.payload);
             }
         }
@@ -264,6 +285,9 @@ impl Engine {
     /// requested.
     fn complete(&mut self, pkt: Inflight) {
         let gid = GlobalTxnId(self.gid_counter.fetch_add(1, Ordering::Relaxed));
+        if self.config.audit_data_plane {
+            unpoison(self.audit.lock()).push((pkt.txn.header.txn_id, gid));
+        }
         if !pkt.holds.is_empty() {
             self.locks.release(pkt.holds);
         }
@@ -355,7 +379,7 @@ mod tests {
 
     fn send_and_wait(rig: &TestRig, txn: SwitchTxn) -> TxnReply {
         rig.fabric.send(rig.worker_ep, EndpointId::Switch, SwitchMessage::Txn(txn));
-        match rig.worker.recv_timeout(Duration::from_secs(10)).expect("switch reply").payload {
+        match rig.worker.recv_timeout(Duration::from_secs(10)).msg().expect("switch reply").payload {
             SwitchMessage::TxnReply(r) => r,
             other => panic!("unexpected message {other:?}"),
         }
@@ -484,7 +508,7 @@ mod tests {
         let mut header = TxnHeader::new(rig.worker_ep, 77);
         header.multicast_decision = true;
         let reply = send_and_wait(&rig, SwitchTxn::new(header, vec![Instruction::add(slot(0, 0, 0), 1)]));
-        let decision = node_mb.recv_timeout(Duration::from_secs(5)).expect("multicast");
+        let decision = node_mb.recv_timeout(Duration::from_secs(5)).msg().expect("multicast");
         match decision.payload {
             SwitchMessage::WarmDecision(d) => {
                 assert_eq!(d.token, 77);
@@ -502,13 +526,13 @@ mod tests {
         let req =
             |token, lock_id, exclusive| crate::packet::LockRequest { origin: rig.worker_ep, token, lock_id, exclusive };
         rig.fabric.send(rig.worker_ep, EndpointId::Switch, SwitchMessage::LockRequest(req(1, 99, true)));
-        let granted = match rig.worker.recv_timeout(Duration::from_secs(5)).unwrap().payload {
+        let granted = match rig.worker.recv_timeout(Duration::from_secs(5)).msg().unwrap().payload {
             SwitchMessage::LockReply(r) => r.granted,
             other => panic!("unexpected {other:?}"),
         };
         assert!(granted);
         rig.fabric.send(rig.worker_ep, EndpointId::Switch, SwitchMessage::LockRequest(req(2, 99, true)));
-        let granted = match rig.worker.recv_timeout(Duration::from_secs(5)).unwrap().payload {
+        let granted = match rig.worker.recv_timeout(Duration::from_secs(5)).msg().unwrap().payload {
             SwitchMessage::LockReply(r) => r.granted,
             other => panic!("unexpected {other:?}"),
         };
@@ -520,7 +544,7 @@ mod tests {
         );
         // After the release a new request succeeds.
         rig.fabric.send(rig.worker_ep, EndpointId::Switch, SwitchMessage::LockRequest(req(3, 99, false)));
-        let granted = match rig.worker.recv_timeout(Duration::from_secs(5)).unwrap().payload {
+        let granted = match rig.worker.recv_timeout(Duration::from_secs(5)).msg().unwrap().payload {
             SwitchMessage::LockReply(r) => r.granted,
             other => panic!("unexpected {other:?}"),
         };
@@ -553,7 +577,7 @@ mod tests {
                     let txn =
                         SwitchTxn::new(TxnHeader::new(ep, i), vec![Instruction::add(RegisterSlot::new(0, 0, 0), 1)]);
                     fabric.send(ep, EndpointId::Switch, SwitchMessage::Txn(txn));
-                    match mb.recv_timeout(Duration::from_secs(20)).expect("reply").payload {
+                    match mb.recv_timeout(Duration::from_secs(20)).msg().expect("reply").payload {
                         SwitchMessage::TxnReply(r) => gids.push(r.gid.0),
                         other => panic!("unexpected {other:?}"),
                     }

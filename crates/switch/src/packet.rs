@@ -9,7 +9,7 @@
 
 use crate::instruction::{InstrResult, Instruction};
 use crate::locks::LockMask;
-use p4db_common::GlobalTxnId;
+use p4db_common::{GlobalTxnId, TxnId};
 use p4db_net::EndpointId;
 
 /// Processing information carried in the packet header (the grey fields of
@@ -20,6 +20,11 @@ pub struct TxnHeader {
     pub origin: EndpointId,
     /// Client-chosen correlation token, echoed in the reply.
     pub token: u64,
+    /// The issuing node's transaction id, carried in the packet so the
+    /// data-plane audit log can attribute every execution to the intent the
+    /// node logged before sending (exactly-once accounting; `TxnId(0)` for
+    /// raw clients that do not participate in the durability protocol).
+    pub txn_id: TxnId,
     /// Whether the issuing node determined (from its replica of the data
     /// layout) that the transaction needs more than one pipeline pass.
     pub is_multipass: bool,
@@ -40,6 +45,7 @@ impl TxnHeader {
         TxnHeader {
             origin,
             token,
+            txn_id: TxnId(0),
             is_multipass: false,
             locks: LockMask::NONE,
             nb_recircs: 0,

@@ -19,7 +19,7 @@
 //! Chiller-style contention-centric re-ordering (Fig 18b) are variations of
 //! the cold path selected through [`EngineConfig`].
 
-use crate::hotset::HotSetIndex;
+use crate::hotset::{HotIndexCell, HotSetIndex};
 use crate::request::{OpKind, TxnOp, TxnOutcome, TxnRequest};
 use crate::switch_client::build_switch_txn;
 use p4db_common::simtime::Stopwatch;
@@ -27,12 +27,12 @@ use p4db_common::stats::{Phase, TxnClass, WorkerStats};
 use p4db_common::{
     AbortReason, CcScheme, Error, GlobalTxnId, NodeId, Result, SystemMode, TupleId, TxnId, Value, WorkerId,
 };
-use p4db_net::{EndpointId, Fabric, LatencyModel, Mailbox};
+use p4db_net::{EndpointId, Fabric, LatencyModel, Mailbox, RecvOutcome};
 use p4db_storage::{LockMode, LogRecord, NodeStorage};
 use p4db_switch::{SwitchConfig, SwitchMessage, TxnHeader};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Engine-wide configuration (immutable during a run).
 #[derive(Clone, Debug)]
@@ -47,11 +47,29 @@ pub struct EngineConfig {
     /// Whether switch transactions are logged to the WAL (§6.1). On by
     /// default; the microbenchmarks can disable it to isolate data-path cost.
     pub log_switch_txns: bool,
+    /// How long a worker waits for a switch reply before giving up on it.
+    /// Generous by default; fault-injection runs shrink it so dropped
+    /// packets surface quickly.
+    pub switch_timeout: Duration,
+    /// What a switch-reply timeout means. With message faults active a
+    /// timeout is an expected lost packet: the transaction commits *in
+    /// doubt* (its intent is logged, the switch cannot abort). Without
+    /// faults nothing can be lost on the wire, so a timeout is a wedged
+    /// switch and surfaces loudly as [`p4db_common::Error::Disconnected`].
+    pub in_doubt_on_timeout: bool,
 }
 
 impl EngineConfig {
     pub fn new(mode: SystemMode, cc: CcScheme, switch_config: SwitchConfig) -> Self {
-        EngineConfig { mode, cc, switch_config, chiller: false, log_switch_txns: true }
+        EngineConfig {
+            mode,
+            cc,
+            switch_config,
+            chiller: false,
+            log_switch_txns: true,
+            switch_timeout: Duration::from_secs(30),
+            in_doubt_on_timeout: false,
+        }
     }
 }
 
@@ -60,7 +78,9 @@ pub struct EngineShared {
     pub nodes: Vec<Arc<NodeStorage>>,
     pub latency: LatencyModel,
     pub fabric: Fabric<SwitchMessage>,
-    pub hot_index: Arc<HotSetIndex>,
+    /// The replicated hot-set index, swappable for mid-run re-offload
+    /// recovery. Workers snapshot it once per transaction.
+    pub hot_index: HotIndexCell,
     pub config: EngineConfig,
 }
 
@@ -72,6 +92,16 @@ impl EngineShared {
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
     }
+}
+
+/// Result of one switch sub-transaction as seen by the issuing worker.
+enum SwitchSubTxn {
+    /// The reply arrived: GID plus per-original-op result values.
+    Completed { gid: GlobalTxnId, values: HashMap<usize, u64> },
+    /// No reply within the timeout: the packet or its reply was lost. The
+    /// intent is logged, so the transaction counts as committed; recovery
+    /// orders it from the logs.
+    InDoubt,
 }
 
 /// Undo information collected while a host (sub-)transaction executes.
@@ -130,28 +160,30 @@ impl Worker {
 
     /// Executes one transaction attempt. Aborts are returned as
     /// `Err(Error::Abort(_))`; the caller (worker loop) decides whether to
-    /// retry.
+    /// retry. The hot-set index is snapshotted once here, so classification,
+    /// packet construction and Chiller ordering always agree even if a
+    /// re-offload swaps the index mid-transaction.
     pub fn execute(&mut self, req: &TxnRequest, stats: &mut WorkerStats) -> Result<TxnOutcome> {
         if req.is_empty() {
-            return Ok(TxnOutcome { class: TxnClass::Cold, results: Vec::new(), gid: None });
+            return Ok(TxnOutcome { class: TxnClass::Cold, results: Vec::new(), gid: None, in_doubt: false });
         }
-        let (hot, cold) = self.classify(req);
+        let index = self.shared.hot_index.load();
+        let (hot, cold) = self.classify(req, &index);
         match (hot.is_empty(), cold.is_empty()) {
-            (false, true) => self.execute_hot(req, &hot, stats),
-            (true, _) => self.execute_host(req, &[], &cold, stats),
-            (false, false) => self.execute_host(req, &hot, &cold, stats),
+            (false, true) => self.execute_hot(req, &hot, &index, stats),
+            (true, _) => self.execute_host(req, &[], &cold, &index, stats),
+            (false, false) => self.execute_host(req, &hot, &cold, &index, stats),
         }
     }
 
     /// Splits the request's operation indices into hot (switch) and cold
     /// (host) sets. Everything is cold unless the full P4DB mode is active.
-    fn classify(&self, req: &TxnRequest) -> (Vec<usize>, Vec<usize>) {
+    fn classify(&self, req: &TxnRequest, index: &HotSetIndex) -> (Vec<usize>, Vec<usize>) {
         let mut hot = Vec::new();
         let mut cold = Vec::new();
         for (i, op) in req.ops.iter().enumerate() {
-            let is_hot = self.shared.config.mode == SystemMode::P4db
-                && op.kind.switch_executable()
-                && self.shared.hot_index.is_hot(op.tuple);
+            let is_hot =
+                self.shared.config.mode == SystemMode::P4db && op.kind.switch_executable() && index.is_hot(op.tuple);
             if is_hot {
                 hot.push(i);
             } else {
@@ -163,32 +195,45 @@ impl Worker {
 
     // --- Hot transactions -------------------------------------------------
 
-    fn execute_hot(&mut self, req: &TxnRequest, hot: &[usize], stats: &mut WorkerStats) -> Result<TxnOutcome> {
+    fn execute_hot(
+        &mut self,
+        req: &TxnRequest,
+        hot: &[usize],
+        index: &HotSetIndex,
+        stats: &mut WorkerStats,
+    ) -> Result<TxnOutcome> {
         let txn_id = self.next_txn_id();
         let mut results = vec![0u64; req.ops.len()];
-        let (gid, values) = self.run_switch_subtxn(txn_id, req, hot, false, stats)?;
-        for (idx, value) in values {
-            results[idx] = value;
+        match self.run_switch_subtxn(txn_id, req, hot, index, false, stats)? {
+            SwitchSubTxn::Completed { gid, values } => {
+                for (idx, value) in values {
+                    results[idx] = value;
+                }
+                Ok(TxnOutcome { class: TxnClass::Hot, results, gid: Some(gid), in_doubt: false })
+            }
+            // The intent is logged, the switch cannot abort: the transaction
+            // counts as committed even though its reply is lost (§6.1).
+            SwitchSubTxn::InDoubt => Ok(TxnOutcome { class: TxnClass::Hot, results, gid: None, in_doubt: true }),
         }
-        Ok(TxnOutcome { class: TxnClass::Hot, results, gid: Some(gid) })
     }
 
-    /// Builds, logs, sends and awaits one switch sub-transaction. Returns the
-    /// GID and the per-original-op result values.
+    /// Builds, logs, sends and awaits one switch sub-transaction.
     fn run_switch_subtxn(
         &mut self,
         txn_id: TxnId,
         req: &TxnRequest,
         hot: &[usize],
+        index: &HotSetIndex,
         multicast_decision: bool,
         stats: &mut WorkerStats,
-    ) -> Result<(GlobalTxnId, HashMap<usize, u64>)> {
+    ) -> Result<SwitchSubTxn> {
         let mut watch = Stopwatch::start();
         let token = self.next_token();
         let mut header = TxnHeader::new(self.endpoint, token);
+        header.txn_id = txn_id;
         header.multicast_decision = multicast_decision;
         let hot_ops: Vec<(usize, TxnOp)> = hot.iter().map(|&i| (i, req.ops[i])).collect();
-        let built = build_switch_txn(&hot_ops, &self.shared.hot_index, &self.shared.config.switch_config, header);
+        let built = build_switch_txn(&hot_ops, index, &self.shared.config.switch_config, header)?;
 
         if built.txn.header.is_multipass {
             stats.switch_multi_pass += 1;
@@ -210,15 +255,30 @@ impl Worker {
         if !sent {
             return Err(Error::Disconnected);
         }
+        let deadline = Instant::now() + self.shared.config.switch_timeout;
         let reply = loop {
-            match self.mailbox.recv_timeout(Duration::from_secs(30)) {
-                Some(env) => match env.payload {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.mailbox.recv_timeout(remaining) {
+                RecvOutcome::Msg(env) => match env.payload {
                     SwitchMessage::TxnReply(r) if r.token == token => break r,
                     // Stale replies (from a previous, timed-out attempt) and
                     // unrelated messages are dropped.
                     _ => continue,
                 },
-                None => return Err(Error::Disconnected),
+                // Under fault injection the request or its reply was lost on
+                // the wire: the transaction is in doubt. Its intent is
+                // already logged, so recovery will account for it (§A.3,
+                // Fig 9); the live run simply proceeds without the results.
+                // Without faults nothing can be lost, so a timeout means the
+                // switch is wedged — fail loudly instead.
+                RecvOutcome::TimedOut => {
+                    if !self.shared.config.in_doubt_on_timeout {
+                        return Err(Error::Disconnected);
+                    }
+                    stats.record_phase(Phase::SwitchTxn, watch.lap());
+                    return Ok(SwitchSubTxn::InDoubt);
+                }
+                RecvOutcome::Disconnected => return Err(Error::Disconnected),
             }
         };
         // Return-path wire latency.
@@ -242,7 +302,7 @@ impl Worker {
             });
         }
         stats.record_phase(Phase::TxnEngine, watch.lap());
-        Ok((reply.gid, values))
+        Ok(SwitchSubTxn::Completed { gid: reply.gid, values })
     }
 
     fn coordinator_storage(&self) -> &Arc<NodeStorage> {
@@ -259,6 +319,7 @@ impl Worker {
         req: &TxnRequest,
         hot: &[usize],
         cold: &[usize],
+        index: &HotSetIndex,
         stats: &mut WorkerStats,
     ) -> Result<TxnOutcome> {
         let txn_id = self.next_txn_id();
@@ -270,12 +331,12 @@ impl Worker {
         // held for the shortest time.
         let mut order: Vec<usize> = cold.to_vec();
         if self.shared.config.chiller {
-            order.sort_by_key(|&i| self.shared.hot_index.is_hot(req.ops[i].tuple));
+            order.sort_by_key(|&i| index.is_hot(req.ops[i].tuple));
         }
 
         for &i in &order {
             let op = &req.ops[i];
-            match self.execute_cold_op(txn_id, op, i, &mut results, &mut state, stats, &mut watch) {
+            match self.execute_cold_op(txn_id, op, i, index, &mut results, &mut state, stats, &mut watch) {
                 Ok(()) => {}
                 Err(e) => {
                     self.abort_host(txn_id, &mut state, stats);
@@ -297,14 +358,22 @@ impl Worker {
 
         // Warm transactions: trigger the switch sub-transaction between the
         // voting phase and the commit (Fig 8 / Fig 10). The switch cannot
-        // abort, so the outcome is already decided.
+        // abort, so the outcome is already decided — even a lost reply does
+        // not change it: the cold part is beyond its abort point and the
+        // logged intent makes the switch part durable, so the transaction
+        // commits in doubt rather than rolling back half of itself.
         let mut gid = None;
+        let mut in_doubt = false;
         if !hot.is_empty() {
-            let (g, values) = self.run_switch_subtxn(txn_id, req, hot, distributed, stats)?;
-            for (idx, value) in values {
-                results[idx] = value;
+            match self.run_switch_subtxn(txn_id, req, hot, index, distributed, stats)? {
+                SwitchSubTxn::Completed { gid: g, values } => {
+                    for (idx, value) in values {
+                        results[idx] = value;
+                    }
+                    gid = Some(g);
+                }
+                SwitchSubTxn::InDoubt => in_doubt = true,
             }
-            gid = Some(g);
         }
 
         // Commit: persist cold writes + commit record, release locks.
@@ -317,7 +386,7 @@ impl Worker {
         stats.record_phase(Phase::TxnEngine, watch.lap());
 
         let class = if hot.is_empty() { TxnClass::Cold } else { TxnClass::Warm };
-        Ok(TxnOutcome { class, results, gid })
+        Ok(TxnOutcome { class, results, gid, in_doubt })
     }
 
     /// Executes one cold operation under 2PL, recording undo information.
@@ -327,6 +396,7 @@ impl Worker {
         txn_id: TxnId,
         op: &TxnOp,
         op_index: usize,
+        index: &HotSetIndex,
         results: &mut [u64],
         state: &mut HostTxnState,
         stats: &mut WorkerStats,
@@ -346,7 +416,7 @@ impl Worker {
 
         // Lock acquisition: either at the owning node (normal path) or at the
         // switch lock manager for hot-set tuples in LM-Switch mode.
-        let lm_lock = self.shared.config.mode == SystemMode::LmSwitch && self.shared.hot_index.is_hot(op.tuple);
+        let lm_lock = self.shared.config.mode == SystemMode::LmSwitch && index.is_hot(op.tuple);
         if lm_lock {
             let granted = self.lm_acquire(op.tuple, op.kind.is_write())?;
             if !granted {
@@ -417,7 +487,7 @@ impl Worker {
 
         // Chiller: release the lock on contended tuples as soon as the
         // operation is done (early lock release).
-        if self.shared.config.chiller && self.shared.hot_index.is_hot(op.tuple) && !lm_lock {
+        if self.shared.config.chiller && index.is_hot(op.tuple) && !lm_lock {
             if let Some(pos) = state.locks.iter().position(|&(n, t)| n == op.home && t == op.tuple) {
                 let (home, tuple) = state.locks.remove(pos);
                 self.shared.node(home).locks().release(txn_id, tuple);
@@ -435,13 +505,27 @@ impl Worker {
         if !self.shared.fabric.send(self.endpoint, EndpointId::Switch, SwitchMessage::LockRequest(req)) {
             return Err(Error::Disconnected);
         }
+        let deadline = Instant::now() + self.shared.config.switch_timeout;
         let reply = loop {
-            match self.mailbox.recv_timeout(Duration::from_secs(30)) {
-                Some(env) => match env.payload {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.mailbox.recv_timeout(remaining) {
+                RecvOutcome::Msg(env) => match env.payload {
                     SwitchMessage::LockReply(r) if r.token == token => break r,
                     _ => continue,
                 },
-                None => return Err(Error::Disconnected),
+                // Under fault injection a lost lock request or grant is
+                // treated as a denial: the transaction aborts under NO_WAIT
+                // and retries with a fresh request. (If the grant itself was
+                // lost the switch-side lock leaks — contention on that tuple
+                // then shows up as repeated denials, a degradation the chaos
+                // harness tolerates.) Without faults, fail loudly.
+                RecvOutcome::TimedOut => {
+                    if !self.shared.config.in_doubt_on_timeout {
+                        return Err(Error::Disconnected);
+                    }
+                    return Ok(false);
+                }
+                RecvOutcome::Disconnected => return Err(Error::Disconnected),
             }
         };
         // Return-path wire latency for the grant/deny message.
@@ -542,7 +626,7 @@ mod tests {
             nodes,
             latency,
             fabric,
-            hot_index: Arc::new(hot_index),
+            hot_index: HotIndexCell::new(hot_index),
             config: EngineConfig::new(mode, cc, switch_config),
         });
         Rig { shared, _switch: switch, control_plane }
@@ -762,7 +846,7 @@ mod tests {
             nodes: cfg_rig.shared.nodes.clone(),
             latency: cfg_rig.shared.latency.clone(),
             fabric: cfg_rig.shared.fabric.clone(),
-            hot_index: Arc::new(HotSetIndex::from_tuples((0..10).map(t))),
+            hot_index: HotIndexCell::new(HotSetIndex::from_tuples((0..10).map(t))),
             config: EngineConfig {
                 chiller: true,
                 ..EngineConfig::new(SystemMode::NoSwitch, CcScheme::NoWait, cfg_rig.shared.config.switch_config)

@@ -8,9 +8,11 @@
 //! switch. In this reproduction the "replica" is a shared immutable structure
 //! built once after offloading.
 
+use p4db_common::sync::unpoison;
 use p4db_common::TupleId;
 use p4db_switch::{ControlPlane, RegisterSlot};
 use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
 
 /// Immutable hot-set index, shared by all workers of all nodes.
 #[derive(Clone, Debug, Default)]
@@ -69,6 +71,38 @@ impl HotSetIndex {
     }
 }
 
+/// The cluster-wide slot for the current hot-set index.
+///
+/// The index itself stays immutable (workers snapshot it once per
+/// transaction so classification and packet construction always agree), but
+/// the *slot* is swappable: a mid-run switch re-offload — crash recovery
+/// that places the hot set into fresh register slots — publishes the rebuilt
+/// index here and every subsequent transaction picks it up. This models the
+/// control plane pushing an updated index replica to the nodes (§6.1).
+#[derive(Debug)]
+pub struct HotIndexCell {
+    inner: RwLock<Arc<HotSetIndex>>,
+}
+
+impl HotIndexCell {
+    pub fn new(index: HotSetIndex) -> Self {
+        HotIndexCell { inner: RwLock::new(Arc::new(index)) }
+    }
+
+    /// The current index. Cheap (an `Arc` clone under a read lock); callers
+    /// executing a transaction take one snapshot and use it throughout.
+    pub fn load(&self) -> Arc<HotSetIndex> {
+        let guard = unpoison(self.inner.read());
+        Arc::clone(&guard)
+    }
+
+    /// Publishes a new index, returning the previous one.
+    pub fn swap(&self, index: Arc<HotSetIndex>) -> Arc<HotSetIndex> {
+        let mut guard = unpoison(self.inner.write());
+        std::mem::replace(&mut *guard, index)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +142,19 @@ mod tests {
         let idx = HotSetIndex::empty();
         assert!(idx.is_empty());
         assert!(!idx.is_hot(t(0)));
+    }
+
+    #[test]
+    fn hot_index_cell_swaps_atomically() {
+        let cell = HotIndexCell::new(HotSetIndex::from_tuples([t(1)]));
+        let before = cell.load();
+        assert!(before.is_hot(t(1)));
+        let old = cell.swap(Arc::new(HotSetIndex::from_tuples([t(2)])));
+        assert!(old.is_hot(t(1)), "swap returns the previous index");
+        assert!(cell.load().is_hot(t(2)));
+        assert!(!cell.load().is_hot(t(1)));
+        // Snapshots taken before the swap stay valid.
+        assert!(before.is_hot(t(1)));
     }
 
     #[test]

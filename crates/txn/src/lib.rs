@@ -16,6 +16,6 @@ pub mod switch_client;
 
 pub use builder::{Placement, Txn};
 pub use executor::{EngineConfig, EngineShared, Worker};
-pub use hotset::HotSetIndex;
+pub use hotset::{HotIndexCell, HotSetIndex};
 pub use request::{OpKind, TxnOp, TxnOutcome, TxnRequest};
 pub use switch_client::{build_switch_txn, BuiltSwitchTxn};

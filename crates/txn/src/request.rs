@@ -111,6 +111,14 @@ pub struct TxnOutcome {
     pub results: Vec<u64>,
     /// The switch-assigned GID if a switch sub-transaction was involved.
     pub gid: Option<p4db_common::GlobalTxnId>,
+    /// `true` when the switch sub-transaction's reply never arrived (the
+    /// request or the reply was lost, e.g. under fault injection). The
+    /// transaction still *counts as committed* — its intent was logged
+    /// before the packet left the node (§6.1) and switch transactions never
+    /// abort — but the result values of its hot operations are unknown
+    /// (reported as 0) and `gid` is `None`; recovery resolves its position
+    /// from the logs (§A.3, Fig 9).
+    pub in_doubt: bool,
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 
 use crate::hotset::HotSetIndex;
 use crate::request::{OpKind, TxnOp};
+use p4db_common::{Error, Result};
 use p4db_storage::LoggedSwitchOp;
 use p4db_switch::{locks_for_stages, plan_passes, Instruction, OpCode, SwitchConfig, SwitchTxn, TxnHeader};
 
@@ -41,24 +42,36 @@ fn op_to_opcode(kind: OpKind) -> (OpCode, u64) {
 /// declustered layout). Operations connected by `operand_from` dependencies
 /// keep their relative order.
 ///
-/// # Panics
-/// Panics if an operation references (via `operand_from`) an operation that
-/// is not part of the same switch sub-transaction — workloads must keep
-/// read-dependent pairs in the same temperature class.
+/// # Errors
+/// Returns [`Error::InvalidTxn`] if an operation's tuple is missing from the
+/// hot-set index, or if an `operand_from` reference points outside the
+/// switch sub-transaction (workloads must keep read-dependent pairs in the
+/// same temperature class). Both are terminal, non-retryable errors: the
+/// engine classifies and builds against one index snapshot, so a missing
+/// slot means the caller classified against a *different* index than it
+/// passed here — a caller bug, not a transient race.
 pub fn build_switch_txn(
     hot_ops: &[(usize, TxnOp)],
     hot_index: &HotSetIndex,
     switch_config: &SwitchConfig,
     mut header: TxnHeader,
-) -> BuiltSwitchTxn {
+) -> Result<BuiltSwitchTxn> {
+    let slot_of = |op: &TxnOp| {
+        hot_index
+            .slot(op.tuple)
+            .ok_or_else(|| Error::InvalidTxn(format!("hot operation on {} is not in the hot-set index", op.tuple)))
+    };
     // Re-order for stage order unless a dependency forbids it.
     let has_dependencies = hot_ops.iter().any(|(_, op)| op.operand_from.is_some());
     let mut ordered: Vec<(usize, TxnOp)> = hot_ops.to_vec();
     if !has_dependencies {
-        ordered.sort_by_key(|(_, op)| {
-            let slot = hot_index.slot(op.tuple).expect("hot op must be in the hot-set index");
-            (slot.stage, slot.array, slot.index)
-        });
+        let mut keyed = Vec::with_capacity(ordered.len());
+        for (orig, op) in ordered {
+            let slot = slot_of(&op)?;
+            keyed.push(((slot.stage, slot.array, slot.index), (orig, op)));
+        }
+        keyed.sort_by_key(|(key, _)| *key);
+        ordered = keyed.into_iter().map(|(_, op)| op).collect();
     }
 
     // Map original op index -> instruction index, needed to remap
@@ -72,17 +85,26 @@ pub fn build_switch_txn(
     let mut orig_index = Vec::with_capacity(ordered.len());
     let mut logged_ops = Vec::with_capacity(ordered.len());
     for (instr_idx, (orig, op)) in ordered.iter().enumerate() {
-        let slot = hot_index.slot(op.tuple).expect("hot op must be in the hot-set index");
+        let slot = slot_of(op)?;
         let (opcode, operand) = op_to_opcode(op.kind);
-        let operand_from = op.operand_from.map(|src| {
-            let mapped = instr_of_orig
-                .get(src as usize)
-                .copied()
-                .filter(|&m| m != usize::MAX)
-                .expect("operand_from must reference a hot operation of the same transaction");
-            assert!(mapped < instr_idx, "operand_from must reference an earlier instruction");
-            mapped as u8
-        });
+        let operand_from = match op.operand_from {
+            Some(src) => {
+                let mapped =
+                    instr_of_orig.get(src as usize).copied().filter(|&m| m != usize::MAX).ok_or_else(|| {
+                        Error::InvalidTxn(format!(
+                            "operation {orig} takes its operand from operation {src}, which is not part of the same \
+                             switch sub-transaction"
+                        ))
+                    })?;
+                if mapped >= instr_idx {
+                    return Err(Error::InvalidTxn(format!(
+                        "operation {orig}'s operand source {src} does not precede it in the switch instruction order"
+                    )));
+                }
+                Some(mapped as u8)
+            }
+            None => None,
+        };
         let mut instr = Instruction::new(slot, opcode, operand);
         instr.operand_from = operand_from;
         instructions.push(instr);
@@ -95,7 +117,7 @@ pub fn build_switch_txn(
     header.is_multipass = passes.len() > 1;
     header.locks = locks_for_stages(instructions.iter().map(|i| i.slot.stage), switch_config);
 
-    BuiltSwitchTxn { txn: SwitchTxn::new(header, instructions), orig_index, logged_ops }
+    Ok(BuiltSwitchTxn { txn: SwitchTxn::new(header, instructions), orig_index, logged_ops })
 }
 
 #[cfg(test)]
@@ -133,7 +155,7 @@ mod tests {
             (1, TxnOp::new(t(0), OpKind::Add(1), NodeId(0))),
             (2, TxnOp::new(t(2), OpKind::Read, NodeId(0))),
         ];
-        let built = build_switch_txn(&ops, &idx, &config, header());
+        let built = build_switch_txn(&ops, &idx, &config, header()).unwrap();
         // Stage order: t(0) stage 0, t(2) stage 2, t(3) stage 3.
         assert_eq!(built.orig_index, vec![1, 2, 0]);
         assert!(!built.txn.header.is_multipass);
@@ -149,7 +171,7 @@ mod tests {
             (0usize, TxnOp::new(t(1), OpKind::Read, NodeId(0))),
             (1, TxnOp::new(t(2), OpKind::Add(0), NodeId(0)).with_operand_from(0)),
         ];
-        let built = build_switch_txn(&ops, &idx, &config, header());
+        let built = build_switch_txn(&ops, &idx, &config, header()).unwrap();
         assert_eq!(built.orig_index, vec![0, 1]);
         assert_eq!(built.txn.instructions[1].operand_from, Some(0));
         assert!(!built.txn.header.is_multipass);
@@ -164,7 +186,7 @@ mod tests {
             (0usize, TxnOp::new(t(3), OpKind::Read, NodeId(0))),
             (1, TxnOp::new(t(1), OpKind::Write(0), NodeId(0)).with_operand_from(0)),
         ];
-        let built = build_switch_txn(&ops, &idx, &config, header());
+        let built = build_switch_txn(&ops, &idx, &config, header()).unwrap();
         assert!(built.txn.header.is_multipass);
         assert_ne!(built.txn.header.locks, LockMask::NONE);
     }
@@ -173,17 +195,27 @@ mod tests {
     fn single_pass_header_still_names_locks_that_must_be_free() {
         let (idx, config) = index_with(&[0]);
         let ops = vec![(0usize, TxnOp::new(t(0), OpKind::Add(5), NodeId(0)))];
-        let built = build_switch_txn(&ops, &idx, &config, header());
+        let built = build_switch_txn(&ops, &idx, &config, header()).unwrap();
         assert!(!built.txn.header.is_multipass);
         // Stage 0 is in the "left" half of the tiny config.
         assert_eq!(built.txn.header.locks, LockMask::LEFT);
     }
 
     #[test]
-    #[should_panic(expected = "hot op must be in the hot-set index")]
-    fn building_with_a_cold_tuple_panics() {
+    fn building_with_a_cold_tuple_is_a_structured_error() {
         let (idx, config) = index_with(&[0]);
         let ops = vec![(0usize, TxnOp::new(t(99), OpKind::Read, NodeId(0)))];
-        let _ = build_switch_txn(&ops, &idx, &config, header());
+        match build_switch_txn(&ops, &idx, &config, header()) {
+            Err(p4db_common::Error::InvalidTxn(msg)) => assert!(msg.contains("hot-set index"), "{msg}"),
+            other => panic!("expected InvalidTxn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dangling_operand_reference_is_a_structured_error() {
+        let (idx, config) = index_with(&[1]);
+        // operand_from(5) points outside the (single-op) sub-transaction.
+        let ops = vec![(0usize, TxnOp::new(t(1), OpKind::Add(0), NodeId(0)).with_operand_from(5))];
+        assert!(matches!(build_switch_txn(&ops, &idx, &config, header()), Err(p4db_common::Error::InvalidTxn(_))));
     }
 }

@@ -212,19 +212,28 @@ impl Workload for Tpcc {
         let last = (first + per_node).min(self.config.warehouses);
 
         // Replicated read-only item catalogue.
-        storage.table(ITEM).unwrap().bulk_load((0..self.config.items_loaded).map(|i| (i, Value::scalar(100 + i))));
+        storage
+            .table(ITEM)
+            .expect("item table declared")
+            .bulk_load((0..self.config.items_loaded).map(|i| (i, Value::scalar(100 + i))));
 
         for w in first..last {
-            storage.table(WAREHOUSE).unwrap().insert(keys::warehouse(w), Value::scalar(0));
+            storage.table(WAREHOUSE).expect("warehouse table declared").insert(keys::warehouse(w), Value::scalar(0));
             for d in 0..DISTRICTS_PER_WAREHOUSE {
-                storage.table(DISTRICT).unwrap().insert(keys::district(w, d), Value::scalar(INITIAL_NEXT_O_ID));
-                storage.table(DISTRICT_YTD).unwrap().insert(keys::district(w, d), Value::scalar(0));
+                storage
+                    .table(DISTRICT)
+                    .expect("district table declared")
+                    .insert(keys::district(w, d), Value::scalar(INITIAL_NEXT_O_ID));
+                storage
+                    .table(DISTRICT_YTD)
+                    .expect("district-ytd table declared")
+                    .insert(keys::district(w, d), Value::scalar(0));
                 let customers = (0..CUSTOMERS_PER_DISTRICT).map(|c| (keys::customer(w, d, c), Value::scalar(1_000)));
-                storage.table(CUSTOMER).unwrap().bulk_load(customers);
+                storage.table(CUSTOMER).expect("customer table declared").bulk_load(customers);
             }
             storage
                 .table(STOCK)
-                .unwrap()
+                .expect("stock table declared")
                 .bulk_load((0..ITEMS).map(|i| (keys::stock(w, i), Value::scalar(INITIAL_STOCK))));
         }
     }

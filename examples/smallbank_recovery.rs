@@ -43,6 +43,7 @@ fn main() {
     let live: Vec<(p4db::common::TupleId, u64)> = cluster
         .shared()
         .hot_index
+        .load()
         .iter()
         .map(|(tuple, _)| (tuple, cluster.switch_value(tuple).expect("offloaded")))
         .collect();

@@ -20,7 +20,11 @@
 //! * [`workloads`] — YCSB, SmallBank and TPC-C generators.
 //! * [`core`] — the cluster runner, worker loops, experiment driver and
 //!   metrics used by the benchmark harness.
+//! * [`chaos`] — seeded fault injection (message drops/delays/reorders,
+//!   node and switch crashes with WAL-driven recovery) plus the
+//!   cluster-wide invariant checker.
 
+pub use p4db_chaos as chaos;
 pub use p4db_common as common;
 pub use p4db_core as core;
 pub use p4db_layout as layout;

@@ -1,0 +1,240 @@
+//! Chaos suite: seeded fault-injection sweeps with cluster-wide invariant
+//! checking (see `p4db::chaos`).
+//!
+//! Each run drives one workload through waves of generated transactions
+//! while the fabric drops, delays and reorders messages from a seeded plan;
+//! afterwards the committed history (node WALs + the switch's data-plane
+//! audit log) is replayed against a shadow store and checked for
+//! serializability equivalence, exactly-once switch-intent application, cold
+//! durability and workload-level conservation. A failure prints the seed and
+//! a one-command repro line (`smoke_reproduce_from_env`).
+//!
+//! The `smoke_*` tests are the fixed-seed fast subset that `ci.sh` runs as
+//! its chaos gate.
+
+use p4db::chaos::{
+    resend_logged_intent, run_chaos, ChaosOptions, ChaosReport, ChaosWorkload, SemanticChecks, Violation,
+};
+use p4db::common::NodeId;
+use p4db::workloads::{SmallBank, SmallBankConfig, Workload};
+use p4db::{Cluster, TupleId};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Seeds per workload for the faulty sweep: 3 × 11 = 33 distinct seeded
+/// scenarios with faults enabled.
+const SWEEP_SEEDS: std::ops::Range<u64> = 1..12;
+
+fn assert_clean(report: &ChaosReport) {
+    assert!(report.is_clean(), "{}", report.failure_summary());
+    assert!(report.committed > 0, "seed {} committed nothing", report.seed);
+}
+
+fn sweep(workload: ChaosWorkload) {
+    for seed in SWEEP_SEEDS {
+        let report = run_chaos(&ChaosOptions::new(workload, seed)).expect("chaos run failed to execute");
+        assert_clean(&report);
+    }
+}
+
+#[test]
+fn chaos_sweep_ycsb_with_faults() {
+    sweep(ChaosWorkload::Ycsb);
+}
+
+#[test]
+fn chaos_sweep_smallbank_with_faults() {
+    sweep(ChaosWorkload::SmallBank);
+}
+
+#[test]
+fn chaos_sweep_tpcc_with_faults() {
+    sweep(ChaosWorkload::Tpcc);
+}
+
+#[test]
+fn chaos_control_arm_without_faults_is_silent() {
+    for workload in [ChaosWorkload::Ycsb, ChaosWorkload::SmallBank, ChaosWorkload::Tpcc] {
+        for seed in 1..3 {
+            let report = run_chaos(&ChaosOptions::new(workload, seed).faults_off()).unwrap();
+            assert_clean(&report);
+            assert!(report.fault_events.is_empty(), "no faults were configured");
+            assert_eq!(report.in_doubt, 0, "without faults nothing can be in doubt");
+        }
+    }
+}
+
+#[test]
+fn chaos_node_crash_with_wal_restart() {
+    for workload in [ChaosWorkload::SmallBank, ChaosWorkload::Ycsb] {
+        for seed in 1..4 {
+            let mut options = ChaosOptions::new(workload, seed);
+            // Single-partition traffic: node recovery is unambiguous.
+            options.distributed_prob = 0.0;
+            options.crash_node = Some(NodeId(0));
+            let report = run_chaos(&options).unwrap();
+            assert_clean(&report);
+            let recovery = report.node_recovery.as_ref().expect("node crash must have happened");
+            assert!(recovery.restored_tuples > 0, "seed {seed}: recovery restored nothing");
+        }
+    }
+}
+
+#[test]
+fn chaos_switch_crash_with_recovery() {
+    for seed in 1..4 {
+        let mut options = ChaosOptions::new(ChaosWorkload::SmallBank, seed);
+        options.crash_switch = true;
+        let report = run_chaos(&options).unwrap();
+        assert_clean(&report);
+        let recovery = report.switch_recovery.as_ref().expect("switch crash must have happened");
+        assert!(!recovery.reoffloaded);
+        assert!(recovery.restored_tuples > 0);
+    }
+}
+
+#[test]
+fn chaos_switch_crash_with_reoffload() {
+    for (workload, seed) in [(ChaosWorkload::SmallBank, 5), (ChaosWorkload::SmallBank, 6), (ChaosWorkload::Tpcc, 5)] {
+        let mut options = ChaosOptions::new(workload, seed);
+        options.crash_switch = true;
+        options.reoffload = true;
+        let report = run_chaos(&options).unwrap();
+        assert_clean(&report);
+        assert!(report.switch_recovery.as_ref().unwrap().reoffloaded);
+    }
+}
+
+#[test]
+fn chaos_lm_switch_mode_survives_message_faults() {
+    let mut options = ChaosOptions::new(ChaosWorkload::Ycsb, 9);
+    options.mode = p4db::SystemMode::LmSwitch;
+    // Lost lock grants leak switch-side locks (a liveness degradation, not a
+    // safety violation); keep the retry budget small so the run terminates.
+    options.max_attempts = 5;
+    let report = run_chaos(&options).unwrap();
+    assert_clean(&report);
+}
+
+/// The negative test: a deliberately re-transmitted (double-applied) switch
+/// intent must be caught by the exactly-once checker.
+#[test]
+fn double_apply_is_caught_by_the_checker() {
+    let workload: Arc<dyn Workload> =
+        Arc::new(SmallBank::new(SmallBankConfig { customers_per_node: 2_000, ..SmallBankConfig::default() }));
+    let cluster = Cluster::builder(workload).test_profile().build();
+
+    // Commit a few hot transactions so intents + results are logged.
+    let mut session = cluster.session(NodeId(0)).unwrap();
+    let hot = TupleId::new(p4db::workloads::smallbank::CHECKING, 1);
+    let mut victim = None;
+    for i in 0..5 {
+        let outcome = session.execute(&p4db::txn::Txn::new().add(hot, 1 + i)).unwrap();
+        assert!(outcome.gid.is_some());
+        victim = Some(outcome);
+    }
+    assert!(cluster.quiesce_switch(Duration::from_secs(5)));
+    let clean = p4db::chaos::check(&cluster, SemanticChecks::None);
+    assert!(clean.is_clean(), "pre-injection state must be clean: {:?}", clean.violations);
+
+    // Find the victim's TxnId in the WAL (the last logged intent).
+    let txn = cluster.shared().nodes[0]
+        .wal()
+        .records()
+        .iter()
+        .rev()
+        .find_map(|r| match r {
+            p4db::storage::LogRecord::SwitchIntent { txn, .. } => Some(*txn),
+            _ => None,
+        })
+        .expect("hot transactions must have logged intents");
+    let _ = victim;
+
+    // The "retransmission bug": the same intent executes a second time.
+    resend_logged_intent(&cluster, txn).unwrap();
+    assert!(cluster.quiesce_switch(Duration::from_secs(5)));
+
+    let report = p4db::chaos::check(&cluster, SemanticChecks::None);
+    assert!(!report.is_clean(), "the checker must catch a double-apply");
+    assert!(
+        report.violations.iter().any(|v| matches!(v, Violation::DoubleExecution { times: 2, .. })),
+        "expected a DoubleExecution violation, got {:?}",
+        report.violations
+    );
+    assert!(
+        report.violations.iter().any(|v| matches!(v, Violation::SwitchDivergence { .. })),
+        "the double-applied delta must surface as a register divergence, got {:?}",
+        report.violations
+    );
+}
+
+/// Failure reports carry the seed and a runnable repro command that encodes
+/// the whole scenario, not just the seed.
+#[test]
+fn failure_reports_name_seed_and_repro_command() {
+    let mut options = ChaosOptions::new(ChaosWorkload::Ycsb, 77);
+    options.crash_switch = true;
+    options.reoffload = true;
+    options.distributed_prob = 0.0;
+    let report = run_chaos(&options).unwrap();
+    for fragment in
+        ["CHAOS_SEED=77", "CHAOS_WORKLOAD=ycsb", "CHAOS_CRASH_SWITCH=1", "CHAOS_REOFFLOAD=1", "CHAOS_DIST=0"]
+    {
+        assert!(report.repro.contains(fragment), "repro {:?} misses {fragment}", report.repro);
+    }
+    assert!(report.repro.contains("smoke_reproduce_from_env"));
+    // failure_summary always renders, clean or not.
+    assert!(report.failure_summary().contains("seed=77"));
+}
+
+// --- Fixed-seed smoke subset (the ci.sh chaos gate) -----------------------
+
+/// One fast fixed-seed faulty run per workload: exercises drop/delay/reorder,
+/// the in-doubt commit path and the full invariant checker on every PR.
+#[test]
+fn smoke_fixed_seed_fault_paths() {
+    for workload in [ChaosWorkload::Ycsb, ChaosWorkload::SmallBank, ChaosWorkload::Tpcc] {
+        let mut options = ChaosOptions::new(workload, 7);
+        options.waves = 1;
+        options.txns_per_wave = 80;
+        let report = run_chaos(&options).unwrap();
+        assert_clean(&report);
+    }
+}
+
+/// Fast fixed-seed crash smoke: node crash + switch crash with re-offload.
+#[test]
+fn smoke_fixed_seed_crash_paths() {
+    let mut options = ChaosOptions::new(ChaosWorkload::SmallBank, 7);
+    options.distributed_prob = 0.0;
+    options.txns_per_wave = 80;
+    options.crash_node = Some(NodeId(1));
+    options.crash_switch = true;
+    options.reoffload = true;
+    let report = run_chaos(&options).unwrap();
+    assert_clean(&report);
+    assert!(report.node_recovery.is_some());
+    assert!(report.switch_recovery.is_some());
+}
+
+/// Reproduces one scenario, driven by the `CHAOS_*` environment variables a
+/// failing run prints (`ChaosOptions::repro_env` round-trips through
+/// `ChaosOptions::from_env`, so crashes, re-offloads, mode and sizing are
+/// reproduced too — not just the seed). Without the env vars it runs the
+/// default smoke seed.
+#[test]
+fn smoke_reproduce_from_env() {
+    let options = ChaosOptions::from_env();
+    let report = run_chaos(&options).unwrap();
+    println!(
+        "chaos seed {} on {}: {} committed, {} aborted, {} in doubt, {} faults injected, {} violations",
+        report.seed,
+        report.workload,
+        report.committed,
+        report.aborted,
+        report.in_doubt,
+        report.faults_injected,
+        report.invariants.violations.len()
+    );
+    assert_clean(&report);
+}

@@ -111,7 +111,7 @@ fn switch_state_recovers_from_node_logs_after_a_crash() {
     let _ = cluster.run_for(Duration::from_millis(200));
 
     let live: HashMap<TupleId, u64> =
-        cluster.shared().hot_index.iter().map(|(t, _)| (t, cluster.switch_value(t).unwrap())).collect();
+        cluster.shared().hot_index.load().iter().map(|(t, _)| (t, cluster.switch_value(t).unwrap())).collect();
 
     let initial = cluster.offload_snapshot();
     let logs: Vec<&p4db::storage::Wal> = cluster.shared().nodes.iter().map(|n| n.wal()).collect();

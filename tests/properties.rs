@@ -9,8 +9,8 @@
 //! reports the case seed so the exact case can be replayed.
 
 use p4db::common::rand_util::FastRng;
-use p4db::common::{CcScheme, GlobalTxnId, NodeId, TableId, TupleId, TxnId, WorkerId};
-use p4db::layout::{single_pass_fraction, LayoutPlanner, LayoutStrategy, TraceAccess, TxnTrace};
+use p4db::common::{CcScheme, GlobalTxnId, NodeId, TableId, TupleId, TxnId, Value, WorkerId};
+use p4db::layout::{max_cut, single_pass_fraction, AccessGraph, LayoutPlanner, LayoutStrategy, TraceAccess, TxnTrace};
 use p4db::storage::{recover_switch_state, LockMode, LockTable, LogRecord, LoggedSwitchOp, Wal};
 use p4db::switch::{apply_op, plan_passes, Instruction, OpCode, RegisterSlot};
 use std::collections::HashMap;
@@ -179,6 +179,140 @@ fn lock_table_compatibility() {
             table.release(*txn, *tuple);
         }
         assert_eq!(table.locked_count(), 0);
+    });
+}
+
+/// Builds a WAL with a pseudo-random mix of all record types, so truncation
+/// sweeps cover every encoding shape.
+fn random_wal(rng: &mut FastRng) -> Wal {
+    let wal = Wal::new();
+    let records = 2 + rng.gen_range(8);
+    for s in 0..records {
+        let txn = TxnId::compose(s as u32, NodeId(0), WorkerId(0));
+        let tuple = TupleId::new(TableId(rng.gen_range(3) as u16), rng.gen_range(1_000));
+        match rng.gen_range(5) {
+            0 => {
+                wal.append(LogRecord::ColdWrite {
+                    txn,
+                    tuple,
+                    before: Value::from_fields(&[rng.next_u64() % 1_000, 7]),
+                    after: Value::from_fields(&[rng.next_u64() % 1_000, 7]),
+                });
+            }
+            1 => {
+                let ops = (0..1 + rng.gen_range(3))
+                    .map(|i| LoggedSwitchOp {
+                        tuple: TupleId::new(tuple.table, tuple.key + i),
+                        op: OpCode::Add,
+                        operand: rng.gen_range(50),
+                        operand_from: (i > 0 && rng.gen_bool(0.3)).then_some(0),
+                    })
+                    .collect();
+                wal.append(LogRecord::SwitchIntent { txn, ops });
+            }
+            2 => {
+                wal.append(LogRecord::SwitchResult {
+                    txn,
+                    gid: GlobalTxnId(rng.gen_range(100)),
+                    results: vec![(tuple, rng.next_u64() % 500)],
+                });
+            }
+            3 => {
+                wal.append(LogRecord::Commit { txn });
+            }
+            _ => {
+                wal.append(LogRecord::Abort { txn });
+            }
+        }
+    }
+    wal
+}
+
+/// Truncating a serialised log at *every* byte offset recovers exactly the
+/// records whose lines are fully intact before the cut — never fewer, never
+/// a corrupted extra one. This is the crash-mid-flush contract
+/// `deserialize_prefix` gives recovery.
+#[test]
+fn wal_truncation_at_every_offset_recovers_exactly_the_intact_prefix() {
+    check("wal_truncation_at_every_offset_recovers_exactly_the_intact_prefix", |rng| {
+        let wal = random_wal(rng);
+        let records = wal.records();
+        let data = wal.serialize();
+
+        // (start, content_end) of every line; the line's '\n' sits at
+        // content_end, so the line parses once `cut >= content_end`.
+        let mut lines = Vec::new();
+        let mut start = 0usize;
+        for (i, b) in data.bytes().enumerate() {
+            if b == b'\n' {
+                lines.push((start, i));
+                start = i + 1;
+            }
+        }
+        // lines[0] is the header; record r is lines[r + 1].
+        for cut in 0..=data.len() {
+            let torn = &data[..cut];
+            let (prefix, error) = Wal::deserialize_prefix(torn);
+            let intact = lines.iter().skip(1).filter(|&&(_, content_end)| cut >= content_end).count();
+            let expected: Vec<LogRecord> = records[..intact].to_vec();
+            assert_eq!(
+                prefix.records(),
+                expected,
+                "cut at byte {cut}/{} recovered {} records, expected {intact}",
+                data.len(),
+                prefix.records().len(),
+            );
+            // An error is reported iff the cut strictly tears a line's
+            // content (cutting at a line boundary or right before a newline
+            // leaves only fully-parseable text).
+            let torn_mid_line = lines.iter().any(|&(start, content_end)| start < cut && cut < content_end);
+            assert_eq!(error.is_none(), !torn_mid_line, "cut at byte {cut}: error={error:?}");
+        }
+    });
+}
+
+/// Same seed + same conflict graph ⇒ byte-identical max-cut partitioning and
+/// declustered layout, across repeated runs with freshly built graphs
+/// (exercising `HashMap` iteration-order independence).
+#[test]
+fn maxcut_and_declustered_layout_are_deterministic_per_seed() {
+    check("maxcut_and_declustered_layout_are_deterministic_per_seed", |rng| {
+        let n_tuples = 4 + rng.gen_range(60);
+        let traces: Vec<TxnTrace> = (0..48)
+            .map(|_| {
+                TxnTrace::new(
+                    (0..2 + rng.gen_range(3))
+                        .map(|i| {
+                            let t = TupleId::new(TableId(0), rng.gen_range(n_tuples));
+                            if i > 0 && rng.gen_bool(0.25) {
+                                TraceAccess::dependent_write(t)
+                            } else {
+                                TraceAccess::read(t)
+                            }
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let seed = rng.next_u64();
+
+        // Fresh graphs per run: HashMap iteration order differs, results
+        // must not.
+        let first = max_cut(&AccessGraph::from_traces(&traces), 4, n_tuples as usize, seed);
+        let second = max_cut(&AccessGraph::from_traces(&traces), 4, n_tuples as usize, seed);
+        assert_eq!(first.partition_of, second.partition_of, "max-cut diverged for seed {seed:#x}");
+        assert_eq!(first.cut_weight, second.cut_weight);
+
+        let tuples: Vec<TupleId> = (0..n_tuples).map(|k| TupleId::new(TableId(0), k)).collect();
+        let planner = LayoutPlanner::new(5, 2, 64);
+        let mut layouts = Vec::new();
+        for _ in 0..2 {
+            let layout = planner.plan(&tuples, &traces, LayoutStrategy::Declustered);
+            let mut placed: Vec<_> = layout.iter().collect();
+            placed.sort_by_key(|(t, _)| (t.table.0, t.key));
+            layouts.push(placed);
+        }
+        assert_eq!(layouts[0], layouts[1], "declustered layout diverged");
     });
 }
 
