@@ -23,6 +23,17 @@ cargo test --offline --workspace --exclude p4db -q
 echo "==> chaos smoke gate: fixed-seed fault + crash paths with invariant checking"
 cargo test --offline --release -q --test chaos smoke_ -- --nocapture
 
+echo "==> batching gate: whole-frame faults at batch_size=16 (full differential sweep runs in tier-1)"
+cargo test --offline --release -q --test batching batched_chaos -- --nocapture
+
+echo "==> bench smoke gate: BENCH json emission, schema validity, regression band vs BENCH_baseline.json"
+# Absolute path: cargo runs bench binaries with the package dir as CWD.
+BENCH_SMOKE="$(pwd)/target/BENCH_smoke.json"
+rm -f "$BENCH_SMOKE"
+P4DB_BENCH_JSON="$BENCH_SMOKE" P4DB_MEASURE_MS=25 cargo bench --offline -p p4db-bench --bench figures -- fig01 fig13 > /dev/null
+P4DB_BENCH_JSON="$BENCH_SMOKE" P4DB_MICRO_QUICK=1 cargo bench --offline -p p4db-bench --bench micro > /dev/null
+P4DB_BENCH_JSON="$BENCH_SMOKE" P4DB_BENCH_GATE=1 cargo test --offline -q -p p4db-bench --lib gate_
+
 echo "==> rustdoc: public API docs must build warning-free"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
 

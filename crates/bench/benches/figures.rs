@@ -1,9 +1,13 @@
 //! Regenerates every table and figure of the paper's evaluation section.
 //!
 //! Run with `cargo bench -p p4db-bench --bench figures`. Environment knobs:
-//! `P4DB_MEASURE_MS` (per-point measurement time, default 250 ms) and
-//! `P4DB_FULL=1` (wider parameter sweeps). Output is markdown; redirect it
-//! into a file to update `EXPERIMENTS.md`.
+//! `P4DB_MEASURE_MS` (per-point measurement time, default 250 ms),
+//! `P4DB_FULL=1` (wider parameter sweeps) and `P4DB_BENCH_JSON` (output
+//! path for the machine-readable datapoints, default `BENCH_4.json` at the
+//! workspace root). Stdout is markdown; redirect it into a file to update
+//! `EXPERIMENTS.md`. The figures that ran are additionally serialised as
+//! `BenchPoint`s, merged by figure into the JSON file, which the CI
+//! regression gate diffs against `BENCH_baseline.json`.
 
 use p4db_bench::*;
 
@@ -30,6 +34,7 @@ fn main() {
 
     // Allow running a subset: `cargo bench --bench figures -- fig13 fig14`.
     let filter: Vec<String> = std::env::args().skip(1).filter(|a| a.starts_with("fig")).collect();
+    let mut points = Vec::new();
     for (name, f) in figures {
         if !filter.is_empty() && !filter.iter().any(|want| name.starts_with(want.as_str())) {
             continue;
@@ -37,5 +42,11 @@ fn main() {
         eprintln!("[figures] running {name} ...");
         let table = f(&profile);
         table.print();
+        points.extend(table.points);
+    }
+    if !points.is_empty() {
+        let path = p4db_bench::json::output_path();
+        p4db_bench::json::write_merged(&path, &points).expect("writing BENCH json");
+        eprintln!("[figures] wrote {} datapoints to {}", points.len(), path.display());
     }
 }

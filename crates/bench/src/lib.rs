@@ -3,7 +3,11 @@
 //! The benchmark harness that regenerates every table and figure of the
 //! paper's evaluation (§7). Each `benches/` target calls the `figXX_*`
 //! functions below and prints the resulting markdown table; the same
-//! functions are used to produce `EXPERIMENTS.md`.
+//! functions are used to produce `EXPERIMENTS.md`. Every function also
+//! records its raw measurements as [`BenchPoint`]s on the returned
+//! [`FigureTable`], which the bench targets serialise into `BENCH_4.json`
+//! (see [`json`]) — the machine-readable perf trajectory that the CI
+//! regression gate diffs against `BENCH_baseline.json`.
 //!
 //! Scale: the harness runs the cluster in the slow-motion latency profile
 //! (see `LatencyConfig::bench_profile`) so that it produces meaningful
@@ -15,9 +19,11 @@
 //! * `P4DB_MEASURE_MS` — measurement time per data point (default 250 ms).
 //! * `P4DB_FULL=1`     — wider sweeps (all thread counts, both CC schemes).
 
+pub mod json;
+
 use p4db_common::stats::{Phase, RunStats};
 use p4db_common::{CcScheme, SystemMode};
-use p4db_core::{fmt_speedup, fmt_tps, speedup, Cluster, ClusterConfig, FigureTable};
+use p4db_core::{fmt_speedup, fmt_tps, speedup, BenchPoint, Cluster, ClusterConfig, FigureTable};
 use p4db_layout::LayoutStrategy;
 use p4db_switch::{LockGranularity, SwitchConfig};
 use p4db_workloads::{SmallBank, SmallBankConfig, Tpcc, TpccConfig, Workload, Ycsb, YcsbConfig, YcsbMix};
@@ -123,6 +129,7 @@ pub fn fig01_headline(profile: &BenchProfile) -> FigureTable {
             fmt_tps(p4db.throughput()),
             fmt_speedup(speedup(&p4db, &base)),
         ]);
+        table.push_point(BenchPoint::from_run("fig01", name, &p4db, Some(&base)));
     }
     table
 }
@@ -151,6 +158,8 @@ pub fn fig11_ycsb_contention(profile: &BenchProfile) -> FigureTable {
                     fmt_speedup(speedup(&lm, &base)),
                     fmt_speedup(speedup(&p4, &base)),
                 ]);
+                let params = format!("{} {} workers={workers}", mix.label(), cc.label());
+                table.push_point(BenchPoint::from_run("fig11_contention", params, &p4, Some(&base)));
             }
         }
     }
@@ -175,6 +184,8 @@ pub fn fig11_ycsb_distributed(profile: &BenchProfile) -> FigureTable {
                 fmt_speedup(speedup(&lm, &base)),
                 fmt_speedup(speedup(&p4, &base)),
             ]);
+            let params = format!("{} dist={:.0}%", mix.label(), dist * 100.0);
+            table.push_point(BenchPoint::from_run("fig11_distributed", params, &p4, Some(&base)));
         }
     }
     table
@@ -202,6 +213,8 @@ pub fn fig12_hot_cold_breakdown(profile: &BenchProfile) -> FigureTable {
                 format!("{:.1}%", (1.0 - hot) * 100.0),
                 format!("{:.1}%", stats.abort_rate() * 100.0),
             ]);
+            let params = format!("{} {}", mix.label(), mode.label());
+            table.push_point(BenchPoint::from_run("fig12", params, &stats, None));
         }
     }
     table
@@ -229,6 +242,8 @@ pub fn fig13_smallbank(profile: &BenchProfile) -> FigureTable {
                 fmt_tps(p4.throughput()),
                 fmt_speedup(speedup(&p4, &base)),
             ]);
+            let params = format!("hot={hot} workers={workers}");
+            table.push_point(BenchPoint::from_run("fig13", params, &p4, Some(&base)));
         }
         for dist in profile.distributed_sweep() {
             let base = measure(&w, SystemMode::NoSwitch, CcScheme::NoWait, 4, dist, profile, no_tweak);
@@ -241,6 +256,8 @@ pub fn fig13_smallbank(profile: &BenchProfile) -> FigureTable {
                 fmt_tps(p4.throughput()),
                 fmt_speedup(speedup(&p4, &base)),
             ]);
+            let params = format!("hot={hot} dist={:.0}%", dist * 100.0);
+            table.push_point(BenchPoint::from_run("fig13", params, &p4, Some(&base)));
         }
     }
     table
@@ -269,6 +286,8 @@ pub fn fig14_tpcc(profile: &BenchProfile) -> FigureTable {
                 fmt_tps(p4.throughput()),
                 fmt_speedup(speedup(&p4, &base)),
             ]);
+            let params = format!("wh={wh} workers={workers}");
+            table.push_point(BenchPoint::from_run("fig14", params, &p4, Some(&base)));
         }
         for dist in profile.distributed_sweep() {
             let base = measure(&w, SystemMode::NoSwitch, CcScheme::NoWait, 4, dist, profile, no_tweak);
@@ -281,6 +300,8 @@ pub fn fig14_tpcc(profile: &BenchProfile) -> FigureTable {
                 fmt_tps(p4.throughput()),
                 fmt_speedup(speedup(&p4, &base)),
             ]);
+            let params = format!("wh={wh} dist={:.0}%", dist * 100.0);
+            table.push_point(BenchPoint::from_run("fig14", params, &p4, Some(&base)));
         }
     }
     table
@@ -306,6 +327,7 @@ pub fn fig15ab_hot_ratio(profile: &BenchProfile) -> FigureTable {
             fmt_tps(p4.throughput()),
             fmt_speedup(speedup(&p4, &base)),
         ]);
+        table.push_point(BenchPoint::from_run("fig15ab", format!("hot={:.0}%", ratio * 100.0), &p4, Some(&base)));
     }
     table
 }
@@ -359,6 +381,7 @@ pub fn fig15c_optimizations(profile: &BenchProfile) -> FigureTable {
             fmt_speedup(speedup_factor),
             format!("{:.1}%", single_pass * 100.0),
         ]);
+        table.push_point(BenchPoint::from_run("fig15c", name, &stats, baseline.as_ref()));
         if baseline.is_none() {
             baseline = Some(stats);
         }
@@ -390,6 +413,8 @@ pub fn fig16_data_layout(profile: &BenchProfile) -> FigureTable {
                     fmt_tps(stats.throughput()),
                     format!("{:.0}", stats.mean_latency().as_secs_f64() * 1e6),
                 ]);
+                let params = format!("{name} workers={workers} layout={label}");
+                table.push_point(BenchPoint::from_run("fig16", params, &stats, None));
             }
         }
     }
@@ -434,6 +459,8 @@ pub fn fig17_capacity(profile: &BenchProfile) -> FigureTable {
                 fmt_tps(p4.throughput()),
                 fmt_speedup(speedup(&p4, &base)),
             ]);
+            let params = format!("cap={capacity} hot={hot_total}");
+            table.push_point(BenchPoint::from_run("fig17", params, &p4, Some(&base)));
         }
     }
     table
@@ -464,6 +491,7 @@ pub fn fig18a_latency_breakdown(profile: &BenchProfile) -> FigureTable {
             format!("{:.0}µs", us(Phase::TxnEngine)),
             format!("{total:.0}"),
         ]);
+        table.push_point(BenchPoint::from_run("fig18a", mode.label(), &stats, None));
     }
     table
 }
@@ -490,6 +518,7 @@ pub fn fig18b_existing_optimizations(profile: &BenchProfile) -> FigureTable {
 
     for (name, stats) in [("Plain 2PL", &plain), ("+Opt. Part.", &opt_part), ("+Chiller", &chiller), ("+P4DB", &p4db)] {
         table.push_row(vec![name.to_string(), fmt_tps(stats.throughput()), fmt_speedup(speedup(stats, &plain))]);
+        table.push_point(BenchPoint::from_run("fig18b", name, stats, Some(&plain)));
     }
     table
 }

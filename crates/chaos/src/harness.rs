@@ -83,6 +83,10 @@ pub struct ChaosOptions {
     pub reoffload: bool,
     /// Retry budget per transaction (aborts only; in-doubt is never retried).
     pub max_attempts: u32,
+    /// Hot-path batching degree (`ClusterConfig::batch_size`): the switch
+    /// dequeues/replies in frames of up to this many packets and the
+    /// executors pipeline queued all-hot transactions. `1` = unbatched.
+    pub batch: u16,
 }
 
 impl ChaosOptions {
@@ -102,6 +106,7 @@ impl ChaosOptions {
             crash_switch: false,
             reoffload: false,
             max_attempts: 30,
+            batch: 16,
         }
     }
 
@@ -146,6 +151,7 @@ impl ChaosOptions {
             ("CHAOS_WAVES", self.waves as u64, defaults.waves as u64),
             ("CHAOS_TXNS", self.txns_per_wave as u64, defaults.txns_per_wave as u64),
             ("CHAOS_ATTEMPTS", self.max_attempts as u64, defaults.max_attempts as u64),
+            ("CHAOS_BATCH", self.batch as u64, defaults.batch as u64),
         ] {
             if actual != default {
                 env.push_str(&format!(" {var}={actual}"));
@@ -193,6 +199,9 @@ impl ChaosOptions {
         }
         if let Some(n) = parse("CHAOS_ATTEMPTS") {
             options.max_attempts = n as u32;
+        }
+        if let Some(n) = parse("CHAOS_BATCH") {
+            options.batch = n as u16;
         }
         options
     }
@@ -322,6 +331,7 @@ fn run_once(options: &ChaosOptions) -> Result<ChaosReport> {
         .mode(options.mode)
         .distributed_prob(options.distributed_prob)
         .seed(options.seed)
+        .batch_size(options.batch)
         .test_latencies();
     if let Some(plan) = &options.faults {
         builder = builder.with_faults(plan.clone());

@@ -101,6 +101,27 @@ impl<T> Sender<T> {
         Ok(())
     }
 
+    /// Enqueues a whole batch of messages under **one** lock acquisition and
+    /// one wake-up — the channel-level half of the fabric's frame batching.
+    /// The batch is delivered in order, contiguously (no other producer's
+    /// message can interleave inside it). Fails (returning the batch) only
+    /// when every receiver has been dropped; an empty batch is a no-op.
+    pub fn send_batch(&self, values: Vec<T>) -> Result<(), SendError<Vec<T>>> {
+        if values.is_empty() {
+            return Ok(());
+        }
+        let mut state = self.shared.lock();
+        if state.receivers == 0 {
+            return Err(SendError(values));
+        }
+        state.queue.extend(values);
+        drop(state);
+        // One notify per frame: consumers drain multiple messages per
+        // wake-up via `recv_many_timeout`/`try_recv_many`.
+        self.shared.available.notify_all();
+        Ok(())
+    }
+
     /// Number of queued messages (approximate under concurrency).
     pub fn len(&self) -> usize {
         self.shared.lock().queue.len()
@@ -164,6 +185,41 @@ impl<T> Receiver<T> {
         loop {
             if let Some(v) = state.queue.pop_front() {
                 return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _timed_out) = unpoison(self.shared.available.wait_timeout(state, deadline - now));
+            state = guard;
+        }
+    }
+
+    /// Non-blocking batch receive: pops up to `max` queued messages under one
+    /// lock acquisition. Returns an empty vector when nothing is queued (the
+    /// disconnect state is *not* reported here; use the blocking variants).
+    pub fn try_recv_many(&self, max: usize) -> Vec<T> {
+        if max == 0 {
+            return Vec::new();
+        }
+        let mut state = self.shared.lock();
+        let n = state.queue.len().min(max);
+        state.queue.drain(..n).collect()
+    }
+
+    /// Blocking batch receive: waits until at least one message is available
+    /// (or the timeout/disconnect), then drains up to `max` messages in the
+    /// same lock acquisition — the receiving half of frame batching.
+    pub fn recv_many_timeout(&self, timeout: Duration, max: usize) -> Result<Vec<T>, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.lock();
+        loop {
+            if !state.queue.is_empty() {
+                let n = state.queue.len().min(max.max(1));
+                return Ok(state.queue.drain(..n).collect());
             }
             if state.senders == 0 {
                 return Err(RecvTimeoutError::Disconnected);
@@ -330,6 +386,48 @@ mod tests {
         thread::sleep(Duration::from_millis(10));
         drop(tx);
         assert_eq!(waiter.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_batch_is_contiguous_and_ordered() {
+        let (tx, rx) = unbounded();
+        tx.send(0u64).unwrap();
+        tx.send_batch(vec![1, 2, 3]).unwrap();
+        tx.send_batch(Vec::new()).unwrap(); // empty batch is a no-op
+        tx.send(4).unwrap();
+        let got = rx.try_recv_many(16);
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert!(rx.try_recv_many(4).is_empty());
+    }
+
+    #[test]
+    fn send_batch_fails_when_all_receivers_are_gone() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send_batch(vec![1, 2]), Err(SendError(vec![1, 2])));
+    }
+
+    #[test]
+    fn recv_many_timeout_drains_up_to_max() {
+        let (tx, rx) = unbounded();
+        tx.send_batch((0..10u64).collect()).unwrap();
+        assert_eq!(rx.recv_many_timeout(Duration::from_secs(1), 4).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(rx.recv_many_timeout(Duration::from_secs(1), 100).unwrap(), (4..10).collect::<Vec<_>>());
+        assert_eq!(rx.recv_many_timeout(Duration::from_millis(5), 4), Err(RecvTimeoutError::Timeout));
+        drop(tx);
+        assert_eq!(rx.recv_many_timeout(Duration::from_millis(5), 4), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn recv_many_timeout_wakes_on_batched_send() {
+        let (tx, rx) = unbounded();
+        let sender = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            tx.send_batch(vec![7u32, 8, 9]).unwrap();
+        });
+        let got = rx.recv_many_timeout(Duration::from_secs(5), 8).unwrap();
+        assert_eq!(got, vec![7, 8, 9]);
+        sender.join().unwrap();
     }
 
     #[test]

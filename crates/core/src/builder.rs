@@ -107,6 +107,22 @@ impl ClusterBuilder {
         self
     }
 
+    /// Hot-path batching degree for both the switch engine (packets dequeued
+    /// and replies coalesced per scheduling quantum) and the executor pool
+    /// (queued all-hot transactions pipelined per frame, intents and results
+    /// group-committed). `1` disables batching and reproduces the unbatched
+    /// behaviour exactly; values below 1 are clamped to 1.
+    pub fn batch_size(mut self, batch_size: u16) -> Self {
+        self.config.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Flush deadline (µs) for partially filled switch reply frames.
+    pub fn flush_us(mut self, flush_us: u64) -> Self {
+        self.config.flush_us = flush_us;
+        self
+    }
+
     /// RNG seed for generators and backoff.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;

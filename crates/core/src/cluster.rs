@@ -46,6 +46,18 @@ pub struct ClusterConfig {
     /// Cap on how many hot tuples are offloaded (None = switch capacity).
     /// Used by the Fig 17 capacity experiment.
     pub offload_limit: Option<usize>,
+    /// Hot-path batching degree, applied to both ends of the switch path:
+    /// the engine's executors pipeline up to this many queued all-hot
+    /// transactions per frame (group-committed intents, one fabric frame),
+    /// and the switch dequeues/executes up to this many packets per
+    /// scheduling quantum, coalescing their replies into per-worker frames.
+    /// `1` reproduces the unbatched behaviour exactly; the differential
+    /// suite in `tests/batching.rs` proves the histories are
+    /// invariant-equivalent across batch sizes.
+    pub batch_size: u16,
+    /// Flush deadline in microseconds for partially filled reply frames on
+    /// the switch (bounds reply latency while a burst keeps the engine busy).
+    pub flush_us: u64,
     /// RNG seed (workers derive their own seeds from it).
     pub seed: u64,
     /// Seeded fault-injection plan (chaos testing). When set, the fabric
@@ -71,6 +83,8 @@ impl ClusterConfig {
             distributed_prob: 0.2,
             chiller: false,
             offload_limit: None,
+            batch_size: 16,
+            flush_us: 50,
             seed: 42,
             faults: None,
         }
@@ -191,6 +205,10 @@ impl Cluster {
         if config.faults.is_some() {
             config.switch.audit_data_plane = true;
         }
+        // The cluster-level batching knobs are authoritative: the switch
+        // engine and the executor pool always agree on the batching degree.
+        config.switch.batch_size = config.batch_size.max(1);
+        config.switch.flush_us = config.flush_us;
         config.switch.validate().map_err(Error::InvalidConfig)?;
 
         // --- Host storage ----------------------------------------------------
@@ -250,8 +268,11 @@ impl Cluster {
             // even though the data stays on the nodes.
             SystemMode::LmSwitch | SystemMode::NoSwitch => HotSetIndex::from_tuples(hot_tuples.iter().map(|h| h.tuple)),
         };
-        let mut engine_config =
-            EngineConfig { chiller: config.chiller, ..EngineConfig::new(config.mode, config.cc, config.switch) };
+        let mut engine_config = EngineConfig {
+            chiller: config.chiller,
+            batch_size: config.batch_size.max(1),
+            ..EngineConfig::new(config.mode, config.cc, config.switch)
+        };
         if let Some(plan) = &config.faults {
             engine_config.switch_timeout = plan.switch_timeout;
             engine_config.in_doubt_on_timeout = true;
@@ -717,6 +738,21 @@ mod tests {
         assert_eq!(config.distributed_prob, 0.4);
         assert_eq!(config.seed, 7);
         assert_eq!(config.latency, LatencyConfig::zero());
+    }
+
+    #[test]
+    fn batching_knobs_propagate_to_switch_and_engine() {
+        let cluster = Cluster::builder(small_ycsb()).test_profile().batch_size(8).flush_us(25).build();
+        assert_eq!(cluster.config().batch_size, 8);
+        assert_eq!(cluster.config().switch.batch_size, 8);
+        assert_eq!(cluster.config().switch.flush_us, 25);
+        assert_eq!(cluster.shared().config.batch_size, 8);
+        // batch_size(0) clamps to the unbatched behaviour instead of failing
+        // validation.
+        let unbatched = Cluster::builder(small_ycsb()).test_profile().batch_size(0).build();
+        assert_eq!(unbatched.config().batch_size, 1);
+        let stats = unbatched.run_for(Duration::from_millis(100));
+        assert!(stats.merged.committed_total() > 0);
     }
 
     #[test]

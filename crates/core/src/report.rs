@@ -1,24 +1,99 @@
 //! Tabular reporting for the benchmark harness: every bench target prints the
-//! rows/series of the paper figure it reproduces through a [`FigureTable`].
+//! rows/series of the paper figure it reproduces through a [`FigureTable`],
+//! and additionally records each measured data point as a machine-readable
+//! [`BenchPoint`] — the raw numbers behind the formatted cells — which the
+//! bench targets serialise into `BENCH_*.json` for regression tracking.
 
 use p4db_common::stats::RunStats;
 
-/// One reproduced figure (or sub-figure): a title plus a simple table.
+/// One machine-readable benchmark datapoint with the stable schema
+/// `{figure, params, tps, p50_us, p99_us, speedup}` serialised into
+/// `BENCH_*.json`. `speedup` is relative to the row's baseline system
+/// (`1.0` when the row has none).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchPoint {
+    /// Figure identifier (`fig01`, `fig13`, `micro`, ...).
+    pub figure: String,
+    /// Human-readable parameter key uniquely naming the datapoint within its
+    /// figure (workload, worker count, sweep value, ...).
+    pub params: String,
+    /// Committed transactions per second of the system under test.
+    pub tps: f64,
+    /// Median commit latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile commit latency in microseconds.
+    pub p99_us: f64,
+    /// Throughput relative to the row's baseline system.
+    pub speedup: f64,
+}
+
+impl BenchPoint {
+    /// Builds a datapoint from a measured run, taking latency quantiles from
+    /// its merged histogram and the speedup from the optional baseline run.
+    pub fn from_run(
+        figure: impl Into<String>,
+        params: impl Into<String>,
+        system: &RunStats,
+        baseline: Option<&RunStats>,
+    ) -> Self {
+        BenchPoint {
+            figure: figure.into(),
+            params: params.into(),
+            tps: system.throughput(),
+            p50_us: system.merged.commit_latency.quantile(0.5).as_secs_f64() * 1e6,
+            p99_us: system.merged.commit_latency.quantile(0.99).as_secs_f64() * 1e6,
+            speedup: baseline.map(|b| speedup(system, b)).unwrap_or(1.0),
+        }
+    }
+
+    /// Builds a datapoint from raw rates (microbenchmarks without a
+    /// latency histogram): `per_op_us` stands in for both quantiles.
+    pub fn from_rates(
+        figure: impl Into<String>,
+        params: impl Into<String>,
+        ops_per_sec: f64,
+        per_op_us: f64,
+        speedup: f64,
+    ) -> Self {
+        BenchPoint {
+            figure: figure.into(),
+            params: params.into(),
+            tps: ops_per_sec,
+            p50_us: per_op_us,
+            p99_us: per_op_us,
+            speedup,
+        }
+    }
+}
+
+/// One reproduced figure (or sub-figure): a title plus a simple table, and
+/// the machine-readable datapoints behind the formatted rows.
 #[derive(Clone, Debug)]
 pub struct FigureTable {
     pub title: String,
     pub headers: Vec<String>,
     pub rows: Vec<Vec<String>>,
+    pub points: Vec<BenchPoint>,
 }
 
 impl FigureTable {
     pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
-        FigureTable { title: title.into(), headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        FigureTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            points: Vec::new(),
+        }
     }
 
     pub fn push_row(&mut self, row: Vec<String>) {
         assert_eq!(row.len(), self.headers.len(), "row width must match headers");
         self.rows.push(row);
+    }
+
+    /// Records the machine-readable datapoint behind the most recent row(s).
+    pub fn push_point(&mut self, point: BenchPoint) {
+        self.points.push(point);
     }
 
     /// Renders the table as github-flavoured markdown (used for
@@ -113,5 +188,27 @@ mod tests {
         let fast = run_with(100);
         let zero = run_with(0);
         assert_eq!(speedup(&fast, &zero), 0.0);
+    }
+
+    #[test]
+    fn bench_point_from_run_carries_rates_and_quantiles() {
+        let fast = run_with(3_000);
+        let slow = run_with(1_000);
+        let point = BenchPoint::from_run("fig01", "YCSB-A", &fast, Some(&slow));
+        assert_eq!(point.figure, "fig01");
+        assert!((point.tps - 3_000.0).abs() < 1e-9);
+        assert!((point.speedup - 3.0).abs() < 1e-9);
+        assert!(point.p50_us > 0.0 && point.p99_us >= point.p50_us);
+        let no_base = BenchPoint::from_run("fig01", "YCSB-A", &fast, None);
+        assert_eq!(no_base.speedup, 1.0);
+        let raw = BenchPoint::from_rates("micro", "wal", 5e6, 0.2, 1.0);
+        assert_eq!(raw.p50_us, raw.p99_us);
+    }
+
+    #[test]
+    fn figure_table_accumulates_points() {
+        let mut t = FigureTable::new("Fig", &["a"]);
+        t.push_point(BenchPoint::from_rates("figx", "p", 1.0, 1.0, 1.0));
+        assert_eq!(t.points.len(), 1);
     }
 }

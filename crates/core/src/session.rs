@@ -9,7 +9,7 @@
 //! (`Cluster::run_for`) is itself a session client, so the closed-loop
 //! measurement path and the ad-hoc client path are the same code.
 
-use p4db_common::channel::{unbounded, Receiver, Sender};
+use p4db_common::channel::{unbounded, Receiver, SendError, Sender};
 use p4db_common::rand_util::FastRng;
 use p4db_common::simtime::wait_for;
 use p4db_common::stats::WorkerStats;
@@ -91,10 +91,14 @@ impl SubmissionPool {
                 let wid = next_worker_slot()?;
                 let shared = Arc::clone(shared);
                 let rx = rx.clone();
+                // Executors drain jobs in batches; a drained batch can
+                // contain other executors' poison pills, which are
+                // re-forwarded through this sender (see `executor_loop`).
+                let pill_tx = tx.clone();
                 let seed = config.seed ^ ((wid.0 as u64) << 32) ^ 0xC0FF_EE00;
                 let thread = std::thread::Builder::new()
                     .name(format!("p4db-exec-{node}.{slot}"))
-                    .spawn(move || executor_loop(shared, NodeId(node), wid, rx, backoff, seed))
+                    .spawn(move || executor_loop(shared, NodeId(node), wid, rx, pill_tx, backoff, seed))
                     .expect("spawn executor thread");
                 handles.push(thread);
             }
@@ -123,44 +127,134 @@ impl Drop for SubmissionPool {
     }
 }
 
-/// Body of one executor thread: pop a job, run it to commit or to its retry
-/// budget (randomised latency-proportional backoff between attempts, as the
-/// paper's closed-loop workers do), reply with the outcome and the recorded
-/// statistics.
+/// Body of one executor thread: drain up to `batch_size` queued jobs, run
+/// the all-hot ones pipelined through [`Worker::execute_batch`] (intents
+/// group-committed, packets framed, replies drained together) and the rest
+/// one at a time — each to commit or to its retry budget (randomised
+/// latency-proportional backoff between attempts, as the paper's closed-loop
+/// workers do) — then reply with the outcome and the recorded statistics.
+/// With `batch_size <= 1`, or whenever the queue holds a single job, this is
+/// exactly the historical one-job-at-a-time loop.
 fn executor_loop(
     shared: Arc<EngineShared>,
     node: NodeId,
     wid: WorkerId,
     rx: Receiver<Job>,
+    pill_tx: Sender<Job>,
     backoff: Duration,
     seed: u64,
 ) {
+    let batch_size = shared.config.batch_size.max(1) as usize;
     let mut worker = Worker::new(shared, node, wid);
     let mut rng = FastRng::new(seed);
-    while let Ok(job) = rx.recv() {
-        let Job::Execute { req, max_attempts, cancel, reply } = job else { break };
-        let cancelled = || cancel.as_ref().is_some_and(|c| c.load(AtomicOrdering::Relaxed));
-        let mut stats = WorkerStats::new();
-        let started = Instant::now();
-        let mut attempts = 0u32;
-        let result = loop {
-            match worker.execute(&req, &mut stats) {
-                Ok(outcome) => {
-                    stats.record_commit(outcome.class, started.elapsed());
-                    break Ok(outcome);
-                }
-                Err(e) if e.is_abort() => {
-                    attempts += 1;
-                    if attempts >= max_attempts || cancelled() {
-                        break Err(e);
-                    }
-                    wait_for(backoff.mul_f64(0.5 + rng.gen_f64()));
-                }
-                Err(e) => break Err(e), // cluster shutting down
+    while let Ok(first) = rx.recv() {
+        let mut jobs = vec![first];
+        if batch_size > 1 {
+            jobs.extend(rx.try_recv_many(batch_size - 1));
+        }
+        let mut pills = 0usize;
+        let mut work = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            match job {
+                Job::Execute { req, max_attempts, cancel, reply } => work.push((req, max_attempts, cancel, reply)),
+                Job::Shutdown => pills += 1,
             }
+        }
+        if work.len() == 1 {
+            let (req, max_attempts, cancel, reply) = work.pop().expect("one job");
+            // A dropped ticket only abandons this job's own statistics,
+            // exactly as before batching.
+            let _ = serve_job(&mut worker, &mut rng, backoff, &req, max_attempts, &cancel, None, reply);
+        } else if !work.is_empty() {
+            let started = Instant::now();
+            // Borrowed, not cloned: the jobs keep ownership of their
+            // requests for the per-job retry path below.
+            let reqs: Vec<&TxnRequest> = work.iter().map(|(req, ..)| req).collect();
+            let mut batch_stats = WorkerStats::new();
+            let firsts = worker.execute_batch(&reqs, &mut batch_stats);
+            drop(reqs);
+            // The batch's engine-phase statistics ride with the first job
+            // whose session still listens (sessions are merged into one
+            // RunStats, so totals stay exact even when tickets are dropped);
+            // commits and latencies are recorded per job.
+            let mut carry = batch_stats;
+            for ((req, max_attempts, cancel, reply), first) in work.into_iter().zip(firsts) {
+                let stats = std::mem::take(&mut carry);
+                if let Some(undelivered) = serve_job(
+                    &mut worker,
+                    &mut rng,
+                    backoff,
+                    &req,
+                    max_attempts,
+                    &cancel,
+                    Some((started, first, stats)),
+                    reply,
+                ) {
+                    carry = undelivered;
+                }
+            }
+        }
+        if pills > 0 {
+            // A drained batch may have swallowed pills addressed to other
+            // executors: keep one for ourselves, hand the rest back.
+            for _ in 1..pills {
+                let _ = pill_tx.send(Job::Shutdown);
+            }
+            break;
+        }
+    }
+}
+
+/// Runs one job to commit or to its retry budget and sends the reply. The
+/// batched path passes the already-obtained first attempt (plus its start
+/// instant and the statistics recorded while producing it); retries — only
+/// possible for host-path aborts, which the pipelined hot path cannot
+/// produce — fall back to the one-at-a-time engine. Returns the recorded
+/// statistics when the session has dropped its ticket (reply channel gone),
+/// so the batched caller can hand them to the next job instead of losing
+/// the whole batch's phase accounting.
+#[allow(clippy::too_many_arguments)]
+fn serve_job(
+    worker: &mut Worker,
+    rng: &mut FastRng,
+    backoff: Duration,
+    req: &TxnRequest,
+    max_attempts: u32,
+    cancel: &Option<Arc<AtomicBool>>,
+    first: Option<(Instant, Result<TxnOutcome>, WorkerStats)>,
+    reply: Sender<JobReply>,
+) -> Option<WorkerStats> {
+    let cancelled = || cancel.as_ref().is_some_and(|c| c.load(AtomicOrdering::Relaxed));
+    let (started, mut pending, mut stats) = match first {
+        Some((started, result, stats)) => (started, Some(result), stats),
+        None => (Instant::now(), None, WorkerStats::new()),
+    };
+    let mut attempts = 0u32;
+    let result = loop {
+        let attempt = match pending.take() {
+            Some(result) => result,
+            None => worker.execute(req, &mut stats),
         };
-        // A session that stopped waiting is not an error.
-        let _ = reply.send(JobReply { result, stats });
+        match attempt {
+            Ok(outcome) => {
+                stats.record_commit(outcome.class, started.elapsed());
+                break Ok(outcome);
+            }
+            Err(e) if e.is_abort() => {
+                attempts += 1;
+                if attempts >= max_attempts || cancelled() {
+                    break Err(e);
+                }
+                wait_for(backoff.mul_f64(0.5 + rng.gen_f64()));
+            }
+            Err(e) => break Err(e), // cluster shutting down
+        }
+    };
+    // A session that stopped waiting is not an error, but its statistics
+    // are handed back so the caller can keep the totals exact.
+    match reply.send(JobReply { result, stats }) {
+        Ok(()) => None,
+        Err(SendError(undelivered)) => Some(undelivered.stats),
     }
 }
 

@@ -57,6 +57,25 @@ impl<M> RecvOutcome<M> {
     }
 }
 
+/// Outcome of a timed **batch** receive ([`Mailbox::recv_batch_timeout`]):
+/// like [`RecvOutcome`], but a successful receive carries a whole frame of
+/// envelopes drained in one channel operation. The frame is never empty.
+#[derive(Debug, PartialEq)]
+pub enum BatchRecvOutcome<M> {
+    /// At least one message arrived; up to `max` were drained together.
+    Frame(Vec<Envelope<M>>),
+    /// The timeout elapsed with senders still connected.
+    TimedOut,
+    /// Every sender has been dropped and the queue is drained.
+    Disconnected,
+}
+
+impl<M> BatchRecvOutcome<M> {
+    pub fn is_disconnected(&self) -> bool {
+        matches!(self, BatchRecvOutcome::Disconnected)
+    }
+}
+
 /// The receiving end of a fabric endpoint.
 #[derive(Debug)]
 pub struct Mailbox<M> {
@@ -88,6 +107,25 @@ impl<M> Mailbox<M> {
     /// Blocking receive; returns `None` only when every sender is gone.
     pub fn recv(&self) -> Option<Envelope<M>> {
         self.rx.recv().ok()
+    }
+
+    /// Non-blocking batch receive: drains up to `max` queued envelopes in a
+    /// single channel operation. The batched counterpart of [`Mailbox::try_recv`].
+    pub fn drain_batch(&self, max: usize) -> Vec<Envelope<M>> {
+        self.rx.try_recv_many(max)
+    }
+
+    /// Blocking batch receive: waits for at least one envelope (up to
+    /// `timeout`), then drains up to `max` envelopes in the same channel
+    /// operation. This is how the switch ingress pulls a whole frame of
+    /// packets per scheduling quantum instead of paying one lock + wake-up
+    /// per packet.
+    pub fn recv_batch_timeout(&self, timeout: Duration, max: usize) -> BatchRecvOutcome<M> {
+        match self.rx.recv_many_timeout(timeout, max) {
+            Ok(frame) => BatchRecvOutcome::Frame(frame),
+            Err(RecvTimeoutError::Timeout) => BatchRecvOutcome::TimedOut,
+            Err(RecvTimeoutError::Disconnected) => BatchRecvOutcome::Disconnected,
+        }
     }
 
     /// Number of queued messages (approximate).
@@ -215,6 +253,57 @@ impl<M> Fabric<M> {
         sent
     }
 
+    /// Sends a whole frame of payloads from `src` to `dst`, imposing the wire
+    /// latency **once** for the frame: batching is exactly the amortisation of
+    /// per-message costs over a frame, both in the simulator (one channel
+    /// operation, one wake-up) and on the modelled wire (one NIC doorbell).
+    ///
+    /// An empty frame is a no-op that reports success.
+    pub fn send_frame(&self, src: EndpointId, dst: EndpointId, payloads: Vec<M>) -> bool {
+        if payloads.is_empty() {
+            return true;
+        }
+        self.latency.impose(src, dst);
+        self.send_frame_no_latency(src, dst, payloads)
+    }
+
+    /// Sends a frame without imposing latency (switch egress path, tests).
+    ///
+    /// Under fault injection the **whole frame** is the unit of damage: one
+    /// injector decision drops, delays or holds back all of its envelopes
+    /// together — a lost or reordered frame on a real wire loses or reorders
+    /// every transaction it carries. The differential chaos tests rely on
+    /// this to prove whole-frame faults never double-apply intents.
+    pub fn send_frame_no_latency(&self, src: EndpointId, dst: EndpointId, payloads: Vec<M>) -> bool {
+        if payloads.is_empty() {
+            return true;
+        }
+        let Some(chaos) = self.chaos.as_ref() else {
+            return self.deliver_frame(src, dst, payloads);
+        };
+        match chaos.injector.decide(&|| format!("{src}->{dst} (frame of {})", payloads.len())) {
+            FaultAction::Deliver => {}
+            FaultAction::Drop => return true,
+            FaultAction::Delay(d) => wait_for(d),
+            FaultAction::HoldBack => {
+                let mut held = unpoison(chaos.held.lock());
+                let buffer = held.entry(dst).or_default();
+                buffer.extend(payloads.into_iter().map(|p| Envelope::new(src, dst, p)));
+                return true;
+            }
+        }
+        let sent = self.deliver_frame(src, dst, payloads);
+        // Release held-back messages for this destination *after* the fresh
+        // frame, exactly like the unicast path: an overtaking reorder.
+        let held = unpoison(chaos.held.lock()).remove(&dst);
+        if let Some(envelopes) = held {
+            for env in envelopes {
+                self.deliver(env.src, env.dst, env.payload);
+            }
+        }
+        sent
+    }
+
     /// Delivers every held-back message (end of a chaos wave, so reordered
     /// messages are not retroactively turned into drops).
     pub fn flush_faults(&self) {
@@ -229,6 +318,15 @@ impl<M> Fabric<M> {
         let reg = unpoison(self.registry.read());
         match reg.endpoints.get(&dst) {
             Some(tx) => tx.send(Envelope::new(src, dst, payload)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Delivers a whole frame in one registry lookup + one channel operation.
+    fn deliver_frame(&self, src: EndpointId, dst: EndpointId, payloads: Vec<M>) -> bool {
+        let reg = unpoison(self.registry.read());
+        match reg.endpoints.get(&dst) {
+            Some(tx) => tx.send_batch(payloads.into_iter().map(|p| Envelope::new(src, dst, p)).collect()).is_ok(),
             None => false,
         }
     }
@@ -353,6 +451,50 @@ mod tests {
         assert!(mb.is_empty());
     }
 
+    #[test]
+    fn send_frame_delivers_in_order_and_drains_as_a_batch() {
+        let f = fabric();
+        let mb = f.register(EndpointId::Switch);
+        let node = EndpointId::Node(NodeId(0));
+        let _n = f.register(node);
+        assert!(f.send_frame(node, EndpointId::Switch, vec![1, 2, 3]));
+        assert!(f.send_frame(node, EndpointId::Switch, Vec::new()), "empty frame is a no-op");
+        assert!(f.send(node, EndpointId::Switch, 4));
+        match mb.recv_batch_timeout(Duration::from_secs(5), 16) {
+            BatchRecvOutcome::Frame(envs) => {
+                assert_eq!(envs.iter().map(|e| e.payload).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+                assert!(envs.iter().all(|e| e.src == node));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(mb.recv_batch_timeout(Duration::from_millis(5), 16), BatchRecvOutcome::TimedOut);
+        drop(f);
+        assert!(mb.recv_batch_timeout(Duration::from_millis(5), 16).is_disconnected());
+    }
+
+    #[test]
+    fn send_frame_to_unregistered_endpoint_fails() {
+        let f = fabric();
+        let node = EndpointId::Node(NodeId(0));
+        let _n = f.register(node);
+        assert!(!f.send_frame(node, EndpointId::Switch, vec![1]));
+    }
+
+    #[test]
+    fn recv_batch_caps_at_max() {
+        let f = fabric();
+        let mb = f.register(EndpointId::Switch);
+        let node = EndpointId::Node(NodeId(0));
+        let _n = f.register(node);
+        f.send_frame(node, EndpointId::Switch, (0..10).collect());
+        match mb.recv_batch_timeout(Duration::from_secs(1), 4) {
+            BatchRecvOutcome::Frame(envs) => assert_eq!(envs.len(), 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(mb.drain_batch(100).len(), 6);
+        assert!(mb.drain_batch(100).is_empty());
+    }
+
     fn chaos_fabric(net: NetFaultConfig) -> Fabric<u64> {
         let plan = FaultPlan { net, ..FaultPlan::seeded(1) };
         Fabric::with_faults(LatencyModel::new(LatencyConfig::zero()), Arc::new(FaultInjector::new(&plan)))
@@ -400,6 +542,34 @@ mod tests {
         // Flushing twice is harmless.
         f.flush_faults();
         assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn dropped_frames_vanish_whole() {
+        let f = chaos_fabric(NetFaultConfig { drop_prob: 1.0, max_faults: 1, ..NetFaultConfig::none() });
+        let mb = f.register(EndpointId::Switch);
+        let node = EndpointId::Node(NodeId(0));
+        let _n = f.register(node);
+        // One fault budget: the first frame is dropped in its entirety, the
+        // second arrives in its entirety.
+        assert!(f.send_frame(node, EndpointId::Switch, vec![1, 2, 3]));
+        assert!(f.send_frame(node, EndpointId::Switch, vec![4, 5]));
+        let got: Vec<u64> = std::iter::from_fn(|| mb.try_recv().map(|e| e.payload)).collect();
+        assert_eq!(got, vec![4, 5], "frames are the unit of loss: no partial delivery");
+        assert_eq!(f.faults_injected(), 1);
+    }
+
+    #[test]
+    fn held_back_frames_stay_contiguous_when_released() {
+        let f = chaos_fabric(NetFaultConfig { reorder_prob: 1.0, max_faults: 1, ..NetFaultConfig::none() });
+        let mb = f.register(EndpointId::Switch);
+        let node = EndpointId::Node(NodeId(0));
+        let _n = f.register(node);
+        assert!(f.send_frame(node, EndpointId::Switch, vec![1, 2]));
+        assert!(mb.is_empty(), "whole frame held back");
+        assert!(f.send_frame(node, EndpointId::Switch, vec![3, 4]));
+        let got: Vec<u64> = std::iter::from_fn(|| mb.try_recv().map(|e| e.payload)).collect();
+        assert_eq!(got, vec![3, 4, 1, 2], "overtaken frame is released intact, after the fresh one");
     }
 
     #[test]

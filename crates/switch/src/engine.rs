@@ -25,13 +25,13 @@ use crate::stats::{SwitchStats, SwitchStatsSnapshot};
 use p4db_common::simtime::spin_for;
 use p4db_common::sync::unpoison;
 use p4db_common::{GlobalTxnId, TxnId};
-use p4db_net::{EndpointId, Fabric, Mailbox, RecvOutcome};
+use p4db_net::{BatchRecvOutcome, EndpointId, Fabric, FrameBatcher, Mailbox};
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A packet currently inside the switch (being processed or recirculating).
 struct Inflight {
@@ -144,6 +144,9 @@ pub fn start_switch(config: SwitchConfig, memory: Arc<RegisterMemory>, fabric: F
         lock_table: SwitchLockTable::new(),
         owner_queue: VecDeque::new(),
         waiting_queue: VecDeque::new(),
+        reply_batcher: FrameBatcher::new(config.batch_size as usize, Duration::from_micros(config.flush_us)),
+        audit_buf: Vec::new(),
+        frame_pipelined: 0,
     };
     let join = std::thread::Builder::new()
         .name("p4db-switch-pipeline".into())
@@ -170,11 +173,24 @@ struct Engine {
     /// Recirculation port for packets waiting to be admitted (and, when fast
     /// recirculation is disabled, also for lock owners between passes).
     waiting_queue: VecDeque<Inflight>,
+    /// Egress frame batching for [`TxnReply`]s: replies accumulate per origin
+    /// and leave as one fabric frame when full, when the flush deadline
+    /// expires, or — at the latest — when the ingress queue runs dry and the
+    /// engine is about to block. Pass-through when `batch_size <= 1`.
+    reply_batcher: FrameBatcher<SwitchMessage>,
+    /// Audit entries of the current quantum, appended to the shared audit log
+    /// in one lock acquisition per flush (order preserved).
+    audit_buf: Vec<(TxnId, GlobalTxnId)>,
+    /// Single-pass packets executed in the current ingress frame: they are
+    /// pipelined back-to-back (§4.1), so the per-pass pipeline latency is
+    /// paid once per frame, not once per packet.
+    frame_pipelined: u32,
 }
 
 impl Engine {
     fn run(mut self) {
         let idle_wait = Duration::from_micros(200);
+        let batch = self.config.batch_size.max(1) as usize;
         loop {
             if self.shutdown.load(Ordering::Relaxed) {
                 break;
@@ -184,6 +200,8 @@ impl Engine {
             //    shortest queue and therefore the lowest waiting time (§5.3).
             if let Some(pkt) = self.owner_queue.pop_front() {
                 self.execute_pass(pkt);
+                self.end_frame();
+                self.flush_if_due();
                 continue;
             }
 
@@ -206,15 +224,69 @@ impl Engine {
                 }
             }
             if admitted {
+                self.end_frame();
+                self.flush_if_due();
                 continue;
             }
 
-            // 3. Ingress: pull the next packet off the wire. A timeout just
-            //    loops back around; a disconnect means the cluster is being
-            //    torn down and the shutdown flag will be observed shortly.
-            if let RecvOutcome::Msg(env) = self.ingress.recv_timeout(idle_wait) {
-                self.handle_ingress(env.payload);
+            // 3. Ingress: pull the next frame off the wire — up to
+            //    `batch_size` packets in one channel operation. While a burst
+            //    lasts, the engine never blocks and partial reply frames wait
+            //    (bounded by the flush deadline) so they can fill; once the
+            //    queue runs dry, everything pending is flushed *before*
+            //    blocking, so an idle switch never sits on a reply. A timeout
+            //    just loops back around; a disconnect means the cluster is
+            //    being torn down and the shutdown flag will be observed
+            //    shortly.
+            let frame = self.ingress.drain_batch(batch);
+            if !frame.is_empty() {
+                for env in frame {
+                    self.handle_ingress(env.payload);
+                }
+                self.end_frame();
+                self.flush_if_due();
+                continue;
             }
+            self.flush_pending();
+            if let BatchRecvOutcome::Frame(envs) = self.ingress.recv_batch_timeout(idle_wait, batch) {
+                for env in envs {
+                    self.handle_ingress(env.payload);
+                }
+                self.end_frame();
+                self.flush_if_due();
+            }
+        }
+        self.flush_pending();
+    }
+
+    /// Ends one ingress frame: the frame's single-pass packets traversed the
+    /// pipeline back-to-back, so their pass latency is imposed once here.
+    fn end_frame(&mut self) {
+        if self.frame_pipelined > 0 {
+            if self.config.pass_latency_ns > 0 {
+                spin_for(Duration::from_nanos(self.config.pass_latency_ns));
+            }
+            self.frame_pipelined = 0;
+        }
+    }
+
+    /// Flushes buffered replies and audit entries if the oldest buffered
+    /// reply has exceeded the flush deadline.
+    fn flush_if_due(&mut self) {
+        if !self.reply_batcher.is_empty() && self.reply_batcher.deadline_expired(Instant::now()) {
+            self.flush_pending();
+        }
+    }
+
+    /// Flushes everything pending: audit entries (one lock acquisition) and
+    /// every partially filled reply frame. No-op in unbatched mode, where
+    /// nothing is ever buffered.
+    fn flush_pending(&mut self) {
+        if !self.audit_buf.is_empty() {
+            unpoison(self.audit.lock()).append(&mut self.audit_buf);
+        }
+        for (dst, frame) in self.reply_batcher.flush_all() {
+            self.fabric.send_frame_no_latency(EndpointId::Switch, dst, frame);
         }
     }
 
@@ -259,7 +331,13 @@ impl Engine {
             pkt.results.push(result);
         }
         SwitchStats::bump(&self.stats.passes);
-        if self.config.pass_latency_ns > 0 {
+        if self.config.batch_size > 1 && pkt.passes.len() <= 1 {
+            // Batched mode: single-pass packets of one ingress frame ride the
+            // pipeline back-to-back, so the frame pays the pass latency once
+            // (in `end_frame`). Recirculating multi-pass packets still pay
+            // per pass — recirculation is a fresh pipeline traversal.
+            self.frame_pipelined += 1;
+        } else if self.config.pass_latency_ns > 0 {
             spin_for(Duration::from_nanos(self.config.pass_latency_ns));
         }
         pkt.next_pass += 1;
@@ -284,9 +362,16 @@ impl Engine {
     /// to the issuing worker, and multicasts the warm-transaction decision if
     /// requested.
     fn complete(&mut self, pkt: Inflight) {
+        let batched = self.config.batch_size > 1;
         let gid = GlobalTxnId(self.gid_counter.fetch_add(1, Ordering::Relaxed));
         if self.config.audit_data_plane {
-            unpoison(self.audit.lock()).push((pkt.txn.header.txn_id, gid));
+            if batched {
+                // One audit-lock acquisition per flush, not per transaction;
+                // the buffer preserves the serial execution order.
+                self.audit_buf.push((pkt.txn.header.txn_id, gid));
+            } else {
+                unpoison(self.audit.lock()).push((pkt.txn.header.txn_id, gid));
+            }
         }
         if !pkt.holds.is_empty() {
             self.locks.release(pkt.holds);
@@ -300,7 +385,20 @@ impl Engine {
 
         let header = pkt.txn.header;
         let reply = TxnReply { token: header.token, gid, results: pkt.results, recirculations: header.nb_recircs };
-        self.fabric.send_no_latency(EndpointId::Switch, header.origin, SwitchMessage::TxnReply(reply));
+        if batched {
+            if let Some((dst, frame)) = self.reply_batcher.push(header.origin, SwitchMessage::TxnReply(reply)) {
+                // Audit entries always reach the shared log before their
+                // replies become visible, exactly like the unbatched path
+                // (one lock acquisition per full frame keeps the
+                // amortisation).
+                if !self.audit_buf.is_empty() {
+                    unpoison(self.audit.lock()).append(&mut self.audit_buf);
+                }
+                self.fabric.send_frame_no_latency(EndpointId::Switch, dst, frame);
+            }
+        } else {
+            self.fabric.send_no_latency(EndpointId::Switch, header.origin, SwitchMessage::TxnReply(reply));
+        }
 
         if header.multicast_decision {
             SwitchStats::bump(&self.stats.multicasts);
@@ -552,6 +650,76 @@ mod tests {
         let stats = rig.handle.stats();
         assert_eq!(stats.lm_requests, 3);
         assert_eq!(stats.lm_denied, 1);
+    }
+
+    #[test]
+    fn batched_engine_preserves_serial_order_and_audit() {
+        // Same assertions as the unbatched GID test, but with frame batching
+        // on: a synchronous client must still see dense in-order GIDs, and
+        // the audit log must record the intra-batch serial order.
+        let config = SwitchConfig { batch_size: 16, ..SwitchConfig::tiny() };
+        let rig = rig(config);
+        let mut gids = Vec::new();
+        for i in 0..20u64 {
+            let mut header = TxnHeader::new(rig.worker_ep, i);
+            header.txn_id = p4db_common::TxnId(i + 1);
+            let txn = SwitchTxn::new(header, vec![Instruction::add(slot(0, 0, 0), 1)]);
+            gids.push(send_and_wait(&rig, txn).gid.0);
+        }
+        assert_eq!(gids, (0..20).collect::<Vec<_>>());
+        assert_eq!(rig.handle.memory().read(slot(0, 0, 0)), 20);
+        // Audit entries flushed (engine idle after the last reply) in serial
+        // order, one per executed transaction.
+        let audit = rig.handle.audit_log();
+        assert_eq!(audit.len(), 20);
+        assert!(audit.windows(2).all(|w| w[0].1 .0 + 1 == w[1].1 .0), "audit must be in GID order");
+    }
+
+    #[test]
+    fn batched_engine_coalesces_replies_under_open_loop_load() {
+        // Open loop: push a burst of transactions, then collect every reply.
+        // The replies arrive as frames (multiple envelopes drained per
+        // channel operation), all tokens come back exactly once.
+        let config = SwitchConfig { batch_size: 8, ..SwitchConfig::tiny() };
+        let rig = rig(config);
+        let burst = 64u64;
+        for i in 0..burst {
+            let txn = SwitchTxn::new(TxnHeader::new(rig.worker_ep, i), vec![Instruction::add(slot(0, 0, 1), 1)]);
+            rig.fabric.send(rig.worker_ep, EndpointId::Switch, SwitchMessage::Txn(txn));
+        }
+        let mut tokens = Vec::new();
+        while tokens.len() < burst as usize {
+            match rig.worker.recv_batch_timeout(Duration::from_secs(10), 64) {
+                p4db_net::BatchRecvOutcome::Frame(envs) => {
+                    for env in envs {
+                        match env.payload {
+                            SwitchMessage::TxnReply(r) => tokens.push(r.token),
+                            other => panic!("unexpected {other:?}"),
+                        }
+                    }
+                }
+                other => panic!("burst replies missing: {other:?}"),
+            }
+        }
+        tokens.sort_unstable();
+        assert_eq!(tokens, (0..burst).collect::<Vec<_>>());
+        assert_eq!(rig.handle.memory().read(slot(0, 0, 1)), burst);
+        assert_eq!(rig.handle.stats().txns_executed, burst);
+    }
+
+    #[test]
+    fn batched_engine_still_recirculates_multipass_txns() {
+        let config = SwitchConfig { batch_size: 8, ..SwitchConfig::tiny() };
+        let rig = rig(config);
+        rig.handle.memory().write(slot(2, 0, 7), 50);
+        let instructions = vec![Instruction::read(slot(2, 0, 7)), Instruction::add(slot(0, 0, 3), 50)];
+        let mut header = TxnHeader::new(rig.worker_ep, 1);
+        header.is_multipass = true;
+        header.locks = locks_for_stages([2u8, 0u8], &config);
+        let reply = send_and_wait(&rig, SwitchTxn::new(header, instructions));
+        assert_eq!(reply.results.len(), 2);
+        assert!(reply.recirculations >= 1);
+        assert_eq!(rig.handle.stats().multi_pass, 1);
     }
 
     #[test]

@@ -27,10 +27,10 @@ use p4db_common::stats::{Phase, TxnClass, WorkerStats};
 use p4db_common::{
     AbortReason, CcScheme, Error, GlobalTxnId, NodeId, Result, SystemMode, TupleId, TxnId, Value, WorkerId,
 };
-use p4db_net::{EndpointId, Fabric, LatencyModel, Mailbox, RecvOutcome};
+use p4db_net::{BatchRecvOutcome, EndpointId, Fabric, LatencyModel, Mailbox, RecvOutcome};
 use p4db_storage::{LockMode, LogRecord, NodeStorage};
-use p4db_switch::{SwitchConfig, SwitchMessage, TxnHeader};
-use std::collections::HashMap;
+use p4db_switch::{SwitchConfig, SwitchMessage, TxnHeader, TxnReply};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -57,6 +57,13 @@ pub struct EngineConfig {
     /// faults nothing can be lost on the wire, so a timeout is a wedged
     /// switch and surfaces loudly as [`p4db_common::Error::Disconnected`].
     pub in_doubt_on_timeout: bool,
+    /// Hot-path batching on the worker side: up to this many queued all-hot
+    /// transactions are pipelined per [`Worker::execute_batch`] call — their
+    /// intents group-committed in one WAL write, their packets sent as one
+    /// fabric frame, their replies collected together, and their results
+    /// group-committed again. `1` disables pipelining and reproduces the
+    /// one-transaction-at-a-time behaviour exactly.
+    pub batch_size: u16,
 }
 
 impl EngineConfig {
@@ -69,6 +76,7 @@ impl EngineConfig {
             log_switch_txns: true,
             switch_timeout: Duration::from_secs(30),
             in_doubt_on_timeout: false,
+            batch_size: 1,
         }
     }
 }
@@ -174,6 +182,187 @@ impl Worker {
             (true, _) => self.execute_host(req, &[], &cold, &index, stats),
             (false, false) => self.execute_host(req, &hot, &cold, &index, stats),
         }
+    }
+
+    /// Executes a batch of transactions, pipelining the all-hot ones: their
+    /// intents are group-committed in one WAL write, their packets leave as
+    /// one fabric frame, and their replies are drained together — the
+    /// per-transaction overheads of the hot path amortised over the batch
+    /// (the engine-side half of the switch's frame batching). Transactions
+    /// with any cold operation, and everything when
+    /// [`EngineConfig::batch_size`] is 1, run through the unbatched
+    /// [`Worker::execute`] path unchanged. Returns one result per request,
+    /// in request order; hot transactions cannot abort, so batched results
+    /// never need the caller's retry loop.
+    pub fn execute_batch(&mut self, reqs: &[&TxnRequest], stats: &mut WorkerStats) -> Vec<Result<TxnOutcome>> {
+        if reqs.len() <= 1 || self.shared.config.batch_size <= 1 {
+            return reqs.iter().map(|r| self.execute(r, stats)).collect();
+        }
+        let index = self.shared.hot_index.load();
+        let mut pipeline = Vec::new();
+        for (i, req) in reqs.iter().enumerate() {
+            let (hot, cold) = self.classify(req, &index);
+            if !req.is_empty() && cold.is_empty() && !hot.is_empty() {
+                pipeline.push(i);
+            }
+        }
+        let mut results: Vec<Option<Result<TxnOutcome>>> = reqs.iter().map(|_| None).collect();
+        if pipeline.len() > 1 {
+            match self.run_hot_pipeline(reqs, &pipeline, &index, stats) {
+                Ok(outcomes) => {
+                    for (&slot, outcome) in pipeline.iter().zip(outcomes) {
+                        results[slot] = Some(outcome);
+                    }
+                }
+                // A wedged or shutting-down cluster fails the whole frame,
+                // exactly as each transaction would fail individually.
+                Err(e) => {
+                    for &slot in &pipeline {
+                        results[slot] = Some(Err(e.clone()));
+                    }
+                }
+            }
+        }
+        for (i, req) in reqs.iter().enumerate() {
+            if results[i].is_none() {
+                results[i] = Some(self.execute(req, stats));
+            }
+        }
+        results.into_iter().map(|r| r.expect("every request resolved")).collect()
+    }
+
+    /// The pipelined hot path: build every packet, group-commit every intent
+    /// *before* the frame leaves the node (the durability point of §6.1 is
+    /// unchanged — all intents are on stable storage before any packet is on
+    /// the wire), send one frame, await all replies, group-commit all
+    /// results. Returns one result per entry of `idxs`, in order: a request
+    /// that fails to build gets its own [`Error::InvalidTxn`] — exactly what
+    /// the unbatched path would return it — without failing its batchmates;
+    /// replies lost to the wire surface as in-doubt outcomes exactly like
+    /// the unbatched path. The outer `Err` is reserved for batch-wide
+    /// failures (cluster shutdown, wedged switch).
+    #[allow(clippy::type_complexity)]
+    fn run_hot_pipeline(
+        &mut self,
+        reqs: &[&TxnRequest],
+        idxs: &[usize],
+        index: &HotSetIndex,
+        stats: &mut WorkerStats,
+    ) -> Result<Vec<Result<TxnOutcome>>> {
+        let mut watch = Stopwatch::start();
+        let mut results: Vec<Result<TxnOutcome>> = Vec::with_capacity(idxs.len());
+        let mut batch = Vec::with_capacity(idxs.len());
+        let mut intents = Vec::with_capacity(idxs.len());
+        for (slot, &i) in idxs.iter().enumerate() {
+            let req = &reqs[i];
+            let txn_id = self.next_txn_id();
+            let token = self.next_token();
+            let mut header = TxnHeader::new(self.endpoint, token);
+            header.txn_id = txn_id;
+            let hot_ops: Vec<(usize, TxnOp)> = req.ops.iter().copied().enumerate().collect();
+            // A malformed transaction fails alone, never its batchmates.
+            let built = match build_switch_txn(&hot_ops, index, &self.shared.config.switch_config, header) {
+                Ok(built) => built,
+                Err(e) => {
+                    results.push(Err(e));
+                    continue;
+                }
+            };
+            if built.txn.header.is_multipass {
+                stats.switch_multi_pass += 1;
+            } else {
+                stats.switch_single_pass += 1;
+            }
+            if self.shared.config.log_switch_txns {
+                intents.push(LogRecord::SwitchIntent { txn: txn_id, ops: built.logged_ops.clone() });
+            }
+            // Placeholder, overwritten once the reply (or its loss) is known.
+            results.push(Err(Error::Disconnected));
+            batch.push((slot, i, txn_id, token, built));
+        }
+        // Durability: one group commit covers every intent of the frame.
+        if !intents.is_empty() {
+            self.coordinator_storage().wal().append_group(intents);
+        }
+        stats.record_phase(Phase::TxnEngine, watch.lap());
+
+        if batch.is_empty() {
+            stats.record_phase(Phase::SwitchTxn, watch.lap());
+            return Ok(results);
+        }
+
+        // One frame, one imposed wire latency: the batch shares the NIC
+        // doorbell and the ½ RTT to the switch.
+        let payloads: Vec<SwitchMessage> =
+            batch.iter().map(|(_, _, _, _, b)| SwitchMessage::Txn(b.txn.clone())).collect();
+        if !self.shared.fabric.send_frame(self.endpoint, EndpointId::Switch, payloads) {
+            return Err(Error::Disconnected);
+        }
+        let wanted: HashSet<u64> = batch.iter().map(|&(_, _, _, token, _)| token).collect();
+        let mut replies: HashMap<u64, TxnReply> = HashMap::with_capacity(batch.len());
+        let deadline = Instant::now() + self.shared.config.switch_timeout;
+        while replies.len() < batch.len() {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.mailbox.recv_batch_timeout(remaining, batch.len()) {
+                BatchRecvOutcome::Frame(envs) => {
+                    for env in envs {
+                        // Stale replies (from previous, timed-out attempts)
+                        // and unrelated messages are dropped.
+                        if let SwitchMessage::TxnReply(r) = env.payload {
+                            if wanted.contains(&r.token) {
+                                replies.insert(r.token, r);
+                            }
+                        }
+                    }
+                }
+                BatchRecvOutcome::TimedOut => {
+                    if !self.shared.config.in_doubt_on_timeout {
+                        return Err(Error::Disconnected);
+                    }
+                    // Under fault injection the missing packets or replies
+                    // were lost: their transactions commit in doubt below.
+                    break;
+                }
+                BatchRecvOutcome::Disconnected => return Err(Error::Disconnected),
+            }
+        }
+        // Return-path wire latency, once per reply frame — not imposed when
+        // the whole frame was lost (the unbatched TimedOut arm imposes none
+        // either).
+        if !replies.is_empty() {
+            self.shared.latency.impose_switch_rtt_wire();
+        }
+        stats.record_phase(Phase::SwitchTxn, watch.lap());
+
+        let mut result_records = Vec::with_capacity(batch.len());
+        for (slot, i, txn_id, token, built) in batch {
+            let mut values = vec![0u64; reqs[i].ops.len()];
+            results[slot] = match replies.remove(&token) {
+                Some(reply) => {
+                    let mut logged_results = Vec::with_capacity(reply.results.len());
+                    for (instr_idx, res) in reply.results.iter().enumerate() {
+                        let orig = built.orig_index[instr_idx];
+                        values[orig] = res.value;
+                        logged_results.push((reqs[i].ops[orig].tuple, res.value));
+                    }
+                    if self.shared.config.log_switch_txns {
+                        result_records.push(LogRecord::SwitchResult {
+                            txn: txn_id,
+                            gid: reply.gid,
+                            results: logged_results,
+                        });
+                    }
+                    Ok(TxnOutcome { class: TxnClass::Hot, results: values, gid: Some(reply.gid), in_doubt: false })
+                }
+                // Intent logged, switch cannot abort: committed in doubt.
+                None => Ok(TxnOutcome { class: TxnClass::Hot, results: values, gid: None, in_doubt: true }),
+            };
+        }
+        if !result_records.is_empty() {
+            self.coordinator_storage().wal().append_group(result_records);
+        }
+        stats.record_phase(Phase::TxnEngine, watch.lap());
+        Ok(results)
     }
 
     /// Splits the request's operation indices into hot (switch) and cold
@@ -376,12 +565,13 @@ impl Worker {
             }
         }
 
-        // Commit: persist cold writes + commit record, release locks.
+        // Commit: persist cold writes + commit record as one group commit
+        // (the transaction's records were staged in `state.cold_writes`; one
+        // log write makes them durable together), then release locks.
         let wal = self.coordinator_storage().wal();
-        for record in state.cold_writes.drain(..) {
-            wal.append(record);
-        }
-        wal.append(LogRecord::Commit { txn: txn_id });
+        let mut group: Vec<LogRecord> = state.cold_writes.drain(..).collect();
+        group.push(LogRecord::Commit { txn: txn_id });
+        wal.append_group(group);
         self.release_all(txn_id, &state);
         stats.record_phase(Phase::TxnEngine, watch.lap());
 
@@ -662,6 +852,62 @@ mod tests {
         assert_eq!(rig.shared.node(NodeId(0)).locks().locked_count(), 0);
         assert_eq!(rig.shared.node(NodeId(1)).locks().locked_count(), 0);
         assert_eq!(stats.switch_single_pass, 1);
+    }
+
+    #[test]
+    fn execute_batch_pipelines_all_hot_requests() {
+        let mut rig = rig(SystemMode::P4db, CcScheme::NoWait);
+        // Enable worker-side batching (the rig's default EngineConfig is
+        // unbatched); the switch stays unbatched — the two knobs compose but
+        // are independent.
+        Arc::get_mut(&mut rig.shared).expect("rig shared is unshared").config.batch_size = 8;
+        let mut w = worker(&rig, 0, 0);
+        let mut stats = WorkerStats::new();
+        // Mixed batch: two all-hot requests (pipelined), one cold, one empty.
+        let reqs = [
+            TxnRequest::new(vec![op(1, OpKind::Add(5)), op(2, OpKind::Read)]),
+            TxnRequest::new(vec![op(100, OpKind::Add(7))]),
+            TxnRequest::new(vec![op(3, OpKind::FetchAdd(10))]),
+            TxnRequest::new(vec![]),
+        ];
+        let results = w.execute_batch(&reqs.iter().collect::<Vec<_>>(), &mut stats);
+        assert_eq!(results.len(), 4);
+        let hot_a = results[0].as_ref().unwrap();
+        assert_eq!(hot_a.class, TxnClass::Hot);
+        assert_eq!(hot_a.results, vec![105, 100]);
+        assert!(hot_a.gid.is_some());
+        let cold = results[1].as_ref().unwrap();
+        assert_eq!(cold.class, TxnClass::Cold);
+        assert_eq!(cold.results, vec![107]);
+        let hot_b = results[2].as_ref().unwrap();
+        assert_eq!(hot_b.class, TxnClass::Hot);
+        assert_eq!(hot_b.results, vec![100], "FetchAdd returns the previous value");
+        assert_ne!(hot_a.gid, hot_b.gid, "every batched transaction gets its own GID");
+        assert_eq!(results[3].as_ref().unwrap().class, TxnClass::Cold);
+        assert_eq!(rig.control_plane.read_tuple(t(1)), Some(105));
+        assert_eq!(rig.control_plane.read_tuple(t(3)), Some(110));
+        assert_eq!(stats.switch_single_pass, 2);
+        // The WAL holds intents + results for both hot txns (group-committed)
+        // and the cold write + commit for the cold one.
+        let records = rig.shared.node(NodeId(0)).wal().records();
+        assert_eq!(records.iter().filter(|r| matches!(r, LogRecord::SwitchIntent { .. })).count(), 2);
+        assert_eq!(records.iter().filter(|r| matches!(r, LogRecord::SwitchResult { .. })).count(), 2);
+        // Both intents precede both results: intents hit stable storage
+        // before the frame left the node.
+        let first_result = records.iter().position(|r| matches!(r, LogRecord::SwitchResult { .. })).unwrap();
+        let last_intent = records.iter().rposition(|r| matches!(r, LogRecord::SwitchIntent { .. })).unwrap();
+        assert!(last_intent < first_result);
+    }
+
+    #[test]
+    fn execute_batch_with_batching_disabled_matches_execute() {
+        let rig = rig(SystemMode::P4db, CcScheme::NoWait);
+        let mut w = worker(&rig, 0, 0);
+        let mut stats = WorkerStats::new();
+        let reqs = [TxnRequest::new(vec![op(1, OpKind::Add(1))]), TxnRequest::new(vec![op(1, OpKind::Add(2))])];
+        let results = w.execute_batch(&reqs.iter().collect::<Vec<_>>(), &mut stats);
+        assert_eq!(results[0].as_ref().unwrap().results, vec![101]);
+        assert_eq!(results[1].as_ref().unwrap().results, vec![103]);
     }
 
     #[test]

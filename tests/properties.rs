@@ -11,6 +11,7 @@
 use p4db::common::rand_util::FastRng;
 use p4db::common::{CcScheme, GlobalTxnId, NodeId, TableId, TupleId, TxnId, Value, WorkerId};
 use p4db::layout::{max_cut, single_pass_fraction, AccessGraph, LayoutPlanner, LayoutStrategy, TraceAccess, TxnTrace};
+use p4db::net::{decode_frame_prefix, encode_frame, EndpointId, Envelope};
 use p4db::storage::{recover_switch_state, LockMode, LockTable, LogRecord, LoggedSwitchOp, Wal};
 use p4db::switch::{apply_op, plan_passes, Instruction, OpCode, RegisterSlot};
 use std::collections::HashMap;
@@ -266,6 +267,84 @@ fn wal_truncation_at_every_offset_recovers_exactly_the_intact_prefix() {
             // content (cutting at a line boundary or right before a newline
             // leaves only fully-parseable text).
             let torn_mid_line = lines.iter().any(|&(start, content_end)| start < cut && cut < content_end);
+            assert_eq!(error.is_none(), !torn_mid_line, "cut at byte {cut}: error={error:?}");
+        }
+    });
+}
+
+/// The frame-batch wire codec round-trips at **every** split point: encoding
+/// a batch of k envelopes and truncating the bytes at any boundary decodes
+/// exactly the intact envelope prefix — never fewer, never a corrupted extra
+/// one — with an error reported iff the cut tears a record or the header.
+/// This is the mirror of the WAL truncation property for the fabric's frame
+/// batching.
+#[test]
+fn frame_codec_truncation_at_every_offset_recovers_exactly_the_intact_prefix() {
+    check("frame_codec_truncation_at_every_offset_recovers_exactly_the_intact_prefix", |rng| {
+        let k = 1 + rng.gen_range(6) as usize;
+        let envelopes: Vec<Envelope<Vec<u8>>> = (0..k)
+            .map(|_| {
+                let src = match rng.gen_range(3) {
+                    0 => EndpointId::Node(NodeId(rng.gen_range(4) as u16)),
+                    1 => EndpointId::Worker(NodeId(rng.gen_range(4) as u16), WorkerId(rng.gen_range(8) as u16)),
+                    _ => EndpointId::Switch,
+                };
+                let payload: Vec<u8> = (0..rng.gen_range(24)).map(|_| rng.next_u64() as u8).collect();
+                Envelope::new(src, EndpointId::Switch, payload)
+            })
+            .collect();
+        let bytes = encode_frame(&envelopes);
+        // Record boundaries: boundary[i] = encoded length of the first i
+        // envelopes (boundary[0] covers just the header).
+        let boundaries: Vec<usize> = (0..=k).map(|i| encode_frame(&envelopes[..i]).len()).collect();
+        for cut in 0..=bytes.len() {
+            let (prefix, error) = decode_frame_prefix(&bytes[..cut]);
+            let intact = boundaries.iter().skip(1).filter(|&&end| cut >= end).count();
+            assert_eq!(prefix, envelopes[..intact].to_vec(), "cut at byte {cut}/{}", bytes.len());
+            // An error iff the cut strictly tears the header or a record.
+            let expect_error = cut != 0 && boundaries.iter().all(|&end| cut != end);
+            assert_eq!(error.is_some(), expect_error, "cut at byte {cut}: {error:?}");
+        }
+    });
+}
+
+/// `Wal::append_group` preserves the torn-tail contract: a log written in
+/// groups serialises byte-identically to the same records appended singly,
+/// and truncating it at every offset still recovers exactly the intact
+/// record prefix.
+#[test]
+fn wal_append_group_torn_tail_recovers_exactly_the_intact_prefix() {
+    check("wal_append_group_torn_tail_recovers_exactly_the_intact_prefix", |rng| {
+        let singles = random_wal(rng);
+        let records = singles.records();
+        let grouped = Wal::new();
+        // Re-append the same records in random-sized groups.
+        let mut rest = records.as_slice();
+        while !rest.is_empty() {
+            let take = (1 + rng.gen_range(4) as usize).min(rest.len());
+            grouped.append_group(rest[..take].to_vec());
+            rest = &rest[take..];
+        }
+        let data = grouped.serialize();
+        assert_eq!(data, singles.serialize(), "group-written log must serialise identically");
+
+        // Truncation sweep over line-content boundaries (the full every-byte
+        // sweep runs in the singles-based property above; the group property
+        // asserts the same contract holds for group-written logs).
+        let mut lines = Vec::new();
+        let mut start = 0usize;
+        for (i, b) in data.bytes().enumerate() {
+            if b == b'\n' {
+                lines.push((start, i));
+                start = i + 1;
+            }
+        }
+        for cut in 0..=data.len() {
+            let torn = &data[..cut];
+            let (prefix, error) = Wal::deserialize_prefix(torn);
+            let intact = lines.iter().skip(1).filter(|&&(_, content_end)| cut >= content_end).count();
+            assert_eq!(prefix.records(), records[..intact].to_vec(), "cut at byte {cut}/{}", data.len());
+            let torn_mid_line = lines.iter().any(|&(line_start, content_end)| line_start < cut && cut < content_end);
             assert_eq!(error.is_none(), !torn_mid_line, "cut at byte {cut}: error={error:?}");
         }
     });
