@@ -28,9 +28,11 @@ cargo test --offline --release -q --test batching batched_chaos -- --nocapture
 
 echo "==> bench smoke gate: BENCH json emission, schema validity, regression band vs BENCH_baseline.json"
 # Absolute path: cargo runs bench binaries with the package dir as CWD.
+# fig_node_scaling rides along so the gate can floor the sharded-vs-single-
+# latch node hot-path speedup (alongside the batching tripwire).
 BENCH_SMOKE="$(pwd)/target/BENCH_smoke.json"
 rm -f "$BENCH_SMOKE"
-P4DB_BENCH_JSON="$BENCH_SMOKE" P4DB_MEASURE_MS=25 cargo bench --offline -p p4db-bench --bench figures -- fig01 fig13 > /dev/null
+P4DB_BENCH_JSON="$BENCH_SMOKE" P4DB_MEASURE_MS=25 cargo bench --offline -p p4db-bench --bench figures -- fig01 fig13 fig_node_scaling > /dev/null
 P4DB_BENCH_JSON="$BENCH_SMOKE" P4DB_MICRO_QUICK=1 cargo bench --offline -p p4db-bench --bench micro > /dev/null
 P4DB_BENCH_JSON="$BENCH_SMOKE" P4DB_BENCH_GATE=1 cargo test --offline -q -p p4db-bench --lib gate_
 

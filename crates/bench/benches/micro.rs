@@ -3,18 +3,18 @@
 //! manager, the max-cut heuristic and the WAL (single appends and group
 //! commit). Used to sanity-check that the substrates are far from being the
 //! bottleneck of the figure reproduction, and to pin the batched-vs-unbatched
-//! hot-path speedup as a machine-readable datapoint in `BENCH_4.json`
+//! hot-path speedup as a machine-readable datapoint in `BENCH_5.json`
 //! (figure `micro`), which the CI gate tripwires.
 //!
 //! Knobs: `P4DB_MICRO_QUICK=1` shrinks iteration counts ~10× (the CI smoke
 //! profile); `P4DB_BENCH_JSON` overrides the output path.
 
 use p4db_common::rand_util::FastRng;
-use p4db_common::{CcScheme, LatencyConfig, NodeId, TableId, TupleId, TxnId, WorkerId};
+use p4db_common::{CcScheme, LatencyConfig, NodeId, TableId, TupleId, TxnId, Value, WorkerId};
 use p4db_core::BenchPoint;
 use p4db_layout::{max_cut, AccessGraph, TraceAccess, TxnTrace};
 use p4db_net::{BatchRecvOutcome, EndpointId, Fabric, LatencyModel, RecvOutcome};
-use p4db_storage::{LockMode, LockTable, LogRecord, Wal};
+use p4db_storage::{LockMode, LockTable, LogRecord, NodeStorage, Wal};
 use p4db_switch::{
     start_switch, Instruction, RegisterMemory, RegisterSlot, SwitchConfig, SwitchMessage, SwitchTxn, TxnHeader,
 };
@@ -148,6 +148,56 @@ fn switch_pipeline_throughput(points: &mut Vec<BenchPoint>) {
     handle.shutdown();
 }
 
+/// The admission-resolution tripwire: resolving a tuple's lock *and* row
+/// handle with one hash (`NodeStorage::admit`-style, grouped batch release)
+/// vs the seed's shape — acquire, then a separate directory + map lookup,
+/// then a per-tuple release, each hashing again. The resulting speedup is
+/// the `micro` admission datapoint recorded in `BENCH_5.json`.
+fn admission_resolution(points: &mut Vec<BenchPoint>) {
+    const ROWS: u64 = 100_000;
+    let total = scaled(300_000);
+    let load = |storage: &NodeStorage| {
+        storage.table(TableId(0)).unwrap().bulk_load((0..ROWS).map(|k| (k, Value::scalar(k))));
+    };
+    let sharded = NodeStorage::new(NodeId(0), [TableId(0)]);
+    let seed = NodeStorage::seed_single_latch(NodeId(0), [TableId(0)]);
+    load(&sharded);
+    load(&seed);
+    // Pseudorandom key walk (Knuth multiplicative) over the loaded rows.
+    let key = |i: u64| (i.wrapping_mul(2654435761)) % ROWS;
+
+    // Best-of-two per arm: the per-op delta is tens of nanoseconds, so a
+    // single descheduling burst on a small machine can invert the ratio.
+    let best = |rate_a: f64, rate_b: f64| rate_a.max(rate_b);
+    let run_legacy = || {
+        bench("admission: seed lock + lookup + release per op", total, |i| {
+            let txn = TxnId::compose(i as u32, NodeId(0), WorkerId(0));
+            let tuple = TupleId::new(TableId(0), key(i));
+            seed.locks().acquire(txn, tuple, LockMode::Exclusive, CcScheme::NoWait).unwrap();
+            let _row = seed.table(TableId(0)).unwrap().get_or_err(tuple.key).unwrap();
+            seed.locks().release(txn, tuple);
+        })
+    };
+    let run_admit = || {
+        bench("admission: one-hash resolve + batch release", total, |i| {
+            let txn = TxnId::compose(i as u32, NodeId(0), WorkerId(0));
+            let tuple = TupleId::new(TableId(0), key(i));
+            let hash = tuple.mix();
+            sharded.locks().acquire_prehashed(hash, txn, tuple, LockMode::Exclusive, CcScheme::NoWait).unwrap();
+            let _row = sharded.table(TableId(0)).unwrap().get_prehashed(hash, tuple.key).unwrap();
+            sharded.locks().release_batch(txn, &[(hash, tuple)]);
+        })
+    };
+    let legacy = best(run_legacy(), run_legacy());
+    let admit = best(run_admit(), run_admit());
+    let speedup = admit / legacy;
+    println!(
+        "{:<48} {total:>9} ops    seed {legacy:>12.0} op/s   one-hash {admit:>12.0} op/s   {speedup:.2}x",
+        "admission resolution: one-hash vs seed"
+    );
+    points.push(BenchPoint::from_rates("micro", p4db_bench::json::ADMISSION_PARAMS, admit, 1e6 / admit, speedup));
+}
+
 fn lock_table_throughput(points: &mut Vec<BenchPoint>) {
     let table = LockTable::new();
     let rate = bench("host lock table: acquire+release", scaled(200_000), |i| {
@@ -219,6 +269,7 @@ fn main() {
     let mut points = Vec::new();
     switch_pipeline_throughput(&mut points);
     switch_hot_path_batched(&mut points);
+    admission_resolution(&mut points);
     lock_table_throughput(&mut points);
     maxcut_scaling();
     wal_throughput(&mut points);

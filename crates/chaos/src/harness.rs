@@ -87,6 +87,11 @@ pub struct ChaosOptions {
     /// dequeues/replies in frames of up to this many packets and the
     /// executors pipeline queued all-hot transactions. `1` = unbatched.
     pub batch: u16,
+    /// Runs the pre-sharding node hot path (`ClusterConfig::single_latch`):
+    /// single-shard storage plus the seed's per-op lock/lookup/release
+    /// engine. The known-good baseline arm of the sharding differential
+    /// suite in `tests/sharding.rs`.
+    pub single_latch: bool,
 }
 
 impl ChaosOptions {
@@ -107,6 +112,7 @@ impl ChaosOptions {
             reoffload: false,
             max_attempts: 30,
             batch: 16,
+            single_latch: false,
         }
     }
 
@@ -144,6 +150,9 @@ impl ChaosOptions {
         }
         if self.reoffload {
             env.push_str(" CHAOS_REOFFLOAD=1");
+        }
+        if self.single_latch {
+            env.push_str(" CHAOS_SINGLE_LATCH=1");
         }
         for (var, actual, default) in [
             ("CHAOS_NODES", self.nodes as u64, defaults.nodes as u64),
@@ -185,6 +194,7 @@ impl ChaosOptions {
         options.crash_node = parse("CHAOS_CRASH_NODE").map(|n| NodeId(n as u16));
         options.crash_switch = flag("CHAOS_CRASH_SWITCH");
         options.reoffload = flag("CHAOS_REOFFLOAD");
+        options.single_latch = flag("CHAOS_SINGLE_LATCH");
         if let Some(n) = parse("CHAOS_NODES") {
             options.nodes = n as u16;
         }
@@ -332,6 +342,7 @@ fn run_once(options: &ChaosOptions) -> Result<ChaosReport> {
         .distributed_prob(options.distributed_prob)
         .seed(options.seed)
         .batch_size(options.batch)
+        .single_latch(options.single_latch)
         .test_latencies();
     if let Some(plan) = &options.faults {
         builder = builder.with_faults(plan.clone());

@@ -393,18 +393,18 @@ fn check_smallbank(
     for storage in shared.nodes.iter() {
         for table in [SAVINGS, CHECKING] {
             let Ok(table) = storage.table(table) else { continue };
-            for key in table.keys() {
+            // Per-shard iteration: no whole-table key vector, and the row is
+            // already in hand — no second lookup per account.
+            table.for_each(|key, row| {
                 let tuple = TupleId::new(table.id(), key);
                 // The switch is authoritative for offloaded accounts.
-                let value = cluster
-                    .switch_value(tuple)
-                    .unwrap_or_else(|| table.read(key).map(|v| v.switch_word()).unwrap_or(0));
+                let value = cluster.switch_value(tuple).unwrap_or_else(|| row.read().switch_word());
                 if (value as i64) < 0 {
                     report.violations.push(Violation::NegativeBalance { tuple, value });
                 }
                 live_total += value as i64 as i128;
                 accounts += 1;
-            }
+            });
         }
     }
 
@@ -486,10 +486,10 @@ fn check_tpcc(
     let mut customer_delta: i128 = 0;
     for storage in shared.nodes.iter() {
         let Ok(table) = storage.table(CUSTOMER) else { continue };
-        for key in table.keys() {
-            let balance = table.read(key).map(|v| v.switch_word()).unwrap_or(0);
+        table.for_each(|_, row| {
+            let balance = row.read().switch_word();
             customer_delta += initial_customer_balance as i128 - balance as i64 as i128;
-        }
+        });
     }
 
     // Unexecuted in-doubt intents of this epoch still owe their YTD adds.

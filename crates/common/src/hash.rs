@@ -1,0 +1,138 @@
+//! Fast, non-cryptographic hashing for the storage hot path.
+//!
+//! The node-local transaction path hashes every tuple it touches — for the
+//! 2PL lock-table shard, for the row-store shard and for the probe inside the
+//! shard's map. The std `HashMap` default (SipHash-1-3) costs tens of
+//! nanoseconds per key, which is real money when a transaction resolves its
+//! whole footprint at admission. Keys here are either raw `u64` primary keys
+//! or small id newtypes, all attacker-free (they come from workload
+//! generators and loaders, not the network), so a statistically strong mixer
+//! without keyed security is the right trade.
+//!
+//! [`mix64`] is the SplitMix64 finalizer: a bijective avalanche over the full
+//! 64-bit word, so dense key ranges (YCSB keys `0..n`) spread uniformly over
+//! power-of-two shard counts. [`FastHasher`] folds every written word through
+//! the same mixer, making `HashMap<u64, _, FastBuildHasher>` and
+//! `HashMap<TupleId, _, FastBuildHasher>` drop-in replacements for the
+//! SipHash-backed defaults.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// SplitMix64 finalizer: full-avalanche bijective mixing of one 64-bit word.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A word-at-a-time hasher built on [`mix64`]. Every written integer is
+/// folded into the state through one full mixing round; byte slices (rare in
+/// this workspace — ids are integers) are consumed in 8-byte chunks.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FastHasher(u64);
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = mix64(self.0 ^ v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`]-backed maps.
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` keyed by workspace ids with the fast word mixer.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn mix64_is_injective_on_a_sample_and_avalanches() {
+        let mut seen = HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(mix64(i)), "collision at {i}");
+        }
+        // Dense inputs must spread over low bits (shard selection uses them).
+        let mut low6 = [0u32; 64];
+        for i in 0..64_000u64 {
+            low6[(mix64(i) & 63) as usize] += 1;
+        }
+        let (min, max) = (low6.iter().min().unwrap(), low6.iter().max().unwrap());
+        assert!(*min > 700 && *max < 1_300, "low-bit skew: min {min}, max {max}");
+    }
+
+    #[test]
+    fn fast_map_roundtrips_u64_and_tuple_keys() {
+        let mut map: FastMap<u64, u64> = FastMap::default();
+        for k in 0..1_000u64 {
+            map.insert(k, k * 2);
+        }
+        assert_eq!(map.get(&500), Some(&1_000));
+
+        let mut tuples: FastMap<crate::TupleId, u32> = FastMap::default();
+        let t = crate::TupleId::new(crate::TableId(3), 77);
+        tuples.insert(t, 9);
+        assert_eq!(tuples.get(&t), Some(&9));
+    }
+
+    #[test]
+    fn hasher_consumes_byte_slices_chunkwise() {
+        let build = FastBuildHasher::default();
+        let a = build.hash_one("hello world");
+        let b = build.hash_one("hello worlc");
+        assert_ne!(a, b);
+        // Equal inputs hash equal (determinism, no per-process randomness).
+        assert_eq!(a, build.hash_one("hello world"));
+    }
+
+    #[test]
+    fn integer_writes_match_across_widths_when_equal_values() {
+        // Not a requirement of Hasher, but our id newtypes rely on write_uXX
+        // folding through the same path; spot-check determinism.
+        let build = FastBuildHasher::default();
+        let h1 = build.hash_one(42u64);
+        let h2 = build.hash_one(42u64);
+        assert_eq!(h1, h2);
+    }
+}

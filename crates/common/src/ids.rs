@@ -83,6 +83,15 @@ impl TupleId {
     pub const fn new(table: TableId, key: u64) -> Self {
         Self { table, key }
     }
+
+    /// One full-avalanche hash of the tuple id. The lock table and the row
+    /// store both derive their shard from this value, so admission-time
+    /// footprint resolution computes it once per tuple per transaction and
+    /// reuses it for every sharded structure the tuple touches.
+    #[inline]
+    pub fn mix(self) -> u64 {
+        crate::hash::mix64(self.key ^ ((self.table.0 as u64) << 48))
+    }
 }
 
 impl fmt::Display for TupleId {

@@ -15,6 +15,7 @@ pub mod channel;
 pub mod config;
 pub mod error;
 pub mod faults;
+pub mod hash;
 pub mod ids;
 pub mod rand_util;
 pub mod simtime;

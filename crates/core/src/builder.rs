@@ -123,6 +123,25 @@ impl ClusterBuilder {
         self
     }
 
+    /// Shard count of every node's row store and secondary indexes (rounded
+    /// up to a power of two; values below 1 are clamped to 1). The default
+    /// of 64 matches the 2PL lock table; `1` is the seed's single-latch
+    /// layout without the seed's per-op engine path — see
+    /// [`ClusterBuilder::single_latch`] for the full pre-sharding baseline.
+    pub fn storage_shards(mut self, shards: u16) -> Self {
+        self.config.storage_shards = shards.max(1);
+        self
+    }
+
+    /// Rebuilds the pre-sharding node hot path exactly: single-shard
+    /// storage plus the seed's per-op lock/lookup/release engine path. The
+    /// baseline arm of the node-scaling benchmark and the sharding
+    /// differential suite.
+    pub fn single_latch(mut self, single_latch: bool) -> Self {
+        self.config.single_latch = single_latch;
+        self
+    }
+
     /// RNG seed for generators and backoff.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;

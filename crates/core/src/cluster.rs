@@ -58,6 +58,16 @@ pub struct ClusterConfig {
     /// Flush deadline in microseconds for partially filled reply frames on
     /// the switch (bounds reply latency while a burst keeps the engine busy).
     pub flush_us: u64,
+    /// Shard count of every node's row store and secondary indexes (rounded
+    /// up to a power of two). More shards spread unrelated tuple accesses
+    /// over independent latches; `1` is the seed's single-latch layout.
+    pub storage_shards: u16,
+    /// Rebuilds the *pre-sharding* node hot path exactly: single-shard
+    /// storage plus the seed's per-op engine path (lock at access time, map
+    /// lookup per access, per-tuple release). Overrides `storage_shards`.
+    /// This is the baseline arm of `fig_node_scaling` and of the sharding
+    /// differential suite — not a configuration to run for performance.
+    pub single_latch: bool,
     /// RNG seed (workers derive their own seeds from it).
     pub seed: u64,
     /// Seeded fault-injection plan (chaos testing). When set, the fabric
@@ -85,6 +95,8 @@ impl ClusterConfig {
             offload_limit: None,
             batch_size: 16,
             flush_us: 50,
+            storage_shards: 64,
+            single_latch: false,
             seed: 42,
             faults: None,
         }
@@ -214,7 +226,11 @@ impl Cluster {
         // --- Host storage ----------------------------------------------------
         let nodes: Vec<Arc<NodeStorage>> = (0..config.num_nodes)
             .map(|n| {
-                let storage = NodeStorage::new(NodeId(n), workload.tables());
+                let storage = if config.single_latch {
+                    NodeStorage::seed_single_latch(NodeId(n), workload.tables())
+                } else {
+                    NodeStorage::with_shards(NodeId(n), workload.tables(), config.storage_shards.max(1) as usize)
+                };
                 workload.load_node(&storage, config.num_nodes);
                 Arc::new(storage)
             })
@@ -271,6 +287,7 @@ impl Cluster {
         let mut engine_config = EngineConfig {
             chiller: config.chiller,
             batch_size: config.batch_size.max(1),
+            single_latch: config.single_latch,
             ..EngineConfig::new(config.mode, config.cc, config.switch)
         };
         if let Some(plan) = &config.faults {
@@ -753,6 +770,24 @@ mod tests {
         assert_eq!(unbatched.config().batch_size, 1);
         let stats = unbatched.run_for(Duration::from_millis(100));
         assert!(stats.merged.committed_total() > 0);
+    }
+
+    #[test]
+    fn storage_knobs_propagate_to_node_storage_and_engine() {
+        // storage_shards reaches every table of every node.
+        let cluster = Cluster::builder(small_ycsb()).test_profile().storage_shards(8).build();
+        for storage in cluster.shared().nodes.iter() {
+            assert_eq!(storage.table(p4db_workloads::ycsb::YCSB_TABLE).unwrap().shard_count(), 8);
+        }
+        assert!(!cluster.shared().config.single_latch);
+        // single_latch rebuilds the seed layout and flips the engine path.
+        let seed = Cluster::builder(small_ycsb()).test_profile().single_latch(true).build();
+        for storage in seed.shared().nodes.iter() {
+            assert_eq!(storage.table(p4db_workloads::ycsb::YCSB_TABLE).unwrap().shard_count(), 1);
+        }
+        assert!(seed.shared().config.single_latch);
+        let stats = seed.run_for(Duration::from_millis(100));
+        assert!(stats.merged.committed_total() > 0, "the seed engine still serves traffic");
     }
 
     #[test]

@@ -15,11 +15,11 @@ pub mod table;
 pub mod wal;
 
 pub use index::SecondaryIndex;
-pub use locks::{LockMode, LockTable};
+pub use locks::{LockMode, LockTable, LockWaitStats};
 pub use node::NodeStorage;
 pub use recovery::{
     recover_cold_state, recover_switch_state, replay_logged_op, replay_logged_txn, LoggedOpEffect,
     SwitchRecoveryOutcome,
 };
-pub use table::{Row, Table};
+pub use table::{Row, RowHandle, Table, DEFAULT_TABLE_SHARDS};
 pub use wal::{LogRecord, LoggedSwitchOp, Wal, WalCodecError};

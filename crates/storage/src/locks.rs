@@ -11,16 +11,37 @@
 //!
 //! The table is sharded by tuple hash so that unrelated lock requests never
 //! contend on the same mutex; contention on the *same* tuple (the hot set) is
-//! exactly the effect the paper measures.
+//! exactly the effect the paper measures. The shard hash is
+//! [`TupleId::mix`] — the same value the sharded row store uses — so the
+//! admission path of the transaction engine computes it once per tuple and
+//! feeds both structures ([`LockTable::acquire_prehashed`]).
+//!
+//! Two map flavors exist behind one API: the default fast word-mixer maps,
+//! and a *seed* flavor ([`LockTable::seed_flavor`]) with the std SipHash
+//! maps the pre-sharding engine used — the baseline arm of the node-scaling
+//! benchmark pays the seed's per-probe cost, not the new one.
+//!
+//! Waiting (WAIT_DIE only) uses bounded exponential backoff: short spin
+//! bursts that double up to a cap, then `yield_now`, so an older waiter
+//! neither hammers the shard mutex nor burns a full core while a lock-hold
+//! of microseconds drains. Cumulative wait time is recorded per node
+//! ([`LockTable::wait_stats`]) for the perf pipeline.
 
+use p4db_common::hash::FastBuildHasher;
 use p4db_common::sync::unpoison;
 use p4db_common::{CcScheme, Error, Result, TupleId, TxnId};
 use std::collections::HashMap;
+use std::hash::{BuildHasher, RandomState};
 use std::hint;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 const SHARDS: usize = 64;
+
+/// Spin-burst cap of the WAIT_DIE backoff: bursts double from 1 iteration up
+/// to this, after which every retry also yields the core.
+const MAX_SPIN_BURST: u32 = 1 << 10;
 
 /// Lock mode of a request / grant.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -35,14 +56,42 @@ struct LockEntry {
     owners: Vec<TxnId>,
 }
 
+/// Cumulative waiting behaviour of one node's lock table.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct LockWaitStats {
+    /// Acquisitions that had to wait at least one backoff round.
+    pub waits: u64,
+    /// Total time spent waiting across all of them (ns).
+    pub total_wait_ns: u64,
+}
+
+impl LockWaitStats {
+    pub fn total_wait(&self) -> Duration {
+        Duration::from_nanos(self.total_wait_ns)
+    }
+}
+
+type Shard<S> = Mutex<HashMap<TupleId, LockEntry, S>>;
+
+/// The two map flavors: fast word-mixer probes (default) or the seed's
+/// SipHash probes (the single-latch baseline's lock table).
+#[derive(Debug)]
+enum ShardSet {
+    Fast(Box<[Shard<FastBuildHasher>]>),
+    Seed(Box<[Shard<RandomState>]>),
+}
+
 /// The per-node lock table.
 #[derive(Debug)]
 pub struct LockTable {
-    shards: Vec<Mutex<HashMap<TupleId, LockEntry>>>,
+    shards: ShardSet,
     /// Upper bound on how long WAIT_DIE waits before giving up; prevents a
     /// simulation bug (an owner that never releases) from hanging a worker
     /// forever. Generously larger than any realistic lock hold time.
     wait_timeout: Duration,
+    /// Cumulative WAIT_DIE waiting, for the node-stats surface.
+    waits: AtomicU64,
+    waited_ns: AtomicU64,
 }
 
 impl Default for LockTable {
@@ -51,12 +100,25 @@ impl Default for LockTable {
     }
 }
 
+fn shards<S: BuildHasher + Default>() -> Box<[Shard<S>]> {
+    (0..SHARDS).map(|_| Mutex::new(HashMap::with_hasher(S::default()))).collect()
+}
+
 impl LockTable {
     pub fn new() -> Self {
         LockTable {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: ShardSet::Fast(shards()),
             wait_timeout: Duration::from_millis(100),
+            waits: AtomicU64::new(0),
+            waited_ns: AtomicU64::new(0),
         }
+    }
+
+    /// The seed's lock table: identical sharding and protocol, std SipHash
+    /// map probes. Used by the single-latch baseline configuration so the
+    /// node-scaling comparison measures the engine the seed actually had.
+    pub fn seed_flavor() -> Self {
+        LockTable { shards: ShardSet::Seed(shards()), ..Self::new() }
     }
 
     /// Overrides the WAIT_DIE waiting timeout (tests use a small value).
@@ -65,10 +127,12 @@ impl LockTable {
         self
     }
 
-    fn shard(&self, tuple: TupleId) -> &Mutex<HashMap<TupleId, LockEntry>> {
-        // Cheap mix of table id and key; the shard count is a power of two.
-        let h = tuple.key ^ ((tuple.table.0 as u64) << 56) ^ (tuple.key >> 17);
-        &self.shards[(h as usize) & (SHARDS - 1)]
+    /// Cumulative waiting behaviour since construction.
+    pub fn wait_stats(&self) -> LockWaitStats {
+        LockWaitStats {
+            waits: self.waits.load(Ordering::Relaxed),
+            total_wait_ns: self.waited_ns.load(Ordering::Relaxed),
+        }
     }
 
     /// Attempts to acquire `tuple` in `mode` for `txn` under the given
@@ -76,28 +140,65 @@ impl LockTable {
     /// idempotent (upgrades from shared to exclusive are treated as a
     /// conflict with other shared owners, as in standard 2PL).
     pub fn acquire(&self, txn: TxnId, tuple: TupleId, mode: LockMode, scheme: CcScheme) -> Result<()> {
-        let deadline = Instant::now() + self.wait_timeout;
+        self.acquire_prehashed(tuple.mix(), txn, tuple, mode, scheme)
+    }
+
+    /// [`LockTable::acquire`] with the tuple's [`TupleId::mix`] hash already
+    /// computed — the admission path hashes each tuple once and reuses the
+    /// value for the lock shard and the row-store shard.
+    pub fn acquire_prehashed(
+        &self,
+        hash: u64,
+        txn: TxnId,
+        tuple: TupleId,
+        mode: LockMode,
+        scheme: CcScheme,
+    ) -> Result<()> {
+        match &self.shards {
+            ShardSet::Fast(shards) => self.acquire_in(shards, hash, txn, tuple, mode, scheme),
+            ShardSet::Seed(shards) => self.acquire_in(shards, hash, txn, tuple, mode, scheme),
+        }
+    }
+
+    fn acquire_in<S: BuildHasher>(
+        &self,
+        shards: &[Shard<S>],
+        hash: u64,
+        txn: TxnId,
+        tuple: TupleId,
+        mode: LockMode,
+        scheme: CcScheme,
+    ) -> Result<()> {
+        // The deadline (and its `Instant::now()` call) is only materialised
+        // once a conflict forces a wait; the granted-first-try fast path
+        // never reads the clock.
+        let mut wait_started: Option<Instant> = None;
+        let mut spins: u32 = 1;
         loop {
             {
-                let mut shard = unpoison(self.shard(tuple).lock());
+                let mut shard = unpoison(shards[(hash as usize) & (SHARDS - 1)].lock());
                 match shard.get_mut(&tuple) {
                     None => {
                         shard.insert(tuple, LockEntry { mode, owners: vec![txn] });
+                        self.note_wait(wait_started);
                         return Ok(());
                     }
                     Some(entry) => {
                         if entry.owners.contains(&txn) {
                             if entry.mode == LockMode::Exclusive || mode == LockMode::Shared {
                                 // Already held in a sufficient mode.
+                                self.note_wait(wait_started);
                                 return Ok(());
                             }
                             if entry.owners.len() == 1 {
                                 // Sole shared owner upgrading to exclusive.
                                 entry.mode = LockMode::Exclusive;
+                                self.note_wait(wait_started);
                                 return Ok(());
                             }
                         } else if entry.mode == LockMode::Shared && mode == LockMode::Shared {
                             entry.owners.push(txn);
+                            self.note_wait(wait_started);
                             return Ok(());
                         }
                         // Conflict.
@@ -109,6 +210,8 @@ impl LockTable {
                                 let oldest_owner =
                                     entry.owners.iter().copied().filter(|o| *o != txn).min().unwrap_or(txn);
                                 if !txn.is_older_than(oldest_owner) {
+                                    drop(shard);
+                                    self.note_wait(wait_started);
                                     return Err(Error::wait_die(tuple, oldest_owner));
                                 }
                                 // Older than every owner: fall through to wait.
@@ -117,15 +220,33 @@ impl LockTable {
                     }
                 }
             }
-            if Instant::now() >= deadline {
+            let started = *wait_started.get_or_insert_with(Instant::now);
+            if started.elapsed() >= self.wait_timeout {
+                self.note_wait(wait_started);
                 return Err(Error::lock_conflict(tuple));
             }
-            // Back off outside the shard mutex and retry; owners release
-            // quickly (lock hold times are microseconds in this system).
-            for _ in 0..64 {
+            // Bounded exponential backoff outside the shard mutex: bursts of
+            // busy-spins that double up to a cap — owners release within
+            // microseconds in this system, so early retries should be nearly
+            // instant — then yield the core on every retry so a descheduled
+            // owner can actually run.
+            for _ in 0..spins {
                 hint::spin_loop();
             }
-            std::thread::yield_now();
+            if spins < MAX_SPIN_BURST {
+                spins <<= 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Folds a completed wait (if any) into the cumulative node stats.
+    #[inline]
+    fn note_wait(&self, wait_started: Option<Instant>) {
+        if let Some(started) = wait_started {
+            self.waits.fetch_add(1, Ordering::Relaxed);
+            self.waited_ns.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
     }
 
@@ -133,20 +254,33 @@ impl LockTable {
     /// no-op, which keeps abort paths simple (a transaction may abort halfway
     /// through its acquisition loop).
     pub fn release(&self, txn: TxnId, tuple: TupleId) {
-        let mut shard = unpoison(self.shard(tuple).lock());
-        if let Some(entry) = shard.get_mut(&tuple) {
-            entry.owners.retain(|o| *o != txn);
-            if entry.owners.is_empty() {
-                shard.remove(&tuple);
-            } else if !entry.owners.is_empty() && entry.mode == LockMode::Exclusive {
-                // An exclusive lock has exactly one owner; if owners remain
-                // after removing `txn`, the entry was shared all along.
-                entry.mode = LockMode::Shared;
+        let hash = tuple.mix();
+        match &self.shards {
+            ShardSet::Fast(shards) => {
+                release_in(&mut *unpoison(shards[(hash as usize) & (SHARDS - 1)].lock()), txn, tuple)
+            }
+            ShardSet::Seed(shards) => {
+                release_in(&mut *unpoison(shards[(hash as usize) & (SHARDS - 1)].lock()), txn, tuple)
             }
         }
     }
 
-    /// Releases every lock in `tuples` for `txn` (commit / abort path).
+    /// Releases a whole footprint in per-shard groups: consecutive locks in
+    /// the same shard (as recorded at admission, with their precomputed
+    /// [`TupleId::mix`] hashes) share one mutex acquisition — the shard
+    /// guard is handed from element to element and only swapped when the
+    /// shard changes. Contended footprints, whose tuples cluster in few
+    /// shards, pay far fewer mutex round trips than a per-tuple release;
+    /// spread footprints degrade to exactly one acquisition per tuple.
+    pub fn release_batch(&self, txn: TxnId, locks: &[(u64, TupleId)]) {
+        match &self.shards {
+            ShardSet::Fast(shards) => release_batch_in(shards, txn, locks),
+            ShardSet::Seed(shards) => release_batch_in(shards, txn, locks),
+        }
+    }
+
+    /// Releases every lock in `tuples` for `txn` (commit / abort path of
+    /// callers that did not keep admission hashes around).
     pub fn release_all(&self, txn: TxnId, tuples: &[TupleId]) {
         for &tuple in tuples {
             self.release(txn, tuple);
@@ -156,12 +290,54 @@ impl LockTable {
     /// Whether any transaction currently holds a lock on `tuple` (test /
     /// stats helper).
     pub fn is_locked(&self, tuple: TupleId) -> bool {
-        unpoison(self.shard(tuple).lock()).contains_key(&tuple)
+        let hash = tuple.mix();
+        match &self.shards {
+            ShardSet::Fast(shards) => unpoison(shards[(hash as usize) & (SHARDS - 1)].lock()).contains_key(&tuple),
+            ShardSet::Seed(shards) => unpoison(shards[(hash as usize) & (SHARDS - 1)].lock()).contains_key(&tuple),
+        }
     }
 
     /// Number of currently locked tuples (test / stats helper).
     pub fn locked_count(&self) -> usize {
-        self.shards.iter().map(|s| unpoison(s.lock()).len()).sum()
+        match &self.shards {
+            ShardSet::Fast(shards) => shards.iter().map(|s| unpoison(s.lock()).len()).sum(),
+            ShardSet::Seed(shards) => shards.iter().map(|s| unpoison(s.lock()).len()).sum(),
+        }
+    }
+}
+
+/// Removes `txn` from the entry of `tuple` inside an already-locked shard.
+fn release_in<S: BuildHasher>(shard: &mut HashMap<TupleId, LockEntry, S>, txn: TxnId, tuple: TupleId) {
+    if let Some(entry) = shard.get_mut(&tuple) {
+        let before = entry.owners.len();
+        entry.owners.retain(|o| *o != txn);
+        if entry.owners.is_empty() {
+            shard.remove(&tuple);
+        } else if entry.owners.len() != before && entry.mode == LockMode::Exclusive {
+            // An exclusive lock has exactly one owner; if owners remain
+            // after actually removing `txn`, the entry was shared all
+            // along. The `len` guard matters: a *spurious* release (e.g. a
+            // duplicate footprint entry whose lock another transaction
+            // since re-acquired) must not downgrade that holder's
+            // exclusive lock to shared.
+            entry.mode = LockMode::Shared;
+        }
+    }
+}
+
+/// Grouped release: one shard mutex acquisition per consecutive same-shard
+/// run. At most one shard is locked at any moment — holding a shard while
+/// acquiring the next would deadlock two transactions releasing their
+/// footprints in opposite shard orders.
+fn release_batch_in<S: BuildHasher>(shards: &[Shard<S>], txn: TxnId, locks: &[(u64, TupleId)]) {
+    let mut at = 0;
+    while at < locks.len() {
+        let index = (locks[at].0 as usize) & (SHARDS - 1);
+        let mut guard = unpoison(shards[index].lock());
+        while at < locks.len() && (locks[at].0 as usize) & (SHARDS - 1) == index {
+            release_in(&mut guard, txn, locks[at].1);
+            at += 1;
+        }
     }
 }
 
@@ -181,12 +357,13 @@ mod tests {
 
     #[test]
     fn exclusive_conflicts_under_no_wait() {
-        let lt = LockTable::new();
-        assert!(lt.acquire(txn(1), t(5), LockMode::Exclusive, CcScheme::NoWait).is_ok());
-        let err = lt.acquire(txn(2), t(5), LockMode::Exclusive, CcScheme::NoWait).unwrap_err();
-        assert!(err.is_abort());
-        lt.release(txn(1), t(5));
-        assert!(lt.acquire(txn(2), t(5), LockMode::Exclusive, CcScheme::NoWait).is_ok());
+        for lt in [LockTable::new(), LockTable::seed_flavor()] {
+            assert!(lt.acquire(txn(1), t(5), LockMode::Exclusive, CcScheme::NoWait).is_ok());
+            let err = lt.acquire(txn(2), t(5), LockMode::Exclusive, CcScheme::NoWait).unwrap_err();
+            assert!(err.is_abort());
+            lt.release(txn(1), t(5));
+            assert!(lt.acquire(txn(2), t(5), LockMode::Exclusive, CcScheme::NoWait).is_ok());
+        }
     }
 
     #[test]
@@ -235,6 +412,10 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         lt.release(younger, t(3));
         assert!(waiter.join().unwrap().is_ok(), "older transaction must eventually obtain the lock");
+        // The wait was recorded in the cumulative node stats.
+        let stats = lt.wait_stats();
+        assert!(stats.waits >= 1, "wait count not recorded: {stats:?}");
+        assert!(stats.total_wait() >= Duration::from_millis(5), "wait time not recorded: {stats:?}");
     }
 
     #[test]
@@ -247,6 +428,15 @@ mod tests {
         let start = Instant::now();
         assert!(lt.acquire(older, t(3), LockMode::Exclusive, CcScheme::WaitDie).is_err());
         assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn uncontended_acquisitions_record_no_waits() {
+        let lt = LockTable::new();
+        for seq in 0..100 {
+            lt.acquire(txn(seq), t(seq as u64), LockMode::Exclusive, CcScheme::WaitDie).unwrap();
+        }
+        assert_eq!(lt.wait_stats(), LockWaitStats::default());
     }
 
     #[test]
@@ -263,12 +453,53 @@ mod tests {
     }
 
     #[test]
+    fn release_batch_clears_grouped_footprints() {
+        for lt in [LockTable::new(), LockTable::seed_flavor()] {
+            // Enough tuples that several share a shard (64 shards, 300
+            // tuples), in arbitrary order so guard reuse sees both same- and
+            // different-shard neighbours.
+            let locks: Vec<(u64, TupleId)> = (0..300)
+                .map(|k| {
+                    let tuple = t(k);
+                    lt.acquire_prehashed(tuple.mix(), txn(1), tuple, LockMode::Exclusive, CcScheme::NoWait).unwrap();
+                    (tuple.mix(), tuple)
+                })
+                .collect();
+            assert_eq!(lt.locked_count(), 300);
+            lt.release_batch(txn(1), &locks);
+            assert_eq!(lt.locked_count(), 0);
+
+            // Batch release only removes the given transaction's ownership.
+            lt.acquire(txn(1), t(0), LockMode::Shared, CcScheme::NoWait).unwrap();
+            lt.acquire(txn(2), t(0), LockMode::Shared, CcScheme::NoWait).unwrap();
+            lt.release_batch(txn(1), &[(t(0).mix(), t(0))]);
+            assert!(lt.is_locked(t(0)));
+            lt.release(txn(2), t(0));
+            assert!(!lt.is_locked(t(0)));
+        }
+    }
+
+    #[test]
     fn spurious_release_is_harmless() {
         let lt = LockTable::new();
         lt.release(txn(1), t(1));
         lt.acquire(txn(2), t(1), LockMode::Shared, CcScheme::NoWait).unwrap();
         lt.release(txn(1), t(1)); // not an owner
         assert!(lt.is_locked(t(1)));
+    }
+
+    #[test]
+    fn spurious_release_never_downgrades_another_owners_exclusive_lock() {
+        // The shape a duplicate footprint entry produces: the tuple was
+        // early-released, another transaction re-acquired it exclusively,
+        // and the stale duplicate entry is released at commit.
+        let lt = LockTable::new();
+        lt.acquire(txn(2), t(1), LockMode::Exclusive, CcScheme::NoWait).unwrap();
+        lt.release_batch(txn(1), &[(t(1).mix(), t(1))]); // txn(1) is not an owner
+                                                         // txn(2)'s lock must still be exclusive: a shared request conflicts.
+        assert!(lt.acquire(txn(3), t(1), LockMode::Shared, CcScheme::NoWait).is_err());
+        lt.release(txn(2), t(1));
+        assert!(!lt.is_locked(t(1)));
     }
 
     #[test]

@@ -1,28 +1,86 @@
 //! Per-node storage assembly: the tables of the node's partition, its lock
 //! table, secondary indexes and write-ahead log.
+//!
+//! Table ids are small and dense in every workload, so the table directory
+//! is a plain vector indexed by `TableId` — the admission path resolves a
+//! tuple's table with one bounds-checked load instead of a map probe.
 
 use crate::index::SecondaryIndex;
 use crate::locks::LockTable;
-use crate::table::Table;
+use crate::table::{RowHandle, Table};
 use crate::wal::Wal;
-use p4db_common::{Error, NodeId, Result, TableId};
+use p4db_common::{CcScheme, Error, NodeId, Result, TableId, TupleId, TxnId};
 use std::collections::HashMap;
+
+use crate::locks::LockMode;
 
 /// All storage owned by one database node.
 #[derive(Debug)]
 pub struct NodeStorage {
     node: NodeId,
-    tables: HashMap<TableId, Table>,
+    /// Dense table directory indexed by `TableId`; `None` = undeclared.
+    tables: Vec<Option<Table>>,
+    /// Seed flavor only: the pre-sharding engine resolved tables through a
+    /// SipHash map, so the baseline arm pays that probe per access too.
+    seed_directory: Option<HashMap<TableId, u16>>,
     secondary: HashMap<TableId, SecondaryIndex>,
+    /// Shard count for secondary indexes created on this node (matches the
+    /// tables: the configured count, or 1 in the seed flavor).
+    index_shards: usize,
     locks: LockTable,
     wal: Wal,
 }
 
 impl NodeStorage {
-    /// Creates storage for `node` with the given (empty) tables.
+    /// Creates storage for `node` with the given (empty) tables, using the
+    /// default shard count per table.
     pub fn new(node: NodeId, table_ids: impl IntoIterator<Item = TableId>) -> Self {
-        let tables = table_ids.into_iter().map(|id| (id, Table::new(id))).collect();
-        NodeStorage { node, tables, secondary: HashMap::new(), locks: LockTable::new(), wal: Wal::new() }
+        Self::with_shards(node, table_ids, crate::table::DEFAULT_TABLE_SHARDS)
+    }
+
+    /// Creates storage with an explicit per-table shard count
+    /// (non-powers-of-two round up).
+    pub fn with_shards(node: NodeId, table_ids: impl IntoIterator<Item = TableId>, shards: usize) -> Self {
+        let mut tables: Vec<Option<Table>> = Vec::new();
+        for id in table_ids {
+            if tables.len() <= id.index() {
+                tables.resize_with(id.index() + 1, || None);
+            }
+            tables[id.index()] = Some(Table::with_shards(id, shards));
+        }
+        NodeStorage {
+            node,
+            tables,
+            seed_directory: None,
+            secondary: HashMap::new(),
+            index_shards: shards,
+            locks: LockTable::new(),
+            wal: Wal::new(),
+        }
+    }
+
+    /// Rebuilds the *seed's* storage exactly: one latch + one SipHash map
+    /// per table, a SipHash table directory, and the seed-flavor lock table.
+    /// The single-latch baseline arm of the node-scaling benchmark.
+    pub fn seed_single_latch(node: NodeId, table_ids: impl IntoIterator<Item = TableId>) -> Self {
+        let mut tables: Vec<Option<Table>> = Vec::new();
+        let mut directory = HashMap::new();
+        for id in table_ids {
+            if tables.len() <= id.index() {
+                tables.resize_with(id.index() + 1, || None);
+            }
+            tables[id.index()] = Some(Table::seed_single_latch(id));
+            directory.insert(id, id.0);
+        }
+        NodeStorage {
+            node,
+            tables,
+            seed_directory: Some(directory),
+            secondary: HashMap::new(),
+            index_shards: 1,
+            locks: LockTable::seed_flavor(),
+            wal: Wal::new(),
+        }
     }
 
     pub fn node(&self) -> NodeId {
@@ -30,22 +88,31 @@ impl NodeStorage {
     }
 
     /// The node's partition of `table`.
+    #[inline]
     pub fn table(&self, table: TableId) -> Result<&Table> {
-        self.tables
-            .get(&table)
-            .ok_or_else(|| Error::InvalidConfig(format!("table {table:?} not declared on {}", self.node)))
+        if let Some(directory) = &self.seed_directory {
+            // Seed shape: one map probe per resolution, like the pre-sharding
+            // engine's `HashMap<TableId, Table>` directory.
+            if directory.get(&table).is_none() {
+                return Err(Error::InvalidConfig(format!("table {table:?} not declared on {}", self.node)));
+            }
+        }
+        match self.tables.get(table.index()) {
+            Some(Some(t)) => Ok(t),
+            _ => Err(Error::InvalidConfig(format!("table {table:?} not declared on {}", self.node))),
+        }
     }
 
     /// All declared table ids.
     pub fn table_ids(&self) -> Vec<TableId> {
-        let mut ids: Vec<_> = self.tables.keys().copied().collect();
-        ids.sort();
-        ids
+        self.tables.iter().flatten().map(Table::id).collect()
     }
 
-    /// Registers (or returns) a secondary index for `table`.
+    /// Registers (or returns) a secondary index for `table`, sharded like
+    /// the node's tables.
     pub fn secondary_index_mut(&mut self, table: TableId) -> &mut SecondaryIndex {
-        self.secondary.entry(table).or_default()
+        let shards = self.index_shards;
+        self.secondary.entry(table).or_insert_with(|| SecondaryIndex::with_shards(shards))
     }
 
     /// Looks up a secondary index.
@@ -54,6 +121,7 @@ impl NodeStorage {
     }
 
     /// The node's 2PL lock table.
+    #[inline]
     pub fn locks(&self) -> &LockTable {
         &self.locks
     }
@@ -63,9 +131,31 @@ impl NodeStorage {
         &self.wal
     }
 
+    /// Admission-time footprint resolution: acquires the 2PL lock on `tuple`
+    /// and resolves its [`RowHandle`] in one step, hashing the tuple exactly
+    /// once — the mix feeds both the lock-table shard and the row-store
+    /// shard. Returns `Ok(None)` when the lock was granted but no row exists
+    /// under the key (an inserting operation, or a caller-level
+    /// tuple-not-found); lock conflicts and WAIT_DIE deaths surface as the
+    /// usual abort errors *without* a granted lock.
+    #[inline]
+    pub fn admit(&self, txn: TxnId, tuple: TupleId, mode: LockMode, scheme: CcScheme) -> Result<Option<RowHandle>> {
+        let hash = tuple.mix();
+        self.locks.acquire_prehashed(hash, txn, tuple, mode, scheme)?;
+        match self.table(tuple.table) {
+            Ok(table) => Ok(table.get_prehashed(hash, tuple.key)),
+            Err(e) => {
+                // An undeclared table must not leak the just-granted lock
+                // (the error contract promises no lock on any `Err`).
+                self.locks.release(txn, tuple);
+                Err(e)
+            }
+        }
+    }
+
     /// Total number of rows stored on this node (all tables).
     pub fn total_rows(&self) -> usize {
-        self.tables.values().map(Table::len).sum()
+        self.tables.iter().flatten().map(Table::len).sum()
     }
 }
 
@@ -84,6 +174,15 @@ mod tests {
     }
 
     #[test]
+    fn sparse_table_ids_resolve_correctly() {
+        let storage = NodeStorage::new(NodeId(0), [TableId(5), TableId(2)]);
+        assert_eq!(storage.table_ids(), vec![TableId(2), TableId(5)]);
+        assert!(storage.table(TableId(2)).is_ok());
+        assert!(storage.table(TableId(3)).is_err());
+        assert!(storage.table(TableId(6)).is_err());
+    }
+
+    #[test]
     fn rows_and_secondary_indexes_work_together() {
         let mut storage = NodeStorage::new(NodeId(0), [TableId(0)]);
         storage.table(TableId(0)).unwrap().insert(11, Value::scalar(100));
@@ -91,6 +190,43 @@ mod tests {
         let primary = storage.secondary_index(TableId(0)).unwrap().lookup_unique(555).unwrap();
         assert_eq!(storage.table(TableId(0)).unwrap().read(primary).unwrap().switch_word(), 100);
         assert_eq!(storage.total_rows(), 1);
+    }
+
+    #[test]
+    fn admit_locks_and_resolves_in_one_step() {
+        use p4db_common::WorkerId;
+        let storage = NodeStorage::new(NodeId(0), [TableId(0)]);
+        storage.table(TableId(0)).unwrap().insert(7, Value::scalar(70));
+        let txn = TxnId::compose(1, NodeId(0), WorkerId(0));
+        let tuple = TupleId::new(TableId(0), 7);
+
+        let handle = storage.admit(txn, tuple, LockMode::Exclusive, CcScheme::NoWait).unwrap();
+        assert_eq!(handle.expect("row exists").read().switch_word(), 70);
+        assert!(storage.locks().is_locked(tuple));
+
+        // Missing row: lock granted, no handle (the Insert admission shape).
+        let missing = TupleId::new(TableId(0), 999);
+        let none = storage.admit(txn, missing, LockMode::Exclusive, CcScheme::NoWait).unwrap();
+        assert!(none.is_none());
+        assert!(storage.locks().is_locked(missing));
+
+        // A conflicting admission aborts without resolving.
+        let other = TxnId::compose(2, NodeId(0), WorkerId(1));
+        assert!(storage.admit(other, tuple, LockMode::Exclusive, CcScheme::NoWait).is_err());
+        storage.locks().release_all(txn, &[tuple, missing]);
+
+        // An undeclared table errors *and* leaves no lock behind.
+        let foreign = TupleId::new(TableId(9), 1);
+        assert!(storage.admit(txn, foreign, LockMode::Exclusive, CcScheme::NoWait).is_err());
+        assert!(!storage.locks().is_locked(foreign), "admit leaked a lock on an undeclared table");
+    }
+
+    #[test]
+    fn secondary_indexes_inherit_the_node_shard_layout() {
+        let mut sharded = NodeStorage::with_shards(NodeId(0), [TableId(0)], 16);
+        assert_eq!(sharded.secondary_index_mut(TableId(0)).shard_count(), 16);
+        let mut seed = NodeStorage::seed_single_latch(NodeId(0), [TableId(0)]);
+        assert_eq!(seed.secondary_index_mut(TableId(0)).shard_count(), 1);
     }
 
     #[test]

@@ -2,21 +2,49 @@
 //!
 //! The host DBMS in the paper is a shared-nothing main-memory store; each
 //! node owns one horizontal partition per table. A [`Table`] here is one such
-//! partition: a hash map from the 64-bit primary key to a row protected by a
-//! lightweight reader-writer latch. Latches protect *physical* consistency of
-//! a row only; *logical* (transactional) consistency is enforced by the 2PL
-//! lock table in [`crate::locks`].
+//! partition — and, since PR 5, a *hash-sharded* one: the single map latch
+//! the seed engine funnelled every tuple access through is replaced by a
+//! fixed power-of-two array of shards (the same pattern the 2PL `LockTable`
+//! has always used), each an independent latch + fast word-mixer map, so
+//! unrelated accesses never touch the same cache line, let alone the same
+//! lock. The seed layout survives as an explicit flavor
+//! ([`Table::seed_single_latch`]): one latch, one std SipHash map — the
+//! baseline arm of the node-scaling benchmark pays exactly the seed's
+//! per-access cost.
+//!
+//! Lookups hand out [`RowHandle`]s (`Arc<Row>`): a handle stays valid for the
+//! life of the row — across concurrent inserts, shard-map growth and even
+//! removal of the row itself (the `Arc` keeps the storage alive; the row just
+//! stops being reachable through the table). The transaction engine resolves
+//! a transaction's whole footprint into handles once at admission and never
+//! touches the maps again for that transaction.
+//!
+//! Latches protect *physical* consistency only; *logical* (transactional)
+//! consistency is enforced by the 2PL lock table in [`crate::locks`].
 
+use p4db_common::hash::FastBuildHasher;
 use p4db_common::sync::unpoison;
 use p4db_common::{Error, Result, TableId, TupleId, Value};
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::hash::{BuildHasher, RandomState};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock, RwLockWriteGuard};
+
+/// Default shard count of a table partition. Matches the 2PL lock table:
+/// large enough that a handful of workers rarely collide, small enough that
+/// per-shard iteration stays cheap.
+pub const DEFAULT_TABLE_SHARDS: usize = 64;
 
 /// A single row: the value behind a latch.
 #[derive(Debug)]
 pub struct Row {
     value: RwLock<Value>,
 }
+
+/// A stable reference to one row. Cloning is one atomic increment; the
+/// handle keeps the row alive (and readable/writable) for as long as it is
+/// held, independent of what happens to the table maps.
+pub type RowHandle = Arc<Row>;
 
 impl Row {
     fn new(value: Value) -> Self {
@@ -48,25 +76,82 @@ impl Row {
     }
 }
 
-/// One partition of one table.
+type Shard<S> = RwLock<HashMap<u64, RowHandle, S>>;
+/// A held shard write-latch during a grouped bulk load, tagged with its
+/// shard index so consecutive same-shard keys reuse it.
+type HeldShard<'a, S> = Option<(usize, RwLockWriteGuard<'a, HashMap<u64, RowHandle, S>>)>;
+
+/// The two map flavors behind one `Table` API: the sharded fast word-mixer
+/// store, or the seed's latch + SipHash map layout.
+#[derive(Debug)]
+enum ShardSet {
+    Fast(Box<[Shard<FastBuildHasher>]>),
+    Seed(Box<[Shard<RandomState>]>),
+}
+
+/// One partition of one table: a fixed array of latch-protected map shards.
 #[derive(Debug)]
 pub struct Table {
     id: TableId,
-    rows: RwLock<HashMap<u64, Arc<Row>>>,
+    shards: ShardSet,
+    /// Power-of-two shard mask; shard of key `k` is `mix(k) & mask`.
+    mask: u64,
+    /// Live row count, maintained on insert/remove so `len()` never has to
+    /// sweep the shards.
+    rows: AtomicUsize,
+}
+
+fn build_shards<S: BuildHasher + Default>(count: usize) -> Box<[Shard<S>]> {
+    (0..count).map(|_| RwLock::new(HashMap::with_hasher(S::default()))).collect()
 }
 
 impl Table {
+    /// A partition with the default shard count.
     pub fn new(id: TableId) -> Self {
-        Table { id, rows: RwLock::new(HashMap::new()) }
+        Self::with_shards(id, DEFAULT_TABLE_SHARDS)
+    }
+
+    /// A partition with an explicit shard count. `shards` is rounded up to
+    /// the next power of two (minimum 1).
+    pub fn with_shards(id: TableId, shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        Table { id, shards: ShardSet::Fast(build_shards(shards)), mask: shards as u64 - 1, rows: AtomicUsize::new(0) }
+    }
+
+    /// The seed's layout, preserved as the node-scaling baseline: a single
+    /// latch in front of a single std SipHash map — the structure every
+    /// tuple access paid before the sharded store existed. (The shared code
+    /// path still computes the shard mix before masking it away, a few ns
+    /// per access the true seed did not pay; negligible against the SipHash
+    /// probes, and it biases the gated comparison *against* the seed arm by
+    /// well under the gate's tolerance.)
+    pub fn seed_single_latch(id: TableId) -> Self {
+        Table { id, shards: ShardSet::Seed(build_shards(1)), mask: 0, rows: AtomicUsize::new(0) }
     }
 
     pub fn id(&self) -> TableId {
         self.id
     }
 
+    /// Number of shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        match &self.shards {
+            ShardSet::Fast(s) => s.len(),
+            ShardSet::Seed(s) => s.len(),
+        }
+    }
+
+    /// The hash a key shards under: [`TupleId::mix`] of `(self.id, key)`,
+    /// the exact value the admission path precomputes — `get` and
+    /// `get_prehashed` always probe the same shard.
+    #[inline]
+    fn key_hash(&self, key: u64) -> u64 {
+        TupleId::new(self.id, key).mix()
+    }
+
     /// Number of rows in this partition.
     pub fn len(&self) -> usize {
-        unpoison(self.rows.read()).len()
+        self.rows.load(Ordering::Relaxed)
     }
 
     pub fn is_empty(&self) -> bool {
@@ -74,27 +159,77 @@ impl Table {
     }
 
     /// Inserts (or replaces) a row. Used by the loaders and by inserting
-    /// transactions (TPC-C NewOrder).
-    pub fn insert(&self, key: u64, value: Value) {
-        unpoison(self.rows.write()).insert(key, Arc::new(Row::new(value)));
+    /// transactions (TPC-C NewOrder). Returns the handle of the fresh row so
+    /// the caller can keep operating on it without a second lookup.
+    pub fn insert(&self, key: u64, value: Value) -> RowHandle {
+        // The count moves while the shard latch is still held: updating it
+        // after the guard drops would let a concurrent remove of the same
+        // key decrement first and underflow the counter.
+        fn insert_in<S: BuildHasher>(table: &Table, shard: &Shard<S>, key: u64, handle: &RowHandle) {
+            let mut guard = unpoison(shard.write());
+            if guard.insert(key, Arc::clone(handle)).is_none() {
+                table.rows.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let handle = Arc::new(Row::new(value));
+        let index = (self.key_hash(key) & self.mask) as usize;
+        match &self.shards {
+            ShardSet::Fast(s) => insert_in(self, &s[index], key, &handle),
+            ShardSet::Seed(s) => insert_in(self, &s[index], key, &handle),
+        }
+        handle
     }
 
-    /// Bulk-load helper: inserts many rows while holding the map latch once.
+    /// Bulk-load helper: takes each shard latch once per consecutive run of
+    /// same-shard keys rather than once per row. At most one shard is ever
+    /// latched at a time (holding one latch while acquiring another could
+    /// deadlock against a concurrent multi-shard operation).
     pub fn bulk_load(&self, rows: impl IntoIterator<Item = (u64, Value)>) {
-        let mut map = unpoison(self.rows.write());
-        for (key, value) in rows {
-            map.insert(key, Arc::new(Row::new(value)));
+        fn load<S: BuildHasher>(table: &Table, shards: &[Shard<S>], rows: impl IntoIterator<Item = (u64, Value)>) {
+            let mut held: HeldShard<'_, S> = None;
+            for (key, value) in rows {
+                let index = (table.key_hash(key) & table.mask) as usize;
+                let mut guard = match held.take() {
+                    Some((held_index, guard)) if held_index == index => guard,
+                    other => {
+                        // Release the previously held shard *before* locking
+                        // the next one.
+                        drop(other);
+                        unpoison(shards[index].write())
+                    }
+                };
+                if guard.insert(key, Arc::new(Row::new(value))).is_none() {
+                    // Under the latch, like `insert` — see the comment there.
+                    table.rows.fetch_add(1, Ordering::Relaxed);
+                }
+                held = Some((index, guard));
+            }
+        }
+        match &self.shards {
+            ShardSet::Fast(s) => load(self, s, rows),
+            ShardSet::Seed(s) => load(self, s, rows),
         }
     }
 
-    /// Looks up a row handle. The returned `Arc` keeps the row alive even if
+    /// Looks up a row handle. The returned handle keeps the row alive even if
     /// it is concurrently deleted, which keeps readers safe.
-    pub fn get(&self, key: u64) -> Option<Arc<Row>> {
-        unpoison(self.rows.read()).get(&key).cloned()
+    pub fn get(&self, key: u64) -> Option<RowHandle> {
+        self.get_prehashed(self.key_hash(key), key)
+    }
+
+    /// Looks up a row handle with a precomputed tuple hash (admission-time
+    /// resolution: the same hash already selected the lock-table shard).
+    #[inline]
+    pub fn get_prehashed(&self, hash: u64, key: u64) -> Option<RowHandle> {
+        let index = (hash & self.mask) as usize;
+        match &self.shards {
+            ShardSet::Fast(s) => unpoison(s[index].read()).get(&key).cloned(),
+            ShardSet::Seed(s) => unpoison(s[index].read()).get(&key).cloned(),
+        }
     }
 
     /// Looks up a row handle or returns a typed error.
-    pub fn get_or_err(&self, key: u64) -> Result<Arc<Row>> {
+    pub fn get_or_err(&self, key: u64) -> Result<RowHandle> {
         self.get(key).ok_or(Error::TupleNotFound(TupleId::new(self.id, key)))
     }
 
@@ -109,15 +244,43 @@ impl Table {
         Ok(())
     }
 
-    /// Removes a row; returns whether it existed.
+    /// Removes a row; returns whether it existed. Handles already resolved
+    /// to the row stay valid — the row is merely unreachable for new lookups.
     pub fn remove(&self, key: u64) -> bool {
-        unpoison(self.rows.write()).remove(&key).is_some()
+        fn remove_in<S: BuildHasher>(table: &Table, shard: &Shard<S>, key: u64) -> bool {
+            let mut guard = unpoison(shard.write());
+            let removed = guard.remove(&key).is_some();
+            if removed {
+                // Under the latch, like `insert` — see the comment there.
+                table.rows.fetch_sub(1, Ordering::Relaxed);
+            }
+            removed
+        }
+        let index = (self.key_hash(key) & self.mask) as usize;
+        match &self.shards {
+            ShardSet::Fast(s) => remove_in(self, &s[index], key),
+            ShardSet::Seed(s) => remove_in(self, &s[index], key),
+        }
     }
 
-    /// Iterates a snapshot of the current keys (used by loaders and tests;
-    /// not a consistent scan).
-    pub fn keys(&self) -> Vec<u64> {
-        unpoison(self.rows.read()).keys().copied().collect()
+    /// Visits every row, one shard at a time, without materializing a key
+    /// vector. Each shard's latch is held only while that shard is visited;
+    /// rows inserted or removed concurrently in other shards may or may not
+    /// be seen (same non-snapshot semantics the seed's `keys()` had, minus
+    /// the full-table allocation).
+    pub fn for_each(&self, mut f: impl FnMut(u64, &Row)) {
+        fn visit<S: BuildHasher>(shards: &[Shard<S>], f: &mut impl FnMut(u64, &Row)) {
+            for shard in shards {
+                let guard = unpoison(shard.read());
+                for (&key, row) in guard.iter() {
+                    f(key, row);
+                }
+            }
+        }
+        match &self.shards {
+            ShardSet::Fast(s) => visit(s, &mut f),
+            ShardSet::Seed(s) => visit(s, &mut f),
+        }
     }
 }
 
@@ -179,6 +342,78 @@ mod tests {
         assert!(t.remove(1));
         assert!(!t.remove(1));
         assert!(t.read(1).is_err());
+    }
+
+    #[test]
+    fn len_tracks_replacing_inserts_and_removes() {
+        let t = table();
+        t.insert(1, Value::scalar(1));
+        t.insert(1, Value::scalar(2)); // replacement, not growth
+        assert_eq!(t.len(), 1);
+        t.bulk_load([(1, Value::scalar(3)), (2, Value::scalar(4))]);
+        assert_eq!(t.len(), 2);
+        t.remove(1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn seed_single_latch_flavor_behaves_identically() {
+        let t = Table::seed_single_latch(TableId(1));
+        assert_eq!(t.shard_count(), 1);
+        t.bulk_load((0..50).map(|k| (k, Value::scalar(k))));
+        assert_eq!(t.len(), 50);
+        assert_eq!(t.read(30).unwrap().switch_word(), 30);
+        assert!(t.remove(30));
+        assert_eq!(t.len(), 49);
+        let mut visited = 0;
+        t.for_each(|_, _| visited += 1);
+        assert_eq!(visited, 49);
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_a_power_of_two() {
+        assert_eq!(Table::with_shards(TableId(0), 3).shard_count(), 4);
+        assert_eq!(Table::with_shards(TableId(0), 0).shard_count(), 1);
+        assert_eq!(Table::with_shards(TableId(0), 64).shard_count(), 64);
+    }
+
+    #[test]
+    fn for_each_visits_every_row_exactly_once() {
+        let t = table();
+        t.bulk_load((0..500).map(|k| (k, Value::scalar(k + 1))));
+        let mut seen = vec![false; 500];
+        let mut sum = 0u64;
+        t.for_each(|key, row| {
+            assert!(!seen[key as usize], "key {key} visited twice");
+            seen[key as usize] = true;
+            sum += row.read().switch_word();
+        });
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(sum, (1..=500).sum::<u64>());
+    }
+
+    #[test]
+    fn prehashed_get_agrees_with_plain_get() {
+        let t = table();
+        t.bulk_load((0..200).map(|k| (k, Value::scalar(k))));
+        for k in 0..200u64 {
+            let hash = TupleId::new(t.id(), k).mix();
+            let a = t.get_prehashed(hash, k).expect("present");
+            let b = t.get(k).expect("present");
+            assert!(Arc::ptr_eq(&a, &b), "handles for key {k} disagree");
+        }
+    }
+
+    #[test]
+    fn handles_stay_valid_across_removal() {
+        let t = table();
+        let handle = t.insert(9, Value::scalar(42));
+        assert!(t.remove(9));
+        // The row is unreachable through the table but the handle still
+        // reads and writes the same storage.
+        assert_eq!(handle.read().switch_word(), 42);
+        handle.write(Value::scalar(43));
+        assert_eq!(handle.read().switch_word(), 43);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use p4db_common::{
     AbortReason, CcScheme, Error, GlobalTxnId, NodeId, Result, SystemMode, TupleId, TxnId, Value, WorkerId,
 };
 use p4db_net::{BatchRecvOutcome, EndpointId, Fabric, LatencyModel, Mailbox, RecvOutcome};
-use p4db_storage::{LockMode, LogRecord, NodeStorage};
+use p4db_storage::{LockMode, LogRecord, NodeStorage, RowHandle};
 use p4db_switch::{SwitchConfig, SwitchMessage, TxnHeader, TxnReply};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -64,6 +64,13 @@ pub struct EngineConfig {
     /// group-committed again. `1` disables pipelining and reproduces the
     /// one-transaction-at-a-time behaviour exactly.
     pub batch_size: u16,
+    /// Runs the *seed's* node-local hot path instead of the sharded one:
+    /// locks acquired at access time, one table-map lookup per access, one
+    /// lock-table mutex acquisition per released tuple. Pair with
+    /// single-shard storage (`ClusterConfig::single_latch` sets both) to
+    /// reproduce the pre-sharding engine — the baseline arm of the
+    /// node-scaling benchmark and of the sharding differential suite.
+    pub single_latch: bool,
 }
 
 impl EngineConfig {
@@ -77,6 +84,7 @@ impl EngineConfig {
             switch_timeout: Duration::from_secs(30),
             in_doubt_on_timeout: false,
             batch_size: 1,
+            single_latch: false,
         }
     }
 }
@@ -112,17 +120,42 @@ enum SwitchSubTxn {
     InDoubt,
 }
 
-/// Undo information collected while a host (sub-)transaction executes.
+/// Undo and footprint state of one host (sub-)transaction. One instance
+/// lives inside each [`Worker`] as reusable scratch: `clear()` keeps every
+/// vector's capacity, so a steady-state host transaction allocates nothing
+/// per operation.
 #[derive(Default)]
 struct HostTxnState {
-    locks: Vec<(NodeId, TupleId)>,
-    /// Locks on contended tuples released early under the Chiller scheme.
-    early_released: Vec<(NodeId, TupleId)>,
-    undo: Vec<(NodeId, TupleId, Value)>,
+    /// Every held host lock: home node, tuple, and the admission-time
+    /// [`TupleId::mix`] hash (reused by the grouped per-shard release).
+    locks: Vec<(NodeId, TupleId, u64)>,
+    /// `(row handle, before image)` pairs, undone in reverse on abort — no
+    /// table lookups on the rollback path.
+    undo: Vec<(RowHandle, Value)>,
     inserted: Vec<(NodeId, TupleId)>,
     cold_writes: Vec<LogRecord>,
     /// LM-Switch: lock ids currently held on the switch lock manager.
     switch_locks: Vec<(u64, bool)>,
+    /// Admission-resolved row handles, aligned with `order`; `None` for
+    /// inserting operations (their rows do not exist yet).
+    resolved: Vec<Option<RowHandle>>,
+    /// Cold operation indices in execution order (Chiller may reorder).
+    order: Vec<usize>,
+    /// Per-node `(hash, tuple)` scratch of the grouped lock release.
+    release_scratch: Vec<(u64, TupleId)>,
+}
+
+impl HostTxnState {
+    fn clear(&mut self) {
+        self.locks.clear();
+        self.undo.clear();
+        self.inserted.clear();
+        self.cold_writes.clear();
+        self.switch_locks.clear();
+        self.resolved.clear();
+        self.order.clear();
+        self.release_scratch.clear();
+    }
 }
 
 /// A per-thread handle into the transaction engine.
@@ -134,6 +167,11 @@ pub struct Worker {
     mailbox: Mailbox<SwitchMessage>,
     seq: u32,
     token: u64,
+    /// Reusable host-transaction scratch (see [`HostTxnState`]).
+    scratch: HostTxnState,
+    /// Reusable classification buffers (hot / cold operation indices).
+    scratch_hot: Vec<usize>,
+    scratch_cold: Vec<usize>,
 }
 
 impl Worker {
@@ -141,7 +179,18 @@ impl Worker {
     pub fn new(shared: Arc<EngineShared>, node: NodeId, id: WorkerId) -> Self {
         let endpoint = EndpointId::Worker(node, id);
         let mailbox = shared.fabric.register(endpoint);
-        Worker { shared, node, id, endpoint, mailbox, seq: 0, token: 0 }
+        Worker {
+            shared,
+            node,
+            id,
+            endpoint,
+            mailbox,
+            seq: 0,
+            token: 0,
+            scratch: HostTxnState::default(),
+            scratch_hot: Vec::new(),
+            scratch_cold: Vec::new(),
+        }
     }
 
     pub fn node(&self) -> NodeId {
@@ -176,12 +225,27 @@ impl Worker {
             return Ok(TxnOutcome { class: TxnClass::Cold, results: Vec::new(), gid: None, in_doubt: false });
         }
         let index = self.shared.hot_index.load();
-        let (hot, cold) = self.classify(req, &index);
-        match (hot.is_empty(), cold.is_empty()) {
+        if self.shared.config.single_latch {
+            // Seed shape: classification buffers allocated per transaction.
+            let (hot, cold) = self.classify(req, &index);
+            return match (hot.is_empty(), cold.is_empty()) {
+                (false, true) => self.execute_hot(req, &hot, &index, stats),
+                (true, _) => self.execute_host(req, &[], &cold, &index, stats),
+                (false, false) => self.execute_host(req, &hot, &cold, &index, stats),
+            };
+        }
+        // Sharded path: classification reuses the worker's buffers.
+        let mut hot = std::mem::take(&mut self.scratch_hot);
+        let mut cold = std::mem::take(&mut self.scratch_cold);
+        self.classify_into(req, &index, &mut hot, &mut cold);
+        let result = match (hot.is_empty(), cold.is_empty()) {
             (false, true) => self.execute_hot(req, &hot, &index, stats),
             (true, _) => self.execute_host(req, &[], &cold, &index, stats),
             (false, false) => self.execute_host(req, &hot, &cold, &index, stats),
-        }
+        };
+        self.scratch_hot = hot;
+        self.scratch_cold = cold;
+        result
     }
 
     /// Executes a batch of transactions, pipelining the all-hot ones: their
@@ -200,12 +264,18 @@ impl Worker {
         }
         let index = self.shared.hot_index.load();
         let mut pipeline = Vec::new();
+        // Eligibility scan through the reusable classification buffers — no
+        // allocations per scanned request.
+        let mut hot = std::mem::take(&mut self.scratch_hot);
+        let mut cold = std::mem::take(&mut self.scratch_cold);
         for (i, req) in reqs.iter().enumerate() {
-            let (hot, cold) = self.classify(req, &index);
+            self.classify_into(req, &index, &mut hot, &mut cold);
             if !req.is_empty() && cold.is_empty() && !hot.is_empty() {
                 pipeline.push(i);
             }
         }
+        self.scratch_hot = hot;
+        self.scratch_cold = cold;
         let mut results: Vec<Option<Result<TxnOutcome>>> = reqs.iter().map(|_| None).collect();
         if pipeline.len() > 1 {
             match self.run_hot_pipeline(reqs, &pipeline, &index, stats) {
@@ -370,6 +440,16 @@ impl Worker {
     fn classify(&self, req: &TxnRequest, index: &HotSetIndex) -> (Vec<usize>, Vec<usize>) {
         let mut hot = Vec::new();
         let mut cold = Vec::new();
+        self.classify_into(req, index, &mut hot, &mut cold);
+        (hot, cold)
+    }
+
+    /// [`Worker::classify`] into caller-provided buffers — the single
+    /// classification rule shared by both engine arms (the sharded path
+    /// passes its reusable scratch, everything else fresh vectors).
+    fn classify_into(&self, req: &TxnRequest, index: &HotSetIndex, hot: &mut Vec<usize>, cold: &mut Vec<usize>) {
+        hot.clear();
+        cold.clear();
         for (i, op) in req.ops.iter().enumerate() {
             let is_hot =
                 self.shared.config.mode == SystemMode::P4db && op.kind.switch_executable() && index.is_hot(op.tuple);
@@ -379,7 +459,6 @@ impl Worker {
                 cold.push(i);
             }
         }
-        (hot, cold)
     }
 
     // --- Hot transactions -------------------------------------------------
@@ -503,6 +582,15 @@ impl Worker {
     /// Executes the host part of a transaction (all of it for cold
     /// transactions, the cold subset for warm ones), then — for warm
     /// transactions — triggers the switch sub-transaction before committing.
+    ///
+    /// Two implementations share this entry point. The default runs
+    /// shared-nothing end to end: the whole cold footprint is resolved to
+    /// [`RowHandle`]s at *admission* (piggybacked on 2PL acquisition, one
+    /// tuple hash each), execution then touches no maps at all, and the
+    /// commit releases locks in grouped per-shard batches. With
+    /// [`EngineConfig::single_latch`] the seed's per-op path runs instead —
+    /// lock-at-access, map lookup per access, per-tuple release — as the
+    /// baseline arm of the node-scaling benchmark.
     fn execute_host(
         &mut self,
         req: &TxnRequest,
@@ -512,76 +600,301 @@ impl Worker {
         stats: &mut WorkerStats,
     ) -> Result<TxnOutcome> {
         let txn_id = self.next_txn_id();
-        let mut state = HostTxnState::default();
         let mut results = vec![0u64; req.ops.len()];
+        let run = if self.shared.config.single_latch {
+            // Seed shape: fresh undo/lock vectors allocated per transaction.
+            let mut state = HostTxnState::default();
+            self.run_host_txn_single_latch(req, hot, cold, index, stats, txn_id, &mut state, &mut results)
+        } else {
+            // The scratch moves out of `self` for the duration of the
+            // transaction (so `&mut self` methods can run against it) and
+            // moves back afterwards, keeping its capacity across
+            // transactions: steady state allocates nothing per operation.
+            let mut state = std::mem::take(&mut self.scratch);
+            state.clear();
+            let run = self.run_host_txn(req, hot, cold, index, stats, txn_id, &mut state, &mut results);
+            self.scratch = state;
+            run
+        };
+        let (gid, in_doubt) = run?;
+        let class = if hot.is_empty() { TxnClass::Cold } else { TxnClass::Warm };
+        Ok(TxnOutcome { class, results, gid, in_doubt })
+    }
+
+    /// The shared-nothing host path: admission, zero-lookup execution, then
+    /// the common vote/switch/commit tail.
+    #[allow(clippy::too_many_arguments)]
+    fn run_host_txn(
+        &mut self,
+        req: &TxnRequest,
+        hot: &[usize],
+        cold: &[usize],
+        index: &HotSetIndex,
+        stats: &mut WorkerStats,
+        txn_id: TxnId,
+        state: &mut HostTxnState,
+        results: &mut [u64],
+    ) -> Result<(Option<GlobalTxnId>, bool)> {
         let mut watch = Stopwatch::start();
 
         // Chiller-style ordering: contended tuples last, so their locks are
         // held for the shortest time.
-        let mut order: Vec<usize> = cold.to_vec();
+        state.order.extend_from_slice(cold);
         if self.shared.config.chiller {
-            order.sort_by_key(|&i| index.is_hot(req.ops[i].tuple));
+            let ops = &req.ops;
+            state.order.sort_by_key(|&i| index.is_hot(ops[i].tuple));
         }
 
-        for &i in &order {
+        // --- Admission: lock + resolve the whole footprint, one hash per
+        // tuple. The `TupleId::mix` value selects the lock-table shard, the
+        // row-store shard, and is kept for the grouped release at commit.
+        // Chiller-contended tuples are the exception: their whole point is
+        // *late* acquisition + early release, so they skip admission and are
+        // locked at access time in the execution loop below.
+        for slot in 0..state.order.len() {
+            let i = state.order[slot];
             let op = &req.ops[i];
-            match self.execute_cold_op(txn_id, op, i, index, &mut results, &mut state, stats, &mut watch) {
+            let lm_lock = self.shared.config.mode == SystemMode::LmSwitch && index.is_hot(op.tuple);
+            if self.shared.config.chiller && index.is_hot(op.tuple) && !lm_lock {
+                state.resolved.push(None);
+                continue;
+            }
+            // Remote operations pay a full node-to-node round trip (the
+            // request carries the lock acquisition and the row-handle
+            // resolution, as in the paper's 2PL/2PC baseline).
+            if op.home != self.node {
+                self.shared.latency.impose_node_rtt();
+                stats.record_phase(Phase::RemoteAccess, watch.lap());
+            }
+            // Lock acquisition: at the owning node (normal path) or at the
+            // switch lock manager for hot-set tuples in LM-Switch mode.
+            let handle = if lm_lock {
+                match self.lm_acquire(op.tuple, op.kind.is_write()) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        let e = Error::lock_conflict(op.tuple);
+                        self.fail_host(txn_id, state, stats, &e);
+                        return Err(e);
+                    }
+                    Err(e) => {
+                        self.fail_host(txn_id, state, stats, &e);
+                        return Err(e);
+                    }
+                }
+                state.switch_locks.push((HotSetIndex::lock_id(op.tuple), op.kind.is_write()));
+                // The data still lives on the host; resolve without a host
+                // lock (the switch lock manager serialises access).
+                match self.shared.node(op.home).table(op.tuple.table) {
+                    Ok(table) => table.get(op.tuple.key),
+                    Err(e) => {
+                        self.fail_host(txn_id, state, stats, &e);
+                        return Err(e);
+                    }
+                }
+            } else {
+                match self.admit_op(txn_id, op, state) {
+                    Ok(handle) => handle,
+                    Err(e) => {
+                        self.fail_host(txn_id, state, stats, &e);
+                        return Err(e);
+                    }
+                }
+            };
+            state.resolved.push(handle);
+        }
+        // One phase lap covers the whole admission loop (per-op laps would
+        // cost a clock read per tuple for the same Fig 18a totals).
+        stats.record_phase(Phase::LockAcquisition, watch.lap());
+
+        // --- Execution: pre-resolved handles only — no map lookups, no
+        // per-op allocations. (Remote rows were paid for at admission; the
+        // data accesses themselves run on local handles, so the whole loop
+        // accounts as local access.)
+        for slot in 0..state.order.len() {
+            let i = state.order[slot];
+            let op = &req.ops[i];
+            let chiller_hot = self.shared.config.chiller
+                && index.is_hot(op.tuple)
+                && !(self.shared.config.mode == SystemMode::LmSwitch);
+            // Chiller: contended tuples were skipped at admission — acquire
+            // their locks now, at access time (late acquisition), and
+            // resolve the handle under the same hash. The laps around the
+            // acquisition keep its time (including any WAIT_DIE waiting) in
+            // the lock-acquisition phase, like the seed arm accounts it.
+            if chiller_hot && state.resolved[slot].is_none() {
+                stats.record_phase(Phase::LocalAccess, watch.lap());
+                if op.home != self.node {
+                    self.shared.latency.impose_node_rtt();
+                    stats.record_phase(Phase::RemoteAccess, watch.lap());
+                }
+                match self.admit_op(txn_id, op, state) {
+                    Ok(handle) => state.resolved[slot] = handle,
+                    Err(e) => {
+                        self.fail_host(txn_id, state, stats, &e);
+                        return Err(e);
+                    }
+                }
+                stats.record_phase(Phase::LockAcquisition, watch.lap());
+            }
+            match self.apply_resolved_op(txn_id, &req.ops, slot, results, state) {
+                Ok(value) => results[i] = value,
+                Err(e) => {
+                    self.fail_host(txn_id, state, stats, &e);
+                    return Err(e);
+                }
+            }
+            // Chiller: release the lock on a contended tuple as soon as its
+            // *last* operation is done (early lock release). Releasing at
+            // every occurrence would leave a later access of the same tuple
+            // running without its lock — unlike the seed, this path never
+            // re-acquires at access time for already-admitted tuples.
+            // LM-held tuples are not in `state.locks`, so the scan skips
+            // them naturally.
+            if self.shared.config.chiller
+                && index.is_hot(op.tuple)
+                && !state.order[slot + 1..].iter().any(|&later| req.ops[later].tuple == op.tuple)
+            {
+                if let Some(pos) = state.locks.iter().position(|&(n, t, _)| n == op.home && t == op.tuple) {
+                    let (home, tuple, _) = state.locks.remove(pos);
+                    self.shared.node(home).locks().release(txn_id, tuple);
+                }
+            }
+        }
+        stats.record_phase(Phase::LocalAccess, watch.lap());
+
+        self.commit_host_txn(req, hot, index, stats, txn_id, state, results, &mut watch)
+    }
+
+    /// Applies one cold operation against its admission-resolved handle,
+    /// staging undo and log records. Only inserts (whose rows do not exist
+    /// at admission) and reads of rows inserted *by this transaction* touch
+    /// the table maps.
+    ///
+    /// Insert is a *replace*: aborting a transaction whose insert displaced
+    /// an existing row removes the key outright (before-image `0`), exactly
+    /// like the seed engine — the workloads only ever insert fresh keys, and
+    /// the differential suite holds both engine arms to the same behaviour.
+    fn apply_resolved_op(
+        &self,
+        txn_id: TxnId,
+        ops: &[TxnOp],
+        slot: usize,
+        results: &[u64],
+        state: &mut HostTxnState,
+    ) -> Result<u64> {
+        let op = &ops[state.order[slot]];
+        let operand_override = op.operand_from.map(|src| results[src as usize]);
+        match op.kind {
+            OpKind::Insert(v) => {
+                let v = operand_override.unwrap_or(v);
+                let table = self.shared.node(op.home).table(op.tuple.table)?;
+                let handle = table.insert(op.tuple.key, Value::scalar(v));
+                // The insert may have *replaced* a live row with a fresh
+                // one: every later operation of this transaction on the
+                // same tuple was admission-resolved to the old row and must
+                // be re-pointed at the fresh handle (and the fresh row is
+                // made resolvable for rows that did not exist at admission).
+                state.resolved[slot] = Some(Arc::clone(&handle));
+                for later in slot + 1..state.order.len() {
+                    if ops[state.order[later]].tuple == op.tuple {
+                        state.resolved[later] = Some(Arc::clone(&handle));
+                    }
+                }
+                state.inserted.push((op.home, op.tuple));
+                state.cold_writes.push(LogRecord::ColdWrite {
+                    txn: txn_id,
+                    tuple: op.tuple,
+                    before: Value::scalar(0),
+                    after: Value::scalar(v),
+                });
+                Ok(v)
+            }
+            _ => {
+                if state.resolved[slot].is_none() {
+                    // Not found at admission: either an earlier operation of
+                    // this transaction inserted the row since, or it is a
+                    // genuine miss — resolve now, erroring like the seed did.
+                    let table = self.shared.node(op.home).table(op.tuple.table)?;
+                    state.resolved[slot] = Some(table.get_or_err(op.tuple.key)?);
+                }
+                let row = state.resolved[slot].as_ref().expect("resolved above");
+                if op.kind == OpKind::Read {
+                    return Ok(row.read().switch_word());
+                }
+                let before = row.read();
+                let current = before.switch_word();
+                let new = match op.kind {
+                    OpKind::Write(v) => operand_override.unwrap_or(v),
+                    OpKind::Add(d) => {
+                        let delta = operand_override.map(|v| v as i64).unwrap_or(d);
+                        (current as i64).wrapping_add(delta) as u64
+                    }
+                    OpKind::FetchAdd(d) => {
+                        let delta = operand_override.map(|v| v as i64).unwrap_or(d);
+                        (current as i64).wrapping_add(delta) as u64
+                    }
+                    OpKind::CondSub(a) => {
+                        let amount = operand_override.unwrap_or(a);
+                        if amount > i64::MAX as u64 || (current as i64) < amount as i64 {
+                            return Err(Error::Abort(AbortReason::ConstraintViolation));
+                        }
+                        ((current as i64) - amount as i64) as u64
+                    }
+                    OpKind::Read | OpKind::Insert(_) => unreachable!("handled above"),
+                };
+                let mut after = before;
+                after.set_switch_word(new);
+                row.write(after);
+                state.undo.push((Arc::clone(row), before));
+                state.cold_writes.push(LogRecord::ColdWrite { txn: txn_id, tuple: op.tuple, before, after });
+                Ok(if matches!(op.kind, OpKind::FetchAdd(_)) { current } else { new })
+            }
+        }
+    }
+
+    /// The seed's host path, preserved verbatim as the *single-latch
+    /// baseline* ([`EngineConfig::single_latch`], benchmarked by
+    /// `fig_node_scaling`): locks acquired at access time, one map lookup
+    /// per access, one lock-table mutex acquisition per released tuple.
+    #[allow(clippy::too_many_arguments)]
+    fn run_host_txn_single_latch(
+        &mut self,
+        req: &TxnRequest,
+        hot: &[usize],
+        cold: &[usize],
+        index: &HotSetIndex,
+        stats: &mut WorkerStats,
+        txn_id: TxnId,
+        state: &mut HostTxnState,
+        results: &mut [u64],
+    ) -> Result<(Option<GlobalTxnId>, bool)> {
+        let mut watch = Stopwatch::start();
+
+        state.order.extend_from_slice(cold);
+        if self.shared.config.chiller {
+            let ops = &req.ops;
+            state.order.sort_by_key(|&i| index.is_hot(ops[i].tuple));
+        }
+
+        for slot in 0..state.order.len() {
+            let i = state.order[slot];
+            let op = &req.ops[i];
+            match self.execute_cold_op_single_latch(txn_id, op, i, index, results, state, stats, &mut watch) {
                 Ok(()) => {}
                 Err(e) => {
-                    self.abort_host(txn_id, &mut state, stats);
-                    stats.record_abort(e.abort_reason().unwrap_or(AbortReason::ConstraintViolation));
+                    self.fail_host(txn_id, state, stats, &e);
                     return Err(e);
                 }
             }
         }
 
-        // The cold part can no longer abort. For distributed transactions run
-        // the 2PC voting phase now (participants hold their locks and have
-        // validated constraints, so they vote yes).
-        let participants = req.participant_nodes();
-        let distributed = participants.iter().any(|&n| n != self.node);
-        if distributed {
-            self.shared.latency.impose_node_rtt();
-            stats.record_phase(Phase::RemoteAccess, watch.lap());
-        }
-
-        // Warm transactions: trigger the switch sub-transaction between the
-        // voting phase and the commit (Fig 8 / Fig 10). The switch cannot
-        // abort, so the outcome is already decided — even a lost reply does
-        // not change it: the cold part is beyond its abort point and the
-        // logged intent makes the switch part durable, so the transaction
-        // commits in doubt rather than rolling back half of itself.
-        let mut gid = None;
-        let mut in_doubt = false;
-        if !hot.is_empty() {
-            match self.run_switch_subtxn(txn_id, req, hot, index, distributed, stats)? {
-                SwitchSubTxn::Completed { gid: g, values } => {
-                    for (idx, value) in values {
-                        results[idx] = value;
-                    }
-                    gid = Some(g);
-                }
-                SwitchSubTxn::InDoubt => in_doubt = true,
-            }
-        }
-
-        // Commit: persist cold writes + commit record as one group commit
-        // (the transaction's records were staged in `state.cold_writes`; one
-        // log write makes them durable together), then release locks.
-        let wal = self.coordinator_storage().wal();
-        let mut group: Vec<LogRecord> = state.cold_writes.drain(..).collect();
-        group.push(LogRecord::Commit { txn: txn_id });
-        wal.append_group(group);
-        self.release_all(txn_id, &state);
-        stats.record_phase(Phase::TxnEngine, watch.lap());
-
-        let class = if hot.is_empty() { TxnClass::Cold } else { TxnClass::Warm };
-        Ok(TxnOutcome { class, results, gid, in_doubt })
+        self.commit_host_txn(req, hot, index, stats, txn_id, state, results, &mut watch)
     }
 
-    /// Executes one cold operation under 2PL, recording undo information.
+    /// One cold operation of the single-latch baseline: lock, look up, access
+    /// — the per-op shape (and cost) of the pre-sharding engine.
     #[allow(clippy::too_many_arguments)]
-    fn execute_cold_op(
+    fn execute_cold_op_single_latch(
         &mut self,
         txn_id: TxnId,
         op: &TxnOp,
@@ -596,16 +909,11 @@ impl Worker {
         let storage = Arc::clone(self.shared.node(op.home));
         let lock_mode = if op.kind.is_write() { LockMode::Exclusive } else { LockMode::Shared };
 
-        // Remote operations pay a full node-to-node round trip (the request
-        // carries the lock acquisition and the data access, as in the paper's
-        // 2PL/2PC baseline).
         if remote {
             self.shared.latency.impose_node_rtt();
             stats.record_phase(Phase::RemoteAccess, watch.lap());
         }
 
-        // Lock acquisition: either at the owning node (normal path) or at the
-        // switch lock manager for hot-set tuples in LM-Switch mode.
         let lm_lock = self.shared.config.mode == SystemMode::LmSwitch && index.is_hot(op.tuple);
         if lm_lock {
             let granted = self.lm_acquire(op.tuple, op.kind.is_write())?;
@@ -616,11 +924,11 @@ impl Worker {
             stats.record_phase(Phase::LockAcquisition, watch.lap());
         } else {
             storage.locks().acquire(txn_id, op.tuple, lock_mode, self.shared.config.cc)?;
-            state.locks.push((op.home, op.tuple));
+            state.locks.push((op.home, op.tuple, op.tuple.mix()));
             stats.record_phase(Phase::LockAcquisition, watch.lap());
         }
 
-        // Data access on the owning node.
+        // Data access on the owning node, resolved through the maps per op.
         let table = storage.table(op.tuple.table)?;
         let operand_override = op.operand_from.map(|src| results[src as usize]);
         let value = match op.kind {
@@ -663,7 +971,7 @@ impl Worker {
                 let mut after = before;
                 after.set_switch_word(new);
                 row.write(after);
-                state.undo.push((op.home, op.tuple, before));
+                state.undo.push((Arc::clone(&row), before));
                 state.cold_writes.push(LogRecord::ColdWrite { txn: txn_id, tuple: op.tuple, before, after });
                 if matches!(op.kind, OpKind::FetchAdd(_)) {
                     current
@@ -675,16 +983,115 @@ impl Worker {
         results[op_index] = value;
         stats.record_phase(if remote { Phase::RemoteAccess } else { Phase::LocalAccess }, watch.lap());
 
-        // Chiller: release the lock on contended tuples as soon as the
-        // operation is done (early lock release).
         if self.shared.config.chiller && index.is_hot(op.tuple) && !lm_lock {
-            if let Some(pos) = state.locks.iter().position(|&(n, t)| n == op.home && t == op.tuple) {
-                let (home, tuple) = state.locks.remove(pos);
+            if let Some(pos) = state.locks.iter().position(|&(n, t, _)| n == op.home && t == op.tuple) {
+                let (home, tuple, _) = state.locks.remove(pos);
                 self.shared.node(home).locks().release(txn_id, tuple);
-                state.early_released.push((home, tuple));
             }
         }
         Ok(())
+    }
+
+    /// The common tail of both host paths: 2PC vote, the warm switch
+    /// sub-transaction, the group commit and the lock release.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_host_txn(
+        &mut self,
+        req: &TxnRequest,
+        hot: &[usize],
+        index: &HotSetIndex,
+        stats: &mut WorkerStats,
+        txn_id: TxnId,
+        state: &mut HostTxnState,
+        results: &mut [u64],
+        watch: &mut Stopwatch,
+    ) -> Result<(Option<GlobalTxnId>, bool)> {
+        // The cold part can no longer abort. For distributed transactions run
+        // the 2PC voting phase now (participants hold their locks and have
+        // validated constraints, so they vote yes).
+        let distributed = if self.shared.config.single_latch {
+            // Seed shape: materialise the deduplicated participant list.
+            req.participant_nodes().iter().any(|&n| n != self.node)
+        } else {
+            req.ops.iter().any(|op| op.home != self.node)
+        };
+        if distributed {
+            self.shared.latency.impose_node_rtt();
+            stats.record_phase(Phase::RemoteAccess, watch.lap());
+        }
+
+        // Warm transactions: trigger the switch sub-transaction between the
+        // voting phase and the commit (Fig 8 / Fig 10). The switch cannot
+        // abort, so the outcome is already decided — even a lost reply does
+        // not change it: the cold part is beyond its abort point and the
+        // logged intent makes the switch part durable, so the transaction
+        // commits in doubt rather than rolling back half of itself.
+        let mut gid = None;
+        let mut in_doubt = false;
+        if !hot.is_empty() {
+            match self.run_switch_subtxn(txn_id, req, hot, index, distributed, stats) {
+                Ok(SwitchSubTxn::Completed { gid: g, values }) => {
+                    for (idx, value) in values {
+                        results[idx] = value;
+                    }
+                    gid = Some(g);
+                }
+                Ok(SwitchSubTxn::InDoubt) => in_doubt = true,
+                Err(e) => {
+                    // A packet that failed to *build* never logged an intent
+                    // and never left the node, so — although the cold part is
+                    // past its conflict-abort point — rolling it back is
+                    // still sound, and the only way not to leak its locks on
+                    // a healthy cluster (a malformed ad-hoc warm
+                    // transaction). Any other error means the fabric or
+                    // switch is gone mid-shutdown; propagate as before.
+                    if matches!(e, Error::InvalidTxn(_)) {
+                        self.fail_host(txn_id, state, stats, &e);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+
+        // Commit: persist cold writes + commit record as one group commit
+        // (the transaction's records were staged in `state.cold_writes`; one
+        // log write makes them durable together), then release locks.
+        let wal = self.coordinator_storage().wal();
+        if self.shared.config.single_latch {
+            // Seed shape: the group travels through an intermediate vector.
+            let mut group: Vec<LogRecord> = state.cold_writes.drain(..).collect();
+            group.push(LogRecord::Commit { txn: txn_id });
+            wal.append_group(group);
+        } else {
+            // The staged records drain straight into the log under its one
+            // lock acquisition — no intermediate vector.
+            wal.append_group(state.cold_writes.drain(..).chain(std::iter::once(LogRecord::Commit { txn: txn_id })));
+        }
+        self.release_all(txn_id, state);
+        stats.record_phase(Phase::TxnEngine, watch.lap());
+        Ok((gid, in_doubt))
+    }
+
+    /// The one-hash admission step for a single cold operation: acquires the
+    /// 2PL lock and resolves the row handle with one [`TupleId::mix`]
+    /// (mirroring [`NodeStorage::admit`], but recording the granted lock —
+    /// with its hash, for the grouped release — into `state.locks` *before*
+    /// the table lookup, so every error path cleans up through
+    /// [`Worker::abort_host`]). Both the admission loop and the Chiller
+    /// late-acquisition path go through here.
+    fn admit_op(&self, txn_id: TxnId, op: &TxnOp, state: &mut HostTxnState) -> Result<Option<RowHandle>> {
+        let storage = self.shared.node(op.home);
+        let mode = if op.kind.is_write() { LockMode::Exclusive } else { LockMode::Shared };
+        let hash = op.tuple.mix();
+        storage.locks().acquire_prehashed(hash, txn_id, op.tuple, mode, self.shared.config.cc)?;
+        state.locks.push((op.home, op.tuple, hash));
+        Ok(storage.table(op.tuple.table)?.get_prehashed(hash, op.tuple.key))
+    }
+
+    /// Aborts the host transaction and records the abort in the statistics.
+    fn fail_host(&mut self, txn_id: TxnId, state: &mut HostTxnState, stats: &mut WorkerStats, e: &Error) {
+        self.abort_host(txn_id, state, stats);
+        stats.record_abort(e.abort_reason().unwrap_or(AbortReason::ConstraintViolation));
     }
 
     /// Acquires a lock on the switch lock manager (LM-Switch baseline).
@@ -723,13 +1130,12 @@ impl Worker {
         Ok(reply.granted)
     }
 
-    /// Rolls a host (sub-)transaction back: undoes writes, removes inserted
-    /// rows, releases all locks and logs the abort.
+    /// Rolls a host (sub-)transaction back: undoes writes through their
+    /// admission-resolved handles (no table lookups), removes inserted rows,
+    /// releases all locks and logs the abort.
     fn abort_host(&mut self, txn_id: TxnId, state: &mut HostTxnState, _stats: &mut WorkerStats) {
-        for (home, tuple, before) in state.undo.drain(..).rev() {
-            if let Ok(table) = self.shared.node(home).table(tuple.table) {
-                let _ = table.write(tuple.key, before);
-            }
+        for (row, before) in state.undo.drain(..).rev() {
+            row.write(before);
         }
         for (home, tuple) in state.inserted.drain(..).rev() {
             if let Ok(table) = self.shared.node(home).table(tuple.table) {
@@ -741,10 +1147,30 @@ impl Worker {
     }
 
     /// Releases every lock still held by the transaction (host lock tables
-    /// and, in LM-Switch mode, the switch lock manager).
-    fn release_all(&mut self, txn_id: TxnId, state: &HostTxnState) {
-        for &(home, tuple) in &state.locks {
-            self.shared.node(home).locks().release(txn_id, tuple);
+    /// and, in LM-Switch mode, the switch lock manager). On the sharded path
+    /// host locks go out in grouped per-shard batches — one lock-table mutex
+    /// acquisition per touched shard, reusing the admission-time hashes; the
+    /// single-latch baseline releases one tuple at a time like the seed.
+    fn release_all(&mut self, txn_id: TxnId, state: &mut HostTxnState) {
+        if self.shared.config.single_latch {
+            for &(home, tuple, _) in &state.locks {
+                self.shared.node(home).locks().release(txn_id, tuple);
+            }
+        } else {
+            // Batch per run of same-node locks (footprints are usually
+            // single-node, so this is one batch; an interleaved multi-node
+            // footprint just produces a few more, which is still correct).
+            let mut at = 0;
+            while at < state.locks.len() {
+                let home = state.locks[at].0;
+                state.release_scratch.clear();
+                while at < state.locks.len() && state.locks[at].0 == home {
+                    let (_, tuple, hash) = state.locks[at];
+                    state.release_scratch.push((hash, tuple));
+                    at += 1;
+                }
+                self.shared.node(home).locks().release_batch(txn_id, &state.release_scratch);
+            }
         }
         for &(lock_id, exclusive) in &state.switch_locks {
             // Releases are asynchronous (no grant to wait for); the switch
@@ -1014,6 +1440,21 @@ mod tests {
     }
 
     #[test]
+    fn insert_over_existing_key_rebinds_later_ops_to_the_fresh_row() {
+        let rig = rig(SystemMode::NoSwitch, CcScheme::NoWait);
+        let mut w = worker(&rig, 0, 0);
+        let mut stats = WorkerStats::new();
+        // Key 100 exists (value 100); the Insert *replaces* its row. The Add
+        // was admission-resolved against the old row and must be re-pointed
+        // at the fresh one, or it would update a detached row.
+        let req = TxnRequest::new(vec![op(100, OpKind::Insert(7)), op(100, OpKind::Add(1))]);
+        let out = w.execute(&req, &mut stats).unwrap();
+        assert_eq!(out.results, vec![7, 8]);
+        assert_eq!(rig.shared.node(home(100)).table(TBL).unwrap().read(100).unwrap().switch_word(), 8);
+        assert_eq!(rig.shared.node(NodeId(0)).locks().locked_count(), 0);
+    }
+
+    #[test]
     fn insert_goes_to_the_host_even_in_p4db_mode() {
         let rig = rig(SystemMode::P4db, CcScheme::NoWait);
         let mut w = worker(&rig, 0, 0);
@@ -1105,5 +1546,16 @@ mod tests {
         assert_eq!(out.class, TxnClass::Cold);
         assert_eq!(shared.node(home(1)).table(TBL).unwrap().read(1).unwrap().switch_word(), 105);
         assert_eq!(shared.node(NodeId(0)).locks().locked_count(), 0);
+
+        // A contended tuple touched twice: the early release must wait for
+        // the *last* access (releasing after the first would let the second
+        // run unlocked), and the repeated access sees the first one's write.
+        let req = TxnRequest::new(vec![op(3, OpKind::Add(5)), op(100, OpKind::Read), op(3, OpKind::Add(7))]);
+        let out = w.execute(&req, &mut stats).unwrap();
+        assert_eq!(out.results[0], 105);
+        assert_eq!(out.results[2], 112);
+        assert_eq!(shared.node(home(3)).table(TBL).unwrap().read(3).unwrap().switch_word(), 112);
+        assert_eq!(shared.node(NodeId(0)).locks().locked_count(), 0);
+        assert_eq!(shared.node(NodeId(1)).locks().locked_count(), 0);
     }
 }

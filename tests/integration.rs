@@ -94,10 +94,10 @@ fn tpcc_money_is_conserved_between_customers_and_ytd_counters() {
     let mut customer_delta: i128 = 0;
     for node in cluster.shared().nodes.iter() {
         let table = node.table(CUSTOMER).unwrap();
-        for key in table.keys() {
-            let balance = table.read(key).unwrap().switch_word() as i64 as i128;
+        table.for_each(|_, row| {
+            let balance = row.read().switch_word() as i64 as i128;
             customer_delta += 1_000 - balance; // initial balance is 1 000
-        }
+        });
     }
     // Each warehouse's initial YTD is 0 and every Payment moves the same
     // amount into YTD (warehouse) as it removes from a customer.

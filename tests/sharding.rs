@@ -1,0 +1,228 @@
+//! Differential sharding suite: the shared-nothing node hot path (sharded
+//! row store, admission-time row-handle resolution, grouped lock release)
+//! must be *invariant-equivalent* to the pre-sharding engine — same
+//! serializability, exactly-once and conservation verdicts from
+//! `p4db_chaos::invariants::check` for the same seeded workload, with and
+//! without message faults.
+//!
+//! `single_latch = true` rebuilds the seed engine exactly (one latch + one
+//! SipHash map per table, per-op lock/lookup/release), so every
+//! `single_latch` arm below is the known-good pre-sharding behaviour; the
+//! sharded arm runs the same seed on the new engine.
+
+use p4db::chaos::{run_chaos, ChaosOptions, ChaosReport, ChaosWorkload};
+use p4db::storage::{NodeStorage, RowHandle, Table};
+use p4db::workloads::{SmallBank, SmallBankConfig, Workload, Ycsb, YcsbConfig, YcsbMix};
+use p4db::{Cluster, NodeId, TableId};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Seeds per workload for the differential sweep (12 seeds, matching the
+/// chaos suite's faulty sweep).
+const SEEDS: std::ops::Range<u64> = 1..13;
+
+/// Runs one seeded scenario on one engine arm: one traffic wave, full
+/// invariant checking; `faults` selects the faults-on or faults-off arm.
+fn run(workload: ChaosWorkload, seed: u64, single_latch: bool, faults: bool) -> ChaosReport {
+    let mut options = ChaosOptions::new(workload, seed);
+    options.single_latch = single_latch;
+    options.waves = 1;
+    options.txns_per_wave = 60;
+    if !faults {
+        options.faults = None;
+    }
+    run_chaos(&options).expect("chaos run failed to execute")
+}
+
+/// The differential assertion: both engine arms of a seed must reach the
+/// *same* invariant verdict — and since `single_latch` is the known-good
+/// pre-sharding engine, that verdict must be clean.
+fn assert_equivalent(workload: ChaosWorkload, seed: u64, faults: bool, seed_arm: &ChaosReport, sharded: &ChaosReport) {
+    assert_eq!(
+        seed_arm.invariants.is_clean(),
+        sharded.invariants.is_clean(),
+        "{workload:?} seed {seed} faults={faults}: verdicts diverge between single-latch and sharded\nsingle-latch: \
+         {:?}\nsharded: {}",
+        seed_arm.invariants.violations,
+        sharded.failure_summary(),
+    );
+    assert!(seed_arm.invariants.is_clean(), "{workload:?} seed {seed} single-latch: {}", seed_arm.failure_summary());
+    assert!(sharded.invariants.is_clean(), "{workload:?} seed {seed} sharded: {}", sharded.failure_summary());
+    assert!(seed_arm.committed > 0 && sharded.committed > 0, "{workload:?} seed {seed}: empty run");
+    if !faults {
+        // Same closed-loop drivers, same seed, no faults: both arms attempt
+        // the same transactions — sharding must not lose or invent work.
+        assert_eq!(
+            seed_arm.committed + seed_arm.aborted,
+            sharded.committed + sharded.aborted,
+            "{workload:?} seed {seed}: attempted-transaction counts diverge"
+        );
+    }
+}
+
+/// Fault-free differential sweep over every seed; faulty runs for a third of
+/// them (drops/delays/reorders make timing nondeterministic, so the faulty
+/// arms assert verdict equality, not transaction-count equality).
+fn differential_sweep(workload: ChaosWorkload) {
+    for seed in SEEDS {
+        let faults = seed % 3 == 0;
+        let seed_arm = run(workload, seed, true, faults);
+        let sharded = run(workload, seed, false, faults);
+        assert_equivalent(workload, seed, faults, &seed_arm, &sharded);
+    }
+}
+
+#[test]
+fn differential_sweep_ycsb() {
+    differential_sweep(ChaosWorkload::Ycsb);
+}
+
+#[test]
+fn differential_sweep_smallbank() {
+    differential_sweep(ChaosWorkload::SmallBank);
+}
+
+#[test]
+fn differential_sweep_tpcc() {
+    differential_sweep(ChaosWorkload::Tpcc);
+}
+
+/// The repro line of a single-latch scenario round-trips the knob, so a
+/// failing differential seed is reproducible with one command.
+#[test]
+fn single_latch_repro_env_names_the_knob() {
+    let mut options = ChaosOptions::new(ChaosWorkload::SmallBank, 3);
+    options.single_latch = true;
+    assert!(options.repro_env().contains("CHAOS_SINGLE_LATCH=1"), "{}", options.repro_env());
+}
+
+/// A full cluster built single-latch serves the same session traffic as a
+/// sharded one (smoke over the cluster-level knob rather than the chaos
+/// harness).
+#[test]
+fn single_latch_cluster_commits_like_a_sharded_one() {
+    let workload: Arc<dyn Workload> =
+        Arc::new(Ycsb::new(YcsbConfig { keys_per_node: 2_000, ..YcsbConfig::new(YcsbMix::A) }));
+    for single_latch in [true, false] {
+        let cluster = Cluster::builder(Arc::clone(&workload)).test_profile().single_latch(single_latch).build();
+        let stats = cluster.run_for(Duration::from_millis(150));
+        assert!(
+            stats.merged.committed_total() > 50,
+            "single_latch={single_latch} committed only {}",
+            stats.merged.committed_total()
+        );
+    }
+}
+
+/// Property test (FastRng case harness): row handles resolved before an
+/// insert-heavy churn keep reading and writing *their* row — map growth,
+/// rehashing, unrelated removals and even removal of the handled row itself
+/// never invalidate a handle.
+#[test]
+fn property_row_handles_survive_insert_heavy_churn() {
+    use p4db::common::rand_util::FastRng;
+    for case in 0u64..24 {
+        let mut rng = FastRng::new(0x5EED_CA5E ^ case);
+        let shards = [1usize, 2, 64][(case % 3) as usize];
+        let table = Table::with_shards(TableId(0), shards);
+        // A modest initial population, then pin handles to some of it.
+        let initial = 64 + rng.gen_range(192);
+        table.bulk_load((0..initial).map(|k| (k, p4db::common::Value::scalar(k))));
+        let pinned: Vec<(u64, RowHandle)> =
+            (0..32).map(|_| rng.gen_range(initial)).map(|k| (k, table.get(k).expect("loaded"))).collect();
+
+        // Churn: thousands of fresh inserts (forcing shard-map growth and
+        // rehashes), interleaved with removals — sometimes of pinned keys.
+        let mut removed = std::collections::HashSet::new();
+        for i in 0..4_000u64 {
+            table.insert(initial + i, p4db::common::Value::scalar(i));
+            if i % 97 == 0 {
+                let victim = rng.gen_range(initial);
+                if table.remove(victim) {
+                    removed.insert(victim);
+                }
+            }
+        }
+
+        // Every pinned handle still reads its original row's value and
+        // remains writable, reachable through the table or not.
+        for (key, handle) in &pinned {
+            let expected = if removed.contains(key) {
+                // Unreachable via the table, but the handle is unaffected.
+                assert!(table.get(*key).is_none(), "case {case}: removed key {key} still resolvable");
+                *key
+            } else {
+                let live = table.get(*key).expect("still present");
+                assert!(Arc::ptr_eq(&live, handle), "case {case}: handle for key {key} was displaced");
+                *key
+            };
+            assert_eq!(handle.read().switch_word(), expected, "case {case}: handle for key {key} reads a foreign row");
+            handle.write(p4db::common::Value::scalar(expected + 1));
+            assert_eq!(handle.read().switch_word(), expected + 1);
+            handle.write(p4db::common::Value::scalar(expected));
+        }
+        assert_eq!(table.len() as u64, initial + 4_000 - removed.len() as u64, "case {case}: row count drifted");
+    }
+}
+
+/// Concurrent variant: readers hold handles while writer threads churn the
+/// same table; all handle reads stay consistent with what was written
+/// through them.
+#[test]
+fn property_row_handles_stay_valid_under_concurrent_churn() {
+    let storage = Arc::new(NodeStorage::new(NodeId(0), [TableId(0)]));
+    let table = storage.table(TableId(0)).unwrap();
+    table.bulk_load((0..256u64).map(|k| (k, p4db::common::Value::scalar(1_000 + k))));
+    let handles: Vec<(u64, RowHandle)> = (0..256u64).map(|k| (k, table.get(k).unwrap())).collect();
+
+    let churners: Vec<_> = (0..4)
+        .map(|t| {
+            let storage = Arc::clone(&storage);
+            std::thread::spawn(move || {
+                let table = storage.table(TableId(0)).unwrap();
+                for i in 0..5_000u64 {
+                    let key = 1_000 + t * 10_000 + i;
+                    table.insert(key, p4db::common::Value::scalar(key));
+                    if i % 11 == 0 {
+                        table.remove(key.saturating_sub(5));
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // While the churn runs, every pinned handle keeps returning its row.
+    for _ in 0..50 {
+        for (key, handle) in &handles {
+            assert_eq!(handle.read().switch_word(), 1_000 + key);
+        }
+    }
+    for th in churners {
+        th.join().unwrap();
+    }
+    for (key, handle) in &handles {
+        assert_eq!(handle.read().switch_word(), 1_000 + key);
+        assert!(table.get(*key).is_some(), "pre-churn keys must survive");
+    }
+}
+
+/// The cumulative lock-wait statistic surfaces real WAIT_DIE waiting
+/// through the cluster path (satellite: backoff + node stats).
+#[test]
+fn lock_wait_time_is_recorded_under_wait_die_contention() {
+    use p4db::{CcScheme, SystemMode};
+    let workload: Arc<dyn Workload> = Arc::new(SmallBank::new(SmallBankConfig {
+        customers_per_node: 200,
+        hot_customers_per_node: 4,
+        ..SmallBankConfig::default()
+    }));
+    // NoSwitch keeps the hot accounts on the host lock tables, so WAIT_DIE
+    // actually contends on them.
+    let cluster =
+        Cluster::builder(workload).test_profile().workers(4).mode(SystemMode::NoSwitch).cc(CcScheme::WaitDie).build();
+    let _ = cluster.run_for(Duration::from_millis(250));
+    let waits: u64 = cluster.shared().nodes.iter().map(|n| n.locks().wait_stats().waits).sum();
+    let waited: u64 = cluster.shared().nodes.iter().map(|n| n.locks().wait_stats().total_wait_ns).sum();
+    assert!(waits > 0, "a contended WAIT_DIE run must record waits");
+    assert!(waited > 0, "recorded waits must accumulate wait time");
+}
