@@ -3,14 +3,14 @@
 //! manager, the max-cut heuristic and the WAL (single appends and group
 //! commit). Used to sanity-check that the substrates are far from being the
 //! bottleneck of the figure reproduction, and to pin the batched-vs-unbatched
-//! hot-path speedup as a machine-readable datapoint in `BENCH_5.json`
+//! hot-path speedup as a machine-readable datapoint in `BENCH_6.json`
 //! (figure `micro`), which the CI gate tripwires.
 //!
 //! Knobs: `P4DB_MICRO_QUICK=1` shrinks iteration counts ~10× (the CI smoke
 //! profile); `P4DB_BENCH_JSON` overrides the output path.
 
 use p4db_common::rand_util::FastRng;
-use p4db_common::{CcScheme, LatencyConfig, NodeId, TableId, TupleId, TxnId, Value, WorkerId};
+use p4db_common::{CcScheme, LatencyConfig, NodeId, SwitchId, TableId, TupleId, TxnId, Value, WorkerId};
 use p4db_core::BenchPoint;
 use p4db_layout::{max_cut, AccessGraph, TraceAccess, TxnTrace};
 use p4db_net::{BatchRecvOutcome, EndpointId, Fabric, LatencyModel, RecvOutcome};
@@ -64,10 +64,13 @@ fn switch_hot_path_rate(batch_size: u16, total: u64) -> f64 {
     let send_chunk = |from: u64, count: u64| {
         if batch_size > 1 {
             let frame: Vec<SwitchMessage> = (from..from + count).map(|i| SwitchMessage::Txn(txn(i))).collect();
-            assert!(fabric.send_frame(ep, EndpointId::Switch, frame), "switch ingress gone");
+            assert!(fabric.send_frame(ep, EndpointId::Switch(SwitchId(0)), frame), "switch ingress gone");
         } else {
             for i in from..from + count {
-                assert!(fabric.send(ep, EndpointId::Switch, SwitchMessage::Txn(txn(i))), "switch ingress gone");
+                assert!(
+                    fabric.send(ep, EndpointId::Switch(SwitchId(0)), SwitchMessage::Txn(txn(i))),
+                    "switch ingress gone"
+                );
             }
         }
     };
@@ -125,7 +128,7 @@ fn switch_pipeline_throughput(points: &mut Vec<BenchPoint>) {
         let instructions: Vec<_> =
             (0..8u8).map(|s| Instruction::add(RegisterSlot::new(s, (i % 4) as u8, (i % 1024) as u32), 1)).collect();
         let txn = SwitchTxn::new(TxnHeader::new(ep, i), instructions);
-        fabric.send(ep, EndpointId::Switch, SwitchMessage::Txn(txn));
+        fabric.send(ep, EndpointId::Switch(SwitchId(0)), SwitchMessage::Txn(txn));
         loop {
             // A dead or wedged switch must fail the bench loudly, not spin
             // the full timeout once per iteration.
@@ -152,7 +155,7 @@ fn switch_pipeline_throughput(points: &mut Vec<BenchPoint>) {
 /// handle with one hash (`NodeStorage::admit`-style, grouped batch release)
 /// vs the seed's shape — acquire, then a separate directory + map lookup,
 /// then a per-tuple release, each hashing again. The resulting speedup is
-/// the `micro` admission datapoint recorded in `BENCH_5.json`.
+/// the `micro` admission datapoint recorded in the BENCH json trajectory.
 fn admission_resolution(points: &mut Vec<BenchPoint>) {
     const ROWS: u64 = 100_000;
     let total = scaled(300_000);

@@ -22,7 +22,7 @@
 //!
 //! Writers merge by figure: emitting points for `fig01` replaces every
 //! existing `fig01` point in the file and leaves other figures' points
-//! untouched, so `figures` and `micro` can update the same `BENCH_5.json`
+//! untouched, so `figures` and `micro` can update the same `BENCH_6.json`
 //! independently.
 
 use p4db_core::BenchPoint;
@@ -338,12 +338,13 @@ pub fn write_merged(path: &Path, points: &[BenchPoint]) -> std::io::Result<()> {
     std::fs::write(path, render(&merged))
 }
 
-/// Default output path: `$P4DB_BENCH_JSON`, or `BENCH_5.json` at the
-/// workspace root.
+/// Default output path: `$P4DB_BENCH_JSON`, or `BENCH_6.json` at the
+/// workspace root (the current trajectory file; `BENCH_4.json` and
+/// `BENCH_5.json` are the committed history of earlier PRs).
 pub fn output_path() -> std::path::PathBuf {
     match std::env::var("P4DB_BENCH_JSON") {
         Ok(path) if !path.is_empty() => std::path::PathBuf::from(path),
-        _ => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_5.json"),
+        _ => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_6.json"),
     }
 }
 
@@ -355,7 +356,7 @@ pub fn output_path() -> std::path::PathBuf {
 /// few milliseconds per point on a loaded single-core runner, so the
 /// throughput band is wide — the gate is a tripwire for collapses and schema
 /// drift, not a microbenchmark judge; `EXPERIMENTS.md` and the committed
-/// `BENCH_5.json` carry the trend.
+/// `BENCH_6.json` carry the trend.
 #[derive(Clone, Debug)]
 pub struct GateConfig {
     /// Max allowed throughput ratio between current and baseline, either
@@ -372,11 +373,22 @@ pub struct GateConfig {
     /// (measured ~1.7x; under 1.2x on the noisy smoke profile is a real
     /// regression).
     pub min_node_scaling_speedup: f64,
+    /// Minimum speedup of the gated `fig_switch_scaling` datapoint (2
+    /// switches over 1 switch at a fixed aggregate hot-set size, saturated
+    /// pipeline) — the acceptance bar of the multi-switch topology work
+    /// (measured ~1.8x; under 1.25x even on the smoke profile means the
+    /// second switch is not relieving the pipeline bottleneck).
+    pub min_switch_scaling_speedup: f64,
 }
 
 impl Default for GateConfig {
     fn default() -> Self {
-        GateConfig { tps_ratio: 4.0, min_batch_speedup: 1.3, min_node_scaling_speedup: 1.2 }
+        GateConfig {
+            tps_ratio: 4.0,
+            min_batch_speedup: 1.3,
+            min_node_scaling_speedup: 1.2,
+            min_switch_scaling_speedup: 1.25,
+        }
     }
 }
 
@@ -385,6 +397,9 @@ pub const BATCHING_PARAMS: &str = "switch hot path batched-vs-unbatched";
 
 /// The `params` key of the gated `fig_node_scaling` datapoint.
 pub const NODE_SCALING_PARAMS: &str = "YCSB-A all-cold workers=8";
+
+/// The `params` key of the gated `fig_switch_scaling` datapoint.
+pub const SWITCH_SCALING_PARAMS: &str = "switches=2";
 
 /// The `params` key of the micro admission-resolution datapoint (recorded,
 /// not gated: the node-scaling floor covers the end-to-end effect).
@@ -427,12 +442,22 @@ pub fn gate(current: &[BenchPoint], baseline: &[BenchPoint], config: &GateConfig
                 cur.params, cur.speedup, config.min_node_scaling_speedup
             ));
         }
+        if cur.figure == "fig_switch_scaling"
+            && cur.params == SWITCH_SCALING_PARAMS
+            && cur.speedup < config.min_switch_scaling_speedup
+        {
+            failures.push(format!(
+                "fig_switch_scaling [{}]: two switches are only {:.2}x over one switch (gate requires >= {:.2}x)",
+                cur.params, cur.speedup, config.min_switch_scaling_speedup
+            ));
+        }
     }
     // Anti-vacuity: if a figure with a gated datapoint ran at all, that
     // datapoint must be among the results — otherwise a sweep or label edit
     // could silently stop the floor from being enforced.
     for (figure, gated_params, what) in [
         ("fig_node_scaling", NODE_SCALING_PARAMS, "node-scaling speedup floor"),
+        ("fig_switch_scaling", SWITCH_SCALING_PARAMS, "switch-scaling speedup floor"),
         ("micro", BATCHING_PARAMS, "batching speedup floor"),
     ] {
         if current.iter().any(|p| p.figure == figure)
@@ -547,6 +572,17 @@ mod tests {
             point("fig_node_scaling", NODE_SCALING_PARAMS, 1000.0, 1.7),
         ];
         assert!(gate(&both, &baseline, &config).is_empty());
+        // Switch-scaling tripwire.
+        let weak = vec![point("fig_switch_scaling", SWITCH_SCALING_PARAMS, 1000.0, 1.1)];
+        let failures = gate(&weak, &baseline, &config);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("two switches"));
+        let strong = vec![point("fig_switch_scaling", SWITCH_SCALING_PARAMS, 1000.0, 1.8)];
+        assert!(gate(&strong, &baseline, &config).is_empty());
+        let missing_gated = vec![point("fig_switch_scaling", "switches=4", 1000.0, 2.0)];
+        let failures = gate(&missing_gated, &baseline, &config);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("switch-scaling speedup floor"));
         // Same protection for the batching tripwire: a micro run that lost
         // its gated datapoint fails rather than passing vacuously.
         let missing = vec![point("micro", "wal append", 1000.0, 1.0)];
@@ -558,12 +594,13 @@ mod tests {
     /// The committed `BENCH_*.json` trajectory and `BENCH_baseline.json`
     /// must always be schema-valid — this is the CI check that the emitted
     /// JSON parses and contains no missing/NaN fields, and that the
-    /// committed hot-path batching and node-scaling datapoints meet their
-    /// acceptance bars. `BENCH_4.json` predates the node-scaling figure, so
-    /// only the newer files are held to it.
+    /// committed hot-path batching, node-scaling and switch-scaling
+    /// datapoints meet their acceptance bars. Each `BENCH_N.json` predates
+    /// the figures of later PRs, so only the newer files are held to the
+    /// newer bars.
     #[test]
     fn gate_committed_bench_files_are_schema_valid() {
-        for name in ["BENCH_4.json", "BENCH_5.json", "BENCH_baseline.json"] {
+        for name in ["BENCH_4.json", "BENCH_5.json", "BENCH_6.json", "BENCH_baseline.json"] {
             let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(name);
             let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {name}: {e}"));
             let points = parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -599,6 +636,19 @@ mod tests {
             assert!(
                 points.iter().any(|p| p.figure == "micro" && p.params == ADMISSION_PARAMS),
                 "{name} is missing the admission-resolution datapoint"
+            );
+            if name == "BENCH_5.json" {
+                continue; // predates the switch-scaling figure
+            }
+            let switch_scaling = points
+                .iter()
+                .find(|p| p.figure == "fig_switch_scaling" && p.params == SWITCH_SCALING_PARAMS)
+                .unwrap_or_else(|| panic!("{name} is missing the switch-scaling datapoint"));
+            let bar = GateConfig::default().min_switch_scaling_speedup;
+            assert!(
+                switch_scaling.speedup >= bar,
+                "{name}: committed switch-scaling speedup {:.2}x is below the {bar}x acceptance bar",
+                switch_scaling.speedup
             );
         }
     }

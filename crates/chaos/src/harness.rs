@@ -64,6 +64,12 @@ pub struct ChaosOptions {
     pub mode: SystemMode,
     pub nodes: u16,
     pub workers: u16,
+    /// Switches in the topology (`ClusterBuilder::switches`). With more
+    /// than one, the hot set is partitioned across switches and
+    /// `crash_switch` crashes and recovers **each switch independently**
+    /// (its own WAL-suffix replay, epoch and — with `reoffload` — its own
+    /// seeded reshuffle).
+    pub switches: u16,
     /// Traffic waves; crashes (if any) happen after the first wave.
     pub waves: usize,
     /// Transactions per driver per wave.
@@ -103,6 +109,7 @@ impl ChaosOptions {
             mode: SystemMode::P4db,
             nodes: 2,
             workers: 2,
+            switches: 1,
             waves: 2,
             txns_per_wave: 120,
             distributed_prob: 0.2,
@@ -157,6 +164,7 @@ impl ChaosOptions {
         for (var, actual, default) in [
             ("CHAOS_NODES", self.nodes as u64, defaults.nodes as u64),
             ("CHAOS_WORKERS", self.workers as u64, defaults.workers as u64),
+            ("CHAOS_SWITCHES", self.switches as u64, defaults.switches as u64),
             ("CHAOS_WAVES", self.waves as u64, defaults.waves as u64),
             ("CHAOS_TXNS", self.txns_per_wave as u64, defaults.txns_per_wave as u64),
             ("CHAOS_ATTEMPTS", self.max_attempts as u64, defaults.max_attempts as u64),
@@ -200,6 +208,9 @@ impl ChaosOptions {
         }
         if let Some(n) = parse("CHAOS_WORKERS") {
             options.workers = n as u16;
+        }
+        if let Some(n) = parse("CHAOS_SWITCHES") {
+            options.switches = n as u16;
         }
         if let Some(n) = parse("CHAOS_WAVES") {
             options.waves = n as usize;
@@ -338,6 +349,7 @@ fn run_once(options: &ChaosOptions) -> Result<ChaosReport> {
     let mut builder = Cluster::builder(Arc::clone(&workload))
         .nodes(options.nodes)
         .workers(options.workers)
+        .switches(options.switches)
         .mode(options.mode)
         .distributed_prob(options.distributed_prob)
         .seed(options.seed)
@@ -369,6 +381,9 @@ fn run_once(options: &ChaosOptions) -> Result<ChaosReport> {
             }
             if options.crash_switch {
                 let reoffload_seed = options.reoffload.then_some(options.seed ^ 0xC0DE);
+                // In a multi-switch topology this crashes and recovers each
+                // switch *independently* (per-switch WAL-suffix replay,
+                // epoch and reshuffle) and merges the per-switch reports.
                 switch_recovery = Some(cluster.crash_and_recover_switch(reoffload_seed)?);
             }
         }
@@ -483,6 +498,12 @@ pub fn resend_logged_intent(cluster: &Cluster, txn: TxnId) -> Result<usize> {
         instr.operand_from = op.operand_from;
         instructions.push(instr);
     }
+    // Route the duplicate to the switch that owns the intent's tuples, just
+    // like the executor would (an intent is single-switch by construction).
+    let switch = ops
+        .first()
+        .and_then(|op| index.owner(op.tuple))
+        .ok_or_else(|| Error::InvalidTxn(format!("intent of {txn} has no owning switch")))?;
 
     // A rogue endpoint outside the worker id space.
     let origin = EndpointId::Node(NodeId(u16::MAX));
@@ -491,7 +512,7 @@ pub fn resend_logged_intent(cluster: &Cluster, txn: TxnId) -> Result<usize> {
     header.txn_id = txn;
     let sent = cluster.shared().fabric.send(
         origin,
-        EndpointId::Switch,
+        EndpointId::Switch(switch),
         SwitchMessage::Txn(SwitchTxn::new(header, instructions)),
     );
     if !sent {

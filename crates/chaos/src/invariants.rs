@@ -26,7 +26,7 @@
 //!   non-negativity, TPC-C warehouse-YTD vs. customer-deduction
 //!   conservation (with in-doubt, not-yet-applied intents accounted for).
 
-use p4db_common::{GlobalTxnId, NodeId, TupleId, TxnId};
+use p4db_common::{GlobalTxnId, NodeId, SwitchId, TupleId, TxnId};
 use p4db_core::Cluster;
 use p4db_storage::{recover_cold_state, replay_logged_op, LogRecord, LoggedSwitchOp};
 use p4db_workloads::smallbank::{CHECKING, SAVINGS};
@@ -128,14 +128,21 @@ impl InvariantReport {
     }
 }
 
-/// Switch transactions the nodes logged during the current epoch.
+/// Switch transactions the nodes logged during one switch's current epoch.
 struct EpochLog {
     intents: HashMap<TxnId, Vec<LoggedSwitchOp>>,
     results: HashMap<TxnId, (GlobalTxnId, Vec<(TupleId, u64)>)>,
 }
 
-fn epoch_log(cluster: &Cluster) -> EpochLog {
-    let epoch = cluster.switch_epoch();
+/// Materializes one switch's epoch-relative log view: records sliced from
+/// *that switch's* epoch start and filtered to the tuples it owns. The
+/// ownership filter is what keeps the per-`TxnId` maps collision-free — a
+/// cross-switch transaction logs one intent/result pair per owning switch
+/// under the same `TxnId`, but within one switch's view each `TxnId` appears
+/// at most once (the executor sends at most one sub-transaction per switch).
+fn epoch_log(cluster: &Cluster, switch: SwitchId) -> EpochLog {
+    let epoch = cluster.switch_epoch_at(switch);
+    let owned: HashSet<TupleId> = cluster.control_plane_at(switch).placements().map(|(t, _)| t).collect();
     let mut intents = HashMap::new();
     let mut results = HashMap::new();
     for (n, storage) in cluster.shared().nodes.iter().enumerate() {
@@ -143,10 +150,12 @@ fn epoch_log(cluster: &Cluster) -> EpochLog {
         let start = epoch.wal_start.get(n).copied().unwrap_or(0).min(records.len());
         for record in &records[start..] {
             match record {
-                LogRecord::SwitchIntent { txn, ops } => {
+                LogRecord::SwitchIntent { txn, ops } if ops.first().is_some_and(|op| owned.contains(&op.tuple)) => {
                     intents.insert(*txn, ops.clone());
                 }
-                LogRecord::SwitchResult { txn, gid, results: r } => {
+                LogRecord::SwitchResult { txn, gid, results: r }
+                    if r.first().is_some_and(|(t, _)| owned.contains(t)) =>
+                {
                     results.insert(*txn, (*gid, r.clone()));
                 }
                 _ => {}
@@ -191,19 +200,28 @@ pub fn check(cluster: &Cluster, semantics: SemanticChecks) -> InvariantReport {
         SemanticChecks::None => Vec::new(),
     };
 
-    // The committed history is materialized once: every sub-check reads the
-    // same epoch-relative log and audit snapshot.
+    // The committed history is materialized once per switch: every sub-check
+    // reads the same epoch-relative log and audit snapshots. Epochs are
+    // per-switch (crashing one switch moves only its baseline), so each
+    // switch's history is sliced by its own epoch and replayed against its
+    // own registers; the money deltas are then summed across the topology.
     let audit_enabled = cluster.config().switch.audit_data_plane;
-    let log = epoch_log(cluster);
-    let audit: Vec<(TxnId, GlobalTxnId)> = {
-        let full = cluster.switch_audit();
-        let start = cluster.switch_epoch().audit_start.min(full.len());
-        full[start..].to_vec()
-    };
-
+    let mut logs = Vec::with_capacity(cluster.num_switches());
+    let mut audits: Vec<Vec<(TxnId, GlobalTxnId)>> = Vec::with_capacity(cluster.num_switches());
     let mut switch_money_delta: i128 = 0;
-    if audit_enabled {
-        check_switch(cluster, &log, &audit, &mut report, &money_tables, &mut switch_money_delta);
+    for s in 0..cluster.num_switches() {
+        let switch = SwitchId(s as u16);
+        let log = epoch_log(cluster, switch);
+        let audit: Vec<(TxnId, GlobalTxnId)> = {
+            let full = cluster.switch_audit_at(switch);
+            let start = cluster.switch_epoch_at(switch).audit_start.min(full.len());
+            full[start..].to_vec()
+        };
+        if audit_enabled {
+            check_switch(cluster, switch, &log, &audit, &mut report, &money_tables, &mut switch_money_delta);
+        }
+        logs.push(log);
+        audits.push(audit);
     }
     let cold_money_delta = check_cold(cluster, &mut report, &money_tables);
 
@@ -221,7 +239,7 @@ pub fn check(cluster: &Cluster, semantics: SemanticChecks) -> InvariantReport {
             );
         }
         SemanticChecks::Tpcc { warehouses, initial_customer_balance } => {
-            check_tpcc(cluster, &log, &audit, audit_enabled, &mut report, warehouses, initial_customer_balance);
+            check_tpcc(cluster, &logs, &audits, audit_enabled, &mut report, warehouses, initial_customer_balance);
         }
     }
     report
@@ -249,16 +267,18 @@ fn commit_status(records: &[LogRecord]) -> HashMap<TxnId, bool> {
     committed
 }
 
-/// Serializability replay + exactly-once accounting for the switch.
+/// Serializability replay + exactly-once accounting for one switch.
+#[allow(clippy::too_many_arguments)]
 fn check_switch(
     cluster: &Cluster,
+    switch: SwitchId,
     log: &EpochLog,
     audit: &[(TxnId, GlobalTxnId)],
     report: &mut InvariantReport,
     money_tables: &[p4db_common::TableId],
     money_delta: &mut i128,
 ) {
-    let epoch = cluster.switch_epoch();
+    let epoch = cluster.switch_epoch_at(switch);
 
     // --- Exactly-once accounting ---------------------------------------
     let mut executed_times: HashMap<TxnId, usize> = HashMap::new();
@@ -320,7 +340,7 @@ fn check_switch(
             }
         }
     }
-    for (tuple, live) in cluster.control_plane().snapshot() {
+    for (tuple, live) in cluster.control_plane_at(switch).snapshot() {
         let expected = shadow.get(&tuple).copied().unwrap_or_else(|| epoch.baseline.get(&tuple).copied().unwrap_or(0));
         if live != expected {
             report.violations.push(Violation::SwitchDivergence { tuple, live, shadow: expected });
@@ -408,12 +428,11 @@ fn check_smallbank(
         }
     }
 
-    // The epoch baseline already contains pre-epoch switch deltas; account
-    // for them relative to the offload-time values.
-    let epoch = cluster.switch_epoch();
-    let pre_epoch_delta: i128 = epoch
-        .baseline
-        .iter()
+    // The epoch baselines already contain pre-epoch switch deltas; account
+    // for them relative to the offload-time values, switch by switch (each
+    // switch's epoch moves independently under per-switch crash/recovery).
+    let pre_epoch_delta: i128 = (0..cluster.num_switches())
+        .flat_map(|s| cluster.switch_epoch_at(SwitchId(s as u16)).baseline.iter())
         .filter(|(t, _)| t.table == SAVINGS || t.table == CHECKING)
         .map(|(t, &v)| v as i64 as i128 - cluster.offload_snapshot().get(t).copied().unwrap_or(v) as i64 as i128)
         .sum();
@@ -465,8 +484,8 @@ fn check_smallbank(
 #[allow(clippy::too_many_arguments)]
 fn check_tpcc(
     cluster: &Cluster,
-    log: &EpochLog,
-    audit: &[(TxnId, GlobalTxnId)],
+    logs: &[EpochLog],
+    audits: &[Vec<(TxnId, GlobalTxnId)>],
     audit_enabled: bool,
     report: &mut InvariantReport,
     warehouses: u64,
@@ -492,17 +511,20 @@ fn check_tpcc(
         });
     }
 
-    // Unexecuted in-doubt intents of this epoch still owe their YTD adds.
+    // Unexecuted in-doubt intents of each switch's epoch still owe their YTD
+    // adds — accounted per switch against that switch's own audit.
     let mut pending_ytd: i128 = 0;
     if audit_enabled {
-        let executed: HashSet<TxnId> = audit.iter().map(|(t, _)| *t).collect();
-        for (txn, ops) in &log.intents {
-            if log.results.contains_key(txn) || executed.contains(txn) {
-                continue;
-            }
-            for op in ops {
-                if op.tuple.table == WAREHOUSE {
-                    pending_ytd += op.operand as i64 as i128;
+        for (log, audit) in logs.iter().zip(audits.iter()) {
+            let executed: HashSet<TxnId> = audit.iter().map(|(t, _)| *t).collect();
+            for (txn, ops) in &log.intents {
+                if log.results.contains_key(txn) || executed.contains(txn) {
+                    continue;
+                }
+                for op in ops {
+                    if op.tuple.table == WAREHOUSE {
+                        pending_ytd += op.operand as i64 as i128;
+                    }
                 }
             }
         }

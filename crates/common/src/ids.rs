@@ -27,6 +27,27 @@ impl fmt::Display for NodeId {
     }
 }
 
+/// Identifier of a programmable switch in the topology.
+///
+/// Switch ids are dense: a topology of `n` switches uses ids `0..n`. The
+/// single-switch configuration is `SwitchId(0)` everywhere.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SwitchId(pub u16);
+
+impl SwitchId {
+    /// Returns the raw index, convenient for indexing per-switch vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "switch{}", self.0)
+    }
+}
+
 /// Identifier of a worker thread within a node.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct WorkerId(pub u16);

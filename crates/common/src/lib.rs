@@ -26,5 +26,5 @@ pub mod value;
 pub use config::{CcScheme, LatencyConfig, SystemMode};
 pub use error::{AbortReason, Error, Result};
 pub use faults::{FaultAction, FaultEvent, FaultInjector, FaultKind, FaultPlan, NetFaultConfig};
-pub use ids::{GlobalTxnId, NodeId, PartitionId, TableId, TupleId, TxnId, WorkerId};
+pub use ids::{GlobalTxnId, NodeId, PartitionId, SwitchId, TableId, TupleId, TxnId, WorkerId};
 pub use value::Value;

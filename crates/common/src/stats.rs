@@ -170,6 +170,10 @@ pub struct WorkerStats {
     /// Number of single-pass / multi-pass switch transactions issued.
     pub switch_single_pass: u64,
     pub switch_multi_pass: u64,
+    /// Committed transactions whose hot set spanned more than one switch and
+    /// therefore fell back to the host path (one sub-transaction per owning
+    /// switch). Always 0 on single-switch topologies.
+    pub cross_switch_fallback: u64,
 }
 
 impl WorkerStats {
@@ -235,6 +239,7 @@ impl WorkerStats {
         }
         self.switch_single_pass += other.switch_single_pass;
         self.switch_multi_pass += other.switch_multi_pass;
+        self.cross_switch_fallback += other.cross_switch_fallback;
     }
 }
 

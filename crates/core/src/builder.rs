@@ -58,6 +58,19 @@ impl ClusterBuilder {
         self
     }
 
+    /// Number of programmable switches the hot set is partitioned over.
+    /// Defaults to 1 — the paper's single-switch topology, byte-compatible
+    /// with every previous configuration. With `n >= 2` the hot set is split
+    /// across the switches by the capacity-aware co-access assignment and
+    /// each switch runs its own data-plane engine; hot transactions touching
+    /// tuples owned by two switches fall back to the host path. `0` is
+    /// rejected by [`ClusterBuilder::try_build`] as
+    /// [`p4db_common::Error::InvalidConfig`].
+    pub fn switches(mut self, num_switches: u16) -> Self {
+        self.config.num_switches = num_switches;
+        self
+    }
+
     /// System variant: No-Switch, LM-Switch or full P4DB.
     pub fn mode(mut self, mode: SystemMode) -> Self {
         self.config.mode = mode;

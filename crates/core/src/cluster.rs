@@ -14,11 +14,15 @@ use crate::session::{Session, SubmissionPool};
 use p4db_common::faults::{FaultEvent, FaultInjector, FaultPlan};
 use p4db_common::rand_util::FastRng;
 use p4db_common::stats::{RunStats, WorkerStats};
-use p4db_common::{CcScheme, Error, GlobalTxnId, LatencyConfig, NodeId, Result, SystemMode, TupleId, TxnId, Value};
-use p4db_layout::{DataLayout, LayoutPlanner, LayoutStrategy};
+use p4db_common::{
+    CcScheme, Error, GlobalTxnId, LatencyConfig, NodeId, Result, SwitchId, SystemMode, TupleId, TxnId, Value,
+};
+use p4db_layout::{assign_tuples_to_switches, DataLayout, LayoutPlanner, LayoutStrategy};
 use p4db_net::{Fabric, LatencyModel};
 use p4db_storage::{recover_cold_state, recover_switch_state, LogRecord, NodeStorage, SwitchRecoveryOutcome, Wal};
-use p4db_switch::{start_switch, ControlPlane, RegisterMemory, SwitchConfig, SwitchHandle, SwitchStatsSnapshot};
+use p4db_switch::{
+    start_switch_with_id, ControlPlane, RegisterMemory, SwitchConfig, SwitchHandle, SwitchStatsSnapshot,
+};
 use p4db_txn::{EngineConfig, EngineShared, HotIndexCell, HotSetIndex};
 use p4db_workloads::{PartitionMap, Workload, WorkloadCtx};
 use std::collections::{HashMap, HashSet};
@@ -34,6 +38,12 @@ use std::time::{Duration, Instant};
 pub struct ClusterConfig {
     pub num_nodes: u16,
     pub workers_per_node: u16,
+    /// Number of programmable switches the hot set is partitioned over.
+    /// `1` is the paper's topology and the default; a multi-switch cluster
+    /// splits the hot set across switches with the capacity-aware,
+    /// co-access-affine assignment of [`p4db_layout::assign_tuples_to_switches`].
+    /// `0` is rejected by [`Cluster::try_build`].
+    pub num_switches: u16,
     pub mode: SystemMode,
     pub cc: CcScheme,
     pub latency: LatencyConfig,
@@ -85,6 +95,7 @@ impl ClusterConfig {
         ClusterConfig {
             num_nodes: 4,
             workers_per_node: 4,
+            num_switches: 1,
             mode,
             cc,
             latency: LatencyConfig::bench_profile(),
@@ -114,13 +125,15 @@ impl ClusterConfig {
     }
 }
 
-/// The checker baseline for the current *switch epoch*.
+/// The checker baseline for the current *switch epoch* of one switch.
 ///
-/// A switch epoch starts at offload time and at every switch recovery event
-/// ([`Cluster::crash_and_recover_switch`]): recovery may fold previously
-/// in-flight intents into the restored state, so invariant checking replays
-/// the audit log only from the epoch start against the epoch's baseline
-/// values, and reads WAL records only from the epoch's per-node offsets.
+/// A switch epoch starts at offload time and at every recovery event of that
+/// switch ([`Cluster::crash_and_recover_switch_at`]): recovery may fold
+/// previously in-flight intents into the restored state, so invariant
+/// checking replays the audit log only from the epoch start against the
+/// epoch's baseline values, and reads WAL records only from the epoch's
+/// per-node offsets. In a multi-switch topology every switch keeps its own
+/// epoch — crashing one switch moves only that switch's baseline.
 #[derive(Clone, Debug)]
 pub struct SwitchEpoch {
     /// Value of every offloaded tuple at the epoch start.
@@ -176,17 +189,22 @@ pub struct Cluster {
     shared: Arc<EngineShared>,
     partition_map: PartitionMap,
     /// Offload-time initial values of the full hot set, captured once at
-    /// build time (recovery reads this repeatedly).
-    offload_snapshot: HashMap<TupleId, u64>,
-    /// Declared before `switch` so the executors drain and stop while the
-    /// switch is still alive (struct fields drop in declaration order).
+    /// build time (the conservation checker's run-wide reference).
+    initial_values: HashMap<TupleId, u64>,
+    /// Per-switch offload snapshot: the values each switch's registers held
+    /// at the start of its current epoch. Captured at offload time and
+    /// *recaptured on every recovery / re-offload* of that switch, so
+    /// recovery never replays against a stale placement map.
+    offload_snapshots: Vec<HashMap<TupleId, u64>>,
+    /// Declared before `switches` so the executors drain and stop while the
+    /// switches are still alive (struct fields drop in declaration order).
     pool: SubmissionPool,
-    switch: SwitchHandle,
-    control_plane: ControlPlane,
-    layout: DataLayout,
+    switches: Vec<SwitchHandle>,
+    control_planes: Vec<ControlPlane>,
+    layouts: Vec<DataLayout>,
     offloaded: usize,
     hot_total: usize,
-    epoch: SwitchEpoch,
+    epochs: Vec<SwitchEpoch>,
 }
 
 impl Cluster {
@@ -211,6 +229,9 @@ impl Cluster {
     pub fn try_build(mut config: ClusterConfig, workload: Arc<dyn Workload>) -> Result<Self> {
         if config.num_nodes == 0 || config.workers_per_node == 0 {
             return Err(Error::InvalidConfig("cluster needs nodes and workers".into()));
+        }
+        if config.num_switches == 0 {
+            return Err(Error::InvalidConfig("cluster needs at least one switch (.switches(n) with n >= 1)".into()));
         }
         // Fault injection needs the data-plane audit log as ground truth for
         // the invariant checker, whatever switch profile was selected.
@@ -240,7 +261,7 @@ impl Cluster {
         let mut rng = FastRng::new(config.seed ^ 0xFEED);
         let hot_tuples = workload.hot_tuples(config.num_nodes);
         let hot_total = hot_tuples.len();
-        let offload_snapshot: HashMap<TupleId, u64> = hot_tuples.iter().map(|h| (h.tuple, h.initial)).collect();
+        let initial_values: HashMap<TupleId, u64> = hot_tuples.iter().map(|h| (h.tuple, h.initial)).collect();
         let traces = workload.layout_traces(config.num_nodes, &mut rng);
         let planner =
             LayoutPlanner::new(config.switch.num_stages, config.switch.arrays_per_stage, config.switch.slots_per_array);
@@ -250,24 +271,58 @@ impl Cluster {
         } else {
             config.layout
         };
-        let offload_candidates: Vec<TupleId> = hot_tuples
-            .iter()
-            .map(|h| h.tuple)
-            .take(config.offload_limit.unwrap_or(usize::MAX).min(config.switch.total_slots() as usize))
-            .collect();
-        let layout = planner.plan(&offload_candidates, &traces, strategy);
+        let num_switches = config.num_switches as usize;
+        let per_switch_slots = config.switch.total_slots() as usize;
+        let aggregate_slots = per_switch_slots.saturating_mul(num_switches);
+        let requested = config.offload_limit.unwrap_or(usize::MAX).min(hot_total);
+        // A single switch keeps the documented Fig-17 semantics: a hot set
+        // larger than the register file is silently capped. The multi-switch
+        // assignment pass has no partial-offload notion, so there an
+        // oversized hot set is a configuration error rather than a cap.
+        if num_switches > 1 && requested > aggregate_slots {
+            return Err(Error::InvalidConfig(format!(
+                "hot set of {requested} tuples exceeds the aggregate register capacity of {num_switches} \
+                 switches ({aggregate_slots} cells); shrink the hot set, deepen the arrays or add switches"
+            )));
+        }
+        let offload_candidates: Vec<TupleId> =
+            hot_tuples.iter().map(|h| h.tuple).take(requested.min(aggregate_slots)).collect();
+        // Partition the candidates over the switches. The balanced capacity
+        // (rather than the full per-switch register file) forces the
+        // assignment to spread load: with slack capacity the co-access
+        // heuristic's optimum is "everything on one switch".
+        let assignment: Vec<Vec<TupleId>> = if num_switches > 1 {
+            let capacity = offload_candidates.len().div_ceil(num_switches).max(1);
+            assign_tuples_to_switches(&offload_candidates, &traces, num_switches, capacity, config.seed)
+        } else {
+            vec![offload_candidates.clone()]
+        };
 
-        // --- Switch ----------------------------------------------------------
-        let memory = Arc::new(RegisterMemory::new(config.switch));
-        let mut control_plane = ControlPlane::new(config.switch, Arc::clone(&memory));
+        // --- Switches --------------------------------------------------------
+        // One register memory, control plane and (below) data-plane engine
+        // per switch; the switches share nothing but the fabric.
+        let hot_meta: HashMap<TupleId, (usize, u64)> =
+            hot_tuples.iter().map(|h| (h.tuple, (h.byte_width, h.initial))).collect();
+        let mut memories = Vec::with_capacity(num_switches);
+        let mut control_planes = Vec::with_capacity(num_switches);
+        let mut layouts = Vec::with_capacity(num_switches);
         let mut offloaded = 0usize;
-        if config.mode == SystemMode::P4db {
-            for hot in hot_tuples.iter().take(offload_candidates.len()) {
-                let Some(at) = layout.get(hot.tuple) else { continue };
-                if control_plane.offload_into(hot.tuple, at.stage, at.array, hot.byte_width, hot.initial).is_ok() {
-                    offloaded += 1;
+        for tuples in &assignment {
+            let memory = Arc::new(RegisterMemory::new(config.switch));
+            let mut control_plane = ControlPlane::new(config.switch, Arc::clone(&memory));
+            let layout = planner.plan(tuples, &traces, strategy);
+            if config.mode == SystemMode::P4db {
+                for &tuple in tuples {
+                    let Some(at) = layout.get(tuple) else { continue };
+                    let (byte_width, initial) = hot_meta.get(&tuple).copied().unwrap_or((8, 0));
+                    if control_plane.offload_into(tuple, at.stage, at.array, byte_width, initial).is_ok() {
+                        offloaded += 1;
+                    }
                 }
             }
+            memories.push(memory);
+            control_planes.push(control_plane);
+            layouts.push(layout);
         }
 
         let latency = LatencyModel::new(config.latency);
@@ -275,11 +330,17 @@ impl Cluster {
             Some(plan) => Fabric::with_faults(latency.clone(), Arc::new(FaultInjector::new(plan))),
             None => Fabric::new(latency.clone()),
         };
-        let switch = start_switch(config.switch, memory, fabric.clone());
+        let switches: Vec<SwitchHandle> = memories
+            .into_iter()
+            .enumerate()
+            .map(|(s, memory)| start_switch_with_id(SwitchId(s as u16), config.switch, memory, fabric.clone()))
+            .collect();
 
         // --- Engine ----------------------------------------------------------
         let hot_index = match config.mode {
-            SystemMode::P4db => HotSetIndex::from_control_plane(&control_plane),
+            SystemMode::P4db => HotSetIndex::from_control_planes(
+                control_planes.iter().enumerate().map(|(s, cp)| (SwitchId(s as u16), cp)),
+            ),
             // The LM-Switch and Chiller baselines need hot-tuple *identity*
             // even though the data stays on the nodes.
             SystemMode::LmSwitch | SystemMode::NoSwitch => HotSetIndex::from_tuples(hot_tuples.iter().map(|h| h.tuple)),
@@ -306,24 +367,29 @@ impl Cluster {
         let pool = SubmissionPool::spawn(&shared, &config)?;
         let partition_map = PartitionMap::new(Arc::clone(&workload), config.num_nodes);
 
-        let epoch = SwitchEpoch {
-            baseline: control_plane.snapshot().into_iter().collect(),
-            audit_start: 0,
-            wal_start: vec![0; config.num_nodes as usize],
-        };
+        let epochs: Vec<SwitchEpoch> = control_planes
+            .iter()
+            .map(|cp| SwitchEpoch {
+                baseline: cp.snapshot().into_iter().collect(),
+                audit_start: 0,
+                wal_start: vec![0; config.num_nodes as usize],
+            })
+            .collect();
+        let offload_snapshots: Vec<HashMap<TupleId, u64>> = epochs.iter().map(|e| e.baseline.clone()).collect();
         Ok(Cluster {
             config,
             workload,
             shared,
             partition_map,
-            offload_snapshot,
+            initial_values,
+            offload_snapshots,
             pool,
-            switch,
-            control_plane,
-            layout,
+            switches,
+            control_planes,
+            layouts,
             offloaded,
             hot_total,
-            epoch,
+            epochs,
         })
     }
 
@@ -363,30 +429,85 @@ impl Cluster {
         self.hot_total
     }
 
-    /// The planned data layout (for layout-quality reporting).
+    /// Number of switches in the topology.
+    pub fn num_switches(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// The planned data layout of switch 0 (for layout-quality reporting).
     pub fn layout(&self) -> &DataLayout {
-        &self.layout
+        &self.layouts[0]
     }
 
-    /// Data-plane statistics of the switch.
+    /// The planned data layout of one switch.
+    ///
+    /// # Panics
+    /// Panics when `switch` is outside the topology.
+    pub fn layout_at(&self, switch: SwitchId) -> &DataLayout {
+        &self.layouts[switch.index()]
+    }
+
+    /// Data-plane statistics summed over every switch of the topology.
     pub fn switch_stats(&self) -> SwitchStatsSnapshot {
-        self.switch.stats()
+        let mut merged = SwitchStatsSnapshot::default();
+        for handle in &self.switches {
+            let s = handle.stats();
+            merged.txns_executed += s.txns_executed;
+            merged.single_pass += s.single_pass;
+            merged.multi_pass += s.multi_pass;
+            merged.passes += s.passes;
+            merged.recirc_waiting += s.recirc_waiting;
+            merged.recirc_owner += s.recirc_owner;
+            merged.lm_requests += s.lm_requests;
+            merged.lm_denied += s.lm_denied;
+            merged.multicasts += s.multicasts;
+        }
+        merged
     }
 
-    /// The switch control plane (recovery experiments and tests).
+    /// Data-plane statistics of one switch.
+    ///
+    /// # Panics
+    /// Panics when `switch` is outside the topology.
+    pub fn switch_stats_at(&self, switch: SwitchId) -> SwitchStatsSnapshot {
+        self.switches[switch.index()].stats()
+    }
+
+    /// The control plane of switch 0 (recovery experiments and tests; the
+    /// whole topology in the default single-switch configuration).
     pub fn control_plane(&self) -> &ControlPlane {
-        &self.control_plane
+        &self.control_planes[0]
     }
 
-    /// Current switch-side value of an offloaded tuple.
+    /// The control plane of one switch.
+    ///
+    /// # Panics
+    /// Panics when `switch` is outside the topology.
+    pub fn control_plane_at(&self, switch: SwitchId) -> &ControlPlane {
+        &self.control_planes[switch.index()]
+    }
+
+    /// Current switch-side value of an offloaded tuple, whichever switch
+    /// owns it (placement maps are disjoint across switches).
     pub fn switch_value(&self, tuple: TupleId) -> Option<u64> {
-        self.control_plane.read_tuple(tuple)
+        self.control_planes.iter().find_map(|cp| cp.read_tuple(tuple))
     }
 
-    /// Offload-time initial values of the hot set, as needed by
-    /// [`p4db_storage::recover_switch_state`]. Captured once at build time.
+    /// Offload-time initial values of the full hot set, captured once at
+    /// build time — the conservation checker's run-wide reference.
     pub fn offload_snapshot(&self) -> &HashMap<TupleId, u64> {
-        &self.offload_snapshot
+        &self.initial_values
+    }
+
+    /// One switch's offload snapshot: the values its registers held at the
+    /// start of its current epoch. Recaptured (never stale) on every
+    /// recovery / re-offload of that switch; recovery replays the WAL suffix
+    /// of the epoch against exactly this baseline.
+    ///
+    /// # Panics
+    /// Panics when `switch` is outside the topology.
+    pub fn offload_snapshot_at(&self, switch: SwitchId) -> &HashMap<TupleId, u64> {
+        &self.offload_snapshots[switch.index()]
     }
 
     // --- Chaos-testing surface --------------------------------------------
@@ -408,29 +529,47 @@ impl Cluster {
         self.shared.fabric.flush_faults();
     }
 
-    /// The switch data-plane audit log (`(TxnId, GID)` in serial execution
-    /// order). Empty unless the switch profile enables
+    /// The data-plane audit log of switch 0 (`(TxnId, GID)` in serial
+    /// execution order). Empty unless the switch profile enables
     /// `audit_data_plane` (the test profile and every fault-injection
-    /// cluster do).
+    /// cluster do). GIDs are per-switch serial, so a merged multi-switch
+    /// audit has no meaning — use [`Cluster::switch_audit_at`] per switch.
     pub fn switch_audit(&self) -> Vec<(TxnId, GlobalTxnId)> {
-        self.switch.audit_log()
+        self.switches[0].audit_log()
     }
 
-    /// The checker baseline of the current switch epoch.
+    /// The data-plane audit log of one switch.
+    ///
+    /// # Panics
+    /// Panics when `switch` is outside the topology.
+    pub fn switch_audit_at(&self, switch: SwitchId) -> Vec<(TxnId, GlobalTxnId)> {
+        self.switches[switch.index()].audit_log()
+    }
+
+    /// The checker baseline of switch 0's current epoch.
     pub fn switch_epoch(&self) -> &SwitchEpoch {
-        &self.epoch
+        &self.epochs[0]
     }
 
-    /// Waits until the switch has gone quiet: no execution progress across
+    /// The checker baseline of one switch's current epoch.
+    ///
+    /// # Panics
+    /// Panics when `switch` is outside the topology.
+    pub fn switch_epoch_at(&self, switch: SwitchId) -> &SwitchEpoch {
+        &self.epochs[switch.index()]
+    }
+
+    /// Waits until every switch has gone quiet: no execution progress across
     /// several consecutive polls (so a briefly descheduled switch thread or
     /// a still-recirculating multi-pass packet is not mistaken for silence)
-    /// and no held-back messages. Returns `false` if the switch is still
+    /// and no held-back messages. Returns `false` if a switch is still
     /// moving when `timeout` expires. Call after the chaos drivers stopped
     /// submitting (flushes the network first so stranded reordered packets
     /// get executed rather than lost).
     pub fn quiesce_switch(&self, timeout: Duration) -> bool {
+        let executed = || self.switches.iter().map(|s| s.executed_count()).sum::<u64>();
         let deadline = Instant::now() + timeout;
-        let mut last = self.switch.executed_count();
+        let mut last = executed();
         let mut stable_polls = 0;
         loop {
             // Flushing inside the loop: a message held back *during* the
@@ -438,7 +577,7 @@ impl Cluster {
             // on the next poll rather than left stranded.
             self.flush_network();
             std::thread::sleep(Duration::from_millis(5));
-            let now = self.switch.executed_count();
+            let now = executed();
             if now == last {
                 stable_polls += 1;
                 if stable_polls >= 4 {
@@ -521,31 +660,89 @@ impl Cluster {
         Ok(report)
     }
 
-    /// Simulates a switch crash + recovery from the node WALs (§6.1, §A.3):
-    /// register state is lost, rebuilt by replaying the *serialised* logs of
-    /// all nodes in GID order (in-flight intents ordered by data
-    /// dependencies, Fig 9), and written back — either into the existing
-    /// placements, or, with `reoffload_seed`, into **fresh register slots**
-    /// chosen in a seeded random order, after which the rebuilt hot-set
-    /// index is swapped in cluster-wide (the mid-run re-offload path).
-    ///
-    /// Starts a new [`SwitchEpoch`]: recovery legitimately applies intents
-    /// whose packets never reached the switch, so the checker baseline moves
-    /// here. Call only while switch traffic is quiesced
-    /// ([`Cluster::quiesce_switch`]).
+    /// Crashes and recovers **every** switch of the topology in turn (see
+    /// [`Cluster::crash_and_recover_switch_at`]) and merges the reports —
+    /// the single-switch API, kept byte-compatible for existing callers.
     pub fn crash_and_recover_switch(&mut self, reoffload_seed: Option<u64>) -> Result<SwitchRecoveryReport> {
-        let pre_crash: HashMap<TupleId, u64> = self.control_plane.snapshot().into_iter().collect();
+        let mut merged: Option<SwitchRecoveryReport> = None;
+        for s in 0..self.switches.len() {
+            let report = self.crash_and_recover_switch_at(SwitchId(s as u16), reoffload_seed)?;
+            merged = Some(match merged {
+                None => report,
+                Some(mut acc) => {
+                    acc.outcome.values.extend(report.outcome.values);
+                    acc.outcome.completed += report.outcome.completed;
+                    acc.outcome.inflight_ordered += report.outcome.inflight_ordered;
+                    acc.outcome.inflight_unordered += report.outcome.inflight_unordered;
+                    acc.outcome.inconsistencies += report.outcome.inconsistencies;
+                    acc.restored_tuples += report.restored_tuples;
+                    acc.reoffloaded |= report.reoffloaded;
+                    acc.unexplained_divergences.extend(report.unexplained_divergences);
+                    acc
+                }
+            });
+        }
+        Ok(merged.expect("a cluster has at least one switch"))
+    }
 
-        // Recover from the serialised logs (round-tripping the format).
+    /// Simulates a crash + recovery of **one** switch from the node WALs
+    /// (§6.1, §A.3): its register state is lost, rebuilt by replaying the
+    /// *serialised* logs of all nodes in GID order (in-flight intents
+    /// ordered by data dependencies, Fig 9), and written back — either into
+    /// the existing placements, or, with `reoffload_seed`, into **fresh
+    /// register slots** chosen in a seeded random order, after which the
+    /// rebuilt hot-set index is swapped in cluster-wide (the mid-run
+    /// re-offload path).
+    ///
+    /// Only WAL records owned by this switch (by the tuples they touch) and
+    /// only the suffix since this switch's epoch start are replayed, against
+    /// the per-switch offload snapshot — other switches' epochs, registers
+    /// and traffic are untouched.
+    ///
+    /// Starts a new [`SwitchEpoch`] *for this switch*: recovery legitimately
+    /// applies intents whose packets never reached the switch, so the
+    /// checker baseline moves here, and the offload snapshot is recaptured.
+    /// Call only while switch traffic is quiesced
+    /// ([`Cluster::quiesce_switch`]).
+    pub fn crash_and_recover_switch_at(
+        &mut self,
+        switch: SwitchId,
+        reoffload_seed: Option<u64>,
+    ) -> Result<SwitchRecoveryReport> {
+        let s = switch.index();
+        if s >= self.switches.len() {
+            return Err(Error::InvalidConfig(format!("no {switch} in a {}-switch topology", self.switches.len())));
+        }
+        let pre_crash: HashMap<TupleId, u64> = self.control_planes[s].snapshot().into_iter().collect();
+        let owned: HashSet<TupleId> = self.control_planes[s].placements().map(|(t, _)| t).collect();
+
+        // Recover from the serialised logs (round-tripping the format),
+        // sliced to this switch's epoch and filtered to the records it owns
+        // — a cross-switch transaction logs one intent/result pair *per
+        // switch* under the same TxnId, and ownership filtering is what
+        // keeps each switch's view collision-free.
+        let epoch_wal_start = self.epochs[s].wal_start.clone();
         let mut wals = Vec::with_capacity(self.shared.num_nodes());
-        for storage in &self.shared.nodes {
+        for (n, storage) in self.shared.nodes.iter().enumerate() {
             let serialized = storage.wal().serialize();
-            let wal = Wal::deserialize(&serialized)
+            let full = Wal::deserialize(&serialized)
                 .map_err(|e| Error::InvalidConfig(format!("WAL round-trip failed during recovery: {e}")))?;
-            wals.push(wal);
+            let start = epoch_wal_start.get(n).copied().unwrap_or(0).min(full.len());
+            let filtered = Wal::new();
+            for record in full.records().into_iter().skip(start) {
+                let keep = match &record {
+                    LogRecord::SwitchIntent { ops, .. } => ops.first().is_some_and(|op| owned.contains(&op.tuple)),
+                    LogRecord::SwitchResult { results, .. } => results.first().is_some_and(|(t, _)| owned.contains(t)),
+                    _ => false,
+                };
+                if keep {
+                    filtered.append(record);
+                }
+            }
+            wals.push(filtered);
         }
         let wal_refs: Vec<&Wal> = wals.iter().collect();
-        let outcome = recover_switch_state(&self.offload_snapshot, &wal_refs);
+        let outcome = recover_switch_state(&self.offload_snapshots[s], &wal_refs);
 
         // Intents without a result record are in-flight as far as the logs
         // are concerned: recovery chooses *a* valid position for them (§A.3
@@ -597,29 +794,37 @@ impl Cluster {
             }
         }
 
-        // The crash: register memory is gone. Restore it — into fresh
-        // placements when re-offloading.
-        let mut original: Vec<(TupleId, p4db_switch::RegisterSlot)> = self.control_plane.placements().collect();
+        // The crash: this switch's register memory is gone. Restore it —
+        // into fresh placements when re-offloading. Ownership is stable:
+        // recovery never migrates tuples between switches, only reshuffles
+        // slots within the crashed one.
+        let control_plane = &mut self.control_planes[s];
+        let mut original: Vec<(TupleId, p4db_switch::RegisterSlot)> = control_plane.placements().collect();
         // Cell indices are assigned in next_free order, so replaying inserts
         // in slot order reproduces the original placement exactly.
         original.sort_by_key(|&(_, slot)| (slot.stage, slot.array, slot.index));
         let recovered_value = |tuple: TupleId| {
             outcome.values.get(&tuple).copied().unwrap_or_else(|| pre_crash.get(&tuple).copied().unwrap_or(0))
         };
+        let swap_index = |planes: &[ControlPlane], shared: &EngineShared| {
+            shared.hot_index.swap(Arc::new(HotSetIndex::from_control_planes(
+                planes.iter().enumerate().map(|(i, cp)| (SwitchId(i as u16), cp)),
+            )));
+        };
         let reoffloaded = if let Some(seed) = reoffload_seed {
             let widths: HashMap<TupleId, usize> =
                 self.workload.hot_tuples(self.config.num_nodes).into_iter().map(|h| (h.tuple, h.byte_width)).collect();
-            self.control_plane.reset();
+            control_plane.reset();
             // Seeded shuffle so the new placement differs from the old one.
             let mut order: Vec<TupleId> = original.iter().map(|&(t, _)| t).collect();
-            let mut rng = FastRng::new(seed ^ 0x0FF_10AD);
+            let mut rng = FastRng::new(seed ^ 0x0FF_10AD ^ switch.0 as u64);
             for i in (1..order.len()).rev() {
                 order.swap(i, rng.pick(i + 1));
             }
             let mut failure = None;
             for &tuple in &order {
                 let width = widths.get(&tuple).copied().unwrap_or(8);
-                if let Err(e) = self.control_plane.offload_anywhere(tuple, width, recovered_value(tuple)) {
+                if let Err(e) = control_plane.offload_anywhere(tuple, width, recovered_value(tuple)) {
                     failure = Some(e);
                     break;
                 }
@@ -629,32 +834,36 @@ impl Cluster {
                 // index over reshuffled registers: rebuild the *original*
                 // placement (which held every tuple before the crash), then
                 // report the failure.
-                self.control_plane.reset();
+                control_plane.reset();
                 for &(tuple, slot) in &original {
                     let width = widths.get(&tuple).copied().unwrap_or(8);
-                    self.control_plane.offload_into(tuple, slot.stage, slot.array, width, recovered_value(tuple))?;
+                    control_plane.offload_into(tuple, slot.stage, slot.array, width, recovered_value(tuple))?;
                 }
-                self.shared.hot_index.swap(Arc::new(HotSetIndex::from_control_plane(&self.control_plane)));
+                swap_index(&self.control_planes, &self.shared);
                 return Err(e);
             }
-            self.shared.hot_index.swap(Arc::new(HotSetIndex::from_control_plane(&self.control_plane)));
+            swap_index(&self.control_planes, &self.shared);
             true
         } else {
-            self.control_plane.crash_data();
+            control_plane.crash_data();
             let restore: Vec<(TupleId, u64)> = original.iter().map(|&(t, _)| (t, recovered_value(t))).collect();
-            self.control_plane.restore(&restore);
+            control_plane.restore(&restore);
             false
         };
 
-        // New epoch: the restored values are the checker's new baseline.
-        self.epoch = SwitchEpoch {
-            baseline: self.control_plane.snapshot().into_iter().collect(),
-            audit_start: self.switch.audit_len(),
+        // New epoch for this switch: the restored values are the checker's
+        // new baseline, and the offload snapshot is recaptured so the next
+        // recovery of this switch replays only the new epoch's WAL suffix
+        // against a never-stale baseline.
+        self.epochs[s] = SwitchEpoch {
+            baseline: self.control_planes[s].snapshot().into_iter().collect(),
+            audit_start: self.switches[s].audit_len(),
             wal_start: self.shared.nodes.iter().map(|n| n.wal().len()).collect(),
         };
+        self.offload_snapshots[s] = self.epochs[s].baseline.clone();
 
         Ok(SwitchRecoveryReport {
-            restored_tuples: self.epoch.baseline.len(),
+            restored_tuples: self.epochs[s].baseline.len(),
             outcome,
             reoffloaded,
             unexplained_divergences,
@@ -950,6 +1159,106 @@ mod tests {
         // The audit log was forced on and tracks executions.
         assert!(cluster.quiesce_switch(Duration::from_secs(5)));
         assert_eq!(cluster.switch_audit().len() as u64, cluster.switch_stats().txns_executed);
+    }
+
+    #[test]
+    fn two_switch_cluster_partitions_the_hot_set_and_commits() {
+        let cluster = Cluster::builder(small_ycsb()).test_profile().switches(2).build();
+        assert_eq!(cluster.num_switches(), 2);
+        assert_eq!(cluster.offloaded_tuples(), 100, "the full hot set is offloaded across the topology");
+        let index = cluster.shared().hot_index.load();
+        for s in 0..2u16 {
+            let owned = index.iter_with_owner().filter(|&(_, sw, _)| sw == SwitchId(s)).count();
+            assert_eq!(owned, 50, "balanced capacity forces an even split, switch{s} holds {owned}");
+            assert_eq!(cluster.control_plane_at(SwitchId(s)).offloaded_tuples(), owned);
+        }
+        // Every hot tuple is readable through the topology-wide view.
+        for (tuple, _) in index.iter() {
+            assert!(cluster.switch_value(tuple).is_some(), "{tuple} unreadable");
+        }
+        let stats = cluster.run_for(Duration::from_millis(200));
+        assert!(stats.merged.committed_total() > 100);
+        assert!(stats.merged.committed_hot > 0, "hot transactions execute on the switches");
+        for s in 0..2u16 {
+            assert!(
+                cluster.switch_stats_at(SwitchId(s)).txns_executed > 0,
+                "switch{s} received no traffic — routing is not per-owner"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_switch_topologies_are_invalid_configs() {
+        match Cluster::builder(small_ycsb()).test_profile().switches(0).try_build() {
+            Err(Error::InvalidConfig(msg)) => assert!(msg.contains("switch"), "{msg}"),
+            other => panic!("a zero-switch cluster must not build: {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn multi_switch_hot_set_over_aggregate_capacity_is_an_invalid_config() {
+        // 2 switches × 48 cells < 100 hot tuples: the multi-switch splitter
+        // rejects the topology instead of silently capping (the cap is the
+        // documented single-switch Fig 17 behaviour).
+        let tiny = SwitchConfig { slots_per_array: 6, ..SwitchConfig::tiny() };
+        assert_eq!(tiny.total_slots(), 48);
+        match Cluster::builder(small_ycsb()).test_profile().switch(tiny).switches(2).try_build() {
+            Err(Error::InvalidConfig(msg)) => assert!(msg.contains("aggregate"), "{msg}"),
+            other => panic!("an oversubscribed multi-switch cluster must not build: {:?}", other.map(|_| ())),
+        }
+        // The same geometry with one switch keeps the capping semantics.
+        let capped = Cluster::builder(small_ycsb()).test_profile().switch(tiny).build();
+        assert_eq!(capped.offloaded_tuples(), 48);
+    }
+
+    #[test]
+    fn per_switch_crash_recovery_touches_only_the_crashed_switch() {
+        let workload: Arc<dyn Workload> =
+            Arc::new(SmallBank::new(SmallBankConfig { customers_per_node: 2_000, ..SmallBankConfig::default() }));
+        let mut cluster = Cluster::builder(workload).test_profile().switches(2).build();
+        let _ = cluster.run_for(Duration::from_millis(150));
+        assert!(cluster.quiesce_switch(Duration::from_secs(5)));
+
+        let live0 = cluster.control_plane_at(SwitchId(0)).snapshot();
+        let live1 = cluster.control_plane_at(SwitchId(1)).snapshot();
+        let audit0 = cluster.switch_epoch_at(SwitchId(0)).audit_start;
+
+        // Crash switch 1 only: its values come back, switch 0's epoch and
+        // registers are untouched.
+        let report = cluster.crash_and_recover_switch_at(SwitchId(1), None).unwrap();
+        assert!(!report.reoffloaded);
+        assert!(report.unexplained_divergences.is_empty(), "{:?}", report.unexplained_divergences);
+        assert_eq!(cluster.control_plane_at(SwitchId(1)).snapshot(), live1);
+        assert_eq!(cluster.control_plane_at(SwitchId(0)).snapshot(), live0);
+        assert_eq!(cluster.switch_epoch_at(SwitchId(0)).audit_start, audit0, "switch 0's epoch must not move");
+        assert_eq!(
+            cluster.switch_epoch_at(SwitchId(1)).audit_start,
+            cluster.switch_audit_at(SwitchId(1)).len(),
+            "switch 1 starts a fresh epoch"
+        );
+        // Satellite: the crashed switch's offload snapshot was recaptured.
+        assert_eq!(
+            cluster.offload_snapshot_at(SwitchId(1)),
+            &cluster.switch_epoch_at(SwitchId(1)).baseline.clone(),
+            "snapshot must equal the new epoch baseline"
+        );
+
+        // A seeded re-offload of switch 1 moves placements there only.
+        let slots_before0: HashMap<TupleId, _> = cluster.control_plane_at(SwitchId(0)).placements().collect();
+        let report = cluster.crash_and_recover_switch_at(SwitchId(1), Some(9)).unwrap();
+        assert!(report.reoffloaded);
+        assert!(report.unexplained_divergences.is_empty(), "{:?}", report.unexplained_divergences);
+        let slots_after0: HashMap<TupleId, _> = cluster.control_plane_at(SwitchId(0)).placements().collect();
+        assert_eq!(slots_before0, slots_after0, "switch 0's placements must not move");
+        for (tuple, value) in &live1 {
+            assert_eq!(cluster.switch_value(*tuple), Some(*value), "value of {tuple} lost in re-offload");
+        }
+        // Recovering a switch outside the topology is a structured error.
+        assert!(matches!(cluster.crash_and_recover_switch_at(SwitchId(7), None), Err(Error::InvalidConfig(_))));
+
+        // The cluster still serves hot traffic on both switches.
+        let stats = cluster.run_for(Duration::from_millis(150));
+        assert!(stats.merged.committed_hot > 0);
     }
 
     #[test]

@@ -14,5 +14,5 @@ pub mod session;
 
 pub use builder::ClusterBuilder;
 pub use cluster::{Cluster, ClusterConfig, NodeRecoveryReport, SwitchEpoch, SwitchRecoveryReport};
-pub use report::{fmt_speedup, fmt_tps, speedup, BenchPoint, FigureTable};
+pub use report::{fmt_class_mix, fmt_speedup, fmt_tps, speedup, BenchPoint, FigureTable};
 pub use session::{Pending, Session, DEFAULT_MAX_ATTEMPTS};

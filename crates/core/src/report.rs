@@ -130,6 +130,19 @@ pub fn fmt_speedup(speedup: f64) -> String {
     format!("{speedup:.2}x")
 }
 
+/// Formats a run's transaction-class mix: hot / warm / cold commits plus the
+/// cross-switch fallbacks — transactions whose hot set spanned more than one
+/// switch and were demoted to the host 2PL path (always 0 in a single-switch
+/// topology). The multi-switch figures print this next to the throughput so
+/// a poor switch assignment is visible as a high `xswitch` share.
+pub fn fmt_class_mix(stats: &RunStats) -> String {
+    let m = &stats.merged;
+    format!(
+        "hot={} warm={} cold={} xswitch={}",
+        m.committed_hot, m.committed_warm, m.committed_cold, m.cross_switch_fallback
+    )
+}
+
 /// Speedup of `system` over `baseline` throughput.
 pub fn speedup(system: &RunStats, baseline: &RunStats) -> f64 {
     let base = baseline.throughput();
@@ -181,6 +194,16 @@ mod tests {
         assert_eq!(fmt_tps(1_500.0), "1.5K");
         assert_eq!(fmt_tps(2_500_000.0), "2.50M");
         assert_eq!(fmt_tps(12.0), "12");
+    }
+
+    #[test]
+    fn class_mix_reports_cross_switch_fallbacks() {
+        let mut w = WorkerStats::new();
+        w.record_commit(TxnClass::Hot, Duration::from_micros(1));
+        w.record_commit(TxnClass::Warm, Duration::from_micros(1));
+        w.cross_switch_fallback = 3;
+        let stats = RunStats::from_workers([&w], Duration::from_secs(1));
+        assert_eq!(fmt_class_mix(&stats), "hot=1 warm=1 cold=0 xswitch=3");
     }
 
     #[test]

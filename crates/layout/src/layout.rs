@@ -10,10 +10,74 @@
 //! sets too large to justify graph construction (Fig 17).
 
 use crate::graph::{AccessGraph, TxnTrace};
-use crate::maxcut::max_cut;
+use crate::maxcut::{assign_switches, max_cut};
 use p4db_common::rand_util::FastRng;
 use p4db_common::TupleId;
 use std::collections::{HashMap, HashSet};
+
+/// Assigns every hot tuple to exactly one switch of a multi-switch topology:
+/// the first level of the multi-switch layout, run *before* the per-switch
+/// [`LayoutPlanner`] places each switch's share onto its own pipeline.
+///
+/// Tuples that co-occur in the traces are kept on the same switch where the
+/// per-switch `capacity` allows (each crossing pair is a transaction that
+/// falls back to the host path); tuples never seen in a trace fill the
+/// least-loaded switches. Deterministic for a given `(inputs, seed)` pair,
+/// and every hot tuple lands on exactly one switch.
+///
+/// # Panics
+/// Panics if the hot set does not fit (`hot_tuples.len() > num_switches *
+/// capacity`) or if `num_switches == 0`.
+pub fn assign_tuples_to_switches(
+    hot_tuples: &[TupleId],
+    traces: &[TxnTrace],
+    num_switches: usize,
+    capacity: usize,
+    seed: u64,
+) -> Vec<Vec<TupleId>> {
+    assert!(num_switches > 0, "need at least one switch");
+    assert!(
+        hot_tuples.len() <= num_switches * capacity,
+        "hot set of {} tuples does not fit onto {num_switches} switches of {capacity}",
+        hot_tuples.len()
+    );
+    if num_switches == 1 {
+        return vec![hot_tuples.to_vec()];
+    }
+
+    // Affinity assignment over the hot-projected access graph (cold accesses
+    // carry no cross-switch cost, so they are dropped first).
+    let sub_traces = project_traces(traces, hot_tuples);
+    let graph = AccessGraph::from_traces(&sub_traces);
+    let hot_set: HashSet<TupleId> = hot_tuples.iter().copied().collect();
+    let mut members: Vec<Vec<TupleId>> = vec![Vec::new(); num_switches];
+    let mut assigned: HashSet<TupleId> = HashSet::new();
+    if !graph.is_empty() {
+        let assignment = assign_switches(&graph, num_switches, capacity, seed);
+        for (node, &tuple) in graph.tuples().iter().enumerate() {
+            if hot_set.contains(&tuple) {
+                members[assignment.switch_of[node]].push(tuple);
+                assigned.insert(tuple);
+            }
+        }
+    }
+
+    // Untraced hot tuples: fill the least-loaded switch (first on ties, so
+    // the result does not depend on iteration luck).
+    for &tuple in hot_tuples {
+        if assigned.contains(&tuple) {
+            continue;
+        }
+        let (s, _) = members
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.len() < capacity)
+            .min_by_key(|(s, m)| (m.len(), *s))
+            .expect("capacity checked at entry");
+        members[s].push(tuple);
+    }
+    members
+}
 
 /// A register array position on the switch (the cell index within the array
 /// is assigned later by the switch control plane during offload).
@@ -488,5 +552,54 @@ mod tests {
     fn empty_traces_give_full_single_pass_fraction() {
         let layout = DataLayout::new();
         assert_eq!(single_pass_fraction(&layout, &[]), 1.0);
+    }
+
+    #[test]
+    fn switch_assignment_covers_every_tuple_exactly_once() {
+        let traces = dependent_traces(); // uses tuples 0..16
+        let tuples: Vec<_> = (0..24).map(t).collect(); // 8 extra untraced
+        let members = assign_tuples_to_switches(&tuples, &traces, 3, 8, 9);
+        assert_eq!(members.len(), 3);
+        let mut seen: Vec<TupleId> = members.iter().flatten().copied().collect();
+        assert_eq!(seen.len(), 24, "every hot tuple assigned");
+        seen.sort_by_key(|t| t.key);
+        seen.dedup();
+        assert_eq!(seen.len(), 24, "no tuple assigned twice");
+        for m in &members {
+            assert!(m.len() <= 8, "switch over capacity: {}", m.len());
+        }
+    }
+
+    #[test]
+    fn switch_assignment_keeps_traced_pairs_on_one_switch() {
+        let traces = dependent_traces();
+        let tuples: Vec<_> = (0..16).map(t).collect();
+        let members = assign_tuples_to_switches(&tuples, &traces, 2, 8, 5);
+        let switch_of = |tuple: TupleId| members.iter().position(|m| m.contains(&tuple)).unwrap();
+        for i in 0..8u64 {
+            assert_eq!(
+                switch_of(t(2 * i)),
+                switch_of(t(2 * i + 1)),
+                "co-accessed pair ({}, {}) split across switches",
+                2 * i,
+                2 * i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn switch_assignment_is_deterministic() {
+        let traces = dependent_traces();
+        let tuples: Vec<_> = (0..24).map(t).collect();
+        let a = assign_tuples_to_switches(&tuples, &traces, 3, 8, 11);
+        let b = assign_tuples_to_switches(&tuples, &traces, 3, 8, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_switch_assignment_is_the_identity() {
+        let tuples: Vec<_> = (0..5).map(t).collect();
+        let members = assign_tuples_to_switches(&tuples, &[], 1, 16, 3);
+        assert_eq!(members, vec![tuples]);
     }
 }

@@ -21,6 +21,9 @@ pub mod maxcut;
 pub mod replay;
 
 pub use graph::{AccessGraph, TraceAccess, TxnTrace};
-pub use layout::{single_pass_fraction, trace_is_single_pass, DataLayout, LayoutPlanner, LayoutStrategy, StageArray};
-pub use maxcut::{cut_value, max_cut, Partitioning};
+pub use layout::{
+    assign_tuples_to_switches, single_pass_fraction, trace_is_single_pass, DataLayout, LayoutPlanner, LayoutStrategy,
+    StageArray,
+};
+pub use maxcut::{assign_switches, cut_value, max_cut, Partitioning, SwitchAssignment};
 pub use replay::HotSetDetector;

@@ -151,6 +151,187 @@ pub fn max_cut(graph: &AccessGraph, num_partitions: usize, capacity: usize, seed
     Partitioning { partition_of, num_partitions, cut_weight, intra_weight }
 }
 
+/// Result of assigning graph nodes to the switches of a multi-switch
+/// topology (same node indexing as [`AccessGraph::tuples`]).
+///
+/// This is the *complement* of [`Partitioning`]: where the max-cut spreads
+/// co-accessed tuples across the register arrays *within* one pipeline
+/// (crossing arrays is free, staying costs a pass), the switch assignment
+/// keeps co-accessed tuples *together* on one switch — every edge crossing a
+/// switch boundary is a transaction that can no longer run abort-free on a
+/// single pipeline and falls back to the host path.
+#[derive(Clone, Debug)]
+pub struct SwitchAssignment {
+    /// Owning switch index for every graph node.
+    pub switch_of: Vec<usize>,
+    pub num_switches: usize,
+    /// Total co-access weight crossing switches (what cross-switch fallbacks
+    /// are made of — the objective minimises this).
+    pub cross_weight: u64,
+    /// Total co-access weight kept within one switch.
+    pub intra_weight: u64,
+}
+
+impl SwitchAssignment {
+    /// Members of each switch.
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut members = vec![Vec::new(); self.num_switches];
+        for (node, &s) in self.switch_of.iter().enumerate() {
+            members[s].push(node);
+        }
+        members
+    }
+}
+
+/// Assigns the graph's nodes to `num_switches` switches of at most
+/// `capacity` nodes each, *minimising* the co-access weight that crosses a
+/// switch boundary. Deterministic for a given `(graph, seed)` pair.
+///
+/// Without a capacity bound the trivial optimum puts everything on one
+/// switch; callers that want the load spread (every multi-switch topology
+/// does — an idle switch scales nothing) pass a balanced capacity, e.g.
+/// `hot_set_size.div_ceil(num_switches)`.
+///
+/// # Panics
+/// Panics like [`max_cut`] if the graph cannot fit.
+pub fn assign_switches(graph: &AccessGraph, num_switches: usize, capacity: usize, seed: u64) -> SwitchAssignment {
+    let n = graph.len();
+    if n == 0 {
+        return SwitchAssignment { switch_of: Vec::new(), num_switches, cross_weight: 0, intra_weight: 0 };
+    }
+    assert!(num_switches > 0 && capacity > 0, "need at least one switch with capacity");
+    assert!(
+        n <= num_switches * capacity,
+        "hot set of {n} tuples does not fit onto {num_switches} switches of {capacity}"
+    );
+
+    let mut adj: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+    for (u, v, w) in graph.edges() {
+        if u < v {
+            let total = w + graph.weight(v, u);
+            adj[u].push((v, total));
+            adj[v].push((u, total));
+        } else if graph.weight(v, u) == 0 {
+            adj[u].push((v, w));
+            adj[v].push((u, w));
+        }
+    }
+
+    // Greedy: most-accessed nodes choose first, each taking the switch it has
+    // the most co-access affinity with; ties go to the least-loaded switch
+    // (then a seeded coin), which spreads affinity-free nodes evenly.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(graph.frequency(i)));
+
+    let mut switch_of = vec![usize::MAX; n];
+    let mut sizes = vec![0usize; num_switches];
+    let mut rng = FastRng::new(seed ^ 0x5117_C4A5);
+
+    for &node in &order {
+        let mut weight_to = vec![0u64; num_switches];
+        for &(other, w) in &adj[node] {
+            let s = switch_of[other];
+            if s != usize::MAX {
+                weight_to[s] += w;
+            }
+        }
+        let mut best: Option<(usize, u64, usize)> = None;
+        for s in 0..num_switches {
+            if sizes[s] >= capacity {
+                continue;
+            }
+            // Maximise affinity; break ties by smaller size, then randomly.
+            let better = match best {
+                None => true,
+                Some((_, bw, bs)) => {
+                    (weight_to[s], std::cmp::Reverse(sizes[s])) > (bw, std::cmp::Reverse(bs))
+                        || (weight_to[s] == bw && sizes[s] == bs && rng.gen_bool(0.5))
+                }
+            };
+            if better {
+                best = Some((s, weight_to[s], sizes[s]));
+            }
+        }
+        let (s, _, _) = best.expect("capacity check guarantees a free switch");
+        switch_of[node] = s;
+        sizes[s] += 1;
+    }
+
+    // First-improvement local search: move a node to the switch it has more
+    // affinity with, when that switch has room.
+    let max_sweeps = 8;
+    let affinity = |node: usize, switch_of: &[usize]| {
+        let mut weight_to = vec![0u64; num_switches];
+        for &(other, w) in &adj[node] {
+            weight_to[switch_of[other]] += w;
+        }
+        weight_to
+    };
+    for _ in 0..max_sweeps {
+        let mut improved = false;
+        for node in 0..n {
+            let current = switch_of[node];
+            let weight_to = affinity(node, &switch_of);
+            let mut best_s = current;
+            let mut best_w = weight_to[current];
+            for s in 0..num_switches {
+                if s != current && sizes[s] < capacity && weight_to[s] > best_w {
+                    best_s = s;
+                    best_w = weight_to[s];
+                }
+            }
+            if best_s != current {
+                sizes[current] -= 1;
+                sizes[best_s] += 1;
+                switch_of[node] = best_s;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    // Pairwise swaps repair what single moves cannot under tight capacity
+    // (a balanced topology fills every switch exactly, so a full switch
+    // blocks a move even when two nodes would both rather trade places).
+    // Quadratic in the graph size, so only run where it stays cheap — the
+    // greedy result already stands on larger hot sets.
+    if n <= 2048 {
+        for _ in 0..max_sweeps {
+            let mut improved = false;
+            for u in 0..n {
+                let wu = affinity(u, &switch_of);
+                let cu = switch_of[u];
+                for v in u + 1..n {
+                    let cv = switch_of[v];
+                    if cv == cu {
+                        continue;
+                    }
+                    let wv = affinity(v, &switch_of);
+                    let w_uv = adj[u].iter().find(|&&(o, _)| o == v).map_or(0, |&(_, w)| w);
+                    // Intra-switch weight gained by trading places; the u—v
+                    // edge itself stays cross either way, but it is counted
+                    // in both nodes' affinity to the other's switch.
+                    let gain = (wu[cv] + wv[cu]) as i64 - (wu[cu] + wv[cv]) as i64 - 2 * w_uv as i64;
+                    if gain > 0 {
+                        switch_of[u] = cv;
+                        switch_of[v] = cu;
+                        improved = true;
+                        break;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+    }
+
+    let (cross_weight, intra_weight) = cut_value(graph, &switch_of);
+    SwitchAssignment { switch_of, num_switches, cross_weight, intra_weight }
+}
+
 /// Returns `(cut_weight, intra_weight)` of an assignment.
 pub fn cut_value(graph: &AccessGraph, partition_of: &[usize]) -> (u64, u64) {
     let mut cut = 0u64;
@@ -254,6 +435,49 @@ mod tests {
         let diff = vec![0, 1];
         assert_eq!(cut_value(&g, &same), (0, 2));
         assert_eq!(cut_value(&g, &diff), (2, 0));
+    }
+
+    #[test]
+    fn switch_assignment_keeps_coaccessed_pairs_together() {
+        // Three heavy pairs: with two switches of capacity 4, every pair can
+        // stay whole on one switch (capacity 3 could not — a pair would have
+        // to straddle the boundary).
+        let mut traces = Vec::new();
+        for _ in 0..10 {
+            traces.push(pair_trace(1, 2));
+            traces.push(pair_trace(3, 4));
+            traces.push(pair_trace(5, 6));
+        }
+        let g = AccessGraph::from_traces(&traces);
+        let a = assign_switches(&g, 2, 4, 7);
+        assert_eq!(a.cross_weight, 0, "every co-accessed pair fits on one switch");
+        for trace in &traces[..3] {
+            let ids: Vec<_> = trace.tuples().iter().map(|&x| g.tuple_index(x).unwrap()).collect();
+            assert_eq!(a.switch_of[ids[0]], a.switch_of[ids[1]]);
+        }
+        let members = a.members();
+        assert_eq!(members.iter().map(Vec::len).sum::<usize>(), 6);
+        for m in members {
+            assert!(m.len() <= 4, "switch over capacity: {}", m.len());
+        }
+    }
+
+    #[test]
+    fn switch_assignment_is_deterministic_under_seed() {
+        let traces: Vec<_> = (0..20).map(|i| pair_trace(i % 13, (i * 7) % 13)).collect();
+        let g = AccessGraph::from_traces(&traces);
+        let a = assign_switches(&g, 4, 4, 42);
+        let b = assign_switches(&g, 4, 4, 42);
+        assert_eq!(a.switch_of, b.switch_of);
+        assert_eq!(a.cross_weight, b.cross_weight);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn switch_oversubscription_panics() {
+        let traces: Vec<_> = (0..10).map(|i| pair_trace(2 * i, 2 * i + 1)).collect();
+        let g = AccessGraph::from_traces(&traces);
+        let _ = assign_switches(&g, 2, 5, 1);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Network endpoints: every addressable entity on the simulated rack network.
 
-use p4db_common::{NodeId, WorkerId};
+use p4db_common::{NodeId, SwitchId, WorkerId};
 use std::fmt;
 
 /// An addressable endpoint on the rack network.
@@ -15,21 +15,30 @@ pub enum EndpointId {
     Node(NodeId),
     /// A specific worker thread on a node (switch transaction responses).
     Worker(NodeId, WorkerId),
-    /// The programmable switch's packet-processing engine.
-    Switch,
+    /// A programmable switch's packet-processing engine. Multi-switch
+    /// topologies register one such endpoint per switch.
+    Switch(SwitchId),
 }
 
 impl EndpointId {
-    /// Whether this endpoint lives on the switch.
+    /// Whether this endpoint lives on a switch.
     pub fn is_switch(self) -> bool {
-        matches!(self, EndpointId::Switch)
+        matches!(self, EndpointId::Switch(_))
     }
 
-    /// The node this endpoint belongs to (`None` for the switch).
+    /// The node this endpoint belongs to (`None` for switches).
     pub fn node(self) -> Option<NodeId> {
         match self {
             EndpointId::Node(n) | EndpointId::Worker(n, _) => Some(n),
-            EndpointId::Switch => None,
+            EndpointId::Switch(_) => None,
+        }
+    }
+
+    /// The switch this endpoint belongs to (`None` for host endpoints).
+    pub fn switch(self) -> Option<SwitchId> {
+        match self {
+            EndpointId::Switch(s) => Some(s),
+            _ => None,
         }
     }
 }
@@ -39,7 +48,7 @@ impl fmt::Display for EndpointId {
         match self {
             EndpointId::Node(n) => write!(f, "{n}"),
             EndpointId::Worker(n, w) => write!(f, "{n}/{w}"),
-            EndpointId::Switch => write!(f, "switch"),
+            EndpointId::Switch(s) => write!(f, "{s}"),
         }
     }
 }
@@ -52,8 +61,10 @@ mod tests {
     fn endpoint_node_extraction() {
         assert_eq!(EndpointId::Node(NodeId(3)).node(), Some(NodeId(3)));
         assert_eq!(EndpointId::Worker(NodeId(1), WorkerId(4)).node(), Some(NodeId(1)));
-        assert_eq!(EndpointId::Switch.node(), None);
-        assert!(EndpointId::Switch.is_switch());
+        assert_eq!(EndpointId::Switch(SwitchId(0)).node(), None);
+        assert_eq!(EndpointId::Switch(SwitchId(2)).switch(), Some(SwitchId(2)));
+        assert_eq!(EndpointId::Node(NodeId(0)).switch(), None);
+        assert!(EndpointId::Switch(SwitchId(0)).is_switch());
         assert!(!EndpointId::Node(NodeId(0)).is_switch());
     }
 
@@ -63,7 +74,14 @@ mod tests {
         let mut set = HashSet::new();
         set.insert(EndpointId::Node(NodeId(0)));
         set.insert(EndpointId::Worker(NodeId(0), WorkerId(0)));
-        set.insert(EndpointId::Switch);
-        assert_eq!(set.len(), 3);
+        set.insert(EndpointId::Switch(SwitchId(0)));
+        set.insert(EndpointId::Switch(SwitchId(1)));
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn switch_endpoints_display_their_id() {
+        assert_eq!(EndpointId::Switch(SwitchId(0)).to_string(), "switch0");
+        assert_eq!(EndpointId::Switch(SwitchId(3)).to_string(), "switch3");
     }
 }

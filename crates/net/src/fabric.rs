@@ -140,6 +140,10 @@ impl<M> Mailbox<M> {
 
 struct Registry<M> {
     endpoints: HashMap<EndpointId, Sender<Envelope<M>>>,
+    /// Cached senders of every `EndpointId::Node(_)` endpoint, maintained by
+    /// [`Fabric::register`], so the warm-decision multicast does not allocate
+    /// (or filter the whole registry) on every call.
+    node_senders: Vec<(EndpointId, Sender<Envelope<M>>)>,
 }
 
 /// Chaos-testing state attached to a fabric: the seeded fault decision
@@ -166,13 +170,17 @@ impl<M> Clone for Fabric<M> {
 
 impl<M> Fabric<M> {
     pub fn new(latency: LatencyModel) -> Self {
-        Fabric { registry: Arc::new(RwLock::new(Registry { endpoints: HashMap::new() })), latency, chaos: None }
+        Fabric {
+            registry: Arc::new(RwLock::new(Registry { endpoints: HashMap::new(), node_senders: Vec::new() })),
+            latency,
+            chaos: None,
+        }
     }
 
     /// A fabric that routes every unicast send through `injector`.
     pub fn with_faults(latency: LatencyModel, injector: Arc<FaultInjector>) -> Self {
         Fabric {
-            registry: Arc::new(RwLock::new(Registry { endpoints: HashMap::new() })),
+            registry: Arc::new(RwLock::new(Registry { endpoints: HashMap::new(), node_senders: Vec::new() })),
             latency,
             chaos: Some(Arc::new(ChaosState { injector, held: Mutex::new(HashMap::new()) })),
         }
@@ -201,8 +209,13 @@ impl<M> Fabric<M> {
     pub fn register(&self, id: EndpointId) -> Mailbox<M> {
         let (tx, rx) = unbounded();
         let mut reg = unpoison(self.registry.write());
-        let prev = reg.endpoints.insert(id, tx);
+        let prev = reg.endpoints.insert(id, tx.clone());
         assert!(prev.is_none(), "endpoint {id} registered twice");
+        // Keep the multicast cache in sync: registering a node endpoint is
+        // the only event that can change the node sender set.
+        if matches!(id, EndpointId::Node(_)) {
+            reg.node_senders.push((id, tx));
+        }
         Mailbox { id, rx }
     }
 
@@ -349,8 +362,8 @@ impl<M: Clone> Fabric<M> {
         self.latency.count_multicast();
         let reg = unpoison(self.registry.read());
         let mut sent = 0;
-        for (id, tx) in reg.endpoints.iter() {
-            if matches!(id, EndpointId::Node(_)) && tx.send(Envelope::new(src, *id, payload.clone())).is_ok() {
+        for (id, tx) in reg.node_senders.iter() {
+            if tx.send(Envelope::new(src, *id, payload.clone())).is_ok() {
                 sent += 1;
             }
         }
@@ -362,8 +375,11 @@ impl<M: Clone> Fabric<M> {
 mod tests {
     use super::*;
     use p4db_common::faults::{FaultKind, FaultPlan, NetFaultConfig};
-    use p4db_common::{LatencyConfig, NodeId, WorkerId};
+    use p4db_common::{LatencyConfig, NodeId, SwitchId, WorkerId};
     use std::thread;
+
+    /// The tests use a single-switch topology: switch 0 everywhere.
+    const SW: EndpointId = EndpointId::Switch(SwitchId(0));
 
     fn fabric() -> Fabric<u64> {
         Fabric::new(LatencyModel::new(LatencyConfig::zero()))
@@ -372,10 +388,10 @@ mod tests {
     #[test]
     fn send_and_receive_roundtrip() {
         let f = fabric();
-        let switch_mb = f.register(EndpointId::Switch);
+        let switch_mb = f.register(SW);
         let node = EndpointId::Node(NodeId(0));
         let _node_mb = f.register(node);
-        assert!(f.send(node, EndpointId::Switch, 7));
+        assert!(f.send(node, SW, 7));
         let env = switch_mb.try_recv().expect("message delivered");
         assert_eq!(env.payload, 7);
         assert_eq!(env.src, node);
@@ -386,15 +402,15 @@ mod tests {
         let f = fabric();
         let node = EndpointId::Node(NodeId(0));
         let _mb = f.register(node);
-        assert!(!f.send(node, EndpointId::Switch, 1));
+        assert!(!f.send(node, SW, 1));
     }
 
     #[test]
     #[should_panic(expected = "registered twice")]
     fn duplicate_registration_panics() {
         let f = fabric();
-        let _a = f.register(EndpointId::Switch);
-        let _b = f.register(EndpointId::Switch);
+        let _a = f.register(SW);
+        let _b = f.register(SW);
     }
 
     #[test]
@@ -403,7 +419,7 @@ mod tests {
         let n0 = f.register(EndpointId::Node(NodeId(0)));
         let n1 = f.register(EndpointId::Node(NodeId(1)));
         let w = f.register(EndpointId::Worker(NodeId(0), WorkerId(0)));
-        let sent = f.multicast_to_nodes(EndpointId::Switch, 99);
+        let sent = f.multicast_to_nodes(SW, 99);
         assert_eq!(sent, 2);
         assert_eq!(n0.try_recv().unwrap().payload, 99);
         assert_eq!(n1.try_recv().unwrap().payload, 99);
@@ -413,12 +429,12 @@ mod tests {
     #[test]
     fn mailbox_blocks_until_message_arrives() {
         let f = fabric();
-        let mb = f.register(EndpointId::Switch);
+        let mb = f.register(SW);
         let sender = f.clone();
         let handle = thread::spawn(move || {
             let node = EndpointId::Node(NodeId(4));
             let _mb = sender.register(node);
-            sender.send(node, EndpointId::Switch, 1234)
+            sender.send(node, SW, 1234)
         });
         let env = mb.recv_timeout(Duration::from_secs(5)).msg().expect("delivered");
         assert_eq!(env.payload, 1234);
@@ -428,7 +444,7 @@ mod tests {
     #[test]
     fn recv_timeout_distinguishes_timeout_from_disconnect() {
         let f = fabric();
-        let mb = f.register(EndpointId::Switch);
+        let mb = f.register(SW);
         // Senders (fabric clones) still alive: a short wait times out.
         assert!(mb.recv_timeout(Duration::from_millis(5)).is_timeout());
         // Dropping the whole fabric (all senders) disconnects the mailbox.
@@ -439,11 +455,11 @@ mod tests {
     #[test]
     fn mailbox_len_tracks_backlog() {
         let f = fabric();
-        let mb = f.register(EndpointId::Switch);
+        let mb = f.register(SW);
         let node = EndpointId::Node(NodeId(0));
         let _n = f.register(node);
         for i in 0..5 {
-            f.send(node, EndpointId::Switch, i);
+            f.send(node, SW, i);
         }
         assert_eq!(mb.len(), 5);
         assert!(!mb.is_empty());
@@ -454,12 +470,12 @@ mod tests {
     #[test]
     fn send_frame_delivers_in_order_and_drains_as_a_batch() {
         let f = fabric();
-        let mb = f.register(EndpointId::Switch);
+        let mb = f.register(SW);
         let node = EndpointId::Node(NodeId(0));
         let _n = f.register(node);
-        assert!(f.send_frame(node, EndpointId::Switch, vec![1, 2, 3]));
-        assert!(f.send_frame(node, EndpointId::Switch, Vec::new()), "empty frame is a no-op");
-        assert!(f.send(node, EndpointId::Switch, 4));
+        assert!(f.send_frame(node, SW, vec![1, 2, 3]));
+        assert!(f.send_frame(node, SW, Vec::new()), "empty frame is a no-op");
+        assert!(f.send(node, SW, 4));
         match mb.recv_batch_timeout(Duration::from_secs(5), 16) {
             BatchRecvOutcome::Frame(envs) => {
                 assert_eq!(envs.iter().map(|e| e.payload).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
@@ -477,16 +493,16 @@ mod tests {
         let f = fabric();
         let node = EndpointId::Node(NodeId(0));
         let _n = f.register(node);
-        assert!(!f.send_frame(node, EndpointId::Switch, vec![1]));
+        assert!(!f.send_frame(node, SW, vec![1]));
     }
 
     #[test]
     fn recv_batch_caps_at_max() {
         let f = fabric();
-        let mb = f.register(EndpointId::Switch);
+        let mb = f.register(SW);
         let node = EndpointId::Node(NodeId(0));
         let _n = f.register(node);
-        f.send_frame(node, EndpointId::Switch, (0..10).collect());
+        f.send_frame(node, SW, (0..10).collect());
         match mb.recv_batch_timeout(Duration::from_secs(1), 4) {
             BatchRecvOutcome::Frame(envs) => assert_eq!(envs.len(), 4),
             other => panic!("unexpected {other:?}"),
@@ -503,11 +519,11 @@ mod tests {
     #[test]
     fn dropped_messages_report_success_but_never_arrive() {
         let f = chaos_fabric(NetFaultConfig { drop_prob: 1.0, max_faults: u64::MAX, ..NetFaultConfig::none() });
-        let mb = f.register(EndpointId::Switch);
+        let mb = f.register(SW);
         let node = EndpointId::Node(NodeId(0));
         let _n = f.register(node);
         for i in 0..10 {
-            assert!(f.send(node, EndpointId::Switch, i), "drops are invisible to the sender");
+            assert!(f.send(node, SW, i), "drops are invisible to the sender");
         }
         assert!(mb.is_empty());
         assert_eq!(f.faults_injected(), 10);
@@ -517,14 +533,14 @@ mod tests {
     #[test]
     fn held_back_message_is_delivered_after_the_next_one() {
         let f = chaos_fabric(NetFaultConfig { reorder_prob: 1.0, max_faults: 1, ..NetFaultConfig::none() });
-        let mb = f.register(EndpointId::Switch);
+        let mb = f.register(SW);
         let node = EndpointId::Node(NodeId(0));
         let _n = f.register(node);
         // First send is held back (budget 1), second is delivered and
         // releases the first: arrival order is 2, 1.
-        assert!(f.send(node, EndpointId::Switch, 1));
+        assert!(f.send(node, SW, 1));
         assert!(mb.is_empty());
-        assert!(f.send(node, EndpointId::Switch, 2));
+        assert!(f.send(node, SW, 2));
         assert_eq!(mb.try_recv().unwrap().payload, 2);
         assert_eq!(mb.try_recv().unwrap().payload, 1);
     }
@@ -532,10 +548,10 @@ mod tests {
     #[test]
     fn flush_faults_delivers_stranded_holdbacks() {
         let f = chaos_fabric(NetFaultConfig { reorder_prob: 1.0, max_faults: 1, ..NetFaultConfig::none() });
-        let mb = f.register(EndpointId::Switch);
+        let mb = f.register(SW);
         let node = EndpointId::Node(NodeId(0));
         let _n = f.register(node);
-        assert!(f.send(node, EndpointId::Switch, 7));
+        assert!(f.send(node, SW, 7));
         assert!(mb.is_empty());
         f.flush_faults();
         assert_eq!(mb.try_recv().unwrap().payload, 7);
@@ -547,13 +563,13 @@ mod tests {
     #[test]
     fn dropped_frames_vanish_whole() {
         let f = chaos_fabric(NetFaultConfig { drop_prob: 1.0, max_faults: 1, ..NetFaultConfig::none() });
-        let mb = f.register(EndpointId::Switch);
+        let mb = f.register(SW);
         let node = EndpointId::Node(NodeId(0));
         let _n = f.register(node);
         // One fault budget: the first frame is dropped in its entirety, the
         // second arrives in its entirety.
-        assert!(f.send_frame(node, EndpointId::Switch, vec![1, 2, 3]));
-        assert!(f.send_frame(node, EndpointId::Switch, vec![4, 5]));
+        assert!(f.send_frame(node, SW, vec![1, 2, 3]));
+        assert!(f.send_frame(node, SW, vec![4, 5]));
         let got: Vec<u64> = std::iter::from_fn(|| mb.try_recv().map(|e| e.payload)).collect();
         assert_eq!(got, vec![4, 5], "frames are the unit of loss: no partial delivery");
         assert_eq!(f.faults_injected(), 1);
@@ -562,12 +578,12 @@ mod tests {
     #[test]
     fn held_back_frames_stay_contiguous_when_released() {
         let f = chaos_fabric(NetFaultConfig { reorder_prob: 1.0, max_faults: 1, ..NetFaultConfig::none() });
-        let mb = f.register(EndpointId::Switch);
+        let mb = f.register(SW);
         let node = EndpointId::Node(NodeId(0));
         let _n = f.register(node);
-        assert!(f.send_frame(node, EndpointId::Switch, vec![1, 2]));
+        assert!(f.send_frame(node, SW, vec![1, 2]));
         assert!(mb.is_empty(), "whole frame held back");
-        assert!(f.send_frame(node, EndpointId::Switch, vec![3, 4]));
+        assert!(f.send_frame(node, SW, vec![3, 4]));
         let got: Vec<u64> = std::iter::from_fn(|| mb.try_recv().map(|e| e.payload)).collect();
         assert_eq!(got, vec![3, 4, 1, 2], "overtaken frame is released intact, after the fresh one");
     }
@@ -575,11 +591,11 @@ mod tests {
     #[test]
     fn budget_exhaustion_restores_normal_delivery() {
         let f = chaos_fabric(NetFaultConfig { drop_prob: 1.0, max_faults: 3, ..NetFaultConfig::none() });
-        let mb = f.register(EndpointId::Switch);
+        let mb = f.register(SW);
         let node = EndpointId::Node(NodeId(0));
         let _n = f.register(node);
         for i in 0..10 {
-            f.send(node, EndpointId::Switch, i);
+            f.send(node, SW, i);
         }
         // The first three were dropped; everything after the budget arrives.
         let received: Vec<u64> = std::iter::from_fn(|| mb.try_recv().map(|e| e.payload)).collect();

@@ -19,7 +19,7 @@
 
 use crate::endpoint::EndpointId;
 use crate::message::Envelope;
-use p4db_common::{NodeId, WorkerId};
+use p4db_common::{NodeId, SwitchId, WorkerId};
 use std::collections::HashMap;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -152,7 +152,7 @@ fn endpoint_key(ep: EndpointId) -> (u8, u16, u16) {
     match ep {
         EndpointId::Node(n) => (0, n.0, 0),
         EndpointId::Worker(n, w) => (1, n.0, w.0),
-        EndpointId::Switch => (2, 0, 0),
+        EndpointId::Switch(s) => (2, s.0, 0),
     }
 }
 
@@ -170,7 +170,7 @@ fn decode_endpoint(bytes: &[u8], at: usize) -> Result<EndpointId, FrameCodecErro
     match tag {
         0 => Ok(EndpointId::Node(NodeId(a))),
         1 => Ok(EndpointId::Worker(NodeId(a), WorkerId(b))),
-        2 => Ok(EndpointId::Switch),
+        2 => Ok(EndpointId::Switch(SwitchId(a))),
         other => Err(FrameCodecError::new(at, format!("unknown endpoint tag {other}"))),
     }
 }
@@ -271,14 +271,18 @@ mod tests {
     fn env(key: u8) -> Envelope<Vec<u8>> {
         Envelope::new(
             EndpointId::Worker(NodeId(key as u16), WorkerId(7)),
-            EndpointId::Switch,
+            EndpointId::Switch(SwitchId(key as u16 % 3)),
             vec![key, key.wrapping_add(1), 0xAB],
         )
     }
 
     #[test]
     fn frame_roundtrip_is_exact() {
-        let frame = vec![env(1), env(2), Envelope::new(EndpointId::Switch, EndpointId::Node(NodeId(3)), Vec::new())];
+        let frame = vec![
+            env(1),
+            env(2),
+            Envelope::new(EndpointId::Switch(SwitchId(1)), EndpointId::Node(NodeId(3)), Vec::new()),
+        ];
         let bytes = encode_frame(&frame);
         assert_eq!(decode_frame(&bytes).unwrap(), frame);
         // Empty frames round-trip too.
@@ -341,7 +345,7 @@ mod tests {
     #[test]
     fn full_frame_release_clears_the_deadline_when_batcher_empties() {
         let mut b: FrameBatcher<u64> = FrameBatcher::new(2, Duration::from_millis(1));
-        let dst = EndpointId::Switch;
+        let dst = EndpointId::Switch(SwitchId(0));
         let t0 = Instant::now();
         b.push(dst, 1);
         assert!(b.push(dst, 2).is_some(), "second push completes the frame");
@@ -355,7 +359,7 @@ mod tests {
     #[test]
     fn batcher_deadline_tracks_the_oldest_payload() {
         let mut b: FrameBatcher<u64> = FrameBatcher::new(8, Duration::from_millis(1));
-        let dst = EndpointId::Switch;
+        let dst = EndpointId::Switch(SwitchId(0));
         let now = Instant::now();
         assert!(!b.deadline_expired(now));
         b.push(dst, 1);

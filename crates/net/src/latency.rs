@@ -73,7 +73,7 @@ impl LatencyModel {
     pub fn impose(&self, src: EndpointId, dst: EndpointId) {
         let d = self.one_way(src, dst);
         match dst {
-            EndpointId::Switch => {
+            EndpointId::Switch(_) => {
                 self.stats.messages_to_switch.fetch_add(1, Ordering::Relaxed);
             }
             _ => {
@@ -107,7 +107,7 @@ impl LatencyModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use p4db_common::{NodeId, WorkerId};
+    use p4db_common::{NodeId, SwitchId, WorkerId};
     use std::time::Instant;
 
     fn endpoints() -> (EndpointId, EndpointId, EndpointId, EndpointId) {
@@ -115,7 +115,7 @@ mod tests {
             EndpointId::Node(NodeId(0)),
             EndpointId::Node(NodeId(1)),
             EndpointId::Worker(NodeId(0), WorkerId(2)),
-            EndpointId::Switch,
+            EndpointId::Switch(SwitchId(0)),
         )
     }
 

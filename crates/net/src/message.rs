@@ -28,14 +28,14 @@ impl<M> Envelope<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use p4db_common::NodeId;
+    use p4db_common::{NodeId, SwitchId};
 
     #[test]
     fn map_preserves_addressing() {
-        let e = Envelope::new(EndpointId::Node(NodeId(1)), EndpointId::Switch, 41u32);
+        let e = Envelope::new(EndpointId::Node(NodeId(1)), EndpointId::Switch(SwitchId(0)), 41u32);
         let e = e.map(|v| v + 1);
         assert_eq!(e.payload, 42);
         assert_eq!(e.src, EndpointId::Node(NodeId(1)));
-        assert_eq!(e.dst, EndpointId::Switch);
+        assert_eq!(e.dst, EndpointId::Switch(SwitchId(0)));
     }
 }

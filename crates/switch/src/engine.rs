@@ -22,9 +22,9 @@ use crate::locks::{LockMask, PipelineLocks};
 use crate::memory::RegisterMemory;
 use crate::packet::{LockReply, SwitchMessage, SwitchTxn, TxnReply, WarmDecision};
 use crate::stats::{SwitchStats, SwitchStatsSnapshot};
-use p4db_common::simtime::spin_for;
+use p4db_common::simtime::wait_for;
 use p4db_common::sync::unpoison;
-use p4db_common::{GlobalTxnId, TxnId};
+use p4db_common::{GlobalTxnId, SwitchId, TxnId};
 use p4db_net::{BatchRecvOutcome, EndpointId, Fabric, FrameBatcher, Mailbox};
 use std::collections::VecDeque;
 use std::ops::Range;
@@ -117,15 +117,29 @@ impl Drop for SwitchHandle {
     }
 }
 
-/// Starts the switch data plane: registers the [`EndpointId::Switch`]
-/// endpoint on the fabric and spawns the pipeline thread.
+/// Starts the switch data plane for switch 0 — the single-switch topology.
+/// See [`start_switch_with_id`] for multi-switch clusters.
+pub fn start_switch(config: SwitchConfig, memory: Arc<RegisterMemory>, fabric: Fabric<SwitchMessage>) -> SwitchHandle {
+    start_switch_with_id(SwitchId(0), config, memory, fabric)
+}
+
+/// Starts one switch data plane: registers its [`EndpointId::Switch`]
+/// endpoint on the fabric and spawns the pipeline thread. A multi-switch
+/// topology calls this once per switch, each with its own register memory;
+/// the engines share nothing but the fabric.
 ///
 /// # Panics
-/// Panics if the switch endpoint is already registered on this fabric.
-pub fn start_switch(config: SwitchConfig, memory: Arc<RegisterMemory>, fabric: Fabric<SwitchMessage>) -> SwitchHandle {
+/// Panics if this switch's endpoint is already registered on the fabric.
+pub fn start_switch_with_id(
+    id: SwitchId,
+    config: SwitchConfig,
+    memory: Arc<RegisterMemory>,
+    fabric: Fabric<SwitchMessage>,
+) -> SwitchHandle {
     config.validate().expect("invalid switch configuration");
     assert_eq!(memory.config(), &config, "switch engine and memory must share a configuration");
-    let ingress = fabric.register(EndpointId::Switch);
+    let endpoint = EndpointId::Switch(id);
+    let ingress = fabric.register(endpoint);
     let stats = Arc::new(SwitchStats::default());
     let gid_counter = Arc::new(AtomicU64::new(0));
     let audit = Arc::new(Mutex::new(Vec::new()));
@@ -133,6 +147,7 @@ pub fn start_switch(config: SwitchConfig, memory: Arc<RegisterMemory>, fabric: F
 
     let engine = Engine {
         config,
+        endpoint,
         memory: Arc::clone(&memory),
         fabric,
         ingress,
@@ -149,7 +164,7 @@ pub fn start_switch(config: SwitchConfig, memory: Arc<RegisterMemory>, fabric: F
         frame_pipelined: 0,
     };
     let join = std::thread::Builder::new()
-        .name("p4db-switch-pipeline".into())
+        .name(format!("p4db-switch-pipeline-{}", id.0))
         .spawn(move || engine.run())
         .expect("failed to spawn switch pipeline thread");
 
@@ -158,6 +173,9 @@ pub fn start_switch(config: SwitchConfig, memory: Arc<RegisterMemory>, fabric: F
 
 struct Engine {
     config: SwitchConfig,
+    /// This engine's own fabric endpoint (`EndpointId::Switch(id)`), the
+    /// source address of everything it sends.
+    endpoint: EndpointId,
     memory: Arc<RegisterMemory>,
     fabric: Fabric<SwitchMessage>,
     ingress: Mailbox<SwitchMessage>,
@@ -264,7 +282,7 @@ impl Engine {
     fn end_frame(&mut self) {
         if self.frame_pipelined > 0 {
             if self.config.pass_latency_ns > 0 {
-                spin_for(Duration::from_nanos(self.config.pass_latency_ns));
+                wait_for(Duration::from_nanos(self.config.pass_latency_ns));
             }
             self.frame_pipelined = 0;
         }
@@ -286,7 +304,7 @@ impl Engine {
             unpoison(self.audit.lock()).append(&mut self.audit_buf);
         }
         for (dst, frame) in self.reply_batcher.flush_all() {
-            self.fabric.send_frame_no_latency(EndpointId::Switch, dst, frame);
+            self.fabric.send_frame_no_latency(self.endpoint, dst, frame);
         }
     }
 
@@ -338,7 +356,7 @@ impl Engine {
             // per pass — recirculation is a fresh pipeline traversal.
             self.frame_pipelined += 1;
         } else if self.config.pass_latency_ns > 0 {
-            spin_for(Duration::from_nanos(self.config.pass_latency_ns));
+            wait_for(Duration::from_nanos(self.config.pass_latency_ns));
         }
         pkt.next_pass += 1;
 
@@ -394,16 +412,16 @@ impl Engine {
                 if !self.audit_buf.is_empty() {
                     unpoison(self.audit.lock()).append(&mut self.audit_buf);
                 }
-                self.fabric.send_frame_no_latency(EndpointId::Switch, dst, frame);
+                self.fabric.send_frame_no_latency(self.endpoint, dst, frame);
             }
         } else {
-            self.fabric.send_no_latency(EndpointId::Switch, header.origin, SwitchMessage::TxnReply(reply));
+            self.fabric.send_no_latency(self.endpoint, header.origin, SwitchMessage::TxnReply(reply));
         }
 
         if header.multicast_decision {
             SwitchStats::bump(&self.stats.multicasts);
             self.fabric.multicast_to_nodes(
-                EndpointId::Switch,
+                self.endpoint,
                 SwitchMessage::WarmDecision(WarmDecision { token: header.token, gid, commit: true }),
             );
         }
@@ -434,7 +452,7 @@ impl Engine {
                     SwitchStats::bump(&self.stats.lm_denied);
                 }
                 self.fabric.send_no_latency(
-                    EndpointId::Switch,
+                    self.endpoint,
                     req.origin,
                     SwitchMessage::LockReply(LockReply { token: req.token, granted }),
                 );
@@ -459,6 +477,9 @@ mod tests {
     use p4db_common::{LatencyConfig, NodeId, WorkerId};
     use p4db_net::LatencyModel;
 
+    /// These tests run a single-switch topology: switch 0 everywhere.
+    const SW: EndpointId = EndpointId::Switch(SwitchId(0));
+
     struct TestRig {
         fabric: Fabric<SwitchMessage>,
         handle: SwitchHandle,
@@ -476,7 +497,7 @@ mod tests {
     }
 
     fn send_and_wait(rig: &TestRig, txn: SwitchTxn) -> TxnReply {
-        rig.fabric.send(rig.worker_ep, EndpointId::Switch, SwitchMessage::Txn(txn));
+        rig.fabric.send(rig.worker_ep, SW, SwitchMessage::Txn(txn));
         match rig.worker.recv_timeout(Duration::from_secs(10)).msg().expect("switch reply").payload {
             SwitchMessage::TxnReply(r) => r,
             other => panic!("unexpected message {other:?}"),
@@ -623,13 +644,13 @@ mod tests {
         let rig = rig(SwitchConfig::tiny());
         let req =
             |token, lock_id, exclusive| crate::packet::LockRequest { origin: rig.worker_ep, token, lock_id, exclusive };
-        rig.fabric.send(rig.worker_ep, EndpointId::Switch, SwitchMessage::LockRequest(req(1, 99, true)));
+        rig.fabric.send(rig.worker_ep, SW, SwitchMessage::LockRequest(req(1, 99, true)));
         let granted = match rig.worker.recv_timeout(Duration::from_secs(5)).msg().unwrap().payload {
             SwitchMessage::LockReply(r) => r.granted,
             other => panic!("unexpected {other:?}"),
         };
         assert!(granted);
-        rig.fabric.send(rig.worker_ep, EndpointId::Switch, SwitchMessage::LockRequest(req(2, 99, true)));
+        rig.fabric.send(rig.worker_ep, SW, SwitchMessage::LockRequest(req(2, 99, true)));
         let granted = match rig.worker.recv_timeout(Duration::from_secs(5)).msg().unwrap().payload {
             SwitchMessage::LockReply(r) => r.granted,
             other => panic!("unexpected {other:?}"),
@@ -637,11 +658,11 @@ mod tests {
         assert!(!granted, "conflicting exclusive lock must be denied");
         rig.fabric.send(
             rig.worker_ep,
-            EndpointId::Switch,
+            SW,
             SwitchMessage::LockRelease(crate::packet::LockRelease { lock_id: 99, exclusive: true }),
         );
         // After the release a new request succeeds.
-        rig.fabric.send(rig.worker_ep, EndpointId::Switch, SwitchMessage::LockRequest(req(3, 99, false)));
+        rig.fabric.send(rig.worker_ep, SW, SwitchMessage::LockRequest(req(3, 99, false)));
         let granted = match rig.worker.recv_timeout(Duration::from_secs(5)).msg().unwrap().payload {
             SwitchMessage::LockReply(r) => r.granted,
             other => panic!("unexpected {other:?}"),
@@ -685,7 +706,7 @@ mod tests {
         let burst = 64u64;
         for i in 0..burst {
             let txn = SwitchTxn::new(TxnHeader::new(rig.worker_ep, i), vec![Instruction::add(slot(0, 0, 1), 1)]);
-            rig.fabric.send(rig.worker_ep, EndpointId::Switch, SwitchMessage::Txn(txn));
+            rig.fabric.send(rig.worker_ep, SW, SwitchMessage::Txn(txn));
         }
         let mut tokens = Vec::new();
         while tokens.len() < burst as usize {
@@ -744,7 +765,7 @@ mod tests {
                 for i in 0..per_client {
                     let txn =
                         SwitchTxn::new(TxnHeader::new(ep, i), vec![Instruction::add(RegisterSlot::new(0, 0, 0), 1)]);
-                    fabric.send(ep, EndpointId::Switch, SwitchMessage::Txn(txn));
+                    fabric.send(ep, SW, SwitchMessage::Txn(txn));
                     match mb.recv_timeout(Duration::from_secs(20)).msg().expect("reply").payload {
                         SwitchMessage::TxnReply(r) => gids.push(r.gid.0),
                         other => panic!("unexpected {other:?}"),

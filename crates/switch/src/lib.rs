@@ -42,7 +42,7 @@ pub mod stats;
 
 pub use config::{LockGranularity, SwitchConfig};
 pub use control_plane::ControlPlane;
-pub use engine::{start_switch, SwitchHandle};
+pub use engine::{start_switch, start_switch_with_id, SwitchHandle};
 pub use instruction::{apply_op, is_single_pass, plan_passes, InstrResult, Instruction, OpCode, RegisterSlot};
 pub use lock_manager::SwitchLockTable;
 pub use locks::{locks_for_stages, LockMask, PipelineLocks};

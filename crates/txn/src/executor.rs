@@ -25,7 +25,7 @@ use crate::switch_client::build_switch_txn;
 use p4db_common::simtime::Stopwatch;
 use p4db_common::stats::{Phase, TxnClass, WorkerStats};
 use p4db_common::{
-    AbortReason, CcScheme, Error, GlobalTxnId, NodeId, Result, SystemMode, TupleId, TxnId, Value, WorkerId,
+    AbortReason, CcScheme, Error, GlobalTxnId, NodeId, Result, SwitchId, SystemMode, TupleId, TxnId, Value, WorkerId,
 };
 use p4db_net::{BatchRecvOutcome, EndpointId, Fabric, LatencyModel, Mailbox, RecvOutcome};
 use p4db_storage::{LockMode, LogRecord, NodeStorage, RowHandle};
@@ -229,9 +229,12 @@ impl Worker {
             // Seed shape: classification buffers allocated per transaction.
             let (hot, cold) = self.classify(req, &index);
             return match (hot.is_empty(), cold.is_empty()) {
-                (false, true) => self.execute_hot(req, &hot, &index, stats),
+                // All-hot *and* single-owner: the abort-free switch path. A
+                // hot set spanning two switches has no single pipeline that
+                // can execute it, so it falls back to the host path below.
+                (false, true) if !Self::spans_switches(req, &hot, &index) => self.execute_hot(req, &hot, &index, stats),
                 (true, _) => self.execute_host(req, &[], &cold, &index, stats),
-                (false, false) => self.execute_host(req, &hot, &cold, &index, stats),
+                _ => self.execute_host(req, &hot, &cold, &index, stats),
             };
         }
         // Sharded path: classification reuses the worker's buffers.
@@ -239,13 +242,31 @@ impl Worker {
         let mut cold = std::mem::take(&mut self.scratch_cold);
         self.classify_into(req, &index, &mut hot, &mut cold);
         let result = match (hot.is_empty(), cold.is_empty()) {
-            (false, true) => self.execute_hot(req, &hot, &index, stats),
+            (false, true) if !Self::spans_switches(req, &hot, &index) => self.execute_hot(req, &hot, &index, stats),
             (true, _) => self.execute_host(req, &[], &cold, &index, stats),
-            (false, false) => self.execute_host(req, &hot, &cold, &index, stats),
+            _ => self.execute_host(req, &hot, &cold, &index, stats),
         };
         self.scratch_hot = hot;
         self.scratch_cold = cold;
         result
+    }
+
+    /// Whether the hot operations resolve to more than one owning switch —
+    /// the *cross-switch* class. No single switch can execute such a
+    /// transaction abort-free, so it runs through the host path, which sends
+    /// at most one sub-transaction per owning switch (see
+    /// [`Worker::commit_host_txn`]). Single-switch topologies never produce
+    /// it.
+    fn spans_switches(req: &TxnRequest, hot: &[usize], index: &HotSetIndex) -> bool {
+        let mut first = None;
+        for &i in hot {
+            match (first, index.owner(req.ops[i].tuple)) {
+                (None, owner @ Some(_)) => first = owner,
+                (Some(f), Some(o)) if o != f => return true,
+                _ => {}
+            }
+        }
+        false
     }
 
     /// Executes a batch of transactions, pipelining the all-hot ones: their
@@ -270,7 +291,10 @@ impl Worker {
         let mut cold = std::mem::take(&mut self.scratch_cold);
         for (i, req) in reqs.iter().enumerate() {
             self.classify_into(req, &index, &mut hot, &mut cold);
-            if !req.is_empty() && cold.is_empty() && !hot.is_empty() {
+            // Cross-switch requests are not pipelineable (they need the host
+            // path's per-switch sub-transactions); they fall through to the
+            // unbatched `execute` below like any mixed request.
+            if !req.is_empty() && cold.is_empty() && !hot.is_empty() && !Self::spans_switches(req, &hot, &index) {
                 pipeline.push(i);
             }
         }
@@ -346,9 +370,13 @@ impl Worker {
             if self.shared.config.log_switch_txns {
                 intents.push(LogRecord::SwitchIntent { txn: txn_id, ops: built.logged_ops.clone() });
             }
+            // Every operation is hot and the eligibility scan rejected
+            // cross-switch requests, so the first operation's owner is the
+            // whole transaction's owner.
+            let switch = index.owner(req.ops[0].tuple).unwrap_or(SwitchId(0));
             // Placeholder, overwritten once the reply (or its loss) is known.
             results.push(Err(Error::Disconnected));
-            batch.push((slot, i, txn_id, token, built));
+            batch.push((slot, i, txn_id, token, switch, built));
         }
         // Durability: one group commit covers every intent of the frame.
         if !intents.is_empty() {
@@ -361,14 +389,24 @@ impl Worker {
             return Ok(results);
         }
 
-        // One frame, one imposed wire latency: the batch shares the NIC
-        // doorbell and the ½ RTT to the switch.
-        let payloads: Vec<SwitchMessage> =
-            batch.iter().map(|(_, _, _, _, b)| SwitchMessage::Txn(b.txn.clone())).collect();
-        if !self.shared.fabric.send_frame(self.endpoint, EndpointId::Switch, payloads) {
-            return Err(Error::Disconnected);
+        // One frame *per destination switch*, one imposed wire latency each:
+        // the transactions bound for one switch share the NIC doorbell and
+        // the ½ RTT to it. Single-switch topologies produce exactly one
+        // frame, as before.
+        let mut frames: Vec<(SwitchId, Vec<SwitchMessage>)> = Vec::new();
+        for (_, _, _, _, switch, b) in &batch {
+            let payload = SwitchMessage::Txn(b.txn.clone());
+            match frames.iter_mut().find(|(s, _)| s == switch) {
+                Some((_, payloads)) => payloads.push(payload),
+                None => frames.push((*switch, vec![payload])),
+            }
         }
-        let wanted: HashSet<u64> = batch.iter().map(|&(_, _, _, token, _)| token).collect();
+        for (switch, payloads) in frames {
+            if !self.shared.fabric.send_frame(self.endpoint, EndpointId::Switch(switch), payloads) {
+                return Err(Error::Disconnected);
+            }
+        }
+        let wanted: HashSet<u64> = batch.iter().map(|&(_, _, _, token, _, _)| token).collect();
         let mut replies: HashMap<u64, TxnReply> = HashMap::with_capacity(batch.len());
         let deadline = Instant::now() + self.shared.config.switch_timeout;
         while replies.len() < batch.len() {
@@ -405,7 +443,7 @@ impl Worker {
         stats.record_phase(Phase::SwitchTxn, watch.lap());
 
         let mut result_records = Vec::with_capacity(batch.len());
-        for (slot, i, txn_id, token, built) in batch {
+        for (slot, i, txn_id, token, _, built) in batch {
             let mut values = vec![0u64; reqs[i].ops.len()];
             results[slot] = match replies.remove(&token) {
                 Some(reply) => {
@@ -472,7 +510,11 @@ impl Worker {
     ) -> Result<TxnOutcome> {
         let txn_id = self.next_txn_id();
         let mut results = vec![0u64; req.ops.len()];
-        match self.run_switch_subtxn(txn_id, req, hot, index, false, stats)? {
+        // The dispatcher rejected cross-switch requests, so every hot
+        // operation shares the first one's owning switch.
+        let switch = index.owner(req.ops[hot[0]].tuple).unwrap_or(SwitchId(0));
+        let hot_ops: Vec<(usize, TxnOp)> = hot.iter().map(|&i| (i, req.ops[i])).collect();
+        match self.run_switch_subtxn(txn_id, switch, req, &hot_ops, index, false, stats)? {
             SwitchSubTxn::Completed { gid, values } => {
                 for (idx, value) in values {
                     results[idx] = value;
@@ -485,12 +527,18 @@ impl Worker {
         }
     }
 
-    /// Builds, logs, sends and awaits one switch sub-transaction.
+    /// Builds, logs, sends and awaits one switch sub-transaction. Every
+    /// operation of `hot_ops` must be owned by `switch`; the caller groups
+    /// per owner before calling (and patches cross-group operand
+    /// dependencies into literals — the switches cannot forward values to
+    /// each other).
+    #[allow(clippy::too_many_arguments)]
     fn run_switch_subtxn(
         &mut self,
         txn_id: TxnId,
+        switch: SwitchId,
         req: &TxnRequest,
-        hot: &[usize],
+        hot_ops: &[(usize, TxnOp)],
         index: &HotSetIndex,
         multicast_decision: bool,
         stats: &mut WorkerStats,
@@ -500,8 +548,7 @@ impl Worker {
         let mut header = TxnHeader::new(self.endpoint, token);
         header.txn_id = txn_id;
         header.multicast_decision = multicast_decision;
-        let hot_ops: Vec<(usize, TxnOp)> = hot.iter().map(|&i| (i, req.ops[i])).collect();
-        let built = build_switch_txn(&hot_ops, index, &self.shared.config.switch_config, header)?;
+        let built = build_switch_txn(hot_ops, index, &self.shared.config.switch_config, header)?;
 
         if built.txn.header.is_multipass {
             stats.switch_multi_pass += 1;
@@ -519,7 +566,8 @@ impl Worker {
         stats.record_phase(Phase::TxnEngine, watch.lap());
 
         // ½ RTT to the switch (imposed by the fabric), execution, ½ RTT back.
-        let sent = self.shared.fabric.send(self.endpoint, EndpointId::Switch, SwitchMessage::Txn(built.txn.clone()));
+        let sent =
+            self.shared.fabric.send(self.endpoint, EndpointId::Switch(switch), SwitchMessage::Txn(built.txn.clone()));
         if !sent {
             return Err(Error::Disconnected);
         }
@@ -1029,26 +1077,90 @@ impl Worker {
         let mut gid = None;
         let mut in_doubt = false;
         if !hot.is_empty() {
-            match self.run_switch_subtxn(txn_id, req, hot, index, distributed, stats) {
-                Ok(SwitchSubTxn::Completed { gid: g, values }) => {
-                    for (idx, value) in values {
-                        results[idx] = value;
-                    }
-                    gid = Some(g);
+            // Group the hot operations by owning switch: at most one
+            // sub-transaction per switch per transaction (a second one under
+            // the same TxnId would double-apply during recovery). A
+            // single-switch topology yields exactly one group — the
+            // pre-multi-switch behaviour.
+            let mut groups: Vec<(SwitchId, Vec<usize>)> = Vec::new();
+            for &i in hot {
+                let owner = index.owner(req.ops[i].tuple).unwrap_or(SwitchId(0));
+                match groups.iter_mut().find(|(s, _)| *s == owner) {
+                    Some((_, group)) => group.push(i),
+                    None => groups.push((owner, vec![i])),
                 }
-                Ok(SwitchSubTxn::InDoubt) => in_doubt = true,
-                Err(e) => {
-                    // A packet that failed to *build* never logged an intent
-                    // and never left the node, so — although the cold part is
-                    // past its conflict-abort point — rolling it back is
-                    // still sound, and the only way not to leak its locks on
-                    // a healthy cluster (a malformed ad-hoc warm
-                    // transaction). Any other error means the fabric or
-                    // switch is gone mid-shutdown; propagate as before.
-                    if matches!(e, Error::InvalidTxn(_)) {
-                        self.fail_host(txn_id, state, stats, &e);
+            }
+            if groups.len() > 1 {
+                stats.cross_switch_fallback += 1;
+            }
+            // `have[i]`: `results[i]` already holds operation i's final value
+            // (cold operations ran above; hot ones as their group's reply
+            // arrives), so it can be patched into a dependent instruction.
+            let mut have = vec![true; req.ops.len()];
+            for &i in hot {
+                have[i] = false;
+            }
+            while !groups.is_empty() {
+                // Run groups whose external dependencies are satisfied
+                // first, so their values can be patched into later groups.
+                // An unsatisfiable cycle across groups cannot stall the loop
+                // (the fallback runs the first group with the values at
+                // hand); no generated workload produces one.
+                let next = groups
+                    .iter()
+                    .position(|(_, group)| {
+                        group.iter().all(|&i| match req.ops[i].operand_from {
+                            Some(src) => group.contains(&(src as usize)) || have[src as usize],
+                            None => true,
+                        })
+                    })
+                    .unwrap_or(0);
+                let (switch, group) = groups.remove(next);
+                // Dependencies crossing a sub-transaction boundary are
+                // resolved here on the host: the dependent instruction gets
+                // the already-known value as a literal operand. The logged
+                // intent carries the same literal, so replay and recovery
+                // reproduce exactly what the switch executed.
+                let mut hot_ops: Vec<(usize, TxnOp)> = Vec::with_capacity(group.len());
+                for &i in &group {
+                    let mut op = req.ops[i];
+                    if let Some(src) = op.operand_from {
+                        if !group.contains(&(src as usize)) {
+                            op.kind = Self::patch_operand(op.kind, results[src as usize]);
+                            op.operand_from = None;
+                        }
                     }
-                    return Err(e);
+                    hot_ops.push((i, op));
+                }
+                match self.run_switch_subtxn(txn_id, switch, req, &hot_ops, index, distributed, stats) {
+                    Ok(SwitchSubTxn::Completed { gid: g, values }) => {
+                        for (idx, value) in values {
+                            results[idx] = value;
+                            have[idx] = true;
+                        }
+                        // The first completed sub-transaction's GID stands
+                        // in for the transaction (GIDs are per-switch serial
+                        // numbers, so there is no single global one).
+                        gid = gid.or(Some(g));
+                    }
+                    Ok(SwitchSubTxn::InDoubt) => in_doubt = true,
+                    Err(e) => {
+                        // A packet that failed to *build* never logged an
+                        // intent and never left the node, so — although the
+                        // cold part is past its conflict-abort point —
+                        // rolling it back is still sound, and the only way
+                        // not to leak its locks on a healthy cluster (a
+                        // malformed ad-hoc warm transaction). Sub-
+                        // transactions already sent to other switches stay
+                        // committed through their logged intents, exactly
+                        // like any in-doubt outcome. Any other error means
+                        // the fabric or switch is gone mid-shutdown;
+                        // propagate as before.
+                        if matches!(e, Error::InvalidTxn(_)) {
+                            self.fail_host(txn_id, state, stats, &e);
+                        }
+                        return Err(e);
+                    }
                 }
             }
         }
@@ -1088,6 +1200,20 @@ impl Worker {
         Ok(storage.table(op.tuple.table)?.get_prehashed(hash, op.tuple.key))
     }
 
+    /// Replaces an operation's operand with an already-known value — the
+    /// host-side resolution of an `operand_from` dependency that crosses a
+    /// switch sub-transaction boundary. Mirrors the host path's
+    /// `operand_override` semantics for each kind.
+    fn patch_operand(kind: OpKind, value: u64) -> OpKind {
+        match kind {
+            OpKind::Write(_) => OpKind::Write(value),
+            OpKind::Add(_) => OpKind::Add(value as i64),
+            OpKind::FetchAdd(_) => OpKind::FetchAdd(value as i64),
+            OpKind::CondSub(_) => OpKind::CondSub(value),
+            other => other,
+        }
+    }
+
     /// Aborts the host transaction and records the abort in the statistics.
     fn fail_host(&mut self, txn_id: TxnId, state: &mut HostTxnState, stats: &mut WorkerStats, e: &Error) {
         self.abort_host(txn_id, state, stats);
@@ -1099,7 +1225,9 @@ impl Worker {
         let token = self.next_token();
         let req =
             p4db_switch::LockRequest { origin: self.endpoint, token, lock_id: HotSetIndex::lock_id(tuple), exclusive };
-        if !self.shared.fabric.send(self.endpoint, EndpointId::Switch, SwitchMessage::LockRequest(req)) {
+        // The LM-Switch baseline is a single-switch comparison arm: the lock
+        // manager always runs on switch 0.
+        if !self.shared.fabric.send(self.endpoint, EndpointId::Switch(SwitchId(0)), SwitchMessage::LockRequest(req)) {
             return Err(Error::Disconnected);
         }
         let deadline = Instant::now() + self.shared.config.switch_timeout;
@@ -1177,7 +1305,7 @@ impl Worker {
             // processes them at line rate.
             self.shared.fabric.send_no_latency(
                 self.endpoint,
-                EndpointId::Switch,
+                EndpointId::Switch(SwitchId(0)),
                 SwitchMessage::LockRelease(p4db_switch::LockRelease { lock_id, exclusive }),
             );
         }

@@ -1,23 +1,25 @@
 //! The replicated hot-set index (§6.1).
 //!
 //! Every database node keeps a small index with the primary keys of all hot
-//! tuples and, for each, the MAU stage / register array / cell it was
-//! offloaded to. The index is consulted on every transaction to decide
-//! whether it is hot, cold or warm, and to build the switch packet (including
-//! the `is_multipass` flag and the pipeline-lock demand) without asking the
-//! switch. In this reproduction the "replica" is a shared immutable structure
-//! built once after offloading.
+//! tuples and, for each, the owning switch plus the MAU stage / register
+//! array / cell it was offloaded to. The index is consulted on every
+//! transaction to decide whether it is hot, cold or warm, to route a hot
+//! transaction to its owning switch, and to build the switch packet
+//! (including the `is_multipass` flag and the pipeline-lock demand) without
+//! asking any switch. In this reproduction the "replica" is a shared
+//! immutable structure built once after offloading.
 
 use p4db_common::sync::unpoison;
-use p4db_common::TupleId;
+use p4db_common::{SwitchId, TupleId};
 use p4db_switch::{ControlPlane, RegisterSlot};
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
-/// Immutable hot-set index, shared by all workers of all nodes.
+/// Immutable hot-set index, shared by all workers of all nodes. Each hot
+/// tuple maps to exactly one `(switch, register slot)` pair.
 #[derive(Clone, Debug, Default)]
 pub struct HotSetIndex {
-    map: HashMap<TupleId, RegisterSlot>,
+    map: HashMap<TupleId, (SwitchId, RegisterSlot)>,
 }
 
 impl HotSetIndex {
@@ -28,16 +30,31 @@ impl HotSetIndex {
         Self::default()
     }
 
-    /// Builds the index from the switch control plane after offloading.
+    /// Builds the index from a single switch control plane after offloading
+    /// (the single-switch topology: everything owned by switch 0).
     pub fn from_control_plane(cp: &ControlPlane) -> Self {
-        HotSetIndex { map: cp.placements().collect() }
+        Self::from_control_planes([(SwitchId(0), cp)])
+    }
+
+    /// Builds the index from the control planes of a multi-switch topology:
+    /// each switch's placements enter under its id. Placement maps are
+    /// disjoint by construction (the layout assigns every hot tuple to one
+    /// switch), so insertion order does not matter.
+    pub fn from_control_planes<'a>(cps: impl IntoIterator<Item = (SwitchId, &'a ControlPlane)>) -> Self {
+        let mut map = HashMap::new();
+        for (switch, cp) in cps {
+            for (tuple, slot) in cp.placements() {
+                map.insert(tuple, (switch, slot));
+            }
+        }
+        HotSetIndex { map }
     }
 
     /// Builds an index that only records hot-tuple identity (used by the
     /// LM-Switch baseline, where hot tuples stay on the nodes but their locks
     /// are managed by the switch). The register slots are synthetic.
     pub fn from_tuples(tuples: impl IntoIterator<Item = TupleId>) -> Self {
-        HotSetIndex { map: tuples.into_iter().map(|t| (t, RegisterSlot::new(0, 0, 0))).collect() }
+        HotSetIndex { map: tuples.into_iter().map(|t| (t, (SwitchId(0), RegisterSlot::new(0, 0, 0)))).collect() }
     }
 
     pub fn len(&self) -> usize {
@@ -57,12 +74,29 @@ impl HotSetIndex {
     /// The register slot of a hot tuple.
     #[inline]
     pub fn slot(&self, tuple: TupleId) -> Option<RegisterSlot> {
+        self.map.get(&tuple).map(|&(_, slot)| slot)
+    }
+
+    /// The switch a hot tuple is offloaded to.
+    #[inline]
+    pub fn owner(&self, tuple: TupleId) -> Option<SwitchId> {
+        self.map.get(&tuple).map(|&(s, _)| s)
+    }
+
+    /// Both coordinates at once: `(owning switch, register slot)`.
+    #[inline]
+    pub fn entry(&self, tuple: TupleId) -> Option<(SwitchId, RegisterSlot)> {
         self.map.get(&tuple).copied()
     }
 
     /// Iterates all `(tuple, slot)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (TupleId, RegisterSlot)> + '_ {
-        self.map.iter().map(|(t, s)| (*t, *s))
+        self.map.iter().map(|(t, &(_, s))| (*t, s))
+    }
+
+    /// Iterates all `(tuple, switch, slot)` triples.
+    pub fn iter_with_owner(&self) -> impl Iterator<Item = (TupleId, SwitchId, RegisterSlot)> + '_ {
+        self.map.iter().map(|(t, &(sw, s))| (*t, sw, s))
     }
 
     /// A stable lock id for a hot tuple, used by the LM-Switch baseline.
@@ -127,6 +161,32 @@ mod tests {
         assert!(!idx.is_hot(t(3)));
         let slot = idx.slot(t(2)).unwrap();
         assert_eq!((slot.stage, slot.array), (1, 1));
+        assert_eq!(idx.owner(t(1)), Some(SwitchId(0)), "single-switch topologies own everything at switch 0");
+    }
+
+    #[test]
+    fn from_control_planes_records_per_switch_ownership() {
+        let config = SwitchConfig::tiny();
+        let mut cps = Vec::new();
+        for keys in [[1u64, 2], [3, 4]] {
+            let memory = Arc::new(RegisterMemory::new(config));
+            let mut cp = ControlPlane::new(config, memory);
+            for k in keys {
+                cp.offload_into(t(k), (k % 4) as u8, 0, 8, 0).unwrap();
+            }
+            cps.push(cp);
+        }
+        let idx = HotSetIndex::from_control_planes(cps.iter().enumerate().map(|(i, cp)| (SwitchId(i as u16), cp)));
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.owner(t(1)), Some(SwitchId(0)));
+        assert_eq!(idx.owner(t(2)), Some(SwitchId(0)));
+        assert_eq!(idx.owner(t(3)), Some(SwitchId(1)));
+        assert_eq!(idx.owner(t(4)), Some(SwitchId(1)));
+        assert_eq!(idx.owner(t(9)), None);
+        let (sw, slot) = idx.entry(t(3)).unwrap();
+        assert_eq!(sw, SwitchId(1));
+        assert_eq!(slot.stage, 3);
+        assert_eq!(idx.iter_with_owner().filter(|&(_, sw, _)| sw == SwitchId(1)).count(), 2);
     }
 
     #[test]

@@ -105,6 +105,41 @@ fn chaos_switch_crash_with_reoffload() {
     }
 }
 
+/// Two-switch topology under message faults: drops, delays and reorders now
+/// hit two independent switch endpoints, and the per-switch invariant
+/// checking (each switch's epoch log filtered to the tuples it owns) must
+/// stay clean — including for cross-switch transactions whose intents appear
+/// in more than one switch's view.
+#[test]
+fn chaos_two_switch_sweep_with_faults() {
+    for workload in [ChaosWorkload::SmallBank, ChaosWorkload::Ycsb] {
+        for seed in 1..6 {
+            let mut options = ChaosOptions::new(workload, seed);
+            options.switches = 2;
+            let report = run_chaos(&options).unwrap();
+            assert_clean(&report);
+        }
+    }
+}
+
+/// Two-switch crash drill: `crash_switch` crashes and recovers *each* switch
+/// independently (per-switch epoch, per-switch WAL suffix replay filtered to
+/// owned tuples), and the merged recovery report plus the per-switch
+/// invariant checks must come back clean.
+#[test]
+fn chaos_two_switch_crash_with_recovery() {
+    for seed in 1..4 {
+        let mut options = ChaosOptions::new(ChaosWorkload::SmallBank, seed);
+        options.switches = 2;
+        options.crash_switch = true;
+        let report = run_chaos(&options).unwrap();
+        assert_clean(&report);
+        let recovery = report.switch_recovery.as_ref().expect("switch crashes must have happened");
+        assert!(!recovery.reoffloaded);
+        assert!(recovery.restored_tuples > 0);
+    }
+}
+
 #[test]
 fn chaos_lm_switch_mode_survives_message_faults() {
     let mut options = ChaosOptions::new(ChaosWorkload::Ycsb, 9);
@@ -215,6 +250,24 @@ fn smoke_fixed_seed_crash_paths() {
     assert_clean(&report);
     assert!(report.node_recovery.is_some());
     assert!(report.switch_recovery.is_some());
+}
+
+/// Fast fixed-seed two-switch gate: independent per-switch crash/recovery
+/// with re-offload on a partitioned hot set, with faults enabled, must
+/// report zero invariant violations — the acceptance scenario of the
+/// multi-switch topology work.
+#[test]
+fn smoke_two_switch_crash_recovery() {
+    let mut options = ChaosOptions::new(ChaosWorkload::SmallBank, 7);
+    options.switches = 2;
+    options.txns_per_wave = 80;
+    options.crash_switch = true;
+    options.reoffload = true;
+    let report = run_chaos(&options).unwrap();
+    assert_clean(&report);
+    let recovery = report.switch_recovery.as_ref().expect("switch crashes must have happened");
+    assert!(recovery.reoffloaded);
+    assert!(recovery.restored_tuples > 0);
 }
 
 /// Reproduces one scenario, driven by the `CHAOS_*` environment variables a

@@ -9,7 +9,7 @@
 //! reports the case seed so the exact case can be replayed.
 
 use p4db::common::rand_util::FastRng;
-use p4db::common::{CcScheme, GlobalTxnId, NodeId, TableId, TupleId, TxnId, Value, WorkerId};
+use p4db::common::{CcScheme, GlobalTxnId, NodeId, SwitchId, TableId, TupleId, TxnId, Value, WorkerId};
 use p4db::layout::{max_cut, single_pass_fraction, AccessGraph, LayoutPlanner, LayoutStrategy, TraceAccess, TxnTrace};
 use p4db::net::{decode_frame_prefix, encode_frame, EndpointId, Envelope};
 use p4db::storage::{recover_switch_state, LockMode, LockTable, LogRecord, LoggedSwitchOp, Wal};
@@ -287,10 +287,10 @@ fn frame_codec_truncation_at_every_offset_recovers_exactly_the_intact_prefix() {
                 let src = match rng.gen_range(3) {
                     0 => EndpointId::Node(NodeId(rng.gen_range(4) as u16)),
                     1 => EndpointId::Worker(NodeId(rng.gen_range(4) as u16), WorkerId(rng.gen_range(8) as u16)),
-                    _ => EndpointId::Switch,
+                    _ => EndpointId::Switch(SwitchId(0)),
                 };
                 let payload: Vec<u8> = (0..rng.gen_range(24)).map(|_| rng.next_u64() as u8).collect();
-                Envelope::new(src, EndpointId::Switch, payload)
+                Envelope::new(src, EndpointId::Switch(SwitchId(0)), payload)
             })
             .collect();
         let bytes = encode_frame(&envelopes);
