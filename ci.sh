@@ -29,14 +29,18 @@ cargo test --offline --release -q --test batching batched_chaos -- --nocapture
 echo "==> topology gate: 1-switch vs 2-switch differential on one workload (full 12x3 sweep runs in tier-1)"
 cargo test --offline --release -q --test topology topology_differential_smallbank -- --nocapture
 
+echo "==> recovery gate: fixed-seed checkpoint+tail vs genesis restart, torn-checkpoint fallback, codec-arm agreement (full 12x3 differential sweep runs in tier-1)"
+cargo test --offline --release -q --test durability smoke_recovery_ -- --nocapture
+
 echo "==> bench smoke gate: BENCH json emission, schema validity, regression band vs BENCH_baseline.json"
 # Absolute path: cargo runs bench binaries with the package dir as CWD.
-# fig_node_scaling and fig_switch_scaling ride along so the gate can floor
-# the sharded-vs-single-latch node hot-path speedup and the 2-switch-vs-1
-# topology speedup (alongside the batching tripwire).
+# fig_node_scaling, fig_switch_scaling and fig_recovery ride along so the
+# gate can floor the sharded-vs-single-latch node hot-path speedup, the
+# 2-switch-vs-1 topology speedup and the checkpointed-vs-genesis restart
+# speedup (alongside the batching tripwire).
 BENCH_SMOKE="$(pwd)/target/BENCH_smoke.json"
 rm -f "$BENCH_SMOKE"
-P4DB_BENCH_JSON="$BENCH_SMOKE" P4DB_MEASURE_MS=25 cargo bench --offline -p p4db-bench --bench figures -- fig01 fig13 fig_node_scaling fig_switch_scaling > /dev/null
+P4DB_BENCH_JSON="$BENCH_SMOKE" P4DB_MEASURE_MS=25 cargo bench --offline -p p4db-bench --bench figures -- fig01 fig13 fig_node_scaling fig_switch_scaling fig_recovery > /dev/null
 P4DB_BENCH_JSON="$BENCH_SMOKE" P4DB_MICRO_QUICK=1 cargo bench --offline -p p4db-bench --bench micro > /dev/null
 P4DB_BENCH_JSON="$BENCH_SMOKE" P4DB_BENCH_GATE=1 cargo test --offline -q -p p4db-bench --lib gate_
 

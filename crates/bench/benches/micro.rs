@@ -3,7 +3,7 @@
 //! manager, the max-cut heuristic and the WAL (single appends and group
 //! commit). Used to sanity-check that the substrates are far from being the
 //! bottleneck of the figure reproduction, and to pin the batched-vs-unbatched
-//! hot-path speedup as a machine-readable datapoint in `BENCH_6.json`
+//! hot-path speedup as a machine-readable datapoint in `BENCH_7.json`
 //! (figure `micro`), which the CI gate tripwires.
 //!
 //! Knobs: `P4DB_MICRO_QUICK=1` shrinks iteration counts ~10× (the CI smoke
@@ -14,7 +14,7 @@ use p4db_common::{CcScheme, LatencyConfig, NodeId, SwitchId, TableId, TupleId, T
 use p4db_core::BenchPoint;
 use p4db_layout::{max_cut, AccessGraph, TraceAccess, TxnTrace};
 use p4db_net::{BatchRecvOutcome, EndpointId, Fabric, LatencyModel, RecvOutcome};
-use p4db_storage::{LockMode, LockTable, LogRecord, NodeStorage, Wal};
+use p4db_storage::{encode_segment, LockMode, LockTable, LogRecord, NodeStorage, Wal};
 use p4db_switch::{
     start_switch, Instruction, RegisterMemory, RegisterSlot, SwitchConfig, SwitchMessage, SwitchTxn, TxnHeader,
 };
@@ -267,6 +267,48 @@ fn wal_throughput(points: &mut Vec<BenchPoint>) {
     ));
 }
 
+/// The group-commit encode comparison: the same 512-record group rendered
+/// through the segmented binary codec (what a segment seal or group flush
+/// writes) vs the versioned text format (the compatibility arm). Both arms
+/// re-encode the full group per iteration. Recorded as the `micro`
+/// group-encode datapoint in the BENCH json trajectory (not gated — the
+/// recovery floor covers the end-to-end durability path).
+fn wal_group_encode(points: &mut Vec<BenchPoint>) {
+    const GROUP: usize = 512;
+    let records: Vec<LogRecord> = (0..GROUP as u32)
+        .map(|i| {
+            let txn = TxnId::compose(i, NodeId(0), WorkerId(0));
+            match i % 3 {
+                0 => LogRecord::ColdWrite {
+                    txn,
+                    tuple: TupleId::new(TableId(0), i as u64),
+                    before: Value::scalar(i as u64),
+                    after: Value::scalar(i as u64 + 1),
+                },
+                1 => LogRecord::Commit { txn },
+                _ => LogRecord::Abort { txn },
+            }
+        })
+        .collect();
+    let text_wal = Wal::new();
+    for r in &records {
+        text_wal.append(r.clone());
+    }
+    let iters = scaled(20_000);
+    let binary = bench("WAL group encode: binary segment x512", iters, |_| {
+        std::hint::black_box(encode_segment(0, &records));
+    }) * GROUP as f64;
+    let text = bench("WAL group encode: text format x512", iters, |_| {
+        std::hint::black_box(text_wal.serialize());
+    }) * GROUP as f64;
+    let speedup = binary / text;
+    println!(
+        "{:<48} {GROUP:>9} recs   text {text:>12.0} rec/s   binary {binary:>12.0} rec/s   {speedup:.2}x",
+        "WAL group encode: binary vs text"
+    );
+    points.push(BenchPoint::from_rates("micro", p4db_bench::json::GROUP_ENCODE_PARAMS, binary, 1e6 / binary, speedup));
+}
+
 fn main() {
     println!("# P4DB component microbenchmarks\n");
     let mut points = Vec::new();
@@ -276,6 +318,7 @@ fn main() {
     lock_table_throughput(&mut points);
     maxcut_scaling();
     wal_throughput(&mut points);
+    wal_group_encode(&mut points);
 
     let path = p4db_bench::json::output_path();
     p4db_bench::json::write_merged(&path, &points).expect("writing BENCH json");

@@ -22,7 +22,7 @@
 //!
 //! Writers merge by figure: emitting points for `fig01` replaces every
 //! existing `fig01` point in the file and leaves other figures' points
-//! untouched, so `figures` and `micro` can update the same `BENCH_6.json`
+//! untouched, so `figures` and `micro` can update the same `BENCH_7.json`
 //! independently.
 
 use p4db_core::BenchPoint;
@@ -338,13 +338,13 @@ pub fn write_merged(path: &Path, points: &[BenchPoint]) -> std::io::Result<()> {
     std::fs::write(path, render(&merged))
 }
 
-/// Default output path: `$P4DB_BENCH_JSON`, or `BENCH_6.json` at the
-/// workspace root (the current trajectory file; `BENCH_4.json` and
-/// `BENCH_5.json` are the committed history of earlier PRs).
+/// Default output path: `$P4DB_BENCH_JSON`, or `BENCH_7.json` at the
+/// workspace root (the current trajectory file; `BENCH_4.json` through
+/// `BENCH_6.json` are the committed history of earlier PRs).
 pub fn output_path() -> std::path::PathBuf {
     match std::env::var("P4DB_BENCH_JSON") {
         Ok(path) if !path.is_empty() => std::path::PathBuf::from(path),
-        _ => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_6.json"),
+        _ => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_7.json"),
     }
 }
 
@@ -356,7 +356,7 @@ pub fn output_path() -> std::path::PathBuf {
 /// few milliseconds per point on a loaded single-core runner, so the
 /// throughput band is wide — the gate is a tripwire for collapses and schema
 /// drift, not a microbenchmark judge; `EXPERIMENTS.md` and the committed
-/// `BENCH_6.json` carry the trend.
+/// `BENCH_7.json` carry the trend.
 #[derive(Clone, Debug)]
 pub struct GateConfig {
     /// Max allowed throughput ratio between current and baseline, either
@@ -379,6 +379,13 @@ pub struct GateConfig {
     /// (measured ~1.8x; under 1.25x even on the smoke profile means the
     /// second switch is not relieving the pipeline bottleneck).
     pub min_switch_scaling_speedup: f64,
+    /// Minimum speedup of the gated `fig_recovery` datapoint (checkpoint +
+    /// segment-tail restart over genesis replay of the whole log) — the
+    /// acceptance bar of the durability work. The figure grows the log until
+    /// it dwarfs the table, so a checkpointed restart that is not at least
+    /// 2x faster means the tail-skip read path or the shard-parallel
+    /// write-back regressed.
+    pub min_recovery_speedup: f64,
 }
 
 impl Default for GateConfig {
@@ -388,6 +395,7 @@ impl Default for GateConfig {
             min_batch_speedup: 1.3,
             min_node_scaling_speedup: 1.2,
             min_switch_scaling_speedup: 1.25,
+            min_recovery_speedup: 2.0,
         }
     }
 }
@@ -404,6 +412,13 @@ pub const SWITCH_SCALING_PARAMS: &str = "switches=2";
 /// The `params` key of the micro admission-resolution datapoint (recorded,
 /// not gated: the node-scaling floor covers the end-to-end effect).
 pub const ADMISSION_PARAMS: &str = "admission one-hash resolution vs seed lock+lookup";
+
+/// The `params` key of the gated `fig_recovery` datapoint.
+pub const RECOVERY_PARAMS: &str = "checkpointed vs genesis restart";
+
+/// The `params` key of the micro group-commit encode datapoint (recorded,
+/// not gated: the recovery floor covers the end-to-end durability effect).
+pub const GROUP_ENCODE_PARAMS: &str = "wal group encode binary-vs-text";
 
 /// Diffs `current` against `baseline` under the tolerance band. Returns one
 /// human-readable line per violation; empty means the gate passes.
@@ -451,6 +466,12 @@ pub fn gate(current: &[BenchPoint], baseline: &[BenchPoint], config: &GateConfig
                 cur.params, cur.speedup, config.min_switch_scaling_speedup
             ));
         }
+        if cur.figure == "fig_recovery" && cur.params == RECOVERY_PARAMS && cur.speedup < config.min_recovery_speedup {
+            failures.push(format!(
+                "fig_recovery [{}]: checkpointed restart is only {:.2}x over genesis replay (gate requires >= {:.2}x)",
+                cur.params, cur.speedup, config.min_recovery_speedup
+            ));
+        }
     }
     // Anti-vacuity: if a figure with a gated datapoint ran at all, that
     // datapoint must be among the results — otherwise a sweep or label edit
@@ -458,6 +479,7 @@ pub fn gate(current: &[BenchPoint], baseline: &[BenchPoint], config: &GateConfig
     for (figure, gated_params, what) in [
         ("fig_node_scaling", NODE_SCALING_PARAMS, "node-scaling speedup floor"),
         ("fig_switch_scaling", SWITCH_SCALING_PARAMS, "switch-scaling speedup floor"),
+        ("fig_recovery", RECOVERY_PARAMS, "recovery speedup floor"),
         ("micro", BATCHING_PARAMS, "batching speedup floor"),
     ] {
         if current.iter().any(|p| p.figure == figure)
@@ -583,6 +605,17 @@ mod tests {
         let failures = gate(&missing_gated, &baseline, &config);
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("switch-scaling speedup floor"));
+        // Recovery tripwire.
+        let weak = vec![point("fig_recovery", RECOVERY_PARAMS, 1000.0, 1.4)];
+        let failures = gate(&weak, &baseline, &config);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("checkpointed restart"));
+        let strong = vec![point("fig_recovery", RECOVERY_PARAMS, 1000.0, 4.0)];
+        assert!(gate(&strong, &baseline, &config).is_empty());
+        let missing_gated = vec![point("fig_recovery", "genesis only", 1000.0, 1.0)];
+        let failures = gate(&missing_gated, &baseline, &config);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("recovery speedup floor"));
         // Same protection for the batching tripwire: a micro run that lost
         // its gated datapoint fails rather than passing vacuously.
         let missing = vec![point("micro", "wal append", 1000.0, 1.0)];
@@ -600,7 +633,7 @@ mod tests {
     /// newer bars.
     #[test]
     fn gate_committed_bench_files_are_schema_valid() {
-        for name in ["BENCH_4.json", "BENCH_5.json", "BENCH_6.json", "BENCH_baseline.json"] {
+        for name in ["BENCH_4.json", "BENCH_5.json", "BENCH_6.json", "BENCH_7.json", "BENCH_baseline.json"] {
             let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(name);
             let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {name}: {e}"));
             let points = parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -649,6 +682,23 @@ mod tests {
                 switch_scaling.speedup >= bar,
                 "{name}: committed switch-scaling speedup {:.2}x is below the {bar}x acceptance bar",
                 switch_scaling.speedup
+            );
+            if name == "BENCH_6.json" {
+                continue; // predates the recovery figure
+            }
+            let recovery = points
+                .iter()
+                .find(|p| p.figure == "fig_recovery" && p.params == RECOVERY_PARAMS)
+                .unwrap_or_else(|| panic!("{name} is missing the recovery datapoint"));
+            let bar = GateConfig::default().min_recovery_speedup;
+            assert!(
+                recovery.speedup >= bar,
+                "{name}: committed recovery speedup {:.2}x is below the {bar}x acceptance bar",
+                recovery.speedup
+            );
+            assert!(
+                points.iter().any(|p| p.figure == "micro" && p.params == GROUP_ENCODE_PARAMS),
+                "{name} is missing the group-commit encode datapoint"
             );
         }
     }

@@ -5,7 +5,7 @@
 //! functions below and prints the resulting markdown table; the same
 //! functions are used to produce `EXPERIMENTS.md`. Every function also
 //! records its raw measurements as [`BenchPoint`]s on the returned
-//! [`FigureTable`], which the bench targets serialise into `BENCH_6.json`
+//! [`FigureTable`], which the bench targets serialise into `BENCH_7.json`
 //! (see [`json`]) — the machine-readable perf trajectory that the CI
 //! regression gate diffs against `BENCH_baseline.json`.
 //!
@@ -621,7 +621,7 @@ const SCALING_PASS_NS: u64 = 100_000;
 
 /// Throughput vs switch count (1, 2, 4) at a fixed aggregate hot-set size
 /// (hot-heavy SmallBank, 40 hot customers/node). All arms run the unbatched
-/// hot path with the pipeline delay of [`SCALING_PASS_NS`], so the 1-switch
+/// hot path with the pipeline delay of `SCALING_PASS_NS` (100µs), so the 1-switch
 /// arm is pipeline-saturated and adding switches adds usable capacity. The
 /// maxcut assignment keeps each customer's savings/checking pair on one
 /// switch, so only the two-customer transfers (`Amalgamate`/`SendPayment`
@@ -671,6 +671,111 @@ pub fn fig_switch_scaling(profile: &BenchProfile) -> FigureTable {
             baseline = Some(stats);
         }
     }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Recovery time (PR 7, not a paper figure): checkpointed vs genesis restart.
+// ---------------------------------------------------------------------------
+
+/// Restart-time figure of the durability work: the same crashed node
+/// recovered two ways — genesis replay (decode + replay the entire log of
+/// every coordinator) vs checkpoint + tail (load the latest complete fuzzy
+/// checkpoint, decode only the segments past each coordinator's start fence,
+/// replay the suffix, write back shard-parallel). Traffic is grown until the
+/// log dwarfs the table, which is the regime checkpoints exist for; the
+/// `checkpointed vs genesis restart` datapoint's speedup is floored by the
+/// CI gate ([`json::GateConfig::min_recovery_speedup`]).
+pub fn fig_recovery(profile: &BenchProfile) -> FigureTable {
+    let mut table = FigureTable::new(
+        "Recovery — node restart time: genesis replay vs latest complete checkpoint + segment-tail replay \
+         (SmallBank, single-partition)",
+        &["Arm", "WAL records", "Replayed", "Restored rows", "Restart time [ms]", "Speedup"],
+    );
+    // A small table hammered by a long history: recovery work is replay- and
+    // decode-bound, not table-scan-bound.
+    let w: Arc<dyn Workload> = Arc::new(SmallBank::new(SmallBankConfig {
+        customers_per_node: 2_000,
+        hot_customers_per_node: 5,
+        ..SmallBankConfig::default()
+    }));
+    let mut config = ClusterConfig::new(SystemMode::NoSwitch, CcScheme::NoWait);
+    config.workers_per_node = 4;
+    config.distributed_prob = 0.0;
+    let cluster = Cluster::build(config, Arc::clone(&w));
+    let node = NodeId(0);
+    // Grow the log until the crashed node's own WAL holds enough records for
+    // the genesis replay to take measurable time (bounded: a wedged cluster
+    // must fail the figure, not hang it).
+    let target = if profile.full { 120_000 } else { 40_000 };
+    let slice = profile.measure.max(Duration::from_millis(100));
+    for _ in 0..64 {
+        if cluster.shared().node(node).wal().len() >= target {
+            break;
+        }
+        cluster.run_for(slice);
+    }
+    assert!(cluster.quiesce_switch(Duration::from_secs(10)), "recovery figure: cluster failed to quiesce");
+
+    // Best-of-two per arm: recovery is idempotent, and interference can only
+    // ever slow a restart down.
+    let time_restart = || {
+        let timed = || {
+            let start = Instant::now();
+            let report = cluster.crash_and_recover_node(node).expect("recovery failed");
+            (start.elapsed(), report)
+        };
+        let (ta, ra) = timed();
+        let (tb, rb) = timed();
+        if ta <= tb {
+            (ta, ra)
+        } else {
+            (tb, rb)
+        }
+    };
+
+    // Arm 1: genesis replay — no checkpoint exists yet.
+    let (genesis_time, genesis) = time_restart();
+    assert!(genesis.from_checkpoint.is_none(), "recovery figure: no checkpoint was taken yet");
+    assert!(genesis.divergences.is_empty(), "genesis replay diverged: {:?}", genesis.divergences);
+
+    // Arm 2: checkpoint, a short burst of post-checkpoint traffic (the
+    // tail), then a checkpoint + tail restart.
+    cluster.checkpoint_node(node).expect("checkpointing failed");
+    cluster.run_for(Duration::from_millis(20));
+    assert!(cluster.quiesce_switch(Duration::from_secs(10)), "recovery figure: cluster failed to quiesce");
+    let (ckpt_time, ckpt) = time_restart();
+    assert!(ckpt.from_checkpoint.is_some(), "recovery figure: restart did not use the checkpoint");
+    assert!(ckpt.divergences.is_empty(), "checkpoint+tail replay diverged: {:?}", ckpt.divergences);
+
+    let speedup = genesis_time.as_secs_f64() / ckpt_time.as_secs_f64().max(1e-9);
+    let ms = |d: Duration| format!("{:.2}", d.as_secs_f64() * 1e3);
+    table.push_row(vec![
+        "genesis replay".into(),
+        genesis.wal_records.to_string(),
+        genesis.tail_records.to_string(),
+        genesis.restored_tuples.to_string(),
+        ms(genesis_time),
+        fmt_speedup(1.0),
+    ]);
+    table.push_row(vec![
+        "checkpoint + tail".into(),
+        ckpt.wal_records.to_string(),
+        ckpt.tail_records.to_string(),
+        ckpt.restored_tuples.to_string(),
+        ms(ckpt_time),
+        fmt_speedup(speedup),
+    ]);
+    // tps = genesis replay rate in records/s (stable across machines);
+    // p50_us = the checkpointed restart's wall time.
+    let replay_rate = genesis.tail_records as f64 / genesis_time.as_secs_f64().max(1e-9);
+    table.push_point(BenchPoint::from_rates(
+        "fig_recovery",
+        json::RECOVERY_PARAMS,
+        replay_rate,
+        ckpt_time.as_secs_f64() * 1e6,
+        speedup,
+    ));
     table
 }
 

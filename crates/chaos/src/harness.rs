@@ -20,7 +20,7 @@ use p4db_common::rand_util::FastRng;
 use p4db_common::{Error, NodeId, Result, SystemMode, TxnId};
 use p4db_core::{Cluster, NodeRecoveryReport, SwitchRecoveryReport};
 use p4db_net::{EndpointId, RecvOutcome};
-use p4db_storage::LogRecord;
+use p4db_storage::{LogRecord, WalCodec};
 use p4db_switch::{Instruction, SwitchMessage, SwitchTxn, TxnHeader};
 use p4db_workloads::{SmallBank, SmallBankConfig, Tpcc, TpccConfig, Workload, WorkloadCtx, Ycsb, YcsbConfig, YcsbMix};
 use std::sync::Arc;
@@ -98,6 +98,22 @@ pub struct ChaosOptions {
     /// engine. The known-good baseline arm of the sharding differential
     /// suite in `tests/sharding.rs`.
     pub single_latch: bool,
+    /// Round-trips the WALs through the line-oriented text codec instead of
+    /// the segmented binary default (`ClusterConfig::wal_codec`). The
+    /// differential suite in `tests/durability.rs` proves the two arms
+    /// verdict-equivalent.
+    pub text_wal: bool,
+    /// Fuzzy-checkpoint cadence (`ClusterConfig::checkpoint_interval`). When
+    /// set, a checkpointer thread races every traffic wave, checkpointing
+    /// any node whose WAL grew by this many records — the scans are
+    /// genuinely fuzzy, racing live writers — and the invariant checker
+    /// verifies checkpoint+tail reconstruction against the live tables.
+    pub checkpoint_interval: Option<u64>,
+    /// With `crash_node`: simulate a crash landing *mid-checkpoint-write* —
+    /// a complete generation is taken, then a newer one torn mid-blob before
+    /// recovery runs. Recovery must skip the torn generation and start from
+    /// the complete one; [`ChaosReport::is_clean`] enforces it.
+    pub torn_checkpoint: bool,
 }
 
 impl ChaosOptions {
@@ -120,6 +136,9 @@ impl ChaosOptions {
             max_attempts: 30,
             batch: 16,
             single_latch: false,
+            text_wal: false,
+            checkpoint_interval: None,
+            torn_checkpoint: false,
         }
     }
 
@@ -160,6 +179,15 @@ impl ChaosOptions {
         }
         if self.single_latch {
             env.push_str(" CHAOS_SINGLE_LATCH=1");
+        }
+        if self.text_wal {
+            env.push_str(" CHAOS_TEXT_WAL=1");
+        }
+        if let Some(interval) = self.checkpoint_interval {
+            env.push_str(&format!(" CHAOS_CKPT={interval}"));
+        }
+        if self.torn_checkpoint {
+            env.push_str(" CHAOS_TORN_CKPT=1");
         }
         for (var, actual, default) in [
             ("CHAOS_NODES", self.nodes as u64, defaults.nodes as u64),
@@ -203,6 +231,9 @@ impl ChaosOptions {
         options.crash_switch = flag("CHAOS_CRASH_SWITCH");
         options.reoffload = flag("CHAOS_REOFFLOAD");
         options.single_latch = flag("CHAOS_SINGLE_LATCH");
+        options.text_wal = flag("CHAOS_TEXT_WAL");
+        options.checkpoint_interval = parse("CHAOS_CKPT").filter(|&n| n > 0);
+        options.torn_checkpoint = flag("CHAOS_TORN_CKPT");
         if let Some(n) = parse("CHAOS_NODES") {
             options.nodes = n as u16;
         }
@@ -244,6 +275,11 @@ pub struct ChaosReport {
     pub invariants: InvariantReport,
     pub node_recovery: Option<NodeRecoveryReport>,
     pub switch_recovery: Option<SwitchRecoveryReport>,
+    /// Fuzzy checkpoints installed while traffic was live.
+    pub checkpoints_taken: usize,
+    /// Set by the crash-during-checkpoint drill: the complete generation
+    /// recovery must fall back to, the newer one having been torn.
+    pub expected_checkpoint: Option<u64>,
     /// Whether every quiesce completed before its timeout.
     pub quiesced: bool,
     /// Fault classes that alone still reproduce the failure (populated only
@@ -254,7 +290,9 @@ pub struct ChaosReport {
 }
 
 impl ChaosReport {
-    /// No invariant violations, no recovery divergence, clean quiesce.
+    /// No invariant violations, no recovery divergence, clean quiesce — and,
+    /// for the crash-during-checkpoint drill, recovery actually fell back to
+    /// the expected complete generation instead of using the torn one.
     pub fn is_clean(&self) -> bool {
         self.invariants.is_clean()
             && self.quiesced
@@ -263,6 +301,9 @@ impl ChaosReport {
                 .as_ref()
                 .is_none_or(|r| r.divergences.is_empty() && r.ambiguous == 0 && r.codec_error.is_none())
             && self.switch_recovery.as_ref().is_none_or(|r| r.unexplained_divergences.is_empty())
+            && self
+                .expected_checkpoint
+                .is_none_or(|expected| self.node_recovery.as_ref().is_some_and(|r| r.from_checkpoint == Some(expected)))
     }
 
     /// A one-screen failure summary: seed, violations, minimized fault trace.
@@ -277,6 +318,14 @@ impl ChaosReport {
         if let Some(r) = &self.node_recovery {
             if !r.divergences.is_empty() {
                 out.push_str(&format!("  node recovery divergences: {:?}\n", r.divergences));
+            }
+            if let Some(expected) = self.expected_checkpoint {
+                if r.from_checkpoint != Some(expected) {
+                    out.push_str(&format!(
+                        "  recovery used checkpoint {:?}, expected fallback to complete generation {expected}\n",
+                        r.from_checkpoint
+                    ));
+                }
             }
         }
         if let Some(r) = &self.switch_recovery {
@@ -355,7 +404,11 @@ fn run_once(options: &ChaosOptions) -> Result<ChaosReport> {
         .seed(options.seed)
         .batch_size(options.batch)
         .single_latch(options.single_latch)
+        .wal_codec(if options.text_wal { WalCodec::Text } else { WalCodec::Binary })
         .test_latencies();
+    if let Some(interval) = options.checkpoint_interval {
+        builder = builder.checkpoint_interval(interval);
+    }
     if let Some(plan) = &options.faults {
         builder = builder.with_faults(plan.clone());
     }
@@ -367,9 +420,34 @@ fn run_once(options: &ChaosOptions) -> Result<ChaosReport> {
     let mut quiesced = true;
     let mut node_recovery = None;
     let mut switch_recovery = None;
+    let mut checkpoints_taken = 0usize;
+    let mut expected_checkpoint = None;
 
     for wave in 0..options.waves.max(1) {
-        let (c, a, d) = drive_wave(&cluster, &workload, options, wave)?;
+        let (c, a, d) = if options.checkpoint_interval.is_some() {
+            // The checkpointer races the wave's live traffic on purpose:
+            // the scans are fuzzy, and the invariant checker later proves
+            // checkpoint+tail reconstruction still matches the live state.
+            let stop = std::sync::atomic::AtomicBool::new(false);
+            std::thread::scope(|scope| {
+                let stop = &stop;
+                let cluster = &cluster;
+                let checkpointer = scope.spawn(|| {
+                    let mut taken = 0usize;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        taken += cluster.maybe_checkpoint();
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    taken
+                });
+                let result = drive_wave(cluster, &workload, options, wave);
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                checkpoints_taken += checkpointer.join().expect("checkpointer panicked");
+                result
+            })?
+        } else {
+            drive_wave(&cluster, &workload, options, wave)?
+        };
         committed += c;
         aborted += a;
         in_doubt += d;
@@ -377,6 +455,18 @@ fn run_once(options: &ChaosOptions) -> Result<ChaosReport> {
 
         if wave == 0 {
             if let Some(node) = options.crash_node {
+                if options.torn_checkpoint {
+                    // Crash-during-checkpoint drill: one complete generation,
+                    // then a newer one torn mid-write by the "crash".
+                    // Recovery must skip the torn blob and fall back.
+                    let complete = cluster.checkpoint_node(node)?;
+                    let _torn_generation = cluster.checkpoint_node(node)?;
+                    assert!(
+                        cluster.shared().node(node).checkpoints().tear_latest(17),
+                        "the drill needs a blob to tear"
+                    );
+                    expected_checkpoint = Some(complete);
+                }
                 node_recovery = Some(cluster.crash_and_recover_node(node)?);
             }
             if options.crash_switch {
@@ -404,6 +494,8 @@ fn run_once(options: &ChaosOptions) -> Result<ChaosReport> {
         invariants,
         node_recovery,
         switch_recovery,
+        checkpoints_taken,
+        expected_checkpoint,
         quiesced,
         minimized_faults: Vec::new(),
         repro,

@@ -19,7 +19,10 @@ use p4db_common::{
 };
 use p4db_layout::{assign_tuples_to_switches, DataLayout, LayoutPlanner, LayoutStrategy};
 use p4db_net::{Fabric, LatencyModel};
-use p4db_storage::{recover_cold_state, recover_switch_state, LogRecord, NodeStorage, SwitchRecoveryOutcome, Wal};
+use p4db_storage::{
+    decode_segment_tail, recover_cold_records, recover_switch_state, take_fuzzy_checkpoint, LogRecord, NodeStorage,
+    SwitchRecoveryOutcome, Wal, WalCodec, DEFAULT_SEGMENT_RECORDS,
+};
 use p4db_switch::{
     start_switch_with_id, ControlPlane, RegisterMemory, SwitchConfig, SwitchHandle, SwitchStatsSnapshot,
 };
@@ -78,6 +81,21 @@ pub struct ClusterConfig {
     /// This is the baseline arm of `fig_node_scaling` and of the sharding
     /// differential suite — not a configuration to run for performance.
     pub single_latch: bool,
+    /// Serialisation arm the durability paths round-trip the WAL through:
+    /// the segmented binary codec (default) or the line-oriented text codec
+    /// kept as the differential/compatibility arm. Both enforce the same
+    /// torn-tail contract; `tests/durability.rs` proves them
+    /// verdict-equivalent.
+    pub wal_codec: WalCodec,
+    /// Records per sealed WAL segment (binary arm only; clamped to ≥ 1).
+    /// Smaller segments seal — and checksum — more eagerly; larger ones
+    /// amortise the encode.
+    pub wal_segment_records: usize,
+    /// Fuzzy-checkpoint cadence: when set, [`Cluster::maybe_checkpoint`]
+    /// checkpoints any node whose own WAL grew by at least this many records
+    /// since its last complete checkpoint. `None` (the default) disables the
+    /// automatic cadence; [`Cluster::checkpoint_node`] still works.
+    pub checkpoint_interval: Option<u64>,
     /// RNG seed (workers derive their own seeds from it).
     pub seed: u64,
     /// Seeded fault-injection plan (chaos testing). When set, the fabric
@@ -108,6 +126,9 @@ impl ClusterConfig {
             flush_us: 50,
             storage_shards: 64,
             single_latch: false,
+            wal_codec: WalCodec::Binary,
+            wal_segment_records: DEFAULT_SEGMENT_RECORDS,
+            checkpoint_interval: None,
             seed: 42,
             faults: None,
         }
@@ -164,6 +185,15 @@ pub struct NodeRecoveryReport {
     pub missing_rows: usize,
     /// Set when a serialised log failed to parse cleanly.
     pub codec_error: Option<String>,
+    /// Generation of the complete checkpoint recovery started from, or
+    /// `None` for a genesis replay (no usable checkpoint).
+    pub from_checkpoint: Option<u64>,
+    /// Rows loaded from the checkpoint before tail replay.
+    pub checkpoint_rows: usize,
+    /// WAL records actually replayed — the per-coordinator suffixes past the
+    /// checkpoint's start fences, or everything (= `wal_records`) for a
+    /// genesis replay.
+    pub tail_records: usize,
 }
 
 /// What [`Cluster::crash_and_recover_switch`] did and found.
@@ -250,7 +280,12 @@ impl Cluster {
                 let storage = if config.single_latch {
                     NodeStorage::seed_single_latch(NodeId(n), workload.tables())
                 } else {
-                    NodeStorage::with_shards(NodeId(n), workload.tables(), config.storage_shards.max(1) as usize)
+                    NodeStorage::with_shards_and_segments(
+                        NodeId(n),
+                        workload.tables(),
+                        config.storage_shards.max(1) as usize,
+                        config.wal_segment_records,
+                    )
                 };
                 workload.load_node(&storage, config.num_nodes);
                 Arc::new(storage)
@@ -593,10 +628,78 @@ impl Cluster {
         }
     }
 
-    /// Simulates a crash + WAL-driven restart of one database node: the
-    /// node's volatile partition state is rebuilt from the *serialised* logs
-    /// (round-tripping the on-disk format), compared against the pre-crash
-    /// state, and written back.
+    /// Round-trips one node's log through the configured serialisation arm —
+    /// the crash model is that only the serialised form survives. Returns
+    /// the decoded log plus the torn-tail note, if the tail was torn.
+    /// Interior corruption (intact records after the failure) is a hard
+    /// error on both arms.
+    fn roundtrip_wal(&self, storage: &NodeStorage) -> Result<(Wal, Option<String>)> {
+        let round = match self.config.wal_codec {
+            WalCodec::Binary => {
+                let blobs = storage.wal().serialize_segments();
+                let views: Vec<&[u8]> = blobs.iter().map(|b| b.as_slice()).collect();
+                Wal::deserialize_segments(&views, self.config.wal_segment_records.max(1))
+            }
+            WalCodec::Text => Wal::deserialize_prefix(&storage.wal().serialize()),
+        };
+        let (wal, torn) =
+            round.map_err(|e| Error::InvalidConfig(format!("WAL round-trip failed during recovery: {e}")))?;
+        Ok((wal, torn.map(|t| t.to_string())))
+    }
+
+    /// Takes a fuzzy checkpoint of one node's partition and installs it in
+    /// that node's [`p4db_storage::CheckpointStore`]: per-coordinator WAL
+    /// fences are captured first, then every shard of every table is scanned
+    /// under its own read latch — no global pause, concurrent traffic keeps
+    /// running. Returns the generation number.
+    pub fn checkpoint_node(&self, node: NodeId) -> Result<u64> {
+        if node.index() >= self.shared.num_nodes() {
+            return Err(Error::UnknownNode(node));
+        }
+        let storage = self.shared.node(node);
+        let wals: Vec<&Wal> = self.shared.nodes.iter().map(|n| n.wal()).collect();
+        let generation = storage.checkpoints().begin_generation();
+        let blob = take_fuzzy_checkpoint(storage, &wals, generation);
+        storage.checkpoints().install(blob);
+        Ok(generation)
+    }
+
+    /// Checkpoints every node whose own WAL grew by at least the configured
+    /// [`ClusterConfig::checkpoint_interval`] since its last complete
+    /// checkpoint (all records, for a node that never checkpointed). No-op
+    /// without an interval. Returns how many checkpoints were taken.
+    pub fn maybe_checkpoint(&self) -> usize {
+        let Some(interval) = self.config.checkpoint_interval else {
+            return 0;
+        };
+        let mut taken = 0;
+        for storage in self.shared.nodes.iter() {
+            let node = storage.node();
+            let own = storage.wal().len() as u64;
+            let since = match storage.checkpoints().latest_complete() {
+                Some(c) => own.saturating_sub(c.start_fence.get(node.index()).copied().unwrap_or(0)),
+                None => own,
+            };
+            if since >= interval.max(1) && self.checkpoint_node(node).is_ok() {
+                taken += 1;
+            }
+        }
+        taken
+    }
+
+    /// Simulates a crash + restart of one database node: the node's volatile
+    /// partition state is rebuilt from the *serialised* durability artifacts
+    /// (round-tripping the configured on-disk WAL format), compared against
+    /// the pre-crash state, and written back.
+    ///
+    /// With a complete checkpoint available, recovery loads it and replays
+    /// only each coordinator's log suffix past the checkpoint's start fence
+    /// (fuzzy scans are sound because a transaction's cold writes and its
+    /// verdict land in the log as one atomic group — whatever in-progress
+    /// value a scan captured, the tail rewrites it); the merged rows are
+    /// written back shard-parallel across worker threads. Torn checkpoint
+    /// generations decode as errors and are skipped in favour of the
+    /// previous complete one; with none, recovery replays from genesis.
     ///
     /// Every coordinator logs its own cold writes, so the crashed node's
     /// tuples are recovered from all logs and filtered to its partition; a
@@ -616,46 +719,148 @@ impl Cluster {
             ambiguous: 0,
             missing_rows: 0,
             codec_error: None,
+            from_checkpoint: None,
+            checkpoint_rows: 0,
+            tail_records: 0,
         };
+        let storage = self.shared.node(node);
+        // Newest *complete* generation — torn blobs fail to decode and are
+        // skipped by `latest_complete`, falling back to the previous one.
+        let checkpoint = storage.checkpoints().latest_complete();
 
         // Recover each coordinator's log through the serialised format and
-        // keep the images of tuples homed on the crashed node.
+        // keep the images of tuples homed on the crashed node. With a
+        // checkpoint, only the suffix past that coordinator's start fence is
+        // replayed.
         let mut candidates: HashMap<TupleId, Vec<Value>> = HashMap::new();
-        for storage in &self.shared.nodes {
-            let serialized = storage.wal().serialize();
-            let (wal, codec_error) = Wal::deserialize_prefix(&serialized);
-            if let Some(err) = codec_error {
-                report.codec_error = Some(err.to_string());
+        for (n, coordinator) in self.shared.nodes.iter().enumerate() {
+            let fence = checkpoint.as_ref().map(|c| c.start_fence.get(n).copied().unwrap_or(0));
+            report.wal_records += coordinator.wal().len();
+            let (records, torn) = match (fence, self.config.wal_codec) {
+                // The O(tail) restart path: sealed segments wholly below the
+                // fence are skipped without being decoded.
+                (Some(fence), WalCodec::Binary) => {
+                    let blobs = coordinator.wal().serialize_segments();
+                    let views: Vec<&[u8]> = blobs.iter().map(|b| b.as_slice()).collect();
+                    let (records, torn) = decode_segment_tail(&views, fence)
+                        .map_err(|e| Error::InvalidConfig(format!("WAL tail decode failed during recovery: {e}")))?;
+                    (records, torn.map(|t| t.to_string()))
+                }
+                _ => {
+                    let (wal, torn) = self.roundtrip_wal(coordinator)?;
+                    let records = match fence {
+                        Some(fence) => wal.records_from(fence),
+                        None => wal.records(),
+                    };
+                    (records, torn)
+                }
+            };
+            if let Some(note) = torn {
+                report.codec_error = Some(note);
             }
-            report.wal_records += wal.len();
-            for (tuple, value) in recover_cold_state(&wal) {
+            report.tail_records += records.len();
+            for (tuple, value) in recover_cold_records(&records) {
                 if self.partition_map.home(tuple) == Some(node) {
                     candidates.entry(tuple).or_default().push(value);
                 }
             }
         }
 
-        let storage = self.shared.node(node);
+        // Resolve cross-coordinator disagreements before write-back.
+        let mut resolved: HashMap<TupleId, Value> = HashMap::new();
         for (tuple, images) in candidates {
             if images.iter().any(|v| *v != images[0]) {
                 report.ambiguous += 1;
                 continue;
             }
-            let recovered = images[0];
-            let table = storage.table(tuple.table)?;
-            match table.read(tuple.key) {
-                Ok(live) => {
-                    if live != recovered {
-                        report.divergences.push((tuple, live.switch_word(), recovered.switch_word()));
+            resolved.insert(tuple, images[0]);
+        }
+
+        let Some(c) = checkpoint else {
+            // Genesis replay: write the log-derived images straight back.
+            for (tuple, recovered) in resolved {
+                let table = storage.table(tuple.table)?;
+                match table.read(tuple.key) {
+                    Ok(live) => {
+                        if live != recovered {
+                            report.divergences.push((tuple, live.switch_word(), recovered.switch_word()));
+                        }
+                        // The "restart": volatile state is rebuilt from the log.
+                        table.write(tuple.key, recovered)?;
+                        report.restored_tuples += 1;
                     }
-                    // The "restart": volatile state is rebuilt from the log.
-                    table.write(tuple.key, recovered)?;
-                    report.restored_tuples += 1;
+                    // A logged row absent from the live table is an undone
+                    // insert; recovery must not resurrect it.
+                    Err(_) => report.missing_rows += 1,
                 }
-                // A logged row absent from the live table is an undone
-                // insert; recovery must not resurrect it.
-                Err(_) => report.missing_rows += 1,
             }
+            return Ok(report);
+        };
+
+        report.from_checkpoint = Some(c.generation);
+        report.checkpoint_rows = c.total_rows();
+        // Merge per (table, shard) cell: checkpoint rows first, tail images
+        // on top (the tail is authoritative for anything written after the
+        // fence, including whatever in-progress value the fuzzy scan caught).
+        let mut cells: HashMap<(p4db_common::TableId, u32), HashMap<u64, Value>> = HashMap::new();
+        for shard_rows in &c.shards {
+            let cell = cells.entry((shard_rows.table, shard_rows.shard)).or_default();
+            for &(key, value) in &shard_rows.rows {
+                cell.insert(key, value);
+            }
+        }
+        for (tuple, value) in &resolved {
+            let shard = storage.table(tuple.table)?.shard_of(tuple.key) as u32;
+            cells.entry((tuple.table, shard)).or_default().insert(tuple.key, *value);
+        }
+        let mut work: Vec<(&p4db_storage::Table, Vec<(u64, Value)>)> = Vec::with_capacity(cells.len());
+        for ((table_id, _), rows) in cells {
+            work.push((storage.table(table_id)?, rows.into_iter().collect()));
+        }
+
+        // Shard-parallel write-back: cells are latch-disjoint, so worker
+        // threads restore them concurrently without contending.
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(work.len().max(1)).max(1);
+        let chunk = work.len().div_ceil(threads).max(1);
+        type WorkerPart = (usize, Vec<(TupleId, u64, u64)>, usize);
+        let parts: Vec<WorkerPart> = std::thread::scope(|scope| {
+            let handles: Vec<_> = work
+                .chunks(chunk)
+                .map(|cells| {
+                    scope.spawn(move || {
+                        let mut restored = 0usize;
+                        let mut divergences = Vec::new();
+                        let mut missing = 0usize;
+                        for (table, rows) in cells {
+                            for &(key, recovered) in rows {
+                                match table.read(key) {
+                                    Ok(live) => {
+                                        if live != recovered {
+                                            divergences.push((
+                                                TupleId::new(table.id(), key),
+                                                live.switch_word(),
+                                                recovered.switch_word(),
+                                            ));
+                                        }
+                                        table.write(key, recovered).expect("row vanished during quiesced recovery");
+                                        restored += 1;
+                                    }
+                                    // Checkpointed or logged but absent live:
+                                    // an undone insert — not resurrected.
+                                    Err(_) => missing += 1,
+                                }
+                            }
+                        }
+                        (restored, divergences, missing)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("recovery worker panicked")).collect()
+        });
+        for (restored, divergences, missing) in parts {
+            report.restored_tuples += restored;
+            report.divergences.extend(divergences);
+            report.missing_rows += missing;
         }
         Ok(report)
     }
@@ -724,9 +929,12 @@ impl Cluster {
         let epoch_wal_start = self.epochs[s].wal_start.clone();
         let mut wals = Vec::with_capacity(self.shared.num_nodes());
         for (n, storage) in self.shared.nodes.iter().enumerate() {
-            let serialized = storage.wal().serialize();
-            let full = Wal::deserialize(&serialized)
-                .map_err(|e| Error::InvalidConfig(format!("WAL round-trip failed during recovery: {e}")))?;
+            let (full, torn) = self.roundtrip_wal(storage)?;
+            if let Some(note) = torn {
+                // Switch recovery replays intent/result pairs and cannot
+                // tolerate a truncated log the way node recovery can.
+                return Err(Error::InvalidConfig(format!("WAL torn during switch recovery: {note}")));
+            }
             let start = epoch_wal_start.get(n).copied().unwrap_or(0).min(full.len());
             let filtered = Wal::new();
             for record in full.records().into_iter().skip(start) {
@@ -1259,6 +1467,75 @@ mod tests {
         // The cluster still serves hot traffic on both switches.
         let stats = cluster.run_for(Duration::from_millis(150));
         assert!(stats.merged.committed_hot > 0);
+    }
+
+    fn small_smallbank() -> Arc<dyn Workload> {
+        Arc::new(SmallBank::new(SmallBankConfig { customers_per_node: 2_000, ..SmallBankConfig::default() }))
+    }
+
+    #[test]
+    fn durability_knobs_propagate_and_checkpointed_recovery_replays_only_the_tail() {
+        let cluster = Cluster::builder(small_smallbank())
+            .test_profile()
+            .distributed_prob(0.0) // single-partition traffic: unambiguous recovery
+            .wal_segment_records(32)
+            .checkpoint_interval(64)
+            .build();
+        assert_eq!(cluster.config().wal_codec, WalCodec::Binary);
+        for storage in cluster.shared().nodes.iter() {
+            assert_eq!(storage.wal().segment_capacity(), 32, "segment knob must reach every node's WAL");
+        }
+        let _ = cluster.run_for(Duration::from_millis(150));
+        assert!(cluster.quiesce_switch(Duration::from_secs(5)));
+        assert!(cluster.maybe_checkpoint() > 0, "the run must have crossed the checkpoint interval");
+        let _ = cluster.run_for(Duration::from_millis(100));
+        assert!(cluster.quiesce_switch(Duration::from_secs(5)));
+        let report = cluster.crash_and_recover_node(NodeId(0)).unwrap();
+        assert!(report.from_checkpoint.is_some(), "a complete checkpoint must be used");
+        assert!(report.checkpoint_rows > 0);
+        assert!(
+            report.tail_records < report.wal_records,
+            "the tail ({}) must be shorter than the full log ({})",
+            report.tail_records,
+            report.wal_records
+        );
+        assert!(report.divergences.is_empty(), "checkpoint+tail diverges: {:?}", report.divergences);
+        assert_eq!(report.ambiguous, 0);
+        assert!(report.codec_error.is_none(), "{:?}", report.codec_error);
+    }
+
+    #[test]
+    fn torn_checkpoint_generations_fall_back_to_the_previous_complete_one() {
+        let cluster = Cluster::builder(small_smallbank()).test_profile().distributed_prob(0.0).build();
+        let _ = cluster.run_for(Duration::from_millis(100));
+        assert!(cluster.quiesce_switch(Duration::from_secs(5)));
+        let first = cluster.checkpoint_node(NodeId(0)).unwrap();
+        let _ = cluster.run_for(Duration::from_millis(100));
+        assert!(cluster.quiesce_switch(Duration::from_secs(5)));
+        let second = cluster.checkpoint_node(NodeId(0)).unwrap();
+        assert!(second > first);
+        // The crash hit mid-checkpoint-write: the newest blob is torn.
+        // Recovery must skip it and use the previous complete generation.
+        assert!(cluster.shared().node(NodeId(0)).checkpoints().tear_latest(17));
+        let report = cluster.crash_and_recover_node(NodeId(0)).unwrap();
+        assert_eq!(report.from_checkpoint, Some(first), "recovery must fall back past the torn generation");
+        assert!(report.divergences.is_empty(), "{:?}", report.divergences);
+        assert!(report.codec_error.is_none(), "{:?}", report.codec_error);
+    }
+
+    #[test]
+    fn text_codec_arm_recovers_equivalently() {
+        let cluster =
+            Cluster::builder(small_smallbank()).test_profile().distributed_prob(0.0).wal_codec(WalCodec::Text).build();
+        let _ = cluster.run_for(Duration::from_millis(100));
+        assert!(cluster.quiesce_switch(Duration::from_secs(5)));
+        cluster.checkpoint_node(NodeId(1)).unwrap();
+        let _ = cluster.run_for(Duration::from_millis(100));
+        assert!(cluster.quiesce_switch(Duration::from_secs(5)));
+        let report = cluster.crash_and_recover_node(NodeId(1)).unwrap();
+        assert!(report.from_checkpoint.is_some());
+        assert!(report.divergences.is_empty(), "text arm diverges: {:?}", report.divergences);
+        assert!(report.codec_error.is_none(), "{:?}", report.codec_error);
     }
 
     #[test]

@@ -7,19 +7,26 @@
 //! protocol, and the recovery procedures for both switch state and node
 //! state.
 
+pub mod checkpoint;
 pub mod index;
 pub mod locks;
 pub mod node;
 pub mod recovery;
+pub mod segment;
 pub mod table;
 pub mod wal;
 
+pub use checkpoint::{decode_checkpoint, take_fuzzy_checkpoint, Checkpoint, CheckpointStore, ShardRows};
 pub use index::SecondaryIndex;
 pub use locks::{LockMode, LockTable, LockWaitStats};
 pub use node::NodeStorage;
 pub use recovery::{
-    recover_cold_state, recover_switch_state, replay_logged_op, replay_logged_txn, LoggedOpEffect,
-    SwitchRecoveryOutcome,
+    recover_cold_records, recover_cold_state, recover_switch_state, replay_logged_op, replay_logged_txn,
+    LoggedOpEffect, SwitchRecoveryOutcome,
+};
+pub use segment::{
+    decode_segment_prefix, decode_segment_tail, decode_segments, encode_segment, peek_base_lsn, SegmentPrefix,
+    SEGMENT_MAGIC,
 };
 pub use table::{Row, RowHandle, Table, DEFAULT_TABLE_SHARDS};
-pub use wal::{LogRecord, LoggedSwitchOp, Wal, WalCodecError};
+pub use wal::{LogRecord, LoggedSwitchOp, Wal, WalCodec, WalCodecError, DEFAULT_SEGMENT_RECORDS};

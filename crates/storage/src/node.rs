@@ -5,6 +5,7 @@
 //! is a plain vector indexed by `TableId` — the admission path resolves a
 //! tuple's table with one bounds-checked load instead of a map probe.
 
+use crate::checkpoint::CheckpointStore;
 use crate::index::SecondaryIndex;
 use crate::locks::LockTable;
 use crate::table::{RowHandle, Table};
@@ -29,6 +30,7 @@ pub struct NodeStorage {
     index_shards: usize,
     locks: LockTable,
     wal: Wal,
+    checkpoints: CheckpointStore,
 }
 
 impl NodeStorage {
@@ -41,6 +43,17 @@ impl NodeStorage {
     /// Creates storage with an explicit per-table shard count
     /// (non-powers-of-two round up).
     pub fn with_shards(node: NodeId, table_ids: impl IntoIterator<Item = TableId>, shards: usize) -> Self {
+        Self::with_shards_and_segments(node, table_ids, shards, crate::wal::DEFAULT_SEGMENT_RECORDS)
+    }
+
+    /// [`NodeStorage::with_shards`] with an explicit WAL segment capacity
+    /// (records per sealed segment; clamps to at least 1).
+    pub fn with_shards_and_segments(
+        node: NodeId,
+        table_ids: impl IntoIterator<Item = TableId>,
+        shards: usize,
+        segment_records: usize,
+    ) -> Self {
         let mut tables: Vec<Option<Table>> = Vec::new();
         for id in table_ids {
             if tables.len() <= id.index() {
@@ -55,7 +68,8 @@ impl NodeStorage {
             secondary: HashMap::new(),
             index_shards: shards,
             locks: LockTable::new(),
-            wal: Wal::new(),
+            wal: Wal::with_segment_capacity(segment_records),
+            checkpoints: CheckpointStore::new(),
         }
     }
 
@@ -80,6 +94,7 @@ impl NodeStorage {
             index_shards: 1,
             locks: LockTable::seed_flavor(),
             wal: Wal::new(),
+            checkpoints: CheckpointStore::new(),
         }
     }
 
@@ -129,6 +144,12 @@ impl NodeStorage {
     /// The node's write-ahead log.
     pub fn wal(&self) -> &Wal {
         &self.wal
+    }
+
+    /// The node's retained checkpoint generations (see
+    /// [`crate::checkpoint`]).
+    pub fn checkpoints(&self) -> &CheckpointStore {
+        &self.checkpoints
     }
 
     /// Admission-time footprint resolution: acquires the 2PL lock on `tuple`

@@ -14,7 +14,7 @@
 use crate::wal::{LogRecord, LoggedSwitchOp, Wal};
 use p4db_common::{TupleId, TxnId, Value};
 use p4db_switch::apply_op;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// A switch transaction reconstructed from the logs.
 #[derive(Clone, Debug)]
@@ -175,9 +175,17 @@ pub fn recover_switch_state(initial: &HashMap<TupleId, u64>, logs: &[&Wal]) -> S
 /// all committed transactions are redone; writes of transactions without a
 /// commit record are undone via their before-images (§A.3, case 2).
 pub fn recover_cold_state(wal: &Wal) -> HashMap<TupleId, Value> {
-    let records = wal.records();
+    recover_cold_records(&wal.records())
+}
+
+/// [`recover_cold_state`] over a record slice — the checkpoint-aware
+/// recovery path replays only the segment tail since the checkpoint fence,
+/// which group-atomic commit/abort records make self-contained: a
+/// transaction's cold writes always share one group append with their
+/// `Commit`/`Abort`, so a tail never splits a write from its verdict.
+pub fn recover_cold_records(records: &[LogRecord]) -> HashMap<TupleId, Value> {
     let mut committed: HashMap<TxnId, bool> = HashMap::new();
-    for r in &records {
+    for r in records {
         match r {
             LogRecord::Commit { txn } => {
                 committed.insert(*txn, true);
@@ -195,11 +203,21 @@ pub fn recover_cold_state(wal: &Wal) -> HashMap<TupleId, Value> {
         }
     }
     let mut state: HashMap<TupleId, Value> = HashMap::new();
-    for r in &records {
+    // An undone transaction's pre-image is the *first* before-image it
+    // logged for a tuple — a second write to the same tuple carries the
+    // first write's after-image as its "before", which is exactly the torn
+    // intermediate the undo must erase. (2PL keeps a tuple's writers
+    // serialized and a transaction's records share one group append, so
+    // skipping the duplicates cannot skip another transaction's image.)
+    let mut undone: HashSet<(TxnId, TupleId)> = HashSet::new();
+    for r in records {
         if let LogRecord::ColdWrite { txn, tuple, before, after } = r {
             let is_committed = committed.get(txn).copied().unwrap_or(false);
-            let value = if is_committed { *after } else { *before };
-            state.insert(*tuple, value);
+            if is_committed {
+                state.insert(*tuple, *after);
+            } else if undone.insert((*txn, *tuple)) {
+                state.insert(*tuple, *before);
+            }
         }
     }
     state
@@ -353,5 +371,53 @@ mod tests {
         assert_eq!(state[&tuple(1)].switch_word(), 10);
         assert_eq!(state[&tuple(2)].switch_word(), 5);
         assert_eq!(state[&tuple(3)].switch_word(), 70);
+    }
+
+    #[test]
+    fn undo_of_a_double_writing_aborted_txn_restores_the_first_before_image() {
+        // T writes tuple 1 twice (5 → 50 → 70) and aborts: the recovered
+        // value must be 5, not the torn intermediate 50 carried as the
+        // second record's before-image.
+        let wal = Wal::new();
+        let t = txn(1, 0);
+        wal.append_group([
+            LogRecord::ColdWrite { txn: t, tuple: tuple(1), before: Value::scalar(5), after: Value::scalar(50) },
+            LogRecord::ColdWrite { txn: t, tuple: tuple(1), before: Value::scalar(50), after: Value::scalar(70) },
+            LogRecord::Abort { txn: t },
+        ]);
+        let state = recover_cold_state(&wal);
+        assert_eq!(state[&tuple(1)].switch_word(), 5);
+
+        // The committed twin redoes to the *last* after-image.
+        let wal = Wal::new();
+        let t = txn(2, 0);
+        wal.append_group([
+            LogRecord::ColdWrite { txn: t, tuple: tuple(1), before: Value::scalar(5), after: Value::scalar(50) },
+            LogRecord::ColdWrite { txn: t, tuple: tuple(1), before: Value::scalar(50), after: Value::scalar(70) },
+            LogRecord::Commit { txn: t },
+        ]);
+        assert_eq!(recover_cold_state(&wal)[&tuple(1)].switch_word(), 70);
+    }
+
+    #[test]
+    fn tail_only_replay_matches_full_replay_when_groups_are_atomic() {
+        // Build a log where a checkpoint fence falls between two atomic
+        // groups; replaying only the tail must reproduce the tail's writes
+        // exactly (commit status is self-contained per group).
+        let wal = Wal::new();
+        let a = txn(1, 0);
+        let b = txn(2, 0);
+        wal.append_group([
+            LogRecord::ColdWrite { txn: a, tuple: tuple(1), before: Value::scalar(0), after: Value::scalar(10) },
+            LogRecord::Commit { txn: a },
+        ]);
+        let fence = wal.len();
+        wal.append_group([
+            LogRecord::ColdWrite { txn: b, tuple: tuple(1), before: Value::scalar(10), after: Value::scalar(99) },
+            LogRecord::Abort { txn: b },
+        ]);
+        let tail = wal.records_from(fence as u64);
+        let state = recover_cold_records(&tail);
+        assert_eq!(state[&tuple(1)].switch_word(), 10, "the tail undoes b without needing a's records");
     }
 }

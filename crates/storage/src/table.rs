@@ -282,6 +282,32 @@ impl Table {
             ShardSet::Seed(s) => visit(s, &mut f),
         }
     }
+
+    /// Visits every row of **one** shard under that shard's read latch — the
+    /// unit of a fuzzy checkpoint scan: each shard is snapshotted
+    /// independently, so the table as a whole is never paused. The shard's
+    /// rows are physically consistent (the latch is held for the visit);
+    /// rows in other shards keep moving.
+    pub fn for_each_in_shard(&self, shard: usize, mut f: impl FnMut(u64, &Row)) {
+        fn visit<S: BuildHasher>(shard: &Shard<S>, f: &mut impl FnMut(u64, &Row)) {
+            let guard = unpoison(shard.read());
+            for (&key, row) in guard.iter() {
+                f(key, row);
+            }
+        }
+        match &self.shards {
+            ShardSet::Fast(s) => visit(&s[shard], &mut f),
+            ShardSet::Seed(s) => visit(&s[shard], &mut f),
+        }
+    }
+
+    /// The shard a tuple key lives in (`mix(table, key) & mask`) — the index
+    /// checkpoint-tail recovery uses to route a WAL record to the shard that
+    /// owns its row.
+    #[inline]
+    pub fn shard_of(&self, key: u64) -> usize {
+        (self.key_hash(key) & self.mask) as usize
+    }
 }
 
 #[cfg(test)]

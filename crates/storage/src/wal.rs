@@ -29,18 +29,47 @@
 //! record could decode as a *different but well-formed* record (e.g. `c 10`
 //! torn to `c 1`), silently corrupting recovery. The encoding round-trips
 //! exactly: `Wal::deserialize(&wal.serialize())` reproduces the record
-//! vector verbatim. A truncated or corrupt line — e.g. a torn final record
-//! after a crash mid-flush — yields a structured [`WalCodecError`], never a
-//! panic; [`Wal::deserialize_prefix`] recovers the intact prefix.
+//! vector verbatim.
+//!
+//! ## Torn tail vs. interior corruption
+//!
+//! A failing record is classified by *where* it fails, and the two cases
+//! have opposite meanings:
+//!
+//! * **Torn tail** — the failing line is the **final** non-empty line of the
+//!   input. That is exactly what a crash mid-flush produces: the prefix
+//!   reached stable storage, the last record did not.
+//!   [`Wal::deserialize_prefix`] returns the intact prefix together with the
+//!   tear as a note, and recovery proceeds from the prefix.
+//! * **Interior corruption** — a record fails while *intact records follow
+//!   it*. No crash produces that shape; it means the medium lost data in the
+//!   middle of the log, and truncating to the prefix would silently discard
+//!   the intact records after the hole. This is a hard [`WalCodecError`]
+//!   from both [`Wal::deserialize`] and [`Wal::deserialize_prefix`].
+//!
+//! The binary segment codec ([`crate::segment`]) carries the identical
+//! contract: an error at the physical end of the *final* segment is a torn
+//! tail; anything earlier is data loss.
+//!
+//! This text format is the compatibility/differential arm; the default
+//! crash-drill arm is the segmented binary codec in [`crate::segment`]
+//! (sealed bounded segments plus one active tail, rotated by
+//! [`Wal::append`]/[`Wal::append_group`] at
+//! [`Wal::segment_capacity`] records).
 
 use p4db_common::sync::unpoison;
 use p4db_common::{GlobalTxnId, TupleId, TxnId, Value};
 use p4db_switch::OpCode;
 use std::fmt;
-use std::sync::Mutex;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
 
 /// Version tag written as the first line of every serialised log.
 const WAL_HEADER: &str = "p4dbwal 1";
+
+/// Default number of records per log segment before the active tail is
+/// sealed and a new one started (see [`Wal::serialize_segments`]).
+pub const DEFAULT_SEGMENT_RECORDS: usize = 512;
 
 /// FNV-1a 64-bit hash of a record body, the per-record checksum of the
 /// serialised format. Not cryptographic — it only needs to make it
@@ -106,6 +135,21 @@ impl LogRecord {
     }
 }
 
+/// Which serialisation arm a crash drill (or a real restart) round-trips
+/// the log through. Both arms carry the identical torn-tail-vs-interior-
+/// corruption contract; the differential suite in `tests/durability.rs`
+/// proves their invariant verdicts equivalent.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum WalCodec {
+    /// The segmented binary codec of [`crate::segment`] — the default arm:
+    /// sealed bounded segments plus one active tail.
+    #[default]
+    Binary,
+    /// The versioned text format of this module — the compatibility and
+    /// differential-baseline arm.
+    Text,
+}
+
 /// A parse failure while reconstructing a log from its serialised form,
 /// pointing at the offending (1-based) line. Torn trailing records — a crash
 /// mid-flush — surface here as a regular error the caller can handle.
@@ -129,8 +173,14 @@ impl fmt::Display for WalCodecError {
 
 impl std::error::Error for WalCodecError {}
 
+// `write!` into a `String` cannot fail; the unreachable error arm would
+// otherwise force `encode_record` to return a `Result` nobody can act on.
+macro_rules! w {
+    ($out:expr, $($arg:tt)*) => { let _ = write!($out, $($arg)*); };
+}
+
 fn encode_tuple(out: &mut String, tuple: TupleId) {
-    out.push_str(&format!("{}:{}", tuple.table.0, tuple.key));
+    w!(out, "{}:{}", tuple.table.0, tuple.key);
 }
 
 fn encode_value(out: &mut String, value: &Value) {
@@ -139,7 +189,7 @@ fn encode_value(out: &mut String, value: &Value) {
         if !first {
             out.push(',');
         }
-        out.push_str(&field.to_string());
+        w!(out, "{field}");
         first = false;
     }
 }
@@ -147,7 +197,7 @@ fn encode_value(out: &mut String, value: &Value) {
 fn encode_record(out: &mut String, record: &LogRecord) {
     match record {
         LogRecord::ColdWrite { txn, tuple, before, after } => {
-            out.push_str(&format!("cw {} ", txn.0));
+            w!(out, "cw {} ", txn.0);
             encode_tuple(out, *tuple);
             out.push(' ');
             encode_value(out, before);
@@ -155,27 +205,33 @@ fn encode_record(out: &mut String, record: &LogRecord) {
             encode_value(out, after);
         }
         LogRecord::SwitchIntent { txn, ops } => {
-            out.push_str(&format!("si {}", txn.0));
+            w!(out, "si {}", txn.0);
             for op in ops {
                 out.push(' ');
                 encode_tuple(out, op.tuple);
-                out.push_str(&format!(":{}:{}", op.op.name(), op.operand));
+                w!(out, ":{}:{}", op.op.name(), op.operand);
                 match op.operand_from {
-                    Some(src) => out.push_str(&format!(":{src}")),
+                    Some(src) => {
+                        w!(out, ":{src}");
+                    }
                     None => out.push_str(":-"),
                 }
             }
         }
         LogRecord::SwitchResult { txn, gid, results } => {
-            out.push_str(&format!("sr {} {}", txn.0, gid.0));
+            w!(out, "sr {} {}", txn.0, gid.0);
             for (tuple, value) in results {
                 out.push(' ');
                 encode_tuple(out, *tuple);
-                out.push_str(&format!(":{value}"));
+                w!(out, ":{value}");
             }
         }
-        LogRecord::Commit { txn } => out.push_str(&format!("c {}", txn.0)),
-        LogRecord::Abort { txn } => out.push_str(&format!("a {}", txn.0)),
+        LogRecord::Commit { txn } => {
+            w!(out, "c {}", txn.0);
+        }
+        LogRecord::Abort { txn } => {
+            w!(out, "a {}", txn.0);
+        }
     }
 }
 
@@ -306,12 +362,35 @@ fn decode_record(line_no: usize, text: &str) -> Result<LogRecord, WalCodecError>
     Ok(record)
 }
 
+/// The mutex-guarded interior of a [`Wal`]: the full record vector plus the
+/// cache of sealed, already-encoded binary segments (every
+/// `segment_capacity` records the oldest unsealed span is encoded once and
+/// kept, so repeated crash drills never re-encode history).
+#[derive(Debug, Default)]
+struct WalInner {
+    records: Vec<LogRecord>,
+    sealed: Vec<Arc<Vec<u8>>>,
+}
+
 /// The per-node write-ahead log. Appends are serialised by a mutex; in the
 /// real system this is the log buffer + group commit path, whose cost the
 /// paper argues is negligible next to network latency (§A.3).
-#[derive(Debug, Default)]
+///
+/// The log is physically a sequence of bounded **segments**: sealed segments
+/// (encoded to the binary codec of [`crate::segment`] at rotation time,
+/// immutable from then on) plus one active tail. [`Wal::serialize_segments`]
+/// returns that sequence; [`Wal::serialize`] still renders the whole log in
+/// the versioned text format as the compatibility/differential arm.
+#[derive(Debug)]
 pub struct Wal {
-    records: Mutex<Vec<LogRecord>>,
+    inner: Mutex<WalInner>,
+    segment_capacity: usize,
+}
+
+impl Default for Wal {
+    fn default() -> Self {
+        Wal { inner: Mutex::new(WalInner::default()), segment_capacity: DEFAULT_SEGMENT_RECORDS }
+    }
 }
 
 impl Wal {
@@ -319,11 +398,41 @@ impl Wal {
         Self::default()
     }
 
+    /// A log that rotates its binary segments every `capacity` records
+    /// (clamped to at least 1). The capacity only bounds segment size; the
+    /// record contents and the text serialisation are unaffected.
+    pub fn with_segment_capacity(capacity: usize) -> Self {
+        Wal { inner: Mutex::new(WalInner::default()), segment_capacity: capacity.max(1) }
+    }
+
+    /// Number of records per sealed segment.
+    pub fn segment_capacity(&self) -> usize {
+        self.segment_capacity
+    }
+
+    fn from_records(records: Vec<LogRecord>) -> Self {
+        Wal { inner: Mutex::new(WalInner { records, sealed: Vec::new() }), segment_capacity: DEFAULT_SEGMENT_RECORDS }
+    }
+
+    /// Seals every complete, not-yet-sealed segment. Called with the append
+    /// mutex held: rotation is the moment the record crossing the capacity
+    /// boundary is appended, exactly like a file-backed log closing one
+    /// segment file and opening the next.
+    fn seal_full_segments(&self, inner: &mut WalInner) {
+        while (inner.sealed.len() + 1) * self.segment_capacity <= inner.records.len() {
+            let base = inner.sealed.len() * self.segment_capacity;
+            let blob = crate::segment::encode_segment(base as u64, &inner.records[base..base + self.segment_capacity]);
+            inner.sealed.push(Arc::new(blob));
+        }
+    }
+
     /// Appends a record and returns its log sequence number.
     pub fn append(&self, record: LogRecord) -> u64 {
-        let mut records = unpoison(self.records.lock());
-        records.push(record);
-        (records.len() - 1) as u64
+        let mut inner = unpoison(self.inner.lock());
+        inner.records.push(record);
+        let lsn = (inner.records.len() - 1) as u64;
+        self.seal_full_segments(&mut inner);
+        lsn
     }
 
     /// Group commit: appends a whole batch of records under **one** lock
@@ -332,19 +441,26 @@ impl Wal {
     /// is appended contiguously and in order (no other appender's record can
     /// interleave inside it), and the serialised form is identical to the
     /// same records appended one by one, so the torn-record-safe encoding
-    /// and [`Wal::deserialize_prefix`] recovery are unaffected. Returns the
-    /// LSN of the batch's first record (the current log length for an empty
-    /// batch).
-    pub fn append_group(&self, batch: impl IntoIterator<Item = LogRecord>) -> u64 {
-        let mut records = unpoison(self.records.lock());
-        let first = records.len() as u64;
-        records.extend(batch);
-        first
+    /// and [`Wal::deserialize_prefix`] recovery are unaffected.
+    ///
+    /// Returns the LSN of the batch's first record, or `None` for an empty
+    /// batch — an empty batch writes nothing, and handing out the current
+    /// log length as its "LSN" would name a record that belongs to whoever
+    /// appends next.
+    pub fn append_group(&self, batch: impl IntoIterator<Item = LogRecord>) -> Option<u64> {
+        let mut inner = unpoison(self.inner.lock());
+        let first = inner.records.len() as u64;
+        inner.records.extend(batch);
+        if inner.records.len() as u64 == first {
+            return None;
+        }
+        self.seal_full_segments(&mut inner);
+        Some(first)
     }
 
     /// Number of records in the log.
     pub fn len(&self) -> usize {
-        unpoison(self.records.lock()).len()
+        unpoison(self.inner.lock()).records.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -353,75 +469,130 @@ impl Wal {
 
     /// A snapshot of the whole log (recovery input).
     pub fn records(&self) -> Vec<LogRecord> {
-        unpoison(self.records.lock()).clone()
+        unpoison(self.inner.lock()).records.clone()
+    }
+
+    /// A snapshot of the log from `lsn` onwards (checkpoint-tail replay
+    /// input).
+    pub fn records_from(&self, lsn: u64) -> Vec<LogRecord> {
+        let inner = unpoison(self.inner.lock());
+        let at = (lsn as usize).min(inner.records.len());
+        inner.records[at..].to_vec()
     }
 
     /// Serialises the log to the versioned text format (header line plus one
     /// record per line), the stand-in for forcing the log to stable storage.
     pub fn serialize(&self) -> String {
-        let records = unpoison(self.records.lock());
-        let mut out = String::with_capacity(16 + records.len() * 48);
+        let inner = unpoison(self.inner.lock());
+        let mut out = String::with_capacity(16 + inner.records.len() * 48);
         out.push_str(WAL_HEADER);
         out.push('\n');
         let mut body = String::new();
-        for r in records.iter() {
+        for r in inner.records.iter() {
             body.clear();
             encode_record(&mut body, r);
             out.push_str(&body);
-            out.push_str(&format!(" #{:016x}\n", fnv1a(&body)));
+            w!(out, " #{:016x}\n", fnv1a(&body));
         }
         out
     }
 
+    /// Serialises the log as its binary segment sequence: every sealed
+    /// segment (encoded once, at rotation) followed by the active tail
+    /// (encoded fresh, it is still growing). An empty log yields no
+    /// segments. See [`crate::segment`] for the wire format and the torn-
+    /// tail contract.
+    pub fn serialize_segments(&self) -> Vec<Arc<Vec<u8>>> {
+        let inner = unpoison(self.inner.lock());
+        let mut blobs = inner.sealed.clone();
+        let tail_base = inner.sealed.len() * self.segment_capacity;
+        if tail_base < inner.records.len() {
+            blobs.push(Arc::new(crate::segment::encode_segment(tail_base as u64, &inner.records[tail_base..])));
+        }
+        blobs
+    }
+
+    /// Reconstructs a log from a binary segment sequence, tolerating a torn
+    /// tail in the **final** segment only (see [`crate::segment`]). The
+    /// reconstructed log re-rotates under `capacity`.
+    pub fn deserialize_segments(
+        blobs: &[impl AsRef<[u8]>],
+        capacity: usize,
+    ) -> Result<(Self, Option<WalCodecError>), WalCodecError> {
+        let (records, torn) = crate::segment::decode_segments(blobs)?;
+        let wal =
+            Wal { inner: Mutex::new(WalInner { records, sealed: Vec::new() }), segment_capacity: capacity.max(1) };
+        {
+            let mut inner = unpoison(wal.inner.lock());
+            wal.seal_full_segments(&mut inner);
+        }
+        Ok((wal, torn))
+    }
+
     /// Reconstructs a log from its serialised form. Empty input yields an
-    /// empty log; anything else must start with the version header. A
-    /// truncated or corrupt line — including a torn final record, which the
-    /// per-record checksum catches even when the tear leaves a well-formed
-    /// shorter record behind — yields a [`WalCodecError`] rather than
-    /// panicking. Use [`Wal::deserialize_prefix`] when recovery should fall
-    /// back to the prefix of the log that did reach stable storage.
+    /// empty log; anything else must start with the version header. Any
+    /// failing record — torn tail or interior corruption alike, including a
+    /// torn final record that the per-record checksum catches even when the
+    /// tear leaves a well-formed shorter record behind — yields a
+    /// [`WalCodecError`] rather than panicking. Use
+    /// [`Wal::deserialize_prefix`] when recovery should fall back to the
+    /// prefix of the log that did reach stable storage.
     pub fn deserialize(data: &str) -> Result<Self, WalCodecError> {
-        let (wal, error) = Self::deserialize_prefix(data);
-        match error {
-            Some(err) => Err(err),
-            None => Ok(wal),
+        match Self::deserialize_prefix(data)? {
+            (wal, None) => Ok(wal),
+            (_, Some(torn)) => Err(torn),
         }
     }
 
-    /// Like [`Wal::deserialize`], but keeps every record that parsed cleanly
-    /// *before* the first corrupt line: after a crash mid-flush, the intact
-    /// prefix is exactly the portion of the log that reached stable storage,
-    /// and recovery proceeds from it. Returns the prefix together with the
-    /// error that terminated parsing, if any.
-    pub fn deserialize_prefix(data: &str) -> (Self, Option<WalCodecError>) {
+    /// Like [`Wal::deserialize`], but implements the torn-tail contract (see
+    /// the module docs): a record that fails on the **final** non-empty line
+    /// is a legitimate torn tail — the intact prefix is returned together
+    /// with the tear as a note, and recovery proceeds from it. A record that
+    /// fails with intact lines *after* it is interior corruption — data
+    /// loss, not a tear — and is a hard error: truncating there would
+    /// silently discard every intact record behind the hole.
+    pub fn deserialize_prefix(data: &str) -> Result<(Self, Option<WalCodecError>), WalCodecError> {
+        let mut last_content_line = None;
+        for (idx, line) in data.lines().enumerate() {
+            if !line.trim().is_empty() {
+                last_content_line = Some(idx + 1);
+            }
+        }
         let mut records = Vec::new();
         let mut seen_header = false;
-        let mut error = None;
+        let mut torn = None;
         for (idx, line) in data.lines().enumerate() {
             let line_no = idx + 1;
             if line.trim().is_empty() {
                 continue;
             }
-            if !seen_header {
-                if line.trim() != WAL_HEADER {
-                    error = Some(WalCodecError::new(
-                        line_no,
-                        format!("missing or unsupported header (expected {WAL_HEADER:?}, got {line:?})"),
-                    ));
+            let result = if !seen_header {
+                if line.trim() == WAL_HEADER {
+                    seen_header = true;
+                    continue;
+                }
+                Err(WalCodecError::new(
+                    line_no,
+                    format!("missing or unsupported header (expected {WAL_HEADER:?}, got {line:?})"),
+                ))
+            } else {
+                decode_checksummed_record(line_no, line)
+            };
+            match result {
+                Ok(record) => records.push(record),
+                Err(err) if Some(line_no) == last_content_line => {
+                    torn = Some(err);
                     break;
                 }
-                seen_header = true;
-                continue;
-            }
-            match decode_checksummed_record(line_no, line) {
-                Ok(record) => records.push(record),
                 Err(err) => {
-                    error = Some(err);
-                    break;
+                    return Err(WalCodecError::new(
+                        err.line,
+                        format!("interior corruption (intact records follow): {}", err.message),
+                    ))
                 }
             }
         }
-        (Wal { records: Mutex::new(records) }, error)
+        Ok((Wal::from_records(records), torn))
     }
 }
 
@@ -479,8 +650,8 @@ mod tests {
         let singles = sample_wal();
         let grouped = Wal::new();
         let first = grouped.append_group(singles.records());
-        assert_eq!(first, 0);
-        assert_eq!(grouped.append_group(Vec::new()), singles.len() as u64, "empty group returns the next LSN");
+        assert_eq!(first, Some(0));
+        assert_eq!(grouped.append_group(Vec::new()), None, "an empty batch has no LSN");
         assert_eq!(grouped.records(), singles.records());
         assert_eq!(grouped.serialize(), singles.serialize());
         // The next single append lands right after the group.
@@ -619,16 +790,75 @@ mod tests {
     fn deserialize_prefix_recovers_intact_records() {
         let wal = sample_wal();
         let data = wal.serialize();
-        // Tear the final line in half: the first four records survive.
+        // Tear the final line in half: the first four records survive and
+        // the tear is reported as a note, not an error.
         let last_line_start = data.trim_end().rfind('\n').unwrap() + 1;
         let torn = &data[..last_line_start + 3];
-        let (prefix, err) = Wal::deserialize_prefix(torn);
+        let (prefix, err) = Wal::deserialize_prefix(torn).unwrap();
         assert!(err.is_some());
         assert_eq!(prefix.records(), wal.records()[..4].to_vec());
         // A clean log recovers fully with no error.
-        let (full, err) = Wal::deserialize_prefix(&data);
+        let (full, err) = Wal::deserialize_prefix(&data).unwrap();
         assert!(err.is_none());
         assert_eq!(full.records(), wal.records());
+    }
+
+    #[test]
+    fn interior_corruption_is_a_hard_error_not_a_shorter_prefix() {
+        let wal = sample_wal();
+        let data = wal.serialize();
+        // Corrupt the FIRST record's body: four intact records follow, so
+        // truncating to the (empty) prefix would silently lose them. Both
+        // entry points must refuse.
+        let corrupted = data.replacen("1,7,9", "1,7,8", 1);
+        assert_ne!(corrupted, data);
+        let err = Wal::deserialize_prefix(&corrupted).unwrap_err();
+        assert!(err.message.contains("interior corruption"), "{err}");
+        assert!(Wal::deserialize(&corrupted).is_err());
+        // Deleting a middle line entirely shifts the records but leaves each
+        // remaining line's own checksum intact — the log still parses; what
+        // the prefix contract rules out is a *failing* record followed by
+        // intact ones, which the tests above and below pin down.
+        // The same corruption on the FINAL record is a legitimate torn tail:
+        // flip one hex digit of the final record's checksum.
+        let last_line_start = data.trim_end().rfind('\n').unwrap() + 1;
+        let (body, crc) = data[last_line_start..].trim_end().rsplit_once(" #").unwrap();
+        let flipped = if crc.as_bytes()[0] == b'0' { '1' } else { '0' };
+        let torn_tail = format!("{}{body} #{flipped}{}\n", &data[..last_line_start], &crc[1..]);
+        let (prefix, note) = Wal::deserialize_prefix(&torn_tail).unwrap();
+        assert!(note.is_some());
+        assert_eq!(prefix.records(), wal.records()[..4].to_vec());
+    }
+
+    #[test]
+    fn segment_rotation_seals_and_roundtrips() {
+        let wal = Wal::with_segment_capacity(2);
+        assert_eq!(wal.segment_capacity(), 2);
+        for r in sample_wal().records() {
+            wal.append(r);
+        }
+        // 5 records at capacity 2: two sealed segments + a 1-record tail.
+        let blobs = wal.serialize_segments();
+        assert_eq!(blobs.len(), 3);
+        let views: Vec<&[u8]> = blobs.iter().map(|b| b.as_slice()).collect();
+        let (restored, torn) = Wal::deserialize_segments(&views, 2).unwrap();
+        assert!(torn.is_none());
+        assert_eq!(restored.records(), wal.records());
+        // Sealed blobs are cached: serialising twice returns the same Arcs.
+        let again = wal.serialize_segments();
+        assert!(Arc::ptr_eq(&blobs[0], &again[0]) && Arc::ptr_eq(&blobs[1], &again[1]));
+        // An empty log has no segments.
+        assert!(Wal::new().serialize_segments().is_empty());
+        let (empty, torn) = Wal::deserialize_segments(&Vec::<Vec<u8>>::new(), 2).unwrap();
+        assert!(empty.is_empty() && torn.is_none());
+    }
+
+    #[test]
+    fn records_from_slices_the_tail() {
+        let wal = sample_wal();
+        assert_eq!(wal.records_from(0), wal.records());
+        assert_eq!(wal.records_from(3), wal.records()[3..].to_vec());
+        assert!(wal.records_from(99).is_empty());
     }
 
     #[test]

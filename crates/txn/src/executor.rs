@@ -1270,7 +1270,14 @@ impl Worker {
                 table.remove(tuple.key);
             }
         }
-        self.coordinator_storage().wal().append(LogRecord::Abort { txn: txn_id });
+        // The staged cold writes go into the log *with* the abort, as one
+        // atomic group — mirroring the commit path. Genesis replay treats
+        // them as undone either way, but checkpoint-tail recovery depends on
+        // the before-images: a fuzzy shard scan may have captured this
+        // transaction's dirty value, and only the logged group lets the tail
+        // rewrite the row back to its pre-transaction image.
+        let wal = self.coordinator_storage().wal();
+        wal.append_group(state.cold_writes.drain(..).chain(std::iter::once(LogRecord::Abort { txn: txn_id })));
         self.release_all(txn_id, state);
     }
 

@@ -1,0 +1,194 @@
+//! Durability differential suite: segmented-binary vs text WAL arms, fuzzy
+//! checkpoints racing live traffic, and crash-during-checkpoint fallback.
+//!
+//! Every scenario runs twice — once round-tripping the WALs through the
+//! segmented binary codec (the default) and once through the line-oriented
+//! text codec kept as the compatibility arm — and the two runs must produce
+//! the same invariant verdict: clean, zero violations, node recovered, and
+//! (for the torn-checkpoint drill) recovery fell back to the previous
+//! complete generation. The `smoke_recovery_*` tests are the fixed-seed fast
+//! subset that `ci.sh` runs as its recovery gate.
+
+use p4db::chaos::{check, run_chaos, ChaosOptions, ChaosReport, ChaosWorkload, SemanticChecks};
+use p4db::common::NodeId;
+use p4db::storage::WalCodec;
+use p4db::workloads::{SmallBank, SmallBankConfig, Workload};
+use p4db::Cluster;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Seeds per workload for the differential sweep (each seed runs both codec
+/// arms, with faults enabled).
+const SWEEP_SEEDS: std::ops::Range<u64> = 1..13;
+
+/// The invariant verdict of one run, reduced to what must be codec-invariant.
+/// (The runs themselves are not history-identical — threads race — so the
+/// equivalence is over verdicts, not over states.)
+#[derive(Debug, PartialEq)]
+struct Verdict {
+    clean: bool,
+    violations: usize,
+    crashed_node_recovered: bool,
+    /// Torn-checkpoint drill only: recovery used the expected complete
+    /// generation, skipping the torn one.
+    fell_back: bool,
+}
+
+fn verdict(report: &ChaosReport) -> Verdict {
+    Verdict {
+        clean: report.is_clean(),
+        violations: report.invariants.violations.len(),
+        crashed_node_recovered: report.node_recovery.is_some(),
+        fell_back: report.expected_checkpoint.is_some()
+            && report.node_recovery.as_ref().is_some_and(|r| r.from_checkpoint == report.expected_checkpoint),
+    }
+}
+
+/// One durability scenario: node crash with fuzzy checkpointing racing the
+/// traffic waves; every third seed additionally tears the newest checkpoint
+/// generation mid-write (the crash-during-checkpoint drill).
+fn durability_options(workload: ChaosWorkload, seed: u64, text_wal: bool) -> ChaosOptions {
+    let mut options = ChaosOptions::new(workload, seed);
+    // Single-partition traffic: node recovery is unambiguous.
+    options.distributed_prob = 0.0;
+    options.crash_node = Some(NodeId(0));
+    options.checkpoint_interval = Some(40);
+    options.torn_checkpoint = seed.is_multiple_of(3);
+    options.text_wal = text_wal;
+    options
+}
+
+fn assert_clean(report: &ChaosReport) {
+    assert!(report.is_clean(), "{}", report.failure_summary());
+    assert!(report.committed > 0, "seed {} committed nothing", report.seed);
+}
+
+fn differential_sweep(workload: ChaosWorkload) {
+    for seed in SWEEP_SEEDS {
+        let binary = run_chaos(&durability_options(workload, seed, false)).expect("binary-arm run failed");
+        let text = run_chaos(&durability_options(workload, seed, true)).expect("text-arm run failed");
+        assert_clean(&binary);
+        assert_clean(&text);
+        assert_eq!(
+            verdict(&binary),
+            verdict(&text),
+            "seed {seed}: the codec arms disagree\nbinary: {}\ntext: {}",
+            binary.failure_summary(),
+            text.failure_summary()
+        );
+        if seed.is_multiple_of(3) {
+            for (arm, report) in [("binary", &binary), ("text", &text)] {
+                assert!(
+                    verdict(report).fell_back,
+                    "seed {seed} ({arm}): torn-checkpoint drill did not fall back: {}",
+                    report.failure_summary()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn durability_sweep_ycsb_binary_vs_text() {
+    differential_sweep(ChaosWorkload::Ycsb);
+}
+
+#[test]
+fn durability_sweep_smallbank_binary_vs_text() {
+    differential_sweep(ChaosWorkload::SmallBank);
+}
+
+#[test]
+fn durability_sweep_tpcc_binary_vs_text() {
+    differential_sweep(ChaosWorkload::Tpcc);
+}
+
+// --- Fixed-seed smoke subset (the ci.sh recovery gate) ---------------------
+
+fn smallbank_semantics() -> SemanticChecks {
+    SemanticChecks::SmallBank {
+        initial_balance: p4db::workloads::smallbank::INITIAL_BALANCE,
+        max_amount: SmallBankConfig::default().max_amount,
+    }
+}
+
+/// The recovery gate: on the same cluster, a genesis-replay restart and a
+/// checkpoint+tail restart must both reconstruct the live state exactly, and
+/// `p4db::chaos::invariants::check` must return the same (clean) verdict
+/// after each — including its checkpoint+tail durability sub-check once a
+/// complete generation exists. Runs both codec arms.
+#[test]
+fn smoke_recovery_checkpoint_tail_matches_genesis_verdict() {
+    let workload: Arc<dyn Workload> =
+        Arc::new(SmallBank::new(SmallBankConfig { customers_per_node: 2_000, ..SmallBankConfig::default() }));
+    for codec in [WalCodec::Binary, WalCodec::Text] {
+        let cluster = Cluster::builder(Arc::clone(&workload))
+            .test_profile()
+            .distributed_prob(0.0)
+            .wal_codec(codec)
+            .wal_segment_records(64)
+            .build();
+        let _ = cluster.run_for(Duration::from_millis(150));
+        assert!(cluster.quiesce_switch(Duration::from_secs(5)));
+
+        // Genesis-replay restart: no checkpoint exists yet.
+        let genesis = cluster.crash_and_recover_node(NodeId(0)).unwrap();
+        assert!(genesis.from_checkpoint.is_none(), "{codec:?}: nothing to checkpoint from yet");
+        assert_eq!(genesis.tail_records, genesis.wal_records, "genesis replay reads the whole log");
+        assert!(genesis.divergences.is_empty(), "{codec:?}: {:?}", genesis.divergences);
+        assert_eq!(genesis.ambiguous, 0);
+        let genesis_verdict = check(&cluster, smallbank_semantics());
+        assert!(genesis_verdict.is_clean(), "{codec:?}: {:?}", genesis_verdict.violations);
+        assert_eq!(genesis_verdict.checkpointed_nodes, 0);
+
+        // Checkpoint, run more traffic, then a checkpoint+tail restart.
+        let generation = cluster.checkpoint_node(NodeId(0)).unwrap();
+        let _ = cluster.run_for(Duration::from_millis(100));
+        assert!(cluster.quiesce_switch(Duration::from_secs(5)));
+        let ckpt = cluster.crash_and_recover_node(NodeId(0)).unwrap();
+        assert_eq!(ckpt.from_checkpoint, Some(generation), "{codec:?}: recovery must use the checkpoint");
+        assert!(ckpt.checkpoint_rows > 0);
+        assert!(ckpt.tail_records < ckpt.wal_records, "{codec:?}: the tail must be a strict suffix");
+        assert!(ckpt.divergences.is_empty(), "{codec:?}: {:?}", ckpt.divergences);
+        assert_eq!(ckpt.ambiguous, 0);
+        assert!(ckpt.codec_error.is_none(), "{codec:?}: {:?}", ckpt.codec_error);
+
+        // Same verdict under the invariant checker, now with its
+        // checkpoint+tail sub-check active.
+        let ckpt_verdict = check(&cluster, smallbank_semantics());
+        assert!(ckpt_verdict.is_clean(), "{codec:?}: {:?}", ckpt_verdict.violations);
+        assert_eq!(ckpt_verdict.is_clean(), genesis_verdict.is_clean(), "restart paths must agree");
+        assert_eq!(ckpt_verdict.checkpointed_nodes, 1);
+        assert!(ckpt_verdict.checkpoint_compared > 0, "the checkpoint sub-check must have compared rows");
+    }
+}
+
+/// Fast fixed-seed crash-during-checkpoint smoke: the newest generation is
+/// torn mid-write, recovery falls back to the previous complete one, and the
+/// invariants stay green.
+#[test]
+fn smoke_recovery_torn_checkpoint_falls_back() {
+    let mut options = ChaosOptions::new(ChaosWorkload::SmallBank, 7);
+    options.distributed_prob = 0.0;
+    options.txns_per_wave = 80;
+    options.crash_node = Some(NodeId(0));
+    options.checkpoint_interval = Some(40);
+    options.torn_checkpoint = true;
+    let report = run_chaos(&options).unwrap();
+    assert_clean(&report);
+    let recovery = report.node_recovery.as_ref().expect("node crash must have happened");
+    assert!(recovery.from_checkpoint.is_some());
+    assert_eq!(recovery.from_checkpoint, report.expected_checkpoint, "{}", report.failure_summary());
+}
+
+/// Fast fixed-seed differential smoke: one binary and one text run of the
+/// fuzzy-checkpointing crash scenario must agree on the verdict.
+#[test]
+fn smoke_recovery_codec_arms_agree() {
+    let binary = run_chaos(&durability_options(ChaosWorkload::SmallBank, 9, false)).unwrap();
+    let text = run_chaos(&durability_options(ChaosWorkload::SmallBank, 9, true)).unwrap();
+    assert_clean(&binary);
+    assert_clean(&text);
+    assert_eq!(verdict(&binary), verdict(&text));
+    assert_eq!(binary.invariants.checkpointed_nodes, text.invariants.checkpointed_nodes);
+}

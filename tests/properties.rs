@@ -12,7 +12,9 @@ use p4db::common::rand_util::FastRng;
 use p4db::common::{CcScheme, GlobalTxnId, NodeId, SwitchId, TableId, TupleId, TxnId, Value, WorkerId};
 use p4db::layout::{max_cut, single_pass_fraction, AccessGraph, LayoutPlanner, LayoutStrategy, TraceAccess, TxnTrace};
 use p4db::net::{decode_frame_prefix, encode_frame, EndpointId, Envelope};
-use p4db::storage::{recover_switch_state, LockMode, LockTable, LogRecord, LoggedSwitchOp, Wal};
+use p4db::storage::{
+    decode_segment_prefix, encode_segment, recover_switch_state, LockMode, LockTable, LogRecord, LoggedSwitchOp, Wal,
+};
 use p4db::switch::{apply_op, plan_passes, Instruction, OpCode, RegisterSlot};
 use std::collections::HashMap;
 
@@ -253,7 +255,10 @@ fn wal_truncation_at_every_offset_recovers_exactly_the_intact_prefix() {
         // lines[0] is the header; record r is lines[r + 1].
         for cut in 0..=data.len() {
             let torn = &data[..cut];
-            let (prefix, error) = Wal::deserialize_prefix(torn);
+            // A pure truncation always tears the *final* line, so this is the
+            // torn-tail arm of the contract — never interior corruption.
+            let (prefix, error) =
+                Wal::deserialize_prefix(torn).expect("a truncation is a torn tail, not interior corruption");
             let intact = lines.iter().skip(1).filter(|&&(_, content_end)| cut >= content_end).count();
             let expected: Vec<LogRecord> = records[..intact].to_vec();
             assert_eq!(
@@ -341,11 +346,75 @@ fn wal_append_group_torn_tail_recovers_exactly_the_intact_prefix() {
         }
         for cut in 0..=data.len() {
             let torn = &data[..cut];
-            let (prefix, error) = Wal::deserialize_prefix(torn);
+            let (prefix, error) =
+                Wal::deserialize_prefix(torn).expect("a truncation is a torn tail, not interior corruption");
             let intact = lines.iter().skip(1).filter(|&&(_, content_end)| cut >= content_end).count();
             assert_eq!(prefix.records(), records[..intact].to_vec(), "cut at byte {cut}/{}", data.len());
             let torn_mid_line = lines.iter().any(|&(line_start, content_end)| line_start < cut && cut < content_end);
             assert_eq!(error.is_none(), !torn_mid_line, "cut at byte {cut}: error={error:?}");
+        }
+    });
+}
+
+/// The binary segment codec holds the same every-byte-offset truncation
+/// contract as the text WAL: cutting a segment at *any* byte recovers
+/// exactly the records whose frames are fully intact before the cut — never
+/// fewer, never a corrupted extra one — with a torn-tail note iff the cut
+/// strictly tears the header or a record frame.
+#[test]
+fn segment_truncation_at_every_offset_recovers_exactly_the_intact_prefix() {
+    check("segment_truncation_at_every_offset_recovers_exactly_the_intact_prefix", |rng| {
+        let wal = random_wal(rng);
+        let records = wal.records();
+        let base = rng.gen_range(1000);
+        let bytes = encode_segment(base, &records);
+        // boundary[i] = encoded length of the first i records (boundary[0]
+        // covers just the header).
+        let boundaries: Vec<usize> = (0..=records.len()).map(|i| encode_segment(base, &records[..i]).len()).collect();
+        for cut in 0..=bytes.len() {
+            let prefix =
+                decode_segment_prefix(&bytes[..cut]).expect("a truncation is a torn tail, not interior corruption");
+            let intact = boundaries.iter().skip(1).filter(|&&end| cut >= end).count();
+            assert_eq!(prefix.records, records[..intact].to_vec(), "cut at byte {cut}/{}", bytes.len());
+            // The base LSN survives iff the 13-byte header is intact.
+            assert_eq!(prefix.base_lsn.is_some(), cut >= boundaries[0], "cut at byte {cut}");
+            // A tear is reported iff the cut lands strictly inside the
+            // header or a record frame.
+            let at_boundary = boundaries.contains(&cut);
+            assert_eq!(prefix.torn.is_none(), at_boundary, "cut at byte {cut}: torn={:?}", prefix.torn);
+        }
+
+        // Interior corruption — a bit flip in any non-final record with
+        // intact frames after it — must be a hard error, never a silent
+        // truncation. (Flipping inside the *final* record is the torn tail
+        // the sweep above already covers.)
+        if records.len() >= 2 {
+            let mut corrupt = bytes.clone();
+            // A byte inside the first record's frame, past the header.
+            let offset = boundaries[0] + rng.gen_range((boundaries[1] - boundaries[0]) as u64) as usize;
+            corrupt[offset] ^= 0x01;
+            match decode_segment_prefix(&corrupt) {
+                Err(err) => assert!(
+                    err.message.contains("interior corruption") || err.message.contains("record"),
+                    "unexpected error shape: {err}"
+                ),
+                // A flip in a length field can masquerade as a longer/shorter
+                // frame; the checksum of the *following* bytes then fails
+                // either as interior corruption (Err) or — when the bogus
+                // length reaches past the buffer end — as a tear. Both are
+                // detected; what must never happen is a clean decode of
+                // different records.
+                Ok(prefix) => {
+                    assert!(
+                        prefix.torn.is_some() || prefix.records != records,
+                        "a corrupted segment decoded cleanly to the original records with no tear note"
+                    );
+                    assert!(
+                        records.starts_with(&prefix.records) || prefix.torn.is_some(),
+                        "corruption silently rewrote decoded records"
+                    );
+                }
+            }
         }
     });
 }
