@@ -32,15 +32,19 @@ cargo test --offline --release -q --test topology topology_differential_smallban
 echo "==> recovery gate: fixed-seed checkpoint+tail vs genesis restart, torn-checkpoint fallback, codec-arm agreement (full 12x3 differential sweep runs in tier-1)"
 cargo test --offline --release -q --test durability smoke_recovery_ -- --nocapture
 
+echo "==> mvcc gate: snapshot-vs-2PL differential sweep, zero-lock read path, GC safety, doctored-chain detection"
+cargo test --offline --release -q --test mvcc -- --nocapture
+
 echo "==> bench smoke gate: BENCH json emission, schema validity, regression band vs BENCH_baseline.json"
 # Absolute path: cargo runs bench binaries with the package dir as CWD.
-# fig_node_scaling, fig_switch_scaling and fig_recovery ride along so the
-# gate can floor the sharded-vs-single-latch node hot-path speedup, the
-# 2-switch-vs-1 topology speedup and the checkpointed-vs-genesis restart
-# speedup (alongside the batching tripwire).
+# fig_node_scaling, fig_read_mix, fig_switch_scaling and fig_recovery ride
+# along so the gate can floor the sharded-vs-single-latch node hot-path
+# speedup, the snapshot-vs-2PL read-mostly speedup, the 2-switch-vs-1
+# topology speedup and the checkpointed-vs-genesis restart speedup
+# (alongside the batching tripwire).
 BENCH_SMOKE="$(pwd)/target/BENCH_smoke.json"
 rm -f "$BENCH_SMOKE"
-P4DB_BENCH_JSON="$BENCH_SMOKE" P4DB_MEASURE_MS=25 cargo bench --offline -p p4db-bench --bench figures -- fig01 fig13 fig_node_scaling fig_switch_scaling fig_recovery > /dev/null
+P4DB_BENCH_JSON="$BENCH_SMOKE" P4DB_MEASURE_MS=25 cargo bench --offline -p p4db-bench --bench figures -- fig01 fig13 fig_node_scaling fig_read_mix fig_switch_scaling fig_recovery > /dev/null
 P4DB_BENCH_JSON="$BENCH_SMOKE" P4DB_MICRO_QUICK=1 cargo bench --offline -p p4db-bench --bench micro > /dev/null
 P4DB_BENCH_JSON="$BENCH_SMOKE" P4DB_BENCH_GATE=1 cargo test --offline -q -p p4db-bench --lib gate_
 

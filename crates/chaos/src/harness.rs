@@ -22,6 +22,7 @@ use p4db_core::{Cluster, NodeRecoveryReport, SwitchRecoveryReport};
 use p4db_net::{EndpointId, RecvOutcome};
 use p4db_storage::{LogRecord, WalCodec};
 use p4db_switch::{Instruction, SwitchMessage, SwitchTxn, TxnHeader};
+use p4db_txn::{OpKind, TxnOp};
 use p4db_workloads::{SmallBank, SmallBankConfig, Tpcc, TpccConfig, Workload, WorkloadCtx, Ycsb, YcsbConfig, YcsbMix};
 use std::sync::Arc;
 use std::time::Duration;
@@ -114,6 +115,17 @@ pub struct ChaosOptions {
     /// recovery runs. Recovery must skip the torn generation and start from
     /// the complete one; [`ChaosReport::is_clean`] enforces it.
     pub torn_checkpoint: bool,
+    /// Fraction of generated transactions converted to all-reads over the
+    /// same tuples and homes (the read-mostly traffic of the MVCC
+    /// differential suite). The conversion decision consumes exactly one
+    /// rng draw per transaction in *both* arms, so a snapshot-arm run and a
+    /// 2PL-arm run with the same seed drive identical schedules; `0.0`
+    /// skips the draw entirely and keeps legacy scenarios byte-identical.
+    pub read_only_frac: f64,
+    /// Marks the converted all-read transactions `read_only`, steering them
+    /// onto the lock-free snapshot path. `false` runs the same schedule
+    /// through ordinary 2PL — the differential baseline arm.
+    pub snapshot_arm: bool,
 }
 
 impl ChaosOptions {
@@ -139,6 +151,8 @@ impl ChaosOptions {
             text_wal: false,
             checkpoint_interval: None,
             torn_checkpoint: false,
+            read_only_frac: 0.0,
+            snapshot_arm: false,
         }
     }
 
@@ -189,6 +203,12 @@ impl ChaosOptions {
         if self.torn_checkpoint {
             env.push_str(" CHAOS_TORN_CKPT=1");
         }
+        if self.read_only_frac != defaults.read_only_frac {
+            env.push_str(&format!(" CHAOS_RO_FRAC={}", self.read_only_frac));
+        }
+        if self.snapshot_arm {
+            env.push_str(" CHAOS_SNAPSHOT=1");
+        }
         for (var, actual, default) in [
             ("CHAOS_NODES", self.nodes as u64, defaults.nodes as u64),
             ("CHAOS_WORKERS", self.workers as u64, defaults.workers as u64),
@@ -234,6 +254,10 @@ impl ChaosOptions {
         options.text_wal = flag("CHAOS_TEXT_WAL");
         options.checkpoint_interval = parse("CHAOS_CKPT").filter(|&n| n > 0);
         options.torn_checkpoint = flag("CHAOS_TORN_CKPT");
+        if let Some(f) = var("CHAOS_RO_FRAC").and_then(|v| v.parse::<f64>().ok()) {
+            options.read_only_frac = f;
+        }
+        options.snapshot_arm = flag("CHAOS_SNAPSHOT");
         if let Some(n) = parse("CHAOS_NODES") {
             options.nodes = n as u16;
         }
@@ -268,6 +292,9 @@ pub struct ChaosReport {
     pub aborted: u64,
     /// Transactions that committed in doubt (switch reply lost).
     pub in_doubt: u64,
+    /// Committed transactions served on the lock-free snapshot read path
+    /// (non-zero only with `read_only_frac > 0` and `snapshot_arm`).
+    pub snapshot_reads: u64,
     /// Total network faults injected (the trace below is capped, this is
     /// not).
     pub faults_injected: u64,
@@ -417,6 +444,7 @@ fn run_once(options: &ChaosOptions) -> Result<ChaosReport> {
     let mut committed = 0u64;
     let mut aborted = 0u64;
     let mut in_doubt = 0u64;
+    let mut snapshot_reads = 0u64;
     let mut quiesced = true;
     let mut node_recovery = None;
     let mut switch_recovery = None;
@@ -424,7 +452,7 @@ fn run_once(options: &ChaosOptions) -> Result<ChaosReport> {
     let mut expected_checkpoint = None;
 
     for wave in 0..options.waves.max(1) {
-        let (c, a, d) = if options.checkpoint_interval.is_some() {
+        let (c, a, d, s) = if options.checkpoint_interval.is_some() {
             // The checkpointer races the wave's live traffic on purpose:
             // the scans are fuzzy, and the invariant checker later proves
             // checkpoint+tail reconstruction still matches the live state.
@@ -451,6 +479,7 @@ fn run_once(options: &ChaosOptions) -> Result<ChaosReport> {
         committed += c;
         aborted += a;
         in_doubt += d;
+        snapshot_reads += s;
         quiesced &= cluster.quiesce_switch(Duration::from_secs(10));
 
         if wave == 0 {
@@ -489,6 +518,7 @@ fn run_once(options: &ChaosOptions) -> Result<ChaosReport> {
         committed,
         aborted,
         in_doubt,
+        snapshot_reads,
         faults_injected: cluster.faults_injected(),
         fault_events: cluster.fault_trace(),
         invariants,
@@ -504,13 +534,13 @@ fn run_once(options: &ChaosOptions) -> Result<ChaosReport> {
 
 /// One traffic wave: every `(node, worker)` pair drives its session through
 /// `txns_per_wave` generated transactions. Returns (committed, aborted,
-/// in-doubt) counts.
+/// in-doubt, snapshot-read) counts.
 fn drive_wave(
     cluster: &Cluster,
     workload: &Arc<dyn Workload>,
     options: &ChaosOptions,
     wave: usize,
-) -> Result<(u64, u64, u64)> {
+) -> Result<(u64, u64, u64, u64)> {
     let mut handles = Vec::new();
     for node in 0..options.nodes {
         for worker in 0..options.workers {
@@ -523,11 +553,35 @@ fn drive_wave(
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add((wave as u64) << 40 | (node as u64) << 20 | worker as u64);
             let count = options.txns_per_wave;
+            let (ro_frac, snapshot_arm) = (options.read_only_frac, options.snapshot_arm);
             handles.push(std::thread::spawn(move || {
                 let mut rng = FastRng::new(seed);
                 let (mut committed, mut aborted, mut in_doubt) = (0u64, 0u64, 0u64);
                 for _ in 0..count {
-                    let req = workload.generate(&ctx, &mut rng);
+                    let mut req = workload.generate(&ctx, &mut rng);
+                    // The conversion decision costs one rng draw in every
+                    // arm (schedules stay seed-identical whichever arm
+                    // executes them); frac 0.0 skips the draw so legacy
+                    // scenarios keep their historical schedules. Inserts
+                    // are dropped rather than converted — an insert's key
+                    // has no pre-image, so reading it would be a guaranteed
+                    // TupleNotFound (TPC-C NewOrder/Payment). The transform
+                    // is keyed on the generated ops alone, so both arms
+                    // execute the same converted footprint.
+                    if ro_frac > 0.0 && rng.gen_f64() < ro_frac {
+                        let reads: Vec<TxnOp> = req
+                            .ops
+                            .iter()
+                            .filter(|op| !matches!(op.kind, OpKind::Insert(_)))
+                            .map(|op| TxnOp::new(op.tuple, OpKind::Read, op.home))
+                            .collect();
+                        if !reads.is_empty() {
+                            req.ops = reads;
+                            if snapshot_arm {
+                                req = req.into_read_only();
+                            }
+                        }
+                    }
                     match session.execute_request(&req) {
                         Ok(outcome) => {
                             committed += 1;
@@ -539,7 +593,7 @@ fn drive_wave(
                         Err(e) => return Err(e),
                     }
                 }
-                Ok((committed, aborted, in_doubt))
+                Ok((committed, aborted, in_doubt, session.take_stats().snapshot_reads))
             }));
         }
     }
@@ -547,17 +601,19 @@ fn drive_wave(
     // outlives the wave and keeps submitting into a cluster the caller
     // believes is quiet. A driver panic is re-raised with its own payload —
     // it carries the seed-specific diagnostic the repro workflow needs.
-    let joined: Vec<std::thread::Result<Result<(u64, u64, u64)>>> = handles.into_iter().map(|h| h.join()).collect();
-    let results: Vec<Result<(u64, u64, u64)>> =
+    type WaveCounts = (u64, u64, u64, u64);
+    let joined: Vec<std::thread::Result<Result<WaveCounts>>> = handles.into_iter().map(|h| h.join()).collect();
+    let results: Vec<Result<WaveCounts>> =
         joined.into_iter().map(|r| r.unwrap_or_else(|payload| std::panic::resume_unwind(payload))).collect();
-    let (mut committed, mut aborted, mut in_doubt) = (0u64, 0u64, 0u64);
+    let (mut committed, mut aborted, mut in_doubt, mut snapshot_reads) = (0u64, 0u64, 0u64, 0u64);
     for result in results {
-        let (c, a, d) = result?;
+        let (c, a, d, s) = result?;
         committed += c;
         aborted += a;
         in_doubt += d;
+        snapshot_reads += s;
     }
-    Ok((committed, aborted, in_doubt))
+    Ok((committed, aborted, in_doubt, snapshot_reads))
 }
 
 /// Re-sends an already-executed logged intent to the switch, byte for byte —

@@ -66,6 +66,17 @@ pub enum Violation {
     /// A committed host transaction moved money in a shape no SmallBank
     /// transaction type can produce.
     IllegalMoneyMovement { txn: TxnId, delta: i128 },
+    /// A switch epoch's baseline holds a money tuple the build-time offload
+    /// snapshot never captured: its pre-epoch delta has no reference value,
+    /// so the conservation equation cannot be formed soundly. (Silently
+    /// treating the delta as zero — the old behaviour — would absorb real
+    /// pre-epoch money movement.)
+    MissingOffloadBaseline { switch: SwitchId, tuple: TupleId },
+    /// A row's version chain is out of timestamp order at entry `at`.
+    VersionOrder { tuple: TupleId, at: usize },
+    /// A version-chain transition (`before` → `after` at commit timestamp
+    /// `ts`) that no committed transaction's logged cold writes explain.
+    PhantomVersion { tuple: TupleId, ts: u64, before: u64, after: u64 },
 }
 
 impl fmt::Display for Violation {
@@ -95,6 +106,15 @@ impl fmt::Display for Violation {
             }
             Violation::IllegalMoneyMovement { txn, delta } => {
                 write!(f, "committed {txn} moved a net of {delta} across accounts")
+            }
+            Violation::MissingOffloadBaseline { switch, tuple } => {
+                write!(f, "{switch} epoch baseline holds {tuple}, which the offload snapshot never captured")
+            }
+            Violation::VersionOrder { tuple, at } => {
+                write!(f, "version chain of {tuple} is out of timestamp order at entry {at}")
+            }
+            Violation::PhantomVersion { tuple, ts, before, after } => {
+                write!(f, "version chain of {tuple} holds a transition {before} -> {after} at ts {ts} that no committed transaction explains")
             }
         }
     }
@@ -131,6 +151,8 @@ pub struct InvariantReport {
     pub checkpointed_nodes: usize,
     /// Rows compared against checkpoint + tail-replay reconstruction.
     pub checkpoint_compared: usize,
+    /// Version-chain entries verified against the committed write history.
+    pub version_entries_checked: usize,
 }
 
 impl InvariantReport {
@@ -236,6 +258,7 @@ pub fn check(cluster: &Cluster, semantics: SemanticChecks) -> InvariantReport {
     }
     let cold_money_delta = check_cold(cluster, &mut report, &money_tables);
     check_checkpoints(cluster, &mut report);
+    check_version_chains(cluster, &mut report);
 
     match semantics {
         SemanticChecks::None => {}
@@ -468,6 +491,102 @@ fn check_checkpoints(cluster: &Cluster, report: &mut InvariantReport) {
     }
 }
 
+/// Pre-epoch switch money delta of every epoch baseline tuple over
+/// `money_tables`, relative to the build-time offload snapshot. A baseline
+/// tuple the offload snapshot never captured has no reference value and is
+/// reported as [`Violation::MissingOffloadBaseline`] instead of being
+/// silently counted as a zero delta — the old behaviour, which would absorb
+/// real pre-epoch money movement into the conservation equation.
+fn pre_epoch_money_delta(
+    baselines: &[(SwitchId, &HashMap<TupleId, u64>)],
+    offload_snapshot: &HashMap<TupleId, u64>,
+    money_tables: &[p4db_common::TableId],
+    violations: &mut Vec<Violation>,
+) -> i128 {
+    let mut delta: i128 = 0;
+    for &(switch, baseline) in baselines {
+        for (tuple, &value) in baseline {
+            if !money_tables.contains(&tuple.table) {
+                continue;
+            }
+            match offload_snapshot.get(tuple) {
+                Some(&initial) => delta += value as i64 as i128 - initial as i64 as i128,
+                None => violations.push(Violation::MissingOffloadBaseline { switch, tuple: *tuple }),
+            }
+        }
+    }
+    delta
+}
+
+/// Snapshot-read ground truth: every retained version-chain entry must be
+/// explained by exactly one committed transaction's *net* cold-write
+/// transition on that tuple (first before-image → last after-image), chain
+/// timestamps must be strictly increasing, and an untrimmed chain must
+/// ground its first entry in the row's base value. A chain GC trimmed keeps
+/// an unknown predecessor for its first retained entry only; everything
+/// after it is still fully checked. The `single_latch` seed arm installs no
+/// versions by design and is skipped.
+fn check_version_chains(cluster: &Cluster, report: &mut InvariantReport) {
+    if cluster.config().single_latch {
+        return;
+    }
+    // Net committed transition per (txn, tuple): versions install at commit
+    // time, so a transaction's several writes to one tuple collapse into a
+    // single chain entry carrying its final image.
+    let mut nets: HashMap<(TxnId, TupleId), (u64, u64)> = HashMap::new();
+    for storage in cluster.shared().nodes.iter() {
+        let records = storage.wal().records();
+        let committed = commit_status(&records);
+        for r in &records {
+            if let LogRecord::ColdWrite { txn, tuple, before, after } = r {
+                if committed.get(txn).copied().unwrap_or(false) {
+                    nets.entry((*txn, *tuple))
+                        .and_modify(|(_, a)| *a = after.switch_word())
+                        .or_insert((before.switch_word(), after.switch_word()));
+                }
+            }
+        }
+    }
+    let mut transitions: HashMap<TupleId, HashMap<(u64, u64), usize>> = HashMap::new();
+    for ((_, tuple), net) in nets {
+        *transitions.entry(tuple).or_default().entry(net).or_insert(0) += 1;
+    }
+
+    for storage in cluster.shared().nodes.iter() {
+        for table in storage.tables() {
+            table.for_each(|key, row| {
+                let (entries, trimmed) = row.version_chain();
+                if entries.is_empty() {
+                    return;
+                }
+                let tuple = TupleId::new(table.id(), key);
+                let mut avail = transitions.get(&tuple).cloned().unwrap_or_default();
+                let mut prev_ts = 0u64;
+                for (i, &(ts, word)) in entries.iter().enumerate() {
+                    if i > 0 && ts <= prev_ts {
+                        report.violations.push(Violation::VersionOrder { tuple, at: i });
+                    }
+                    prev_ts = ts;
+                    let before = match i {
+                        0 if trimmed > 0 => None,
+                        0 => Some(row.base_word().unwrap_or(0)),
+                        _ => Some(entries[i - 1].1),
+                    };
+                    report.version_entries_checked += 1;
+                    if let Some(b) = before {
+                        match avail.get_mut(&(b, word)) {
+                            Some(n) if *n > 0 => *n -= 1,
+                            _ => {
+                                report.violations.push(Violation::PhantomVersion { tuple, ts, before: b, after: word })
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    }
+}
+
 /// SmallBank: every balance non-negative; total money == initial money plus
 /// what the committed history injected; committed host transactions move
 /// money only in legal shapes.
@@ -505,11 +624,11 @@ fn check_smallbank(
     // The epoch baselines already contain pre-epoch switch deltas; account
     // for them relative to the offload-time values, switch by switch (each
     // switch's epoch moves independently under per-switch crash/recovery).
-    let pre_epoch_delta: i128 = (0..cluster.num_switches())
-        .flat_map(|s| cluster.switch_epoch_at(SwitchId(s as u16)).baseline.iter())
-        .filter(|(t, _)| t.table == SAVINGS || t.table == CHECKING)
-        .map(|(t, &v)| v as i64 as i128 - cluster.offload_snapshot().get(t).copied().unwrap_or(v) as i64 as i128)
-        .sum();
+    let baselines: Vec<(SwitchId, &HashMap<TupleId, u64>)> = (0..cluster.num_switches())
+        .map(|s| (SwitchId(s as u16), &cluster.switch_epoch_at(SwitchId(s as u16)).baseline))
+        .collect();
+    let pre_epoch_delta =
+        pre_epoch_money_delta(&baselines, cluster.offload_snapshot(), &[SAVINGS, CHECKING], &mut report.violations);
 
     // Without the audit log there is no switch delta to account against, so
     // the conservation equation would flag healthy hot traffic; only the
@@ -612,4 +731,44 @@ fn check_tpcc(
         });
     }
     let _ = (DISTRICTS_PER_WAREHOUSE, CUSTOMERS_PER_DISTRICT);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4db_common::TableId;
+
+    fn t(key: u64) -> TupleId {
+        TupleId::new(CHECKING, key)
+    }
+
+    #[test]
+    fn pre_epoch_delta_counts_known_baseline_tuples() {
+        let offload: HashMap<TupleId, u64> = [(t(1), 100), (t(2), 100)].into_iter().collect();
+        let baseline: HashMap<TupleId, u64> = [(t(1), 130), (t(2), 90)].into_iter().collect();
+        let mut violations = Vec::new();
+        let delta = pre_epoch_money_delta(&[(SwitchId(0), &baseline)], &offload, &[CHECKING, SAVINGS], &mut violations);
+        assert_eq!(delta, 30 - 10);
+        assert!(violations.is_empty(), "got {violations:?}");
+    }
+
+    /// Doctored negative case: a baseline tuple the offload snapshot never
+    /// captured must surface as a violation, not silently contribute a zero
+    /// delta (the pre-fix behaviour, which made the conservation equation
+    /// absorb real pre-epoch money movement).
+    #[test]
+    fn pre_epoch_delta_flags_baseline_tuples_missing_from_the_offload_snapshot() {
+        let offload: HashMap<TupleId, u64> = [(t(1), 100)].into_iter().collect();
+        // t(9) carries real money but has no offload-time reference value.
+        let baseline: HashMap<TupleId, u64> = [(t(1), 100), (t(9), 5_000)].into_iter().collect();
+        let mut violations = Vec::new();
+        let delta = pre_epoch_money_delta(&[(SwitchId(0), &baseline)], &offload, &[CHECKING, SAVINGS], &mut violations);
+        assert_eq!(delta, 0, "the unknown tuple must not contribute a made-up delta");
+        assert_eq!(violations, vec![Violation::MissingOffloadBaseline { switch: SwitchId(0), tuple: t(9) }]);
+        // Tuples outside the money tables are not the checker's business.
+        let other: HashMap<TupleId, u64> = [(TupleId::new(TableId(40), 0), 7)].into_iter().collect();
+        let mut none = Vec::new();
+        assert_eq!(pre_epoch_money_delta(&[(SwitchId(0), &other)], &offload, &[CHECKING, SAVINGS], &mut none), 0);
+        assert!(none.is_empty());
+    }
 }

@@ -174,6 +174,10 @@ pub struct WorkerStats {
     /// therefore fell back to the host path (one sub-transaction per owning
     /// switch). Always 0 on single-switch topologies.
     pub cross_switch_fallback: u64,
+    /// Read-only transactions that completed on the lock-free snapshot read
+    /// path (they also count in `committed_cold`; this counter attributes
+    /// them to the MVCC fast path).
+    pub snapshot_reads: u64,
 }
 
 impl WorkerStats {
@@ -240,6 +244,7 @@ impl WorkerStats {
         self.switch_single_pass += other.switch_single_pass;
         self.switch_multi_pass += other.switch_multi_pass;
         self.cross_switch_fallback += other.cross_switch_fallback;
+        self.snapshot_reads += other.snapshot_reads;
     }
 }
 

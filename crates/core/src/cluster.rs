@@ -96,6 +96,17 @@ pub struct ClusterConfig {
     /// since its last complete checkpoint. `None` (the default) disables the
     /// automatic cadence; [`Cluster::checkpoint_node`] still works.
     pub checkpoint_interval: Option<u64>,
+    /// Cap on each row's version-chain length (clamped to ≥ 1). A commit
+    /// that grows a chain past the cap triggers an inline trim of that row's
+    /// versions below the cluster low-watermark; [`Cluster::collect_versions`]
+    /// sweeps every row on demand.
+    pub version_cap: usize,
+    /// Background version-GC cadence for [`Cluster::run_for`]: when set, a
+    /// collector thread sweeps every node's version chains below the cluster
+    /// low-watermark at this interval — per-shard latches only, no global
+    /// pause. `None` (the default) leaves reclamation to the commit-time cap
+    /// and explicit [`Cluster::collect_versions`] calls.
+    pub gc_interval: Option<Duration>,
     /// RNG seed (workers derive their own seeds from it).
     pub seed: u64,
     /// Seeded fault-injection plan (chaos testing). When set, the fabric
@@ -129,6 +140,8 @@ impl ClusterConfig {
             wal_codec: WalCodec::Binary,
             wal_segment_records: DEFAULT_SEGMENT_RECORDS,
             checkpoint_interval: None,
+            version_cap: p4db_storage::DEFAULT_VERSION_CAP,
+            gc_interval: None,
             seed: 42,
             faults: None,
         }
@@ -396,6 +409,7 @@ impl Cluster {
             fabric,
             hot_index: HotIndexCell::new(hot_index),
             config: engine_config,
+            mvcc: p4db_txn::MvccState::new(config.version_cap),
         });
 
         // --- Submission pool --------------------------------------------------
@@ -685,6 +699,23 @@ impl Cluster {
             }
         }
         taken
+    }
+
+    /// The version-GC low-watermark: the oldest snapshot timestamp any
+    /// active read-only transaction may still read, or the commit clock's
+    /// stable timestamp when no reader is active. No version at or above
+    /// this timestamp is ever reclaimed.
+    pub fn low_watermark(&self) -> u64 {
+        self.shared.mvcc.low_watermark()
+    }
+
+    /// Sweeps every node's row store and trims each row's version chain
+    /// below the cluster [`Cluster::low_watermark`] — one shard latch at a
+    /// time, concurrent traffic keeps running, no global pause. Returns the
+    /// number of version entries reclaimed.
+    pub fn collect_versions(&self) -> usize {
+        let watermark = self.low_watermark();
+        self.shared.nodes.iter().map(|n| n.collect_versions(watermark)).sum()
     }
 
     /// Simulates a crash + restart of one database node: the node's volatile
@@ -1085,6 +1116,26 @@ impl Cluster {
     /// *not* reloaded between calls).
     pub fn run_for(&self, duration: Duration) -> RunStats {
         let stop = Arc::new(AtomicBool::new(false));
+        // Background version GC: sweeps chains below the low-watermark at
+        // the configured cadence. Short sleep quanta keep shutdown prompt
+        // even with a cadence longer than the measurement window.
+        let gc_handle = self.config.gc_interval.map(|interval| {
+            let stop = Arc::clone(&stop);
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || {
+                let mut next = Instant::now() + interval;
+                while !stop.load(Ordering::Relaxed) {
+                    if Instant::now() >= next {
+                        let watermark = shared.mvcc.low_watermark();
+                        for node in shared.nodes.iter() {
+                            node.collect_versions(watermark);
+                        }
+                        next = Instant::now() + interval;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            })
+        });
         let mut handles = Vec::new();
         for node in 0..self.config.num_nodes {
             for wid in 0..self.config.workers_per_node {
@@ -1124,6 +1175,9 @@ impl Cluster {
         std::thread::sleep(duration);
         stop.store(true, Ordering::Relaxed);
         let worker_stats: Vec<WorkerStats> = handles.into_iter().map(|h| h.join().expect("driver panicked")).collect();
+        if let Some(handle) = gc_handle {
+            handle.join().expect("version-GC thread panicked");
+        }
         RunStats::from_workers(worker_stats.iter(), duration)
     }
 }

@@ -14,7 +14,7 @@ use p4db_common::rand_util::FastRng;
 use p4db_common::simtime::wait_for;
 use p4db_common::stats::WorkerStats;
 use p4db_common::{Error, NodeId, Result, SystemMode, WorkerId};
-use p4db_txn::{EngineShared, Txn, TxnOp, TxnOutcome, TxnRequest, Worker};
+use p4db_txn::{EngineShared, OpKind, Txn, TxnOp, TxnOutcome, TxnRequest, Worker};
 use p4db_workloads::PartitionMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering as AtomicOrdering};
 use std::sync::Arc;
@@ -161,10 +161,15 @@ fn executor_loop(
             }
         }
         if work.len() == 1 {
-            let (req, max_attempts, cancel, reply) = work.pop().expect("one job");
-            // A dropped ticket only abandons this job's own statistics,
-            // exactly as before batching.
-            let _ = serve_job(&mut worker, &mut rng, backoff, &req, max_attempts, &cancel, None, reply);
+            // A drained batch can legally be all pills (leaving `work`
+            // empty), and an executor must never panic over its batch
+            // composition — a dead executor strands every job still queued
+            // behind it. Serve the job if there is one, never assert.
+            if let Some((req, max_attempts, cancel, reply)) = work.pop() {
+                // A dropped ticket only abandons this job's own statistics,
+                // exactly as before batching.
+                let _ = serve_job(&mut worker, &mut rng, backoff, &req, max_attempts, &cancel, None, reply);
+            }
         } else if !work.is_empty() {
             let started = Instant::now();
             // Borrowed, not cloned: the jobs keep ownership of their
@@ -374,6 +379,20 @@ impl Session {
         self.wait(pending)
     }
 
+    /// Executes a transaction on the lock-free snapshot read path: every
+    /// operation reads the newest committed version at one snapshot
+    /// timestamp, with zero lock-table interaction and zero 2PC. The
+    /// returned outcome carries the snapshot timestamp in
+    /// [`TxnOutcome::snapshot`]. Rejects transactions containing any
+    /// non-read operation with [`Error::InvalidTxn`]; transactions the
+    /// snapshot path cannot serve (switch-resident hot tuples in P4DB mode,
+    /// or the `single_latch` seed arm) transparently fall back to the
+    /// locking path and return `snapshot: None`.
+    pub fn read_only(&mut self, txn: &Txn) -> Result<TxnOutcome> {
+        let req = txn.clone().read_only().resolve(&self.partition_map, self.node)?;
+        self.execute_request(&req)
+    }
+
     /// Submits a transaction without waiting for it (open loop). Any number
     /// of submissions can be in flight per session; redeem the tickets with
     /// [`Session::wait`] in any order.
@@ -412,15 +431,22 @@ impl Session {
     }
 
     /// Rejects requests the engine would panic on instead of abort: homes
-    /// outside the cluster, forward `operand_from` references, and
+    /// outside the cluster, forward `operand_from` references,
     /// read-dependencies that cross the hot/cold split (the switch cannot
-    /// consume a host-produced operand mid-transaction, §6.2).
+    /// consume a host-produced operand mid-transaction, §6.2), and
+    /// read-only-declared requests containing a write.
     fn validate(&self, req: &TxnRequest) -> Result<()> {
         let hot_index = self.shared.hot_index.load();
         let is_hot = |op: &TxnOp| {
             self.shared.config.mode == SystemMode::P4db && op.kind.switch_executable() && hot_index.is_hot(op.tuple)
         };
         for (index, op) in req.ops.iter().enumerate() {
+            if req.read_only && op.kind != OpKind::Read {
+                return Err(Error::InvalidTxn(format!(
+                    "read-only transaction contains a {:?} at operation {index}",
+                    op.kind
+                )));
+            }
             if op.home.index() >= self.shared.num_nodes() {
                 return Err(Error::UnknownNode(op.home));
             }
@@ -451,5 +477,69 @@ impl std::fmt::Debug for Session {
             .field("max_attempts", &self.max_attempts)
             .field("committed", &self.stats.committed_total())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterConfig};
+    use p4db_common::{CcScheme, SystemMode, TupleId};
+    use p4db_workloads::{Workload, Ycsb, YcsbConfig, YcsbMix};
+
+    fn small_cluster() -> Cluster {
+        let workload: Arc<dyn Workload> =
+            Arc::new(Ycsb::new(YcsbConfig { keys_per_node: 1_000, ..YcsbConfig::new(YcsbMix::A) }));
+        Cluster::build(ClusterConfig::test_profile(SystemMode::NoSwitch, CcScheme::NoWait), workload)
+    }
+
+    fn t(key: u64) -> TupleId {
+        TupleId::new(p4db_workloads::ycsb::YCSB_TABLE, key)
+    }
+
+    /// Regression test for the executor batch loop: a shutdown round drains
+    /// batches that mix `Execute` jobs with poison pills in every
+    /// proportion (including all-pills). Every job submitted *before* the
+    /// pills must still be served — an executor panicking over its batch
+    /// composition would strand the queue and fail the `wait`s below.
+    #[test]
+    fn jobs_queued_before_shutdown_pills_are_served() {
+        let cluster = small_cluster();
+        let mut session = cluster.session(NodeId(0)).unwrap();
+        // More jobs than executors, open-loop, so the queue still holds
+        // work when the pool drops its pills in behind it (test profile
+        // batch_size = 16 makes each drain a mixed batch).
+        let pendings: Vec<Pending> = (0..24).map(|k| session.submit(&Txn::new().add(t(k), 1)).unwrap()).collect();
+        drop(cluster);
+        for pending in pendings {
+            let outcome = session.wait(pending).expect("job queued before shutdown must execute");
+            assert_eq!(outcome.results[0], 1);
+        }
+        assert_eq!(session.stats().committed_total(), 24);
+    }
+
+    #[test]
+    fn read_only_serves_snapshot_and_rejects_writes() {
+        let cluster = small_cluster();
+        let mut session = cluster.session(NodeId(0)).unwrap();
+        session.execute(&Txn::new().add(t(7), 41)).unwrap();
+        let outcome = session.read_only(&Txn::new().read(t(7)).read(t(1_007))).unwrap();
+        assert_eq!(outcome.results[0], 41);
+        assert!(outcome.snapshot.is_some(), "read-only txn must execute on the snapshot path");
+
+        let err = session.read_only(&Txn::new().add(t(7), 1)).unwrap_err();
+        assert!(matches!(err, Error::InvalidTxn(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn validate_rejects_hand_built_read_only_request_with_a_write() {
+        let cluster = small_cluster();
+        let mut session = cluster.session(NodeId(0)).unwrap();
+        let req = Txn::new().write(t(3), 9).resolve(session.partition_map(), NodeId(0)).unwrap().into_read_only();
+        let err = match session.submit_request(&req) {
+            Err(e) => e,
+            Ok(_) => panic!("read-only request with a write must be rejected"),
+        };
+        assert!(matches!(err, Error::InvalidTxn(_)), "got {err:?}");
     }
 }

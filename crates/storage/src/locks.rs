@@ -57,6 +57,19 @@ struct LockEntry {
 }
 
 /// Cumulative waiting behaviour of one node's lock table.
+///
+/// **Accounting contract** (pinned by `wait_accounting_counts_once_per_
+/// contended_acquisition`): one *acquisition* is one `acquire` /
+/// `acquire_prehashed` call, and it targets exactly **one** tuple in exactly
+/// **one** shard (`mix(tuple) & (SHARDS-1)`) — a multi-tuple footprint is
+/// multiple acquisitions, each with its own wait clock. Per acquisition the
+/// clock starts lazily at the acquisition's *first* conflict and stops when
+/// the acquisition resolves (grant, WAIT_DIE death after a wait, or
+/// timeout); the result is folded into the totals exactly once, however many
+/// backoff rounds the wait spanned. `waits` therefore counts *contended
+/// acquisitions*, not backoff rounds, and `total_wait_ns` is the sum of
+/// full first-conflict-to-resolution spans. Acquisitions granted on first
+/// probe never read the clock and contribute to neither field.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct LockWaitStats {
     /// Acquisitions that had to wait at least one backoff round.
@@ -92,6 +105,11 @@ pub struct LockTable {
     /// Cumulative WAIT_DIE waiting, for the node-stats surface.
     waits: AtomicU64,
     waited_ns: AtomicU64,
+    /// Total `acquire`/`acquire_prehashed` calls, contended or not. The
+    /// snapshot read path's "zero lock-table interaction" claim is asserted
+    /// against this counter (it is deliberately *not* part of
+    /// [`LockWaitStats`], which only describes waiting).
+    acquisitions: AtomicU64,
 }
 
 impl Default for LockTable {
@@ -111,6 +129,7 @@ impl LockTable {
             wait_timeout: Duration::from_millis(100),
             waits: AtomicU64::new(0),
             waited_ns: AtomicU64::new(0),
+            acquisitions: AtomicU64::new(0),
         }
     }
 
@@ -127,7 +146,15 @@ impl LockTable {
         self
     }
 
-    /// Cumulative waiting behaviour since construction.
+    /// Total number of lock acquisitions attempted since construction
+    /// (each `acquire`/`acquire_prehashed` call counts once, whatever its
+    /// outcome). Read-only snapshot transactions must leave this unchanged.
+    pub fn acquisition_count(&self) -> u64 {
+        self.acquisitions.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative waiting behaviour since construction. See
+    /// [`LockWaitStats`] for the precise accounting contract.
     pub fn wait_stats(&self) -> LockWaitStats {
         LockWaitStats {
             waits: self.waits.load(Ordering::Relaxed),
@@ -154,6 +181,7 @@ impl LockTable {
         mode: LockMode,
         scheme: CcScheme,
     ) -> Result<()> {
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
         match &self.shards {
             ShardSet::Fast(shards) => self.acquire_in(shards, hash, txn, tuple, mode, scheme),
             ShardSet::Seed(shards) => self.acquire_in(shards, hash, txn, tuple, mode, scheme),
@@ -171,7 +199,11 @@ impl LockTable {
     ) -> Result<()> {
         // The deadline (and its `Instant::now()` call) is only materialised
         // once a conflict forces a wait; the granted-first-try fast path
-        // never reads the clock.
+        // never reads the clock. One acquisition probes exactly one shard
+        // (the tuple's), so this single clock covers the acquisition's whole
+        // first-conflict-to-resolution span — every return path below runs
+        // through `note_wait`, which folds it into the totals exactly once
+        // (see the `LockWaitStats` contract).
         let mut wait_started: Option<Instant> = None;
         let mut spins: u32 = 1;
         loop {
@@ -437,6 +469,51 @@ mod tests {
             lt.acquire(txn(seq), t(seq as u64), LockMode::Exclusive, CcScheme::WaitDie).unwrap();
         }
         assert_eq!(lt.wait_stats(), LockWaitStats::default());
+        // Every call still counted as an acquisition.
+        assert_eq!(lt.acquisition_count(), 100);
+    }
+
+    #[test]
+    fn wait_accounting_counts_once_per_contended_acquisition() {
+        // Pins the `LockWaitStats` contract: a transaction whose footprint
+        // conflicts on two tuples in two *different shards* performs two
+        // acquisitions, and each contributes exactly one wait whose span
+        // covers that acquisition's full first-conflict-to-resolution time —
+        // however many backoff rounds it looped through.
+        let lt = Arc::new(LockTable::new());
+        let a = t(0);
+        // Find a tuple that hashes to a different lock shard than `a`.
+        let b = (1..)
+            .map(t)
+            .find(|tuple| (tuple.mix() as usize) & (SHARDS - 1) != (a.mix() as usize) & (SHARDS - 1))
+            .unwrap();
+        let older = txn(1);
+        let holder_a = txn(2);
+        let holder_b = txn(3);
+        assert!(lt.acquire(holder_a, a, LockMode::Exclusive, CcScheme::WaitDie).is_ok());
+        assert!(lt.acquire(holder_b, b, LockMode::Exclusive, CcScheme::WaitDie).is_ok());
+
+        let lt2 = Arc::clone(&lt);
+        let waiter = std::thread::spawn(move || {
+            lt2.acquire(older, a, LockMode::Exclusive, CcScheme::WaitDie)?;
+            lt2.acquire(older, b, LockMode::Exclusive, CcScheme::WaitDie)
+        });
+        // Hold each lock ~10ms past the point the waiter needs it, releasing
+        // `b` only after `a` so both acquisitions are forced to wait.
+        std::thread::sleep(Duration::from_millis(10));
+        lt.release(holder_a, a);
+        std::thread::sleep(Duration::from_millis(10));
+        lt.release(holder_b, b);
+        assert!(waiter.join().unwrap().is_ok());
+
+        let stats = lt.wait_stats();
+        assert_eq!(stats.waits, 2, "one wait per contended acquisition, not per backoff round: {stats:?}");
+        // Each span covers its whole wait (~10ms under the sleeps above);
+        // assert a conservative floor to stay robust on loaded machines.
+        assert!(stats.total_wait() >= Duration::from_millis(10), "under-reported cumulative wait: {stats:?}");
+        // 2 holders + 2 waiter acquisitions.
+        assert_eq!(lt.acquisition_count(), 4);
+        lt.release_all(older, &[a, b]);
     }
 
     #[test]

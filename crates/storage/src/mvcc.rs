@@ -1,0 +1,311 @@
+//! Multi-version concurrency control plumbing: the commit clock that stamps
+//! row versions and the snapshot registry that tracks active read-only
+//! transactions.
+//!
+//! The shape follows the paper's division of labor: writers keep using the
+//! 2PL host path (conflicting writers are already serialized by the lock
+//! table), and each committed write additionally *installs* a version tagged
+//! with a commit timestamp. Read-only transactions pick a snapshot timestamp
+//! at admission and read the newest version at or below it — zero lock-table
+//! interaction, zero 2PC. Correctness rests on two properties enforced here:
+//!
+//! 1. **Ordered publication.** [`CommitClock::reserve`] hands out timestamps,
+//!    but [`CommitClock::stable`] only advances over the *contiguous prefix*
+//!    of published timestamps: a timestamp published before its predecessors
+//!    parks in a small pending set and is absorbed once the gap below it
+//!    closes ([`CommitClock::publish`] never blocks — a descheduled
+//!    committer delays `stable`, not its peers). A reader that snapshots at
+//!    `stable()` can therefore never miss an in-flight install below its
+//!    snapshot.
+//! 2. **Guarded reclamation.** [`SnapshotSlot::begin`] announces a snapshot
+//!    *and re-validates* the clock after the announcement; the garbage
+//!    collector ([`SnapshotRegistry::low_watermark`]) reads the clock
+//!    *before* scanning the slots. Between the two, any reader that finished
+//!    `begin()` with snapshot `s` is either visible to the scan (watermark
+//!    `<= s`) or started after the collector's clock read (watermark
+//!    `<= bound <= s`) — so no version a completed `begin()` can still see
+//!    is ever reclaimed.
+//!
+//! Timestamps are drawn from one logical clock for the whole cluster: the
+//! simulator's nodes share an address space, which models the
+//! synchronized-clock assumption the paper's epoch machinery already makes
+//! for switch epochs.
+
+use p4db_common::sync::unpoison;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Slot value of a worker with no read-only transaction in flight. Folds
+/// away naturally in the watermark minimum.
+pub const IDLE_SNAPSHOT: u64 = u64::MAX;
+
+/// Default cap on a row's version-chain length before the installing writer
+/// trims it inline against the current low-watermark.
+pub const DEFAULT_VERSION_CAP: usize = 64;
+
+/// The cluster commit clock. `reserve()` is called exactly once per
+/// committing transaction that installed at least one host write — *after*
+/// its WAL commit group is appended, so a reserved timestamp is always
+/// published. Read-only and hot-only transactions never tick the clock.
+#[derive(Debug)]
+pub struct CommitClock {
+    /// Next timestamp to hand out (timestamps start at 1).
+    next: AtomicU64,
+    /// Highest timestamp whose versions are fully installed, as are those of
+    /// every timestamp below it.
+    stable: AtomicU64,
+    /// Timestamps published ahead of a still-installing predecessor, waiting
+    /// for the gap below them to close. Bounded by the number of concurrently
+    /// committing workers, so a linear scan is cheaper than a heap.
+    pending: Mutex<Vec<u64>>,
+}
+
+impl Default for CommitClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CommitClock {
+    pub fn new() -> Self {
+        CommitClock { next: AtomicU64::new(1), stable: AtomicU64::new(0), pending: Mutex::new(Vec::new()) }
+    }
+
+    /// Draws the next commit timestamp. The caller *must* follow up with
+    /// [`CommitClock::publish`] after installing its versions, or `stable`
+    /// stalls forever.
+    #[inline]
+    pub fn reserve(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Publishes `ts` without ever blocking. If every smaller timestamp has
+    /// already published, `stable` advances to `ts` and then absorbs any
+    /// parked successors whose gap this publish just closed; otherwise `ts`
+    /// parks in the pending set and the eventual publisher of its
+    /// predecessor absorbs it. A committer descheduled mid-install therefore
+    /// delays only `stable` (readers snapshot slightly older states), never
+    /// its peers' commit latency. All `stable` stores happen under the
+    /// pending lock, so the advance itself is serialized and monotonic.
+    pub fn publish(&self, ts: u64) {
+        debug_assert!(ts >= 1);
+        let mut pending = unpoison(self.pending.lock());
+        let stable = self.stable.load(Ordering::Acquire);
+        if ts != stable + 1 {
+            debug_assert!(ts > stable, "timestamp published twice");
+            pending.push(ts);
+            return;
+        }
+        let mut new_stable = ts;
+        while let Some(at) = pending.iter().position(|&parked| parked == new_stable + 1) {
+            pending.swap_remove(at);
+            new_stable += 1;
+        }
+        self.stable.store(new_stable, Ordering::SeqCst);
+    }
+
+    /// The newest timestamp that is safe to snapshot: all versions at or
+    /// below it are fully installed.
+    #[inline]
+    pub fn stable(&self) -> u64 {
+        self.stable.load(Ordering::SeqCst)
+    }
+}
+
+/// One worker's published snapshot: `IDLE_SNAPSHOT` when no read-only
+/// transaction is in flight, the active snapshot timestamp otherwise.
+/// Registered once per worker (never by slot-index arithmetic — a shared
+/// slot would let one worker's `end()` hide another's active snapshot from
+/// the watermark).
+#[derive(Debug, Clone)]
+pub struct SnapshotSlot(Arc<AtomicU64>);
+
+impl SnapshotSlot {
+    /// Announces a snapshot at the clock's current stable timestamp and
+    /// returns it. The store-then-revalidate loop closes the race against a
+    /// concurrent collector (see the module docs): once `begin` returns,
+    /// every `low_watermark()` computed from here on is `<=` the returned
+    /// snapshot until [`SnapshotSlot::end`] is called.
+    pub fn begin(&self, clock: &CommitClock) -> u64 {
+        loop {
+            let snap = clock.stable();
+            self.0.store(snap, Ordering::SeqCst);
+            if clock.stable() == snap {
+                return snap;
+            }
+        }
+    }
+
+    /// Clears the announcement. Must be called on every exit from the
+    /// snapshot read path, including error paths.
+    pub fn end(&self) {
+        self.0.store(IDLE_SNAPSHOT, Ordering::SeqCst);
+    }
+
+    /// The currently announced snapshot, if any (test/diagnostic hook).
+    pub fn active(&self) -> Option<u64> {
+        match self.0.load(Ordering::SeqCst) {
+            IDLE_SNAPSHOT => None,
+            snap => Some(snap),
+        }
+    }
+}
+
+/// The cluster-wide set of snapshot slots. Slots are only ever added (a
+/// departed worker's slot stays `IDLE_SNAPSHOT` forever, which costs one
+/// atomic load per watermark computation and can never hold the watermark
+/// back).
+#[derive(Debug, Default)]
+pub struct SnapshotRegistry {
+    slots: RwLock<Vec<Arc<AtomicU64>>>,
+}
+
+impl SnapshotRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a fresh idle slot for one worker.
+    pub fn register(&self) -> SnapshotSlot {
+        let slot = Arc::new(AtomicU64::new(IDLE_SNAPSHOT));
+        unpoison(self.slots.write()).push(Arc::clone(&slot));
+        SnapshotSlot(slot)
+    }
+
+    /// The cluster low-watermark: the minimum of the clock's stable
+    /// timestamp and every active snapshot. Versions strictly below the
+    /// newest version at or below this bound are reclaimable. The clock is
+    /// read *before* the slot scan — the ordering half of the reclamation
+    /// guarantee (see the module docs).
+    pub fn low_watermark(&self, clock: &CommitClock) -> u64 {
+        let bound = clock.stable();
+        let slots = unpoison(self.slots.read());
+        slots.iter().map(|slot| slot.load(Ordering::SeqCst)).fold(bound, u64::min)
+    }
+
+    /// Number of registered slots (diagnostic).
+    pub fn len(&self) -> usize {
+        unpoison(self.slots.read()).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Everything the engine shares for MVCC: the commit clock, the snapshot
+/// registry, and the version-chain cap that triggers inline writer-side
+/// trimming.
+#[derive(Debug)]
+pub struct MvccState {
+    pub clock: CommitClock,
+    pub snapshots: SnapshotRegistry,
+    /// A committing writer that grows a chain past this length trims it
+    /// against the current low-watermark before releasing its locks.
+    pub version_cap: usize,
+}
+
+impl Default for MvccState {
+    fn default() -> Self {
+        Self::new(DEFAULT_VERSION_CAP)
+    }
+}
+
+impl MvccState {
+    pub fn new(version_cap: usize) -> Self {
+        MvccState { clock: CommitClock::new(), snapshots: SnapshotRegistry::new(), version_cap: version_cap.max(1) }
+    }
+
+    /// The minimum active snapshot merged with the stable timestamp — the
+    /// bound below which versions may be reclaimed.
+    pub fn low_watermark(&self) -> u64 {
+        self.snapshots.low_watermark(&self.clock)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_stable_at_zero_and_publishes_in_order() {
+        let clock = CommitClock::new();
+        assert_eq!(clock.stable(), 0);
+        let a = clock.reserve();
+        let b = clock.reserve();
+        assert_eq!((a, b), (1, 2));
+        clock.publish(a);
+        assert_eq!(clock.stable(), 1);
+        clock.publish(b);
+        assert_eq!(clock.stable(), 2);
+    }
+
+    #[test]
+    fn out_of_order_publish_parks_until_the_gap_closes() {
+        let clock = CommitClock::new();
+        let a = clock.reserve();
+        let b = clock.reserve();
+        let c = clock.reserve();
+        // b and c publish ahead of a: stable must not move (a reader
+        // snapshotting now would miss a's still-uninstalled versions).
+        clock.publish(c);
+        clock.publish(b);
+        assert_eq!(clock.stable(), 0, "stable advanced over an unpublished gap");
+        // Publishing a closes the gap and absorbs both parked successors.
+        clock.publish(a);
+        assert_eq!(clock.stable(), c);
+    }
+
+    #[test]
+    fn watermark_tracks_minimum_active_snapshot() {
+        let state = MvccState::new(8);
+        // No readers: watermark == stable.
+        assert_eq!(state.low_watermark(), 0);
+        let ts = state.clock.reserve();
+        state.clock.publish(ts);
+        assert_eq!(state.low_watermark(), 1);
+
+        let slot_a = state.snapshots.register();
+        let slot_b = state.snapshots.register();
+        let snap_a = slot_a.begin(&state.clock);
+        assert_eq!(snap_a, 1);
+        // Advance the clock past the reader.
+        let ts = state.clock.reserve();
+        state.clock.publish(ts);
+        assert_eq!(state.clock.stable(), 2);
+        // Active reader at 1 holds the watermark down.
+        assert_eq!(state.low_watermark(), 1);
+        let snap_b = slot_b.begin(&state.clock);
+        assert_eq!(snap_b, 2);
+        assert_eq!(state.low_watermark(), 1);
+        slot_a.end();
+        assert_eq!(state.low_watermark(), 2);
+        slot_b.end();
+        assert_eq!(state.low_watermark(), 2);
+        assert_eq!(state.snapshots.len(), 2);
+    }
+
+    #[test]
+    fn idle_slots_never_hold_the_watermark_back() {
+        let state = MvccState::default();
+        for _ in 0..16 {
+            let _ = state.snapshots.register(); // dropped immediately, stays idle
+        }
+        for _ in 0..5 {
+            let ts = state.clock.reserve();
+            state.clock.publish(ts);
+        }
+        assert_eq!(state.low_watermark(), 5);
+    }
+
+    #[test]
+    fn slot_active_reflects_begin_and_end() {
+        let state = MvccState::default();
+        let slot = state.snapshots.register();
+        assert_eq!(slot.active(), None);
+        let snap = slot.begin(&state.clock);
+        assert_eq!(slot.active(), Some(snap));
+        slot.end();
+        assert_eq!(slot.active(), None);
+    }
+}

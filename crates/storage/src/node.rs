@@ -174,6 +174,27 @@ impl NodeStorage {
         }
     }
 
+    /// Snapshot-path resolution: resolves a tuple's [`RowHandle`] with the
+    /// same single hash the 2PL admission path uses, but with **zero
+    /// lock-table interaction** — the read-only fast path. Returns
+    /// `Ok(None)` when no row exists under the key.
+    #[inline]
+    pub fn peek(&self, tuple: TupleId) -> Result<Option<RowHandle>> {
+        let table = self.table(tuple.table)?;
+        Ok(table.get_prehashed(tuple.mix(), tuple.key))
+    }
+
+    /// Version-chain GC across every table on this node; returns the number
+    /// of versions reclaimed (see [`Table::collect_versions`]).
+    pub fn collect_versions(&self, watermark: u64) -> usize {
+        self.tables.iter().flatten().map(|t| t.collect_versions(watermark)).sum()
+    }
+
+    /// Every table stored on this node (checkers and sweepers).
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.iter().flatten()
+    }
+
     /// Total number of rows stored on this node (all tables).
     pub fn total_rows(&self) -> usize {
         self.tables.iter().flatten().map(Table::len).sum()

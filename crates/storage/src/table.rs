@@ -35,10 +35,35 @@ use std::sync::{Arc, RwLock, RwLockWriteGuard};
 /// per-shard iteration stays cheap.
 pub const DEFAULT_TABLE_SHARDS: usize = 64;
 
-/// A single row: the value behind a latch.
+/// A single row: the live value behind a latch, plus (since PR 9) a chain
+/// of committed versions for lock-free snapshot readers.
+///
+/// The live `value` is what the 2PL path reads and writes; it can hold
+/// uncommitted data while the writer's locks pin it. Snapshot readers never
+/// touch it. They see only `base` (the row's pre-history: the load-time
+/// switch word, or `None` for rows created by an inserting transaction) and
+/// `versions`, which committing writers append to *while still holding
+/// their exclusive locks* — so per-row version timestamps are strictly
+/// increasing and consistent with the 2PL serialization order.
 #[derive(Debug)]
 pub struct Row {
     value: RwLock<Value>,
+    /// What a snapshot older than every committed version sees: the
+    /// load-time switch word, or `None` when the row did not exist before
+    /// the transaction that inserted it (such a snapshot gets
+    /// tuple-not-found, exactly like a 2PL read would have).
+    base: Option<u64>,
+    versions: RwLock<VersionChain>,
+}
+
+/// A row's committed version history, oldest first. `entries` holds
+/// `(commit_ts, switch_word)` pairs; `trimmed` counts versions reclaimed
+/// from the front by GC (the invariant checker uses it to know whether the
+/// `base -> first entry` transition is still checkable).
+#[derive(Debug, Default)]
+struct VersionChain {
+    entries: Vec<(u64, u64)>,
+    trimmed: u64,
 }
 
 /// A stable reference to one row. Cloning is one atomic increment; the
@@ -48,7 +73,15 @@ pub type RowHandle = Arc<Row>;
 
 impl Row {
     fn new(value: Value) -> Self {
-        Row { value: RwLock::new(value) }
+        let base = Some(value.switch_word());
+        Row { value: RwLock::new(value), base, versions: RwLock::new(VersionChain::default()) }
+    }
+
+    /// A row created by an inserting *transaction* (as opposed to a loader):
+    /// it has no pre-history, so snapshots older than the insert's commit
+    /// timestamp must not see it.
+    fn new_fresh(value: Value) -> Self {
+        Row { value: RwLock::new(value), base: None, versions: RwLock::new(VersionChain::default()) }
     }
 
     /// Reads the row.
@@ -73,6 +106,77 @@ impl Row {
     pub fn update<R>(&self, f: impl FnOnce(&mut Value) -> R) -> R {
         let mut guard = unpoison(self.value.write());
         f(&mut guard)
+    }
+
+    /// Snapshot read: the newest committed switch word at or below `snap`,
+    /// or `None` when the row did not yet exist at `snap`. Never touches
+    /// the live `value`, so it can run with zero lock-table interaction.
+    ///
+    /// Falling back to `base` when every retained entry is newer than
+    /// `snap` is sound because GC only reclaims entries *dominated by a
+    /// retained entry at or below the low-watermark* — and any snapshot a
+    /// live reader holds is at least that watermark, so "all retained
+    /// entries above `snap`" implies the chain never had an entry at or
+    /// below `snap` at all.
+    pub fn read_at(&self, snap: u64) -> Option<u64> {
+        let chain = unpoison(self.versions.read());
+        for &(ts, word) in chain.entries.iter().rev() {
+            if ts <= snap {
+                return Some(word);
+            }
+        }
+        self.base
+    }
+
+    /// Appends a committed version. Called at commit time while the writer
+    /// still holds the tuple's exclusive 2PL lock, which serializes
+    /// installers and keeps per-row timestamps strictly increasing. A
+    /// transaction that wrote the row more than once installs under one
+    /// timestamp — the later install overwrites the earlier word, so the
+    /// chain holds the transaction's *net* effect. Returns the chain length
+    /// so the caller can decide to trim.
+    pub fn install_version(&self, ts: u64, word: u64) -> usize {
+        let mut chain = unpoison(self.versions.write());
+        if let Some(last) = chain.entries.last_mut() {
+            debug_assert!(last.0 <= ts, "version timestamps must be non-decreasing per row");
+            if last.0 == ts {
+                last.1 = word;
+                return chain.entries.len();
+            }
+        }
+        chain.entries.push((ts, word));
+        chain.entries.len()
+    }
+
+    /// Reclaims versions strictly dominated by a newer version at or below
+    /// `watermark`: the newest entry with `ts <= watermark` is kept (some
+    /// active snapshot may still resolve to it), everything older goes.
+    /// Returns the number of versions reclaimed.
+    pub fn trim_versions_below(&self, watermark: u64) -> usize {
+        let mut chain = unpoison(self.versions.write());
+        let keep_from = match chain.entries.iter().rposition(|&(ts, _)| ts <= watermark) {
+            Some(index) => index,
+            None => return 0, // nothing at or below the watermark: nothing is dominated
+        };
+        chain.trimmed += keep_from as u64;
+        chain.entries.drain(..keep_from).count()
+    }
+
+    /// The row's pre-history word (`None` for transaction-inserted rows).
+    pub fn base_word(&self) -> Option<u64> {
+        self.base
+    }
+
+    /// A consistent copy of the version chain plus the count of versions GC
+    /// has reclaimed from its front — the invariant checker's view.
+    pub fn version_chain(&self) -> (Vec<(u64, u64)>, u64) {
+        let chain = unpoison(self.versions.read());
+        (chain.entries.clone(), chain.trimmed)
+    }
+
+    /// Retained chain length (diagnostic).
+    pub fn version_count(&self) -> usize {
+        unpoison(self.versions.read()).entries.len()
     }
 }
 
@@ -178,6 +282,43 @@ impl Table {
             ShardSet::Seed(s) => insert_in(self, &s[index], key, &handle),
         }
         handle
+    }
+
+    /// Like [`Table::insert`], but for rows created *by a transaction*
+    /// rather than a loader: the row has no pre-history, so snapshot reads
+    /// older than the inserting transaction's commit see tuple-not-found
+    /// instead of the load-time value. The 2PL path is unaffected (the live
+    /// value is identical).
+    pub fn insert_fresh(&self, key: u64, value: Value) -> RowHandle {
+        fn insert_in<S: BuildHasher>(table: &Table, shard: &Shard<S>, key: u64, handle: &RowHandle) {
+            let mut guard = unpoison(shard.write());
+            if guard.insert(key, Arc::clone(handle)).is_none() {
+                table.rows.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let handle = Arc::new(Row::new_fresh(value));
+        let index = (self.key_hash(key) & self.mask) as usize;
+        match &self.shards {
+            ShardSet::Fast(s) => insert_in(self, &s[index], key, &handle),
+            ShardSet::Seed(s) => insert_in(self, &s[index], key, &handle),
+        }
+        handle
+    }
+
+    /// Version-chain GC sweep: trims every row's chain against `watermark`,
+    /// one shard latch at a time — no global pause, concurrent readers and
+    /// writers in other shards keep moving. Returns the number of versions
+    /// reclaimed. The caller supplies the cluster low-watermark
+    /// (`min(active snapshots, stable clock)`); see
+    /// [`crate::mvcc::SnapshotRegistry::low_watermark`].
+    pub fn collect_versions(&self, watermark: u64) -> usize {
+        let mut reclaimed = 0;
+        for shard in 0..self.shard_count() {
+            self.for_each_in_shard(shard, |_, row| {
+                reclaimed += row.trim_versions_below(watermark);
+            });
+        }
+        reclaimed
     }
 
     /// Bulk-load helper: takes each shard latch once per consecutive run of

@@ -74,12 +74,23 @@ struct PendingOp {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Txn {
     ops: Vec<PendingOp>,
+    read_only: bool,
 }
 
 impl Txn {
     /// Starts an empty transaction.
     pub fn new() -> Self {
         Txn::default()
+    }
+
+    /// Declares the transaction read-only, eligible for the lock-free
+    /// snapshot read path: it reads a consistent snapshot (the newest
+    /// committed version of each tuple at one timestamp) with zero
+    /// lock-table interaction and zero 2PC. [`Txn::resolve`] rejects a
+    /// read-only transaction containing any non-`Read` operation.
+    pub fn read_only(mut self) -> Self {
+        self.read_only = true;
+        self
     }
 
     /// Appends an operation of arbitrary kind (escape hatch; prefer the named
@@ -160,10 +171,17 @@ impl Txn {
     ///
     /// Fails with [`Error::InvalidTxn`] if an `operand_from` reference does
     /// not point at an earlier operation or exceeds the engine's `u8` operand
-    /// index space.
+    /// index space, or if a [`Txn::read_only`] transaction contains a
+    /// non-`Read` operation.
     pub fn resolve(&self, placement: &impl Placement, coordinator: NodeId) -> Result<TxnRequest> {
         let mut ops = Vec::with_capacity(self.ops.len());
         for (index, op) in self.ops.iter().enumerate() {
+            if self.read_only && op.kind != OpKind::Read {
+                return Err(Error::InvalidTxn(format!(
+                    "read-only transaction contains a {:?} at operation {index}",
+                    op.kind
+                )));
+            }
             if let Some(src) = op.operand_from {
                 if src >= index {
                     return Err(Error::InvalidTxn(format!(
@@ -181,7 +199,8 @@ impl Txn {
             resolved.operand_from = op.operand_from.map(|src| src as u8);
             ops.push(resolved);
         }
-        Ok(TxnRequest::new(ops))
+        let request = TxnRequest::new(ops);
+        Ok(if self.read_only { request.into_read_only() } else { request })
     }
 }
 

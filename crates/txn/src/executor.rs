@@ -28,7 +28,7 @@ use p4db_common::{
     AbortReason, CcScheme, Error, GlobalTxnId, NodeId, Result, SwitchId, SystemMode, TupleId, TxnId, Value, WorkerId,
 };
 use p4db_net::{BatchRecvOutcome, EndpointId, Fabric, LatencyModel, Mailbox, RecvOutcome};
-use p4db_storage::{LockMode, LogRecord, NodeStorage, RowHandle};
+use p4db_storage::{LockMode, LogRecord, MvccState, NodeStorage, RowHandle, SnapshotSlot};
 use p4db_switch::{SwitchConfig, SwitchMessage, TxnHeader, TxnReply};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -98,6 +98,12 @@ pub struct EngineShared {
     /// recovery. Workers snapshot it once per transaction.
     pub hot_index: HotIndexCell,
     pub config: EngineConfig,
+    /// MVCC plumbing of the snapshot read path: the commit clock that stamps
+    /// row versions, the registry of active snapshots, and the version-chain
+    /// cap. One logical clock serves the whole cluster (the synchronized-
+    /// clock assumption the epoch machinery already makes). Unused — never
+    /// ticked, never read — when no read-only transactions run.
+    pub mvcc: MvccState,
 }
 
 impl EngineShared {
@@ -143,6 +149,11 @@ struct HostTxnState {
     order: Vec<usize>,
     /// Per-node `(hash, tuple)` scratch of the grouped lock release.
     release_scratch: Vec<(u64, TupleId)>,
+    /// `(row handle, after word)` of every host write, in operation order —
+    /// the versions to install at commit, stamped with one reserved commit
+    /// timestamp while the exclusive locks are still held. (Sharded path
+    /// only; the single-latch seed arm stays version-free.)
+    installs: Vec<(RowHandle, u64)>,
 }
 
 impl HostTxnState {
@@ -155,6 +166,7 @@ impl HostTxnState {
         self.resolved.clear();
         self.order.clear();
         self.release_scratch.clear();
+        self.installs.clear();
     }
 }
 
@@ -172,6 +184,9 @@ pub struct Worker {
     /// Reusable classification buffers (hot / cold operation indices).
     scratch_hot: Vec<usize>,
     scratch_cold: Vec<usize>,
+    /// This worker's slot in the snapshot registry: announces the snapshot
+    /// of an in-flight read-only transaction to the version-chain GC.
+    snapshot_slot: SnapshotSlot,
 }
 
 impl Worker {
@@ -179,6 +194,7 @@ impl Worker {
     pub fn new(shared: Arc<EngineShared>, node: NodeId, id: WorkerId) -> Self {
         let endpoint = EndpointId::Worker(node, id);
         let mailbox = shared.fabric.register(endpoint);
+        let snapshot_slot = shared.mvcc.snapshots.register();
         Worker {
             shared,
             node,
@@ -190,6 +206,7 @@ impl Worker {
             scratch: HostTxnState::default(),
             scratch_hot: Vec::new(),
             scratch_cold: Vec::new(),
+            snapshot_slot,
         }
     }
 
@@ -222,9 +239,25 @@ impl Worker {
     /// re-offload swaps the index mid-transaction.
     pub fn execute(&mut self, req: &TxnRequest, stats: &mut WorkerStats) -> Result<TxnOutcome> {
         if req.is_empty() {
-            return Ok(TxnOutcome { class: TxnClass::Cold, results: Vec::new(), gid: None, in_doubt: false });
+            return Ok(TxnOutcome {
+                class: TxnClass::Cold,
+                results: Vec::new(),
+                gid: None,
+                in_doubt: false,
+                snapshot: None,
+            });
         }
         let index = self.shared.hot_index.load();
+        // Declared read-only: try the lock-free snapshot path first. The
+        // single-latch seed arm has no version chains, so it keeps the
+        // seed's locking reads; an ineligible request (a non-`Read`
+        // operation, or a tuple offloaded to a switch whose host row is
+        // therefore stale) falls through to the locking path below.
+        if req.read_only && !self.shared.config.single_latch {
+            if let Some(outcome) = self.try_execute_snapshot(req, &index, stats)? {
+                return Ok(outcome);
+            }
+        }
         if self.shared.config.single_latch {
             // Seed shape: classification buffers allocated per transaction.
             let (hot, cold) = self.classify(req, &index);
@@ -249,6 +282,67 @@ impl Worker {
         self.scratch_hot = hot;
         self.scratch_cold = cold;
         result
+    }
+
+    /// The lock-free snapshot read path (read-only transactions): picks a
+    /// snapshot timestamp at admission, announces it in the worker's
+    /// [`SnapshotSlot`] (so GC never reclaims a version it still needs), and
+    /// reads each tuple's newest version at or below the snapshot — **zero
+    /// lock-table interaction, zero 2PC, zero per-op allocations** (the one
+    /// allocation is the per-transaction results vector, exactly like the
+    /// locking path). Remote-home reads still pay the node round trip, as
+    /// the locking path does.
+    ///
+    /// Returns `Ok(None)` when the request is not eligible: an operation is
+    /// not a plain `Read`, or a tuple is offloaded to a switch (its host row
+    /// is stale while the switch owns it) — those fall back to the locking
+    /// path, still correct, just not lock-free.
+    fn try_execute_snapshot(
+        &mut self,
+        req: &TxnRequest,
+        index: &HotSetIndex,
+        stats: &mut WorkerStats,
+    ) -> Result<Option<TxnOutcome>> {
+        for op in &req.ops {
+            let offloaded = self.shared.config.mode == SystemMode::P4db && index.is_hot(op.tuple);
+            if op.kind != OpKind::Read || offloaded {
+                return Ok(None);
+            }
+        }
+        let mut watch = Stopwatch::start();
+        let mut results = vec![0u64; req.ops.len()];
+        let snap = self.snapshot_slot.begin(&self.shared.mvcc.clock);
+        let mut run = Ok(());
+        for (i, op) in req.ops.iter().enumerate() {
+            if op.home != self.node {
+                self.shared.latency.impose_node_rtt();
+                stats.record_phase(Phase::RemoteAccess, watch.lap());
+            }
+            let visible = match self.shared.node(op.home).peek(op.tuple) {
+                Ok(row) => row.and_then(|r| r.read_at(snap)),
+                Err(e) => {
+                    run = Err(e);
+                    break;
+                }
+            };
+            match visible {
+                Some(word) => results[i] = word,
+                None => {
+                    // No version at or below the snapshot: the row did not
+                    // exist (yet) in this transaction's consistent view —
+                    // the same error a locking read of a missing row raises.
+                    run = Err(Error::TupleNotFound(op.tuple));
+                    break;
+                }
+            }
+        }
+        // The slot is cleared on *every* exit, error paths included — a
+        // leaked announcement would pin the GC watermark forever.
+        self.snapshot_slot.end();
+        stats.record_phase(Phase::LocalAccess, watch.lap());
+        run?;
+        stats.snapshot_reads += 1;
+        Ok(Some(TxnOutcome { class: TxnClass::Cold, results, gid: None, in_doubt: false, snapshot: Some(snap) }))
     }
 
     /// Whether the hot operations resolve to more than one owning switch —
@@ -460,10 +554,18 @@ impl Worker {
                             results: logged_results,
                         });
                     }
-                    Ok(TxnOutcome { class: TxnClass::Hot, results: values, gid: Some(reply.gid), in_doubt: false })
+                    Ok(TxnOutcome {
+                        class: TxnClass::Hot,
+                        results: values,
+                        gid: Some(reply.gid),
+                        in_doubt: false,
+                        snapshot: None,
+                    })
                 }
                 // Intent logged, switch cannot abort: committed in doubt.
-                None => Ok(TxnOutcome { class: TxnClass::Hot, results: values, gid: None, in_doubt: true }),
+                None => {
+                    Ok(TxnOutcome { class: TxnClass::Hot, results: values, gid: None, in_doubt: true, snapshot: None })
+                }
             };
         }
         if !result_records.is_empty() {
@@ -519,11 +621,13 @@ impl Worker {
                 for (idx, value) in values {
                     results[idx] = value;
                 }
-                Ok(TxnOutcome { class: TxnClass::Hot, results, gid: Some(gid), in_doubt: false })
+                Ok(TxnOutcome { class: TxnClass::Hot, results, gid: Some(gid), in_doubt: false, snapshot: None })
             }
             // The intent is logged, the switch cannot abort: the transaction
             // counts as committed even though its reply is lost (§6.1).
-            SwitchSubTxn::InDoubt => Ok(TxnOutcome { class: TxnClass::Hot, results, gid: None, in_doubt: true }),
+            SwitchSubTxn::InDoubt => {
+                Ok(TxnOutcome { class: TxnClass::Hot, results, gid: None, in_doubt: true, snapshot: None })
+            }
         }
     }
 
@@ -666,7 +770,7 @@ impl Worker {
         };
         let (gid, in_doubt) = run?;
         let class = if hot.is_empty() { TxnClass::Cold } else { TxnClass::Warm };
-        Ok(TxnOutcome { class, results, gid, in_doubt })
+        Ok(TxnOutcome { class, results, gid, in_doubt, snapshot: None })
     }
 
     /// The shared-nothing host path: admission, zero-lookup execution, then
@@ -836,7 +940,10 @@ impl Worker {
             OpKind::Insert(v) => {
                 let v = operand_override.unwrap_or(v);
                 let table = self.shared.node(op.home).table(op.tuple.table)?;
-                let handle = table.insert(op.tuple.key, Value::scalar(v));
+                // `insert_fresh`: the row is created *by this transaction*,
+                // so snapshot readers older than its commit must see
+                // tuple-not-found rather than the uncommitted value.
+                let handle = table.insert_fresh(op.tuple.key, Value::scalar(v));
                 // The insert may have *replaced* a live row with a fresh
                 // one: every later operation of this transaction on the
                 // same tuple was admission-resolved to the old row and must
@@ -849,6 +956,7 @@ impl Worker {
                     }
                 }
                 state.inserted.push((op.home, op.tuple));
+                state.installs.push((handle, v));
                 state.cold_writes.push(LogRecord::ColdWrite {
                     txn: txn_id,
                     tuple: op.tuple,
@@ -894,6 +1002,7 @@ impl Worker {
                 after.set_switch_word(new);
                 row.write(after);
                 state.undo.push((Arc::clone(row), before));
+                state.installs.push((Arc::clone(row), new));
                 state.cold_writes.push(LogRecord::ColdWrite { txn: txn_id, tuple: op.tuple, before, after });
                 Ok(if matches!(op.kind, OpKind::FetchAdd(_)) { current } else { new })
             }
@@ -1179,6 +1288,26 @@ impl Worker {
             // lock acquisition — no intermediate vector.
             wal.append_group(state.cold_writes.drain(..).chain(std::iter::once(LogRecord::Commit { txn: txn_id })));
         }
+        // Version installation: one commit timestamp for the whole
+        // transaction, reserved only *after* the commit group is durable (a
+        // reserved timestamp is always published) and installed while the
+        // exclusive locks are still held — per-row version order therefore
+        // agrees with the 2PL serialization order. `publish` makes the
+        // timestamp visible to snapshot readers only once every earlier
+        // timestamp is fully installed. Sharded path only: the single-latch
+        // seed arm never fills `installs`.
+        if !state.installs.is_empty() {
+            let mvcc = &self.shared.mvcc;
+            let ts = mvcc.clock.reserve();
+            for (row, word) in state.installs.drain(..) {
+                if row.install_version(ts, word) > mvcc.version_cap {
+                    // Chain over the cap: trim inline against the current
+                    // low-watermark (cheap — a handful of atomic loads).
+                    row.trim_versions_below(mvcc.low_watermark());
+                }
+            }
+            mvcc.clock.publish(ts);
+        }
         self.release_all(txn_id, state);
         stats.record_phase(Phase::TxnEngine, watch.lap());
         Ok((gid, in_doubt))
@@ -1379,6 +1508,7 @@ mod tests {
             fabric,
             hot_index: HotIndexCell::new(hot_index),
             config: EngineConfig::new(mode, cc, switch_config),
+            mvcc: MvccState::default(),
         });
         Rig { shared, _switch: switch, control_plane }
     }
@@ -1673,6 +1803,7 @@ mod tests {
                 chiller: true,
                 ..EngineConfig::new(SystemMode::NoSwitch, CcScheme::NoWait, cfg_rig.shared.config.switch_config)
             },
+            mvcc: MvccState::default(),
         });
         let mut w = Worker::new(shared.clone(), NodeId(0), WorkerId(7));
         let mut stats = WorkerStats::new();

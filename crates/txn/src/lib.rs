@@ -17,5 +17,6 @@ pub mod switch_client;
 pub use builder::{Placement, Txn};
 pub use executor::{EngineConfig, EngineShared, Worker};
 pub use hotset::{HotIndexCell, HotSetIndex};
+pub use p4db_storage::mvcc::MvccState;
 pub use request::{OpKind, TxnOp, TxnOutcome, TxnRequest};
 pub use switch_client::{build_switch_txn, BuiltSwitchTxn};

@@ -74,11 +74,25 @@ impl TxnOp {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TxnRequest {
     pub ops: Vec<TxnOp>,
+    /// Declared read-only (every operation is a `Read`): the engine may
+    /// execute it on the lock-free snapshot path — a consistent snapshot
+    /// timestamp instead of 2PL locks, zero lock-table interaction, zero
+    /// 2PC. Set via [`crate::Txn::read_only`] or
+    /// [`TxnRequest::into_read_only`].
+    pub read_only: bool,
 }
 
 impl TxnRequest {
     pub fn new(ops: Vec<TxnOp>) -> Self {
-        TxnRequest { ops }
+        TxnRequest { ops, read_only: false }
+    }
+
+    /// Marks the request read-only. Callers must only set this on requests
+    /// whose every operation is a `Read`; the engine falls back to the
+    /// locking path (and `Session::read_only` rejects outright) otherwise.
+    pub fn into_read_only(mut self) -> Self {
+        self.read_only = true;
+        self
     }
 
     pub fn is_empty(&self) -> bool {
@@ -119,6 +133,9 @@ pub struct TxnOutcome {
     /// (reported as 0) and `gid` is `None`; recovery resolves its position
     /// from the logs (§A.3, Fig 9).
     pub in_doubt: bool,
+    /// The snapshot timestamp this transaction read at, when it executed on
+    /// the lock-free snapshot path (`None` for every locking execution).
+    pub snapshot: Option<u64>,
 }
 
 #[cfg(test)]
