@@ -20,7 +20,7 @@ cargo test --offline -q
 echo "==> member-crate unit tests (root package already covered by tier-1)"
 cargo test --offline --workspace --exclude p4db -q
 
-echo "==> chaos smoke gate: fixed-seed fault + crash paths (incl. 2-switch per-switch crash/recovery) with invariant checking"
+echo "==> chaos smoke gate: fixed-seed fault + crash paths (incl. 2-switch per-switch crash/recovery, supervised blackhole outage liveness) with invariant checking"
 cargo test --offline --release -q --test chaos smoke_ -- --nocapture
 
 echo "==> batching gate: whole-frame faults at batch_size=16 (full differential sweep runs in tier-1)"
@@ -37,14 +37,15 @@ cargo test --offline --release -q --test mvcc -- --nocapture
 
 echo "==> bench smoke gate: BENCH json emission, schema validity, regression band vs BENCH_baseline.json"
 # Absolute path: cargo runs bench binaries with the package dir as CWD.
-# fig_node_scaling, fig_read_mix, fig_switch_scaling and fig_recovery ride
-# along so the gate can floor the sharded-vs-single-latch node hot-path
-# speedup, the snapshot-vs-2PL read-mostly speedup, the 2-switch-vs-1
-# topology speedup and the checkpointed-vs-genesis restart speedup
+# fig_node_scaling, fig_read_mix, fig_switch_scaling, fig_recovery and
+# fig_outage ride along so the gate can floor the sharded-vs-single-latch
+# node hot-path speedup, the snapshot-vs-2PL read-mostly speedup, the
+# 2-switch-vs-1 topology speedup, the checkpointed-vs-genesis restart
+# speedup and the degraded-mode throughput floor across a switch blackhole
 # (alongside the batching tripwire).
 BENCH_SMOKE="$(pwd)/target/BENCH_smoke.json"
 rm -f "$BENCH_SMOKE"
-P4DB_BENCH_JSON="$BENCH_SMOKE" P4DB_MEASURE_MS=25 cargo bench --offline -p p4db-bench --bench figures -- fig01 fig13 fig_node_scaling fig_read_mix fig_switch_scaling fig_recovery > /dev/null
+P4DB_BENCH_JSON="$BENCH_SMOKE" P4DB_MEASURE_MS=25 cargo bench --offline -p p4db-bench --bench figures -- fig01 fig13 fig_node_scaling fig_read_mix fig_switch_scaling fig_recovery fig_outage > /dev/null
 P4DB_BENCH_JSON="$BENCH_SMOKE" P4DB_MICRO_QUICK=1 cargo bench --offline -p p4db-bench --bench micro > /dev/null
 P4DB_BENCH_JSON="$BENCH_SMOKE" P4DB_BENCH_GATE=1 cargo test --offline -q -p p4db-bench --lib gate_
 

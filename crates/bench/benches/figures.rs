@@ -3,7 +3,7 @@
 //! Run with `cargo bench -p p4db-bench --bench figures`. Environment knobs:
 //! `P4DB_MEASURE_MS` (per-point measurement time, default 250 ms),
 //! `P4DB_FULL=1` (wider parameter sweeps) and `P4DB_BENCH_JSON` (output
-//! path for the machine-readable datapoints, default `BENCH_9.json` at the
+//! path for the machine-readable datapoints, default `BENCH_10.json` at the
 //! workspace root). Stdout is markdown; redirect it into a file to update
 //! `EXPERIMENTS.md`. The figures that ran are additionally serialised as
 //! `BenchPoint`s, merged by figure into the JSON file, which the CI
@@ -34,6 +34,7 @@ fn main() {
         ("fig_read_mix", fig_read_mix),
         ("fig_switch_scaling", fig_switch_scaling),
         ("fig_recovery", fig_recovery),
+        ("fig_outage", fig_outage),
     ];
 
     // Allow running a subset: `cargo bench --bench figures -- fig13 fig14`.

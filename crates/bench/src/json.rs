@@ -22,7 +22,7 @@
 //!
 //! Writers merge by figure: emitting points for `fig01` replaces every
 //! existing `fig01` point in the file and leaves other figures' points
-//! untouched, so `figures` and `micro` can update the same `BENCH_9.json`
+//! untouched, so `figures` and `micro` can update the same `BENCH_10.json`
 //! independently.
 
 use p4db_core::BenchPoint;
@@ -338,13 +338,13 @@ pub fn write_merged(path: &Path, points: &[BenchPoint]) -> std::io::Result<()> {
     std::fs::write(path, render(&merged))
 }
 
-/// Default output path: `$P4DB_BENCH_JSON`, or `BENCH_9.json` at the
+/// Default output path: `$P4DB_BENCH_JSON`, or `BENCH_10.json` at the
 /// workspace root (the current trajectory file; `BENCH_4.json` through
-/// `BENCH_7.json` are the committed history of earlier PRs).
+/// `BENCH_9.json` are the committed history of earlier PRs).
 pub fn output_path() -> std::path::PathBuf {
     match std::env::var("P4DB_BENCH_JSON") {
         Ok(path) if !path.is_empty() => std::path::PathBuf::from(path),
-        _ => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_9.json"),
+        _ => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_10.json"),
     }
 }
 
@@ -356,7 +356,7 @@ pub fn output_path() -> std::path::PathBuf {
 /// few milliseconds per point on a loaded single-core runner, so the
 /// throughput band is wide — the gate is a tripwire for collapses and schema
 /// drift, not a microbenchmark judge; `EXPERIMENTS.md` and the committed
-/// `BENCH_9.json` carry the trend.
+/// `BENCH_10.json` carry the trend.
 #[derive(Clone, Debug)]
 pub struct GateConfig {
     /// Max allowed throughput ratio between current and baseline, either
@@ -397,6 +397,16 @@ pub struct GateConfig {
     /// versioned-rows work (measured ~2x; under 1.3x on the smoke profile
     /// means read-only transactions are paying lock-table costs again).
     pub min_read_mostly_speedup: f64,
+    /// Minimum degraded-throughput floor of the gated `fig_outage`
+    /// datapoint, expressed as min-window/max-window committed throughput
+    /// across the blackhole → breaker-trip → degraded → re-admit timeline.
+    /// The self-healing acceptance criterion is liveness, not speed: every
+    /// window must keep committing (the figure itself asserts non-zero
+    /// windows), and this floor catches a degraded mode that technically
+    /// commits but has collapsed to a trickle. Measured ~0.3–0.7 depending
+    /// on how much of the trip window is spent inside switch timeouts; 0.02
+    /// is the collapse tripwire, far below any healthy run.
+    pub min_degraded_floor_frac: f64,
 }
 
 impl Default for GateConfig {
@@ -408,6 +418,7 @@ impl Default for GateConfig {
             min_switch_scaling_speedup: 1.25,
             min_recovery_speedup: 2.0,
             min_read_mostly_speedup: 1.3,
+            min_degraded_floor_frac: 0.02,
         }
     }
 }
@@ -430,6 +441,11 @@ pub const RECOVERY_PARAMS: &str = "checkpointed vs genesis restart";
 
 /// The `params` key of the gated `fig_read_mix` datapoint.
 pub const READ_MIX_PARAMS: &str = "YCSB-A 95% reads workers=4";
+
+/// The `params` key of the gated `fig_outage` datapoint. Its `speedup`
+/// field carries the degraded-throughput floor fraction (min window tps /
+/// max window tps across the outage timeline), not a speedup.
+pub const OUTAGE_PARAMS: &str = "SmallBank blackhole switch=0 supervised";
 
 /// The `params` key of the micro group-commit encode datapoint (recorded,
 /// not gated: the recovery floor covers the end-to-end durability effect).
@@ -494,6 +510,12 @@ pub fn gate(current: &[BenchPoint], baseline: &[BenchPoint], config: &GateConfig
                 cur.params, cur.speedup, config.min_read_mostly_speedup
             ));
         }
+        if cur.figure == "fig_outage" && cur.params == OUTAGE_PARAMS && cur.speedup < config.min_degraded_floor_frac {
+            failures.push(format!(
+                "fig_outage [{}]: degraded-mode throughput floor is only {:.3} of peak (gate requires >= {:.3})",
+                cur.params, cur.speedup, config.min_degraded_floor_frac
+            ));
+        }
     }
     // Anti-vacuity: if a figure with a gated datapoint ran at all, that
     // datapoint must be among the results — otherwise a sweep or label edit
@@ -503,6 +525,7 @@ pub fn gate(current: &[BenchPoint], baseline: &[BenchPoint], config: &GateConfig
         ("fig_switch_scaling", SWITCH_SCALING_PARAMS, "switch-scaling speedup floor"),
         ("fig_recovery", RECOVERY_PARAMS, "recovery speedup floor"),
         ("fig_read_mix", READ_MIX_PARAMS, "read-mostly speedup floor"),
+        ("fig_outage", OUTAGE_PARAMS, "degraded-throughput floor"),
         ("micro", BATCHING_PARAMS, "batching speedup floor"),
     ] {
         if current.iter().any(|p| p.figure == figure)
@@ -650,6 +673,18 @@ mod tests {
         let failures = gate(&missing_gated, &baseline, &config);
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("read-mostly speedup floor"));
+        // Outage tripwire: the `speedup` slot carries the degraded floor
+        // fraction, gated against collapse.
+        let weak = vec![point("fig_outage", OUTAGE_PARAMS, 1000.0, 0.005)];
+        let failures = gate(&weak, &baseline, &config);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("degraded-mode throughput floor"));
+        let strong = vec![point("fig_outage", OUTAGE_PARAMS, 1000.0, 0.4)];
+        assert!(gate(&strong, &baseline, &config).is_empty());
+        let missing_gated = vec![point("fig_outage", "unsupervised", 1000.0, 0.4)];
+        let failures = gate(&missing_gated, &baseline, &config);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("degraded-throughput floor"));
         // Same protection for the batching tripwire: a micro run that lost
         // its gated datapoint fails rather than passing vacuously.
         let missing = vec![point("micro", "wal append", 1000.0, 1.0)];
@@ -667,9 +702,15 @@ mod tests {
     /// newer bars.
     #[test]
     fn gate_committed_bench_files_are_schema_valid() {
-        for name in
-            ["BENCH_4.json", "BENCH_5.json", "BENCH_6.json", "BENCH_7.json", "BENCH_9.json", "BENCH_baseline.json"]
-        {
+        for name in [
+            "BENCH_4.json",
+            "BENCH_5.json",
+            "BENCH_6.json",
+            "BENCH_7.json",
+            "BENCH_9.json",
+            "BENCH_10.json",
+            "BENCH_baseline.json",
+        ] {
             let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(name);
             let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {name}: {e}"));
             let points = parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -748,6 +789,19 @@ mod tests {
                 read_mix.speedup >= bar,
                 "{name}: committed read-mostly speedup {:.2}x is below the {bar}x acceptance bar",
                 read_mix.speedup
+            );
+            if name == "BENCH_9.json" {
+                continue; // predates the outage figure
+            }
+            let outage = points
+                .iter()
+                .find(|p| p.figure == "fig_outage" && p.params == OUTAGE_PARAMS)
+                .unwrap_or_else(|| panic!("{name} is missing the outage datapoint"));
+            let bar = GateConfig::default().min_degraded_floor_frac;
+            assert!(
+                outage.speedup >= bar,
+                "{name}: committed degraded-throughput floor {:.3} is below the {bar} acceptance bar",
+                outage.speedup
             );
         }
     }

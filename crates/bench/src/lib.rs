@@ -5,7 +5,7 @@
 //! functions below and prints the resulting markdown table; the same
 //! functions are used to produce `EXPERIMENTS.md`. Every function also
 //! records its raw measurements as [`BenchPoint`]s on the returned
-//! [`FigureTable`], which the bench targets serialise into `BENCH_9.json`
+//! [`FigureTable`], which the bench targets serialise into `BENCH_10.json`
 //! (see [`json`]) — the machine-readable perf trajectory that the CI
 //! regression gate diffs against `BENCH_baseline.json`.
 //!
@@ -21,10 +21,13 @@
 
 pub mod json;
 
+use p4db_common::faults::BlackholeFault;
 use p4db_common::rand_util::FastRng;
 use p4db_common::stats::{Phase, RunStats, WorkerStats};
-use p4db_common::{CcScheme, LatencyConfig, NodeId, SystemMode, WorkerId};
-use p4db_core::{fmt_class_mix, fmt_speedup, fmt_tps, speedup, BenchPoint, Cluster, ClusterConfig, FigureTable};
+use p4db_common::{CcScheme, FaultPlan, LatencyConfig, NodeId, SwitchId, SystemMode, WorkerId};
+use p4db_core::{
+    fmt_class_mix, fmt_speedup, fmt_tps, speedup, BenchPoint, BreakerConfig, Cluster, ClusterConfig, FigureTable,
+};
 use p4db_layout::LayoutStrategy;
 use p4db_net::{Fabric, LatencyModel};
 use p4db_storage::NodeStorage;
@@ -505,6 +508,7 @@ pub fn measure_node_local(
         fabric,
         hot_index: HotIndexCell::new(HotSetIndex::empty()),
         mvcc: p4db_txn::MvccState::default(),
+        health: p4db_txn::SwitchHealth::new(0, 1, p4db_txn::BreakerConfig::default()),
         config,
     });
 
@@ -633,6 +637,7 @@ pub fn measure_read_mix(
         fabric,
         hot_index: HotIndexCell::new(HotSetIndex::empty()),
         mvcc: p4db_txn::MvccState::default(),
+        health: p4db_txn::SwitchHealth::new(0, 1, p4db_txn::BreakerConfig::default()),
         config,
     });
 
@@ -910,6 +915,105 @@ pub fn fig_recovery(profile: &BenchProfile) -> FigureTable {
         replay_rate,
         ckpt_time.as_secs_f64() * 1e6,
         speedup,
+    ));
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Outage figure: committed-throughput timeline across a switch blackhole.
+// ---------------------------------------------------------------------------
+
+/// Self-healing timeline: SmallBank traffic through a mid-run switch
+/// blackhole with the circuit breaker enabled. The first windows absorb the
+/// outage — switch timeouts trip the breaker and degraded mode moves hot
+/// transactions onto the host 2PL path — then the supervisor probes the
+/// healed switch, resolves the in-doubt ledger and re-admits the hot set,
+/// and the final windows measure the recovered switch path. The datapoint's
+/// `speedup` column carries min-window/max-window throughput: the fraction
+/// of peak the cluster retains at its worst moment, floored by the CI gate
+/// ([`json::GateConfig::min_degraded_floor_frac`]). Every window must commit
+/// transactions — a zero window is a liveness failure, not a slow figure.
+pub fn fig_outage(profile: &BenchProfile) -> FigureTable {
+    let mut table = FigureTable::new(
+        "Outage — committed throughput timeline across a switch blackhole (SmallBank, breaker + supervisor)",
+        &["Window", "Phase", "Committed", "Throughput [txn/s]"],
+    );
+    let w = smallbank(50);
+    let mut config = ClusterConfig::new(SystemMode::P4db, CcScheme::NoWait);
+    config.workers_per_node = 4;
+    config.distributed_prob = 0.0;
+    // A quiet net plan (no probabilistic faults) carrying only the blackhole:
+    // the switch goes silent mid-window-0 and heals itself after 120 swallowed
+    // messages — which the supervisor's own heartbeat probes drive, so
+    // recovery needs no outside intervention. The 4 ms switch timeout keeps
+    // the trip inside one window even on the 25 ms CI smoke profile.
+    let mut plan = FaultPlan::quiet(11);
+    plan.switch_timeout = Duration::from_millis(4);
+    plan.blackhole = Some(BlackholeFault { switch: 0, after_messages: 64, heal_after_drops: 120 });
+    config.faults = Some(plan);
+    config.breaker = BreakerConfig::enabled();
+    let mut cluster = Cluster::build(config, Arc::clone(&w));
+    let switch = SwitchId(0);
+
+    let window = profile.measure.clamp(Duration::from_millis(25), Duration::from_millis(50));
+    // Each window runs in 5 slices with a degrade check between slices: a
+    // tripped switch is stood up in degraded mode (WAL-suffix replay into
+    // host rows, hot demoted to 2PL) within ~window/5 of the trip, which is
+    // what the supervisor's degrade pass does under live traffic at its
+    // 2 ms probe cadence. Degrading only at window boundaries would leave a
+    // long window mostly in fail-fast limbo and understate the floor.
+    let run_window = |cluster: &Cluster| -> RunStats {
+        let mut merged = WorkerStats::new();
+        let mut wall = Duration::ZERO;
+        for _ in 0..5 {
+            let stats = cluster.run_for(window / 5);
+            merged.merge(&stats.merged);
+            wall += stats.wall_time;
+            if cluster.health().is_open(switch) && !cluster.health().is_degraded(switch) {
+                cluster.degrade_switch(switch).expect("outage figure: degrade failed");
+            }
+        }
+        RunStats { merged, wall_time: wall }
+    };
+    let mut windows: Vec<(&'static str, RunStats)> = Vec::new();
+    // Outage + floor windows: traffic runs while the blackhole swallows the
+    // hot path.
+    for _ in 0..3 {
+        let phase = if cluster.health().is_degraded(switch) { "degraded floor" } else { "outage" };
+        windows.push((phase, run_window(&cluster)));
+    }
+    // Probe → resolve → re-admit. The drivers are parked between windows, so
+    // the supervisor can quiesce and re-admit as soon as its probe streak
+    // closes the breaker.
+    let report = cluster.supervise_until(|| true, Duration::from_secs(30)).expect("outage figure: supervisor failed");
+    assert!(report.trips_seen >= 1, "outage figure: the blackhole never tripped the breaker");
+    assert!(!report.deadline_forced, "outage figure: supervisor hit its deadline and force-healed the fault");
+    assert!(report.recovered.contains(&switch), "outage figure: switch was never re-admitted");
+    for _ in 0..2 {
+        windows.push(("recovered", run_window(&cluster)));
+    }
+    assert!(!cluster.health().is_open(switch), "outage figure: breaker still open after recovery");
+    assert_eq!(cluster.health().ledger_len(), 0, "outage figure: unresolved in-doubt transactions after recovery");
+
+    let tps: Vec<f64> = windows.iter().map(|(_, stats)| stats.throughput()).collect();
+    for (i, ((phase, stats), t)) in windows.iter().zip(&tps).enumerate() {
+        assert!(
+            stats.merged.committed_total() > 0,
+            "outage figure: window {i} ({phase}) committed nothing — the throughput floor broke"
+        );
+        table.push_row(vec![i.to_string(), phase.to_string(), stats.merged.committed_total().to_string(), fmt_tps(*t)]);
+    }
+    let peak = tps.iter().cloned().fold(0.0f64, f64::max);
+    let floor = tps.iter().cloned().fold(f64::INFINITY, f64::min);
+    let floor_frac = floor / peak.max(1e-9);
+    // tps = peak window throughput; p50_us = per-txn time at the floor
+    // window; speedup = the gated floor fraction.
+    table.push_point(BenchPoint::from_rates(
+        "fig_outage",
+        json::OUTAGE_PARAMS,
+        peak,
+        1e6 / floor.max(1e-9),
+        floor_frac,
     ));
     table
 }

@@ -15,15 +15,16 @@
 //! time to report the minimal set that still reproduces the failure.
 
 use crate::invariants::{self, InvariantReport, SemanticChecks};
-use p4db_common::faults::{FaultEvent, FaultPlan};
+use p4db_common::faults::{BlackholeFault, FaultEvent, FaultPlan};
 use p4db_common::rand_util::FastRng;
 use p4db_common::{Error, NodeId, Result, SystemMode, TxnId};
-use p4db_core::{Cluster, NodeRecoveryReport, SwitchRecoveryReport};
+use p4db_core::{BreakerConfig, Cluster, NodeRecoveryReport, ResolverReport, SupervisorReport, SwitchRecoveryReport};
 use p4db_net::{EndpointId, RecvOutcome};
 use p4db_storage::{LogRecord, WalCodec};
 use p4db_switch::{Instruction, SwitchMessage, SwitchTxn, TxnHeader};
 use p4db_txn::{OpKind, TxnOp};
 use p4db_workloads::{SmallBank, SmallBankConfig, Tpcc, TpccConfig, Workload, WorkloadCtx, Ycsb, YcsbConfig, YcsbMix};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -126,6 +127,14 @@ pub struct ChaosOptions {
     /// onto the lock-free snapshot path. `false` runs the same schedule
     /// through ordinary 2PL — the differential baseline arm.
     pub snapshot_arm: bool,
+    /// Runs every wave under the self-healing supervisor: the circuit
+    /// breaker is enabled, the supervisor loop detects trips, stands up
+    /// degraded mode, probes, resolves in-doubt transactions and re-admits —
+    /// no manual recovery calls. (The blackhole fault itself rides in
+    /// [`ChaosOptions::faults`] via [`FaultPlan::blackhole`].) Not combined
+    /// with `checkpoint_interval` — the supervisor owns the harness thread
+    /// the checkpointer would use.
+    pub supervised: bool,
 }
 
 impl ChaosOptions {
@@ -153,6 +162,7 @@ impl ChaosOptions {
             torn_checkpoint: false,
             read_only_frac: 0.0,
             snapshot_arm: false,
+            supervised: false,
         }
     }
 
@@ -168,8 +178,15 @@ impl ChaosOptions {
     pub fn repro_env(&self) -> String {
         let defaults = ChaosOptions::new(self.workload, self.seed);
         let mut env = format!("CHAOS_WORKLOAD={} CHAOS_SEED={}", self.workload.name(), self.seed);
-        if self.faults.is_none() {
-            env.push_str(" CHAOS_FAULTS=off");
+        match &self.faults {
+            None => env.push_str(" CHAOS_FAULTS=off"),
+            // A plan with no probabilistic message faults (quiet net, e.g. a
+            // blackhole-only scenario) must not round-trip into the seeded
+            // default's drop/delay/reorder mix.
+            Some(plan) if plan.net.drop_prob == 0.0 && plan.net.delay_prob == 0.0 && plan.net.reorder_prob == 0.0 => {
+                env.push_str(" CHAOS_FAULTS=quiet");
+            }
+            Some(_) => {}
         }
         if self.mode != defaults.mode {
             let mode = match self.mode {
@@ -209,6 +226,15 @@ impl ChaosOptions {
         if self.snapshot_arm {
             env.push_str(" CHAOS_SNAPSHOT=1");
         }
+        if self.supervised {
+            env.push_str(" CHAOS_SUPERVISED=1");
+        }
+        if let Some(bh) = self.faults.as_ref().and_then(|p| p.blackhole) {
+            env.push_str(&format!(
+                " CHAOS_BLACKHOLE={} CHAOS_BH_AFTER={} CHAOS_BH_HEAL={}",
+                bh.switch, bh.after_messages, bh.heal_after_drops
+            ));
+        }
         for (var, actual, default) in [
             ("CHAOS_NODES", self.nodes as u64, defaults.nodes as u64),
             ("CHAOS_WORKERS", self.workers as u64, defaults.workers as u64),
@@ -235,8 +261,10 @@ impl ChaosOptions {
         let workload = var("CHAOS_WORKLOAD").and_then(|w| ChaosWorkload::parse(&w)).unwrap_or(ChaosWorkload::SmallBank);
         let seed = parse("CHAOS_SEED").unwrap_or(7);
         let mut options = ChaosOptions::new(workload, seed);
-        if var("CHAOS_FAULTS").as_deref() == Some("off") {
-            options.faults = None;
+        match var("CHAOS_FAULTS").as_deref() {
+            Some("off") => options.faults = None,
+            Some("quiet") => options.faults = Some(FaultPlan::quiet(seed)),
+            _ => {}
         }
         options.mode = match var("CHAOS_MODE").as_deref() {
             Some("lmswitch") => SystemMode::LmSwitch,
@@ -258,6 +286,15 @@ impl ChaosOptions {
             options.read_only_frac = f;
         }
         options.snapshot_arm = flag("CHAOS_SNAPSHOT");
+        options.supervised = flag("CHAOS_SUPERVISED");
+        if let Some(switch) = parse("CHAOS_BLACKHOLE") {
+            let blackhole = BlackholeFault {
+                switch: switch as u16,
+                after_messages: parse("CHAOS_BH_AFTER").unwrap_or(50),
+                heal_after_drops: parse("CHAOS_BH_HEAL").unwrap_or(0),
+            };
+            options.faults.get_or_insert_with(|| FaultPlan::quiet(seed)).blackhole = Some(blackhole);
+        }
         if let Some(n) = parse("CHAOS_NODES") {
             options.nodes = n as u16;
         }
@@ -292,6 +329,14 @@ pub struct ChaosReport {
     pub aborted: u64,
     /// Transactions that committed in doubt (switch reply lost).
     pub in_doubt: u64,
+    /// In-doubt commits noted per `SwitchId` over the run (cumulative: the
+    /// resolver settles entries but this counter records where they arose).
+    pub in_doubt_per_switch: Vec<u64>,
+    /// Committed transactions per wave — the liveness trace: under a
+    /// supervised mid-run outage every wave must stay non-zero.
+    pub wave_committed: Vec<u64>,
+    /// What the self-healing supervisor observed (supervised runs only).
+    pub supervisor: Option<SupervisorReport>,
     /// Committed transactions served on the lock-free snapshot read path
     /// (non-zero only with `read_only_frac > 0` and `snapshot_arm`).
     pub snapshot_reads: u64,
@@ -439,6 +484,9 @@ fn run_once(options: &ChaosOptions) -> Result<ChaosReport> {
     if let Some(plan) = &options.faults {
         builder = builder.with_faults(plan.clone());
     }
+    if options.supervised {
+        builder = builder.breaker(BreakerConfig::enabled()).supervisor(true);
+    }
     let mut cluster = builder.try_build()?;
 
     let mut committed = 0u64;
@@ -450,9 +498,33 @@ fn run_once(options: &ChaosOptions) -> Result<ChaosReport> {
     let mut switch_recovery = None;
     let mut checkpoints_taken = 0usize;
     let mut expected_checkpoint = None;
+    let mut wave_committed = Vec::with_capacity(options.waves.max(1));
+    let mut supervisor: Option<SupervisorReport> = None;
+    let mut resolver = ResolverReport::default();
 
     for wave in 0..options.waves.max(1) {
-        let (c, a, d, s) = if options.checkpoint_interval.is_some() {
+        let (c, a, d, s) = if options.supervised {
+            // The drivers run detached while the supervisor loop owns this
+            // thread: trip detection, degraded mode, probes, in-doubt
+            // resolution and re-admission all happen *during* the wave, with
+            // no manual recovery calls anywhere.
+            let (handles, active) = spawn_wave_drivers(&cluster, &workload, options, wave)?;
+            let sup = cluster.supervise_until(|| active.load(Ordering::Acquire) == 0, Duration::from_secs(20))?;
+            resolver.merge(&sup.resolver);
+            match supervisor.as_mut() {
+                Some(total) => {
+                    total.degraded.extend(sup.degraded);
+                    total.recovered.extend(sup.recovered);
+                    total.probes_sent += sup.probes_sent;
+                    total.probes_answered += sup.probes_answered;
+                    total.resolver.merge(&sup.resolver);
+                    total.deadline_forced |= sup.deadline_forced;
+                    total.trips_seen = sup.trips_seen;
+                }
+                None => supervisor = Some(sup),
+            }
+            join_wave(handles)?
+        } else if options.checkpoint_interval.is_some() {
             // The checkpointer races the wave's live traffic on purpose:
             // the scans are fuzzy, and the invariant checker later proves
             // checkpoint+tail reconstruction still matches the live state.
@@ -480,6 +552,7 @@ fn run_once(options: &ChaosOptions) -> Result<ChaosReport> {
         aborted += a;
         in_doubt += d;
         snapshot_reads += s;
+        wave_committed.push(c);
         quiesced &= cluster.quiesce_switch(Duration::from_secs(10));
 
         if wave == 0 {
@@ -508,8 +581,25 @@ fn run_once(options: &ChaosOptions) -> Result<ChaosReport> {
         }
     }
 
+    // A final resolution pass over anything still parked on the in-doubt
+    // ledger (entries noted after the last supervisor pass, or re-parked as
+    // unresolved). The switch path is quiescent here, so status verdicts
+    // are trustworthy.
+    if options.supervised {
+        let mut session = cluster.session(NodeId(0))?;
+        resolver.merge(&session.resolve_in_doubt()?);
+    }
+
     // Every wave already ended in a quiesce, so the cluster is quiet here.
-    let invariants = invariants::check(&cluster, semantics);
+    let mut invariants = invariants::check(&cluster, semantics);
+    if options.supervised {
+        invariants.resolved_committed = resolver.resolved_committed;
+        invariants.resolved_retried = resolver.resolved_retried;
+        // What matters for cleanliness is the *final* ledger, not how many
+        // passes an entry needed: an entry unresolved in one pass and
+        // settled in a later one is settled.
+        invariants.unresolved = cluster.health().ledger_len() as u64;
+    }
     let repro =
         format!("{} cargo test --offline --test chaos smoke_reproduce_from_env -- --nocapture", options.repro_env());
     Ok(ChaosReport {
@@ -518,6 +608,9 @@ fn run_once(options: &ChaosOptions) -> Result<ChaosReport> {
         committed,
         aborted,
         in_doubt,
+        in_doubt_per_switch: cluster.health().in_doubt_per_switch(),
+        wave_committed,
+        supervisor,
         snapshot_reads,
         faults_injected: cluster.faults_injected(),
         fault_events: cluster.fault_trace(),
@@ -541,6 +634,26 @@ fn drive_wave(
     options: &ChaosOptions,
     wave: usize,
 ) -> Result<(u64, u64, u64, u64)> {
+    let (handles, _active) = spawn_wave_drivers(cluster, workload, options, wave)?;
+    join_wave(handles)
+}
+
+type WaveCounts = (u64, u64, u64, u64);
+type WaveHandle = std::thread::JoinHandle<Result<WaveCounts>>;
+
+/// Spawns one driver thread per `(node, worker)` pair and returns the
+/// handles plus a live-driver counter. Sessions are self-contained (they own
+/// their engine handle and submission queue), so the threads do not borrow
+/// the cluster — the caller's thread is free to run the self-healing
+/// supervisor while the wave is in flight, watching the counter to know when
+/// the drivers are done.
+fn spawn_wave_drivers(
+    cluster: &Cluster,
+    workload: &Arc<dyn Workload>,
+    options: &ChaosOptions,
+    wave: usize,
+) -> Result<(Vec<WaveHandle>, Arc<AtomicUsize>)> {
+    let active = Arc::new(AtomicUsize::new((options.nodes as usize) * (options.workers as usize)));
     let mut handles = Vec::new();
     for node in 0..options.nodes {
         for worker in 0..options.workers {
@@ -554,7 +667,17 @@ fn drive_wave(
                 .wrapping_add((wave as u64) << 40 | (node as u64) << 20 | worker as u64);
             let count = options.txns_per_wave;
             let (ro_frac, snapshot_arm) = (options.read_only_frac, options.snapshot_arm);
+            let active = Arc::clone(&active);
             handles.push(std::thread::spawn(move || {
+                // Decrement on every exit path — return, error, or panic
+                // unwind — so the supervisor always learns the wave ended.
+                struct Done(Arc<AtomicUsize>);
+                impl Drop for Done {
+                    fn drop(&mut self) {
+                        self.0.fetch_sub(1, Ordering::Release);
+                    }
+                }
+                let _done = Done(active);
                 let mut rng = FastRng::new(seed);
                 let (mut committed, mut aborted, mut in_doubt) = (0u64, 0u64, 0u64);
                 for _ in 0..count {
@@ -597,11 +720,16 @@ fn drive_wave(
             }));
         }
     }
-    // Join *every* driver before propagating any error, so no driver thread
-    // outlives the wave and keeps submitting into a cluster the caller
-    // believes is quiet. A driver panic is re-raised with its own payload —
-    // it carries the seed-specific diagnostic the repro workflow needs.
-    type WaveCounts = (u64, u64, u64, u64);
+    Ok((handles, active))
+}
+
+/// Joins every driver of a wave and sums the counts.
+///
+/// Joins *every* driver before propagating any error, so no driver thread
+/// outlives the wave and keeps submitting into a cluster the caller
+/// believes is quiet. A driver panic is re-raised with its own payload —
+/// it carries the seed-specific diagnostic the repro workflow needs.
+fn join_wave(handles: Vec<WaveHandle>) -> Result<WaveCounts> {
     let joined: Vec<std::thread::Result<Result<WaveCounts>>> = handles.into_iter().map(|h| h.join()).collect();
     let results: Vec<Result<WaveCounts>> =
         joined.into_iter().map(|r| r.unwrap_or_else(|payload| std::panic::resume_unwind(payload))).collect();

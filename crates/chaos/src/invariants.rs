@@ -153,11 +153,21 @@ pub struct InvariantReport {
     pub checkpoint_compared: usize,
     /// Version-chain entries verified against the committed write history.
     pub version_entries_checked: usize,
+    /// In-doubt intents the resolver settled as already durable (below the
+    /// recovery fence, or confirmed executed by the switch audit). Filled by
+    /// the harness from [`p4db_core::ResolverReport`].
+    pub resolved_committed: u64,
+    /// In-doubt intents the switch confirmed never executed, re-run as host
+    /// transactions by the resolver.
+    pub resolved_retried: u64,
+    /// In-doubt intents still unsettled after resolution — a clean run must
+    /// end with zero.
+    pub unresolved: u64,
 }
 
 impl InvariantReport {
     pub fn is_clean(&self) -> bool {
-        self.violations.is_empty()
+        self.violations.is_empty() && self.unresolved == 0
     }
 }
 
@@ -383,22 +393,52 @@ fn check_switch(
     }
 }
 
+/// Which switch currently owns each offloaded tuple (placement maps are
+/// disjoint across switches).
+fn switch_owned(cluster: &Cluster) -> HashMap<TupleId, SwitchId> {
+    let mut owned = HashMap::new();
+    for s in 0..cluster.num_switches() {
+        let switch = SwitchId(s as u16);
+        for (tuple, _) in cluster.control_plane_at(switch).placements() {
+            owned.insert(tuple, switch);
+        }
+    }
+    owned
+}
+
 /// Cold durability: redo/undo replay of every coordinator log must match the
 /// live host tables. Returns the committed money delta over `money_tables`.
+///
+/// Tuples a switch currently owns get special treatment, because degraded
+/// mode makes their host rows temporarily authoritative: cold writes they
+/// accumulated while the switch was out are folded into the re-admission
+/// baseline (the registers were re-seeded from the host rows), so counting
+/// them again here would double their money movement — records before the
+/// owning switch's epoch start are excluded. And post-re-admission the
+/// registers are authoritative again while the host row stays a stale
+/// degraded-era artifact, so owned tuples are exempt from the host-row
+/// divergence comparison (their live state is proven by the switch replay).
 fn check_cold(cluster: &Cluster, report: &mut InvariantReport, money_tables: &[p4db_common::TableId]) -> i128 {
     let map = cluster.partition_map();
+    let owned = switch_owned(cluster);
     // (home, tuple) -> recovered final images from each coordinator's log.
     let mut candidates: HashMap<(NodeId, TupleId), Vec<u64>> = HashMap::new();
     let mut money_delta: i128 = 0;
 
-    for storage in cluster.shared().nodes.iter() {
+    for (n, storage) in cluster.shared().nodes.iter().enumerate() {
         let wal = storage.wal();
         let records = wal.records();
 
         let committed = commit_status(&records);
-        for r in &records {
+        for (i, r) in records.iter().enumerate() {
             if let LogRecord::ColdWrite { txn, tuple, before, after } = r {
                 if committed.get(txn).copied().unwrap_or(false) && money_tables.contains(&tuple.table) {
+                    if let Some(&s) = owned.get(tuple) {
+                        let fence = cluster.switch_epoch_at(s).wal_start.get(n).copied().unwrap_or(0);
+                        if i < fence {
+                            continue; // baked into the re-admission baseline
+                        }
+                    }
                     money_delta += after.switch_word() as i64 as i128 - before.switch_word() as i64 as i128;
                 }
             }
@@ -412,6 +452,9 @@ fn check_cold(cluster: &Cluster, report: &mut InvariantReport, money_tables: &[p
     }
 
     for ((home, tuple), images) in candidates {
+        if owned.contains_key(&tuple) {
+            continue; // switch-resident: the register replay is authoritative
+        }
         let Ok(table) = cluster.shared().node(home).table(tuple.table) else { continue };
         let Ok(live) = table.read(tuple.key) else {
             // A logged row absent from the live table is an undone insert.
@@ -530,6 +573,7 @@ fn check_version_chains(cluster: &Cluster, report: &mut InvariantReport) {
     if cluster.config().single_latch {
         return;
     }
+    let owned = switch_owned(cluster);
     // Net committed transition per (txn, tuple): versions install at commit
     // time, so a transaction's several writes to one tuple collapse into a
     // single chain entry carrying its final image.
@@ -567,8 +611,13 @@ fn check_version_chains(cluster: &Cluster, report: &mut InvariantReport) {
                         report.violations.push(Violation::VersionOrder { tuple, at: i });
                     }
                     prev_ts = ts;
+                    // A switch-owned tuple's host-row pre-history is not
+                    // `base`: degraded-mode reconstruction raw-writes the
+                    // live word without installing a version, so its first
+                    // chain entry grounds in that reconstructed word — an
+                    // unknown predecessor, exactly like a GC-trimmed chain.
                     let before = match i {
-                        0 if trimmed > 0 => None,
+                        0 if trimmed > 0 || owned.contains_key(&tuple) => None,
                         0 => Some(row.base_word().unwrap_or(0)),
                         _ => Some(entries[i - 1].1),
                     };

@@ -24,6 +24,10 @@ pub enum AbortReason {
     /// The transaction exceeded its retry budget and was given up on by the
     /// worker loop (only used by the experiment driver, never by the engine).
     RetryBudgetExhausted,
+    /// The owning switch's circuit breaker is open: the packet was not sent
+    /// (no intent is in flight). The retry re-classifies against the updated
+    /// hot-set index and runs on the host path once degraded mode is up.
+    SwitchUnavailable { switch: crate::ids::SwitchId },
 }
 
 impl fmt::Display for AbortReason {
@@ -38,6 +42,9 @@ impl fmt::Display for AbortReason {
             }
             AbortReason::ConstraintViolation => write!(f, "constraint violation"),
             AbortReason::RetryBudgetExhausted => write!(f, "retry budget exhausted"),
+            AbortReason::SwitchUnavailable { switch } => {
+                write!(f, "circuit breaker open for {switch}")
+            }
         }
     }
 }

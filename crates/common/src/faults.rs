@@ -50,6 +50,26 @@ impl NetFaultConfig {
     }
 }
 
+/// A silently-dead switch: after `after_messages` packets have been addressed
+/// to the target switch, every message to or from it is dropped — the switch
+/// neither executes nor replies, exactly the failure mode a circuit breaker
+/// must detect (timeouts, not errors). Unlike the probabilistic message
+/// faults, a blackhole is a *targeted, stateful* fault with its own drop
+/// accounting, outside the [`NetFaultConfig::max_faults`] budget.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BlackholeFault {
+    /// Index of the switch to kill (`SwitchId.0`).
+    pub switch: u16,
+    /// The blackhole activates once this many messages have been addressed
+    /// to the switch — "mid-run", deterministically.
+    pub after_messages: u64,
+    /// The outage heals itself after this many messages have been swallowed
+    /// (a transient outage: reboots, link flaps). `0` means the blackhole
+    /// never heals on its own — only [`FaultInjector::heal_blackhole`]
+    /// (switch replacement / recovery) clears it.
+    pub heal_after_drops: u64,
+}
+
 /// A complete, seed-derived fault plan for one chaos run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultPlan {
@@ -61,25 +81,28 @@ pub struct FaultPlan {
     /// transaction in-doubt. The production default (30 s) makes every
     /// dropped packet stall a whole test, so fault plans shrink it.
     pub switch_timeout: Duration,
+    /// Optional silently-dead-switch fault (hang / blackhole class).
+    pub blackhole: Option<BlackholeFault>,
 }
 
 impl FaultPlan {
     /// The standard chaos plan for a seed: light message faults, short
     /// switch timeout.
     pub fn seeded(seed: u64) -> Self {
-        FaultPlan { seed, net: NetFaultConfig::light(), switch_timeout: Duration::from_millis(75) }
+        FaultPlan { seed, net: NetFaultConfig::light(), switch_timeout: Duration::from_millis(75), blackhole: None }
     }
 
     /// A plan that injects nothing but still arms the chaos bookkeeping
     /// (audit log, short timeouts) — the faults-off control arm of a sweep.
     pub fn quiet(seed: u64) -> Self {
-        FaultPlan { seed, net: NetFaultConfig::none(), switch_timeout: Duration::from_millis(250) }
+        FaultPlan { seed, net: NetFaultConfig::none(), switch_timeout: Duration::from_millis(250), blackhole: None }
     }
 
     /// Returns a copy with every fault class except `kind` disabled — the
     /// building block of the fault-trace minimizer.
     pub fn only(&self, kind: FaultKind) -> Self {
         let mut net = NetFaultConfig { max_faults: self.net.max_faults, ..NetFaultConfig::none() };
+        let mut blackhole = None;
         match kind {
             FaultKind::Drop => net.drop_prob = self.net.drop_prob,
             FaultKind::Delay => {
@@ -87,8 +110,9 @@ impl FaultPlan {
                 net.max_delay_us = self.net.max_delay_us;
             }
             FaultKind::Reorder => net.reorder_prob = self.net.reorder_prob,
+            FaultKind::Blackhole => blackhole = self.blackhole,
         }
-        FaultPlan { seed: self.seed, net, switch_timeout: self.switch_timeout }
+        FaultPlan { seed: self.seed, net, switch_timeout: self.switch_timeout, blackhole }
     }
 
     /// The fault classes this plan can inject.
@@ -102,6 +126,9 @@ impl FaultPlan {
         }
         if self.net.reorder_prob > 0.0 {
             kinds.push(FaultKind::Reorder);
+        }
+        if self.blackhole.is_some() {
+            kinds.push(FaultKind::Blackhole);
         }
         kinds
     }
@@ -127,6 +154,8 @@ pub enum FaultKind {
     Drop,
     Delay,
     Reorder,
+    /// A silently-dead switch swallowed the message (see [`BlackholeFault`]).
+    Blackhole,
 }
 
 impl FaultKind {
@@ -135,6 +164,7 @@ impl FaultKind {
             FaultKind::Drop => "drop",
             FaultKind::Delay => "delay",
             FaultKind::Reorder => "reorder",
+            FaultKind::Blackhole => "blackhole",
         }
     }
 }
@@ -151,6 +181,14 @@ struct InjectorState {
     rng: FastRng,
     injected: u64,
     trace: Vec<FaultEvent>,
+    /// Messages addressed to the blackhole target so far (pre-activation).
+    bh_seen: u64,
+    /// Messages swallowed by the active blackhole.
+    bh_dropped: u64,
+    bh_active: bool,
+    /// Healed (auto or via [`FaultInjector::heal_blackhole`]): the blackhole
+    /// never re-activates within one run.
+    bh_healed: bool,
 }
 
 /// The runtime fault decision stream: seeded, budgeted, traced.
@@ -160,6 +198,7 @@ struct InjectorState {
 /// interleaving, which is why every injected fault is recorded in the trace.
 pub struct FaultInjector {
     config: NetFaultConfig,
+    blackhole: Option<BlackholeFault>,
     state: Mutex<InjectorState>,
 }
 
@@ -171,10 +210,15 @@ impl FaultInjector {
     pub fn new(plan: &FaultPlan) -> Self {
         FaultInjector {
             config: plan.net,
+            blackhole: plan.blackhole,
             state: Mutex::new(InjectorState {
                 rng: FastRng::new(plan.seed ^ 0x000F_A017_5EED),
                 injected: 0,
                 trace: Vec::new(),
+                bh_seen: 0,
+                bh_dropped: 0,
+                bh_active: false,
+                bh_healed: false,
             }),
         }
     }
@@ -201,6 +245,64 @@ impl FaultInjector {
             state.trace.push(FaultEvent { kind, link });
         }
         action
+    }
+
+    /// Decides whether a message to or from switch `switch` is swallowed by
+    /// the blackhole. `toward_switch` marks request-direction traffic, which
+    /// is what counts toward activation; reply-direction traffic is only
+    /// dropped while the blackhole is active (the switch went dark as a
+    /// whole, not one direction of the link).
+    pub fn blackhole_decide(&self, switch: u16, toward_switch: bool, link: &dyn Fn() -> String) -> bool {
+        let Some(bh) = self.blackhole else { return false };
+        if bh.switch != switch {
+            return false;
+        }
+        let mut state = unpoison(self.state.lock());
+        if state.bh_healed {
+            return false;
+        }
+        if !state.bh_active {
+            if !toward_switch {
+                return false;
+            }
+            state.bh_seen += 1;
+            if state.bh_seen < bh.after_messages {
+                return false;
+            }
+            state.bh_active = true;
+        }
+        state.bh_dropped += 1;
+        if state.trace.len() < TRACE_CAP {
+            let link = link();
+            state.trace.push(FaultEvent { kind: FaultKind::Blackhole, link });
+        }
+        if bh.heal_after_drops > 0 && state.bh_dropped >= bh.heal_after_drops {
+            state.bh_active = false;
+            state.bh_healed = true;
+        }
+        true
+    }
+
+    /// Whether the blackhole is currently swallowing messages.
+    pub fn blackhole_active(&self) -> bool {
+        unpoison(self.state.lock()).bh_active
+    }
+
+    /// Messages swallowed by the blackhole so far (outside the
+    /// [`NetFaultConfig::max_faults`] budget).
+    pub fn blackhole_drops(&self) -> u64 {
+        unpoison(self.state.lock()).bh_dropped
+    }
+
+    /// Clears a blackhole targeting `switch` for the rest of the run — the
+    /// model of replacing / recovering the dead switch. Idempotent; a no-op
+    /// for other switches.
+    pub fn heal_blackhole(&self, switch: u16) {
+        if self.blackhole.is_some_and(|bh| bh.switch == switch) {
+            let mut state = unpoison(self.state.lock());
+            state.bh_active = false;
+            state.bh_healed = true;
+        }
     }
 
     /// Number of faults injected so far.
@@ -273,6 +375,52 @@ mod tests {
         assert_eq!((delay, hold), (0, 0));
         assert_eq!(drops_only.active_kinds(), vec![FaultKind::Drop]);
         assert_eq!(plan.active_kinds(), vec![FaultKind::Drop, FaultKind::Delay, FaultKind::Reorder]);
+    }
+
+    #[test]
+    fn blackhole_activates_after_threshold_and_heals_after_drops() {
+        let plan = FaultPlan {
+            blackhole: Some(BlackholeFault { switch: 0, after_messages: 3, heal_after_drops: 4 }),
+            ..FaultPlan::quiet(1)
+        };
+        let injector = FaultInjector::new(&plan);
+        // Two request-direction messages pass, the third activates the hole.
+        assert!(!injector.blackhole_decide(0, true, &|| "a".into()));
+        assert!(!injector.blackhole_decide(0, true, &|| "a".into()));
+        assert!(!injector.blackhole_active());
+        assert!(injector.blackhole_decide(0, true, &|| "a".into()));
+        assert!(injector.blackhole_active());
+        // Reply-direction traffic is swallowed while active.
+        assert!(injector.blackhole_decide(0, false, &|| "b".into()));
+        assert!(injector.blackhole_decide(0, true, &|| "a".into()));
+        // The fourth drop heals the transient outage; traffic flows again.
+        assert!(injector.blackhole_decide(0, true, &|| "a".into()));
+        assert!(!injector.blackhole_active());
+        assert!(!injector.blackhole_decide(0, true, &|| "a".into()));
+        assert_eq!(injector.blackhole_drops(), 4);
+        assert!(injector.trace().iter().all(|e| e.kind == FaultKind::Blackhole));
+        // Other switches were never affected, and the probabilistic budget
+        // was never charged.
+        assert!(!injector.blackhole_decide(1, true, &|| "c".into()));
+        assert_eq!(injector.injected(), 0);
+    }
+
+    #[test]
+    fn heal_blackhole_clears_an_active_hole_for_the_target_only() {
+        let plan = FaultPlan {
+            blackhole: Some(BlackholeFault { switch: 2, after_messages: 1, heal_after_drops: 0 }),
+            ..FaultPlan::quiet(9)
+        };
+        let injector = FaultInjector::new(&plan);
+        assert!(injector.blackhole_decide(2, true, &|| "x".into()));
+        injector.heal_blackhole(1); // wrong switch: no-op
+        assert!(injector.blackhole_active());
+        injector.heal_blackhole(2);
+        assert!(!injector.blackhole_active());
+        assert!(!injector.blackhole_decide(2, true, &|| "x".into()), "healed holes never re-activate");
+        assert_eq!(plan.active_kinds(), vec![FaultKind::Blackhole]);
+        assert_eq!(plan.only(FaultKind::Blackhole).blackhole, plan.blackhole);
+        assert_eq!(plan.only(FaultKind::Drop).blackhole, None);
     }
 
     #[test]

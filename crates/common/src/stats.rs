@@ -178,6 +178,18 @@ pub struct WorkerStats {
     /// path (they also count in `committed_cold`; this counter attributes
     /// them to the MVCC fast path).
     pub snapshot_reads: u64,
+    /// Retry rounds: aborted attempts that were re-executed after a jittered
+    /// exponential backoff (one per wait, not per abort — a transaction that
+    /// exhausts its budget waits one time fewer than it aborted).
+    pub retry_rounds: u64,
+    /// Switch sub-transactions that ended in a timeout / in-doubt outcome —
+    /// the health signal the per-switch circuit breaker trips on.
+    pub switch_timeouts: u64,
+    /// Hot operations demoted to the host 2PL path because their owning
+    /// switch is in degraded mode (breaker open, authority on the host rows).
+    pub degraded_hot: u64,
+    /// Circuit-breaker trips observed by this worker (Closed → Open edges).
+    pub breaker_trips: u64,
 }
 
 impl WorkerStats {
@@ -206,6 +218,7 @@ impl WorkerStats {
             AbortReason::RemoteVoteAbort { .. } => self.aborts_remote_vote += 1,
             AbortReason::ConstraintViolation => self.aborts_constraint += 1,
             AbortReason::RetryBudgetExhausted => self.aborts_other += 1,
+            AbortReason::SwitchUnavailable { .. } => self.aborts_other += 1,
         }
     }
 
@@ -245,6 +258,10 @@ impl WorkerStats {
         self.switch_multi_pass += other.switch_multi_pass;
         self.cross_switch_fallback += other.cross_switch_fallback;
         self.snapshot_reads += other.snapshot_reads;
+        self.retry_rounds += other.retry_rounds;
+        self.switch_timeouts += other.switch_timeouts;
+        self.degraded_hot += other.degraded_hot;
+        self.breaker_trips += other.breaker_trips;
     }
 }
 

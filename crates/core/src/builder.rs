@@ -214,6 +214,40 @@ impl ClusterBuilder {
         self
     }
 
+    /// Per-switch circuit-breaker thresholds for the self-healing path.
+    /// Disabled by default (the byte-compatible PR-9 behaviour): switch
+    /// timeouts surface as in-doubt commits but never demote traffic. With
+    /// an enabled config, `failure_threshold` consecutive timeouts open the
+    /// breaker (hot transactions on that switch fast-fail to the host 2PL
+    /// path) and `close_threshold` consecutive answered probes re-admit it.
+    pub fn breaker(mut self, breaker: p4db_txn::BreakerConfig) -> Self {
+        self.config.breaker = breaker;
+        self
+    }
+
+    /// Heartbeat cadence of the supervisor loop: how often every
+    /// open-breaker switch is probed (and freshly tripped breakers stood up
+    /// in degraded mode).
+    pub fn probe_interval(mut self, interval: std::time::Duration) -> Self {
+        self.config.probe_interval = interval;
+        self
+    }
+
+    /// Whether drivers should run under the self-healing supervisor
+    /// ([`Cluster::supervise_until`]): detect trips, degrade, probe, resolve
+    /// in-doubt transactions and re-admit — no manual recovery calls.
+    pub fn supervisor(mut self, supervisor: bool) -> Self {
+        self.config.supervisor = supervisor;
+        self
+    }
+
+    /// Retry budget for each in-doubt intent-status query
+    /// ([`crate::Session::resolve_in_doubt`]); clamped to at least 1 at use.
+    pub fn resolver_retries(mut self, retries: u32) -> Self {
+        self.config.resolver_retries = retries;
+        self
+    }
+
     /// Zero latencies and a tiny switch: the functional-test profile, for
     /// when wall-clock time is irrelevant.
     pub fn test_latencies(mut self) -> Self {

@@ -10,7 +10,7 @@
 //! client that drives the workload generators through the same session API
 //! to produce one data point of one figure.
 
-use crate::session::{Session, SubmissionPool};
+use crate::session::{ResolverReport, Session, SubmissionPool};
 use p4db_common::faults::{FaultEvent, FaultInjector, FaultPlan};
 use p4db_common::rand_util::FastRng;
 use p4db_common::stats::{RunStats, WorkerStats};
@@ -18,15 +18,16 @@ use p4db_common::{
     CcScheme, Error, GlobalTxnId, LatencyConfig, NodeId, Result, SwitchId, SystemMode, TupleId, TxnId, Value,
 };
 use p4db_layout::{assign_tuples_to_switches, DataLayout, LayoutPlanner, LayoutStrategy};
-use p4db_net::{Fabric, LatencyModel};
+use p4db_net::{EndpointId, Fabric, LatencyModel, Mailbox, RecvOutcome};
 use p4db_storage::{
     decode_segment_tail, recover_cold_records, recover_switch_state, take_fuzzy_checkpoint, LogRecord, NodeStorage,
     SwitchRecoveryOutcome, Wal, WalCodec, DEFAULT_SEGMENT_RECORDS,
 };
 use p4db_switch::{
-    start_switch_with_id, ControlPlane, RegisterMemory, SwitchConfig, SwitchHandle, SwitchStatsSnapshot,
+    start_switch_with_id, ControlPlane, ProbeRequest, RegisterMemory, SwitchConfig, SwitchHandle, SwitchMessage,
+    SwitchStatsSnapshot,
 };
-use p4db_txn::{EngineConfig, EngineShared, HotIndexCell, HotSetIndex};
+use p4db_txn::{BreakerConfig, EngineConfig, EngineShared, HotIndexCell, HotSetIndex, SwitchHealth};
 use p4db_workloads::{PartitionMap, Workload, WorkloadCtx};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -114,6 +115,19 @@ pub struct ClusterConfig {
     /// plan's short switch timeout, and the switch keeps its data-plane
     /// audit log for the invariant checker.
     pub faults: Option<FaultPlan>,
+    /// Per-switch circuit-breaker thresholds. Disabled by default: every
+    /// health check short-circuits to "healthy" and the engine behaves
+    /// byte-for-byte like the breaker-less build.
+    pub breaker: BreakerConfig,
+    /// Supervisor heartbeat cadence: how long [`Cluster::supervise_until`]
+    /// sleeps between probe rounds.
+    pub probe_interval: Duration,
+    /// Opt-in for harnesses that run the self-healing supervisor alongside
+    /// their drivers (the cluster itself never spawns it — supervision needs
+    /// `&mut Cluster` and runs on the caller's thread).
+    pub supervisor: bool,
+    /// In-doubt resolver retry budget per switch status query.
+    pub resolver_retries: u32,
 }
 
 impl ClusterConfig {
@@ -144,6 +158,10 @@ impl ClusterConfig {
             gc_interval: None,
             seed: 42,
             faults: None,
+            breaker: BreakerConfig::default(),
+            probe_interval: Duration::from_millis(2),
+            supervisor: false,
+            resolver_retries: 3,
         }
     }
 
@@ -223,6 +241,26 @@ pub struct SwitchRecoveryReport {
     /// with no unexecuted in-flight intent explaining the difference — must
     /// be empty.
     pub unexplained_divergences: Vec<(TupleId, u64, u64)>,
+}
+
+/// What one [`Cluster::supervise_until`] run observed and did.
+#[derive(Clone, Debug, Default)]
+pub struct SupervisorReport {
+    /// Switches the supervisor stood degraded mode up for, in trip order.
+    pub degraded: Vec<SwitchId>,
+    /// Switches re-admitted after their half-open probe streak closed.
+    pub recovered: Vec<SwitchId>,
+    /// Heartbeat probes sent to open switches.
+    pub probes_sent: u64,
+    /// Probes echoed back within the probe timeout.
+    pub probes_answered: u64,
+    /// Outcomes of the in-doubt resolution pass run before re-admission.
+    pub resolver: ResolverReport,
+    /// Whether the deadline elapsed and the supervisor force-healed the
+    /// network fault to restore liveness.
+    pub deadline_forced: bool,
+    /// Total breaker trips observed across the cluster's lifetime.
+    pub trips_seen: u64,
 }
 
 /// A fully assembled cluster, ready to serve sessions and run measurements.
@@ -403,6 +441,7 @@ impl Cluster {
             engine_config.switch_timeout = plan.switch_timeout;
             engine_config.in_doubt_on_timeout = true;
         }
+        engine_config.resolver_retries = config.resolver_retries;
         let shared = Arc::new(EngineShared {
             nodes,
             latency,
@@ -410,6 +449,7 @@ impl Cluster {
             hot_index: HotIndexCell::new(hot_index),
             config: engine_config,
             mvcc: p4db_txn::MvccState::new(config.version_cap),
+            health: SwitchHealth::new(num_switches, config.num_nodes as usize, config.breaker),
         });
 
         // --- Submission pool --------------------------------------------------
@@ -921,6 +961,50 @@ impl Cluster {
         Ok(merged.expect("a cluster has at least one switch"))
     }
 
+    /// Round-trips every node's WAL through the serialised format, slices it
+    /// to switch `s`'s current epoch and filters it to the records that
+    /// switch owns — a cross-switch transaction logs one intent/result pair
+    /// *per switch* under the same TxnId, and ownership filtering is what
+    /// keeps each switch's view collision-free — then replays the result
+    /// against the switch's offload snapshot. Returns the replay outcome,
+    /// the filtered per-node logs (for divergence analysis) and the per-node
+    /// *consumed* WAL lengths: intents logged at or below those indices are
+    /// folded into the reconstruction (the resolver's fence).
+    fn replay_switch_suffix(
+        &self,
+        s: usize,
+        owned: &HashSet<TupleId>,
+    ) -> Result<(SwitchRecoveryOutcome, Vec<Wal>, Vec<usize>)> {
+        let epoch_wal_start = self.epochs[s].wal_start.clone();
+        let mut wals = Vec::with_capacity(self.shared.num_nodes());
+        let mut consumed = Vec::with_capacity(self.shared.num_nodes());
+        for (n, storage) in self.shared.nodes.iter().enumerate() {
+            let (full, torn) = self.roundtrip_wal(storage)?;
+            if let Some(note) = torn {
+                // Switch recovery replays intent/result pairs and cannot
+                // tolerate a truncated log the way node recovery can.
+                return Err(Error::InvalidConfig(format!("WAL torn during switch recovery: {note}")));
+            }
+            consumed.push(full.len());
+            let start = epoch_wal_start.get(n).copied().unwrap_or(0).min(full.len());
+            let filtered = Wal::new();
+            for record in full.records().into_iter().skip(start) {
+                let keep = match &record {
+                    LogRecord::SwitchIntent { ops, .. } => ops.first().is_some_and(|op| owned.contains(&op.tuple)),
+                    LogRecord::SwitchResult { results, .. } => results.first().is_some_and(|(t, _)| owned.contains(t)),
+                    _ => false,
+                };
+                if keep {
+                    filtered.append(record);
+                }
+            }
+            wals.push(filtered);
+        }
+        let wal_refs: Vec<&Wal> = wals.iter().collect();
+        let outcome = recover_switch_state(&self.offload_snapshots[s], &wal_refs);
+        Ok((outcome, wals, consumed))
+    }
+
     /// Simulates a crash + recovery of **one** switch from the node WALs
     /// (§6.1, §A.3): its register state is lost, rebuilt by replaying the
     /// *serialised* logs of all nodes in GID order (in-flight intents
@@ -951,37 +1035,11 @@ impl Cluster {
         }
         let pre_crash: HashMap<TupleId, u64> = self.control_planes[s].snapshot().into_iter().collect();
         let owned: HashSet<TupleId> = self.control_planes[s].placements().map(|(t, _)| t).collect();
-
-        // Recover from the serialised logs (round-tripping the format),
-        // sliced to this switch's epoch and filtered to the records it owns
-        // — a cross-switch transaction logs one intent/result pair *per
-        // switch* under the same TxnId, and ownership filtering is what
-        // keeps each switch's view collision-free.
-        let epoch_wal_start = self.epochs[s].wal_start.clone();
-        let mut wals = Vec::with_capacity(self.shared.num_nodes());
-        for (n, storage) in self.shared.nodes.iter().enumerate() {
-            let (full, torn) = self.roundtrip_wal(storage)?;
-            if let Some(note) = torn {
-                // Switch recovery replays intent/result pairs and cannot
-                // tolerate a truncated log the way node recovery can.
-                return Err(Error::InvalidConfig(format!("WAL torn during switch recovery: {note}")));
-            }
-            let start = epoch_wal_start.get(n).copied().unwrap_or(0).min(full.len());
-            let filtered = Wal::new();
-            for record in full.records().into_iter().skip(start) {
-                let keep = match &record {
-                    LogRecord::SwitchIntent { ops, .. } => ops.first().is_some_and(|op| owned.contains(&op.tuple)),
-                    LogRecord::SwitchResult { results, .. } => results.first().is_some_and(|(t, _)| owned.contains(t)),
-                    _ => false,
-                };
-                if keep {
-                    filtered.append(record);
-                }
-            }
-            wals.push(filtered);
-        }
-        let wal_refs: Vec<&Wal> = wals.iter().collect();
-        let outcome = recover_switch_state(&self.offload_snapshots[s], &wal_refs);
+        let (outcome, wals, consumed) = self.replay_switch_suffix(s, &owned)?;
+        // Resolver fence: intents at or below the consumed WAL lengths are
+        // folded into this reconstruction — in-doubt entries below the fence
+        // resolve as committed without querying the switch.
+        self.shared.health.set_fence(switch, consumed);
 
         // Intents without a result record are in-flight as far as the logs
         // are concerned: recovery chooses *a* valid position for them (§A.3
@@ -1107,6 +1165,231 @@ impl Cluster {
             reoffloaded,
             unexplained_divergences,
         })
+    }
+
+    // --- Self-healing: degraded mode, probes, supervised recovery ----------
+
+    /// The per-switch health state: circuit breakers, degraded flags and the
+    /// in-doubt ledger.
+    pub fn health(&self) -> &SwitchHealth {
+        &self.shared.health
+    }
+
+    /// Stands up **degraded mode** for one switch whose breaker has tripped:
+    /// reconstructs the switch's authoritative values from the node WALs
+    /// (the same epoch-sliced, ownership-filtered replay recovery uses — the
+    /// unreachable switch is never involved), writes them into the owning
+    /// host rows' switch words, publishes a hot-set index that *excludes*
+    /// the switch, and only then raises the degraded flag. From that moment
+    /// workers route the switch's tuples through the host 2PL path:
+    /// throughput degrades to a floor instead of collapsing to zero.
+    ///
+    /// The per-node WAL lengths the replay consumed are recorded as the
+    /// switch's resolver fence — in-doubt intents logged at or below the
+    /// fence are already folded into the reconstruction.
+    ///
+    /// Safe to call while traffic is live: hot sends to the switch already
+    /// fast-fail (breaker open), so no new intents can land past the fence,
+    /// and the owned rows see no host writers until the flag flips. Returns
+    /// the number of host rows seeded.
+    pub fn degrade_switch(&self, switch: SwitchId) -> Result<usize> {
+        let s = switch.index();
+        if s >= self.switches.len() {
+            return Err(Error::InvalidConfig(format!("no {switch} in a {}-switch topology", self.switches.len())));
+        }
+        let owned: HashSet<TupleId> = self.control_planes[s].placements().map(|(t, _)| t).collect();
+        let (outcome, _wals, consumed) = self.replay_switch_suffix(s, &owned)?;
+        let mut restored = 0usize;
+        for &tuple in &owned {
+            let value = outcome
+                .values
+                .get(&tuple)
+                .copied()
+                .or_else(|| self.offload_snapshots[s].get(&tuple).copied())
+                .unwrap_or(0);
+            let Some(home) = self.partition_map.home(tuple) else { continue };
+            let Ok(table) = self.shared.node(home).table(tuple.table) else { continue };
+            if let Ok(mut live) = table.read(tuple.key) {
+                live.set_switch_word(value);
+                table.write(tuple.key, live)?;
+                restored += 1;
+            }
+        }
+        // Publish the shrunken index *before* raising the flag: a worker
+        // that observes the flag (and demotes a stale-index hot op) must be
+        // guaranteed the host rows already hold the reconstructed values.
+        self.shared.hot_index.swap(Arc::new(HotSetIndex::from_control_planes(
+            self.control_planes.iter().enumerate().filter(|&(i, _)| i != s).map(|(i, cp)| (SwitchId(i as u16), cp)),
+        )));
+        self.shared.health.set_fence(switch, consumed);
+        self.shared.health.set_degraded(switch, true);
+        Ok(restored)
+    }
+
+    /// Re-admits a degraded switch once its half-open probe streak has
+    /// earned a close: re-seeds its registers from the owning host rows
+    /// (during degraded mode the host rows are the authoritative values — a
+    /// WAL switch-replay alone would miss the degraded-era cold commits),
+    /// swaps the full hot-set index back in, starts a fresh checker epoch,
+    /// heals any lingering targeted network fault, closes the breaker and
+    /// lifts the degraded flag. Returns the number of registers re-seeded.
+    ///
+    /// Call only while switch traffic is quiesced (the supervisor re-admits
+    /// after its drivers finish), and resolve the in-doubt ledger first —
+    /// while the host rows are still authoritative, so a replayed intent's
+    /// effect survives the re-seeding.
+    pub fn readmit_switch(&mut self, switch: SwitchId) -> Result<usize> {
+        let s = switch.index();
+        if s >= self.switches.len() {
+            return Err(Error::InvalidConfig(format!("no {switch} in a {}-switch topology", self.switches.len())));
+        }
+        let placements: Vec<(TupleId, p4db_switch::RegisterSlot)> = self.control_planes[s].placements().collect();
+        let mut restore = Vec::with_capacity(placements.len());
+        for &(tuple, _) in &placements {
+            let value = self
+                .partition_map
+                .home(tuple)
+                .and_then(|home| self.shared.node(home).table(tuple.table).ok())
+                .and_then(|table| table.read(tuple.key).ok())
+                .map(|v| v.switch_word())
+                .or_else(|| self.offload_snapshots[s].get(&tuple).copied())
+                .unwrap_or(0);
+            restore.push((tuple, value));
+        }
+        let control_plane = &mut self.control_planes[s];
+        control_plane.crash_data();
+        control_plane.restore(&restore);
+        // The full index goes back into circulation.
+        self.shared.hot_index.swap(Arc::new(HotSetIndex::from_control_planes(
+            self.control_planes.iter().enumerate().map(|(i, cp)| (SwitchId(i as u16), cp)),
+        )));
+        // Fresh checker epoch: the re-seeded registers are the new baseline.
+        self.epochs[s] = SwitchEpoch {
+            baseline: self.control_planes[s].snapshot().into_iter().collect(),
+            audit_start: self.switches[s].audit_len(),
+            wal_start: self.shared.nodes.iter().map(|n| n.wal().len()).collect(),
+        };
+        self.offload_snapshots[s] = self.epochs[s].baseline.clone();
+        // Open the road back up.
+        self.shared.fabric.heal_switch(switch.0);
+        self.shared.health.close(switch);
+        self.shared.health.set_degraded(switch, false);
+        Ok(restore.len())
+    }
+
+    /// Sends one heartbeat probe through the fabric (subject to fault
+    /// injection, exactly like real traffic) and waits for the echo.
+    fn probe_switch(
+        &self,
+        switch: SwitchId,
+        origin: EndpointId,
+        mailbox: &Mailbox<SwitchMessage>,
+        token: u64,
+        timeout: Duration,
+    ) -> bool {
+        let sent = self.shared.fabric.send(
+            origin,
+            EndpointId::Switch(switch),
+            SwitchMessage::ProbeRequest(ProbeRequest { origin, token }),
+        );
+        if !sent {
+            return false;
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match mailbox.recv_timeout(remaining) {
+                RecvOutcome::Msg(env) => match env.payload {
+                    SwitchMessage::ProbeReply(r) if r.token == token => return true,
+                    // Stale replies from earlier, timed-out probes.
+                    _ => continue,
+                },
+                RecvOutcome::TimedOut | RecvOutcome::Disconnected => return false,
+            }
+        }
+    }
+
+    /// The self-healing supervisor loop. Runs **on the calling thread**
+    /// (degrade and re-admission need `&mut Cluster`; driver sessions are
+    /// self-contained and run on their own threads) until `drivers_done`
+    /// returns true *and* every breaker is closed:
+    ///
+    /// 1. a tripped breaker stands up degraded mode ([`Cluster::degrade_switch`]),
+    /// 2. every open breaker is heartbeat-probed each
+    ///    [`ClusterConfig::probe_interval`] (probe outcomes walk the breaker
+    ///    Open → Half-Open → ready-to-close),
+    /// 3. once the drivers are done, a ready switch is re-admitted — quiesce,
+    ///    resolve the in-doubt ledger while host rows are authoritative,
+    ///    then [`Cluster::readmit_switch`].
+    ///
+    /// Past `deadline` the supervisor force-heals the targeted network fault
+    /// (the model's "replace the broken hardware" escape hatch) and gives
+    /// the loop one more deadline before giving up; the report records it.
+    pub fn supervise_until<F: Fn() -> bool>(
+        &mut self,
+        drivers_done: F,
+        deadline: Duration,
+    ) -> Result<SupervisorReport> {
+        let origin = crate::session::rogue_endpoint();
+        let mailbox = self.shared.fabric.register(origin);
+        let probe_timeout = Duration::from_millis(2).max(Duration::from_nanos(8 * self.config.latency.one_way_ns));
+        let start = Instant::now();
+        let mut report = SupervisorReport::default();
+        let mut token = 0u64;
+        loop {
+            let done = drivers_done();
+            for s in 0..self.switches.len() {
+                let sid = SwitchId(s as u16);
+                if self.shared.health.is_open(sid) && !self.shared.health.is_degraded(sid) {
+                    self.degrade_switch(sid)?;
+                    report.degraded.push(sid);
+                }
+            }
+            for s in 0..self.switches.len() {
+                let sid = SwitchId(s as u16);
+                if !self.shared.health.is_open(sid) {
+                    continue;
+                }
+                token += 1;
+                report.probes_sent += 1;
+                let answered = self.probe_switch(sid, origin, &mailbox, token, probe_timeout);
+                if answered {
+                    report.probes_answered += 1;
+                }
+                self.shared.health.probe_outcome(sid, answered);
+            }
+            if done {
+                let ready: Vec<SwitchId> = (0..self.switches.len())
+                    .map(|s| SwitchId(s as u16))
+                    .filter(|&sid| self.shared.health.is_open(sid) && self.shared.health.ready_to_close(sid))
+                    .collect();
+                if !ready.is_empty() {
+                    self.quiesce_switch(Duration::from_secs(5));
+                    let mut session = self.session(NodeId(0))?;
+                    report.resolver.merge(&session.resolve_in_doubt()?);
+                    for sid in ready {
+                        self.readmit_switch(sid)?;
+                        report.recovered.push(sid);
+                    }
+                }
+                if (0..self.switches.len()).all(|s| !self.shared.health.is_open(SwitchId(s as u16))) {
+                    break;
+                }
+            }
+            if start.elapsed() >= deadline {
+                if !report.deadline_forced {
+                    report.deadline_forced = true;
+                    for s in 0..self.switches.len() {
+                        self.shared.fabric.heal_switch(s as u16);
+                    }
+                } else if start.elapsed() >= deadline * 2 {
+                    break;
+                }
+            }
+            std::thread::sleep(self.config.probe_interval);
+        }
+        report.trips_seen = self.shared.health.trips();
+        Ok(report)
     }
 
     /// Runs the workload generators closed-loop for `duration` and returns

@@ -13,6 +13,7 @@ pub mod report;
 pub mod session;
 
 pub use builder::ClusterBuilder;
-pub use cluster::{Cluster, ClusterConfig, NodeRecoveryReport, SwitchEpoch, SwitchRecoveryReport};
+pub use cluster::{Cluster, ClusterConfig, NodeRecoveryReport, SupervisorReport, SwitchEpoch, SwitchRecoveryReport};
+pub use p4db_txn::{BreakerConfig, BreakerState};
 pub use report::{fmt_class_mix, fmt_speedup, fmt_tps, speedup, BenchPoint, FigureTable};
-pub use session::{Pending, Session, DEFAULT_MAX_ATTEMPTS};
+pub use session::{Pending, ResolverReport, Session, DEFAULT_MAX_ATTEMPTS};

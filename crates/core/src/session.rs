@@ -14,6 +14,8 @@ use p4db_common::rand_util::FastRng;
 use p4db_common::simtime::wait_for;
 use p4db_common::stats::WorkerStats;
 use p4db_common::{Error, NodeId, Result, SystemMode, WorkerId};
+use p4db_net::{EndpointId, RecvOutcome};
+use p4db_switch::{IntentStatusRequest, SwitchMessage};
 use p4db_txn::{EngineShared, OpKind, Txn, TxnOp, TxnOutcome, TxnRequest, Worker};
 use p4db_workloads::PartitionMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering as AtomicOrdering};
@@ -57,6 +59,17 @@ pub(crate) struct JobReply {
 /// transaction ids and switch packets); exhausting it is reported as
 /// [`Error::WorkerIdSpaceExhausted`] instead of silently wrapping into a
 /// fabric endpoint collision panic.
+/// Allocates a fabric endpoint for out-of-band control traffic (supervisor
+/// probes, in-doubt status queries). The high bit keeps these clear of real
+/// node ids and of the recovery drill's fixed `NodeId(u16::MAX)` resend
+/// endpoint; a fresh id per caller sidesteps the fabric's duplicate-
+/// registration panic across repeated cluster builds in one process.
+pub(crate) fn rogue_endpoint() -> EndpointId {
+    static NEXT: AtomicU32 = AtomicU32::new(0);
+    let n = NEXT.fetch_add(1, AtomicOrdering::Relaxed);
+    EndpointId::Node(NodeId(0x8000 | (n as u16 & 0x3FFF)))
+}
+
 fn next_worker_slot() -> Result<WorkerId> {
     static NEXT: AtomicU32 = AtomicU32::new(0);
     let slot = NEXT.fetch_add(1, AtomicOrdering::Relaxed);
@@ -130,9 +143,10 @@ impl Drop for SubmissionPool {
 /// Body of one executor thread: drain up to `batch_size` queued jobs, run
 /// the all-hot ones pipelined through [`Worker::execute_batch`] (intents
 /// group-committed, packets framed, replies drained together) and the rest
-/// one at a time — each to commit or to its retry budget (randomised
-/// latency-proportional backoff between attempts, as the paper's closed-loop
-/// workers do) — then reply with the outcome and the recorded statistics.
+/// one at a time — each to commit or to its retry budget (jittered
+/// exponential latency-proportional backoff between attempts, as the paper's
+/// closed-loop workers do) — then reply with the outcome and the recorded
+/// statistics.
 /// With `batch_size <= 1`, or whenever the queue holds a single job, this is
 /// exactly the historical one-job-at-a-time loop.
 fn executor_loop(
@@ -250,7 +264,13 @@ fn serve_job(
                 if attempts >= max_attempts || cancelled() {
                     break Err(e);
                 }
-                wait_for(backoff.mul_f64(0.5 + rng.gen_f64()));
+                // Jittered exponential backoff, capped at 32× the base: a
+                // contended tuple (or a whole switch's traffic demoted to
+                // the host path) backs its retry storm off instead of
+                // hammering the lock table in lock-step.
+                let scale = 1u32 << (attempts - 1).min(5);
+                wait_for((backoff * scale).mul_f64(0.5 + rng.gen_f64()));
+                stats.retry_rounds += 1;
             }
             Err(e) => break Err(e), // cluster shutting down
         }
@@ -260,6 +280,32 @@ fn serve_job(
     match reply.send(JobReply { result, stats }) {
         Ok(()) => None,
         Err(SendError(undelivered)) => Some(undelivered.stats),
+    }
+}
+
+/// Outcomes of one [`Session::resolve_in_doubt`] pass over the in-doubt
+/// ledger. A clean run ends with `unresolved == 0`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResolverReport {
+    /// Intents whose effect is already durable: logged at or below the
+    /// switch's recovery fence (folded into the WAL reconstruction), or
+    /// confirmed executed by the switch's audit log.
+    pub resolved_committed: u64,
+    /// Intents the switch confirmed it never executed; their footprint was
+    /// re-run as an ordinary host transaction (a clean abort also settles
+    /// the entry — the history simply never contains it).
+    pub resolved_retried: u64,
+    /// Intents whose status could not be learned within the retry budget;
+    /// re-parked on the ledger for a later pass.
+    pub unresolved: u64,
+}
+
+impl ResolverReport {
+    /// Folds another pass's counters into this one.
+    pub fn merge(&mut self, other: &ResolverReport) {
+        self.resolved_committed += other.resolved_committed;
+        self.resolved_retried += other.resolved_retried;
+        self.unresolved += other.unresolved;
     }
 }
 
@@ -428,6 +474,92 @@ impl Session {
             // Pool shut down with the job still queued.
             Err(_) => Err(Error::Disconnected),
         }
+    }
+
+    /// Drains the in-doubt ledger — switch sub-transactions whose intent was
+    /// logged but whose reply never arrived — and settles each entry
+    /// exactly-once:
+    ///
+    /// 1. **Fence check.** An intent logged at or below its switch's
+    ///    recovery fence is already folded into the degraded-mode WAL
+    ///    reconstruction: *resolved committed*, no network needed.
+    /// 2. **Audit query.** Otherwise the switch's audit log is queried (up
+    ///    to the builder's `resolver_retries` budget). Confirmed executed →
+    ///    *resolved committed*; confirmed never-executed → the entry's
+    ///    operation footprint is re-run as an ordinary host transaction
+    ///    under 2PL → *resolved retried*.
+    /// 3. Entries whose status cannot be learned are re-parked on the
+    ///    ledger and counted `unresolved`.
+    ///
+    /// Call while the switch path is quiescent (the supervisor runs this
+    /// after its drivers finish, before re-admission): a status verdict is
+    /// only trustworthy when no delayed duplicate of the intent can still
+    /// execute after the query.
+    pub fn resolve_in_doubt(&mut self) -> Result<ResolverReport> {
+        let mut report = ResolverReport::default();
+        let entries = self.shared.health.take_ledger();
+        if entries.is_empty() {
+            return Ok(report);
+        }
+        let origin = rogue_endpoint();
+        let mailbox = self.shared.fabric.register(origin);
+        // A status query is a single round trip; don't let the engine's
+        // (deliberately generous) switch timeout stall a resolution pass
+        // over an unreachable switch for seconds per entry.
+        let per_try = self.shared.config.switch_timeout.min(Duration::from_millis(20));
+        let retries = self.shared.config.resolver_retries.max(1);
+        let mut token = 0u64;
+        let mut reparked = Vec::new();
+        for entry in entries {
+            if entry.logged_at <= self.shared.health.fence(entry.switch, entry.node) {
+                report.resolved_committed += 1;
+                continue;
+            }
+            let mut executed = None;
+            'query: for _ in 0..retries {
+                token += 1;
+                let sent = self.shared.fabric.send(
+                    origin,
+                    EndpointId::Switch(entry.switch),
+                    SwitchMessage::IntentStatusRequest(IntentStatusRequest { origin, token, txn: entry.txn }),
+                );
+                if !sent {
+                    continue;
+                }
+                let deadline = Instant::now() + per_try;
+                loop {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    match mailbox.recv_timeout(remaining) {
+                        RecvOutcome::Msg(env) => match env.payload {
+                            SwitchMessage::IntentStatusReply(r) if r.token == token => {
+                                executed = Some(r.executed);
+                                break 'query;
+                            }
+                            // Stale replies from earlier, timed-out tries.
+                            _ => continue,
+                        },
+                        RecvOutcome::TimedOut | RecvOutcome::Disconnected => break,
+                    }
+                }
+            }
+            match executed {
+                Some(true) => report.resolved_committed += 1,
+                Some(false) => match self.execute_request(&TxnRequest::new(entry.ops.clone())) {
+                    Ok(_) => report.resolved_retried += 1,
+                    // A clean abort settles the entry too: the transaction
+                    // observably never happened, which is a legal history
+                    // for an intent the switch never executed.
+                    Err(e) if e.is_abort() => report.resolved_retried += 1,
+                    Err(e) => return Err(e),
+                },
+                None => {
+                    report.unresolved += 1;
+                    reparked.push(entry);
+                }
+            }
+        }
+        self.shared.health.park_unresolved(reparked);
+        Ok(report)
     }
 
     /// Rejects requests the engine would panic on instead of abort: homes

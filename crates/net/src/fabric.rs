@@ -201,6 +201,30 @@ impl<M> Fabric<M> {
         self.chaos.as_ref().map(|c| c.injector.injected()).unwrap_or(0)
     }
 
+    /// Messages swallowed by a blackholed switch so far (separate from the
+    /// probabilistic fault budget).
+    pub fn blackhole_drops(&self) -> u64 {
+        self.chaos.as_ref().map(|c| c.injector.blackhole_drops()).unwrap_or(0)
+    }
+
+    /// Clears any blackhole targeting `switch` — invoked by switch recovery
+    /// / re-admission, the model of replacing the dead hardware.
+    pub fn heal_switch(&self, switch: u16) {
+        if let Some(chaos) = self.chaos.as_ref() {
+            chaos.injector.heal_blackhole(switch);
+        }
+    }
+
+    /// Whether a blackhole swallows this message. Requests *to* a switch
+    /// count toward activation; once active, both directions are dark.
+    fn blackholed(&self, chaos: &ChaosState<M>, src: EndpointId, dst: EndpointId, link: &dyn Fn() -> String) -> bool {
+        match (src, dst) {
+            (_, EndpointId::Switch(s)) => chaos.injector.blackhole_decide(s.0, true, link),
+            (EndpointId::Switch(s), _) => chaos.injector.blackhole_decide(s.0, false, link),
+            _ => false,
+        }
+    }
+
     /// Registers an endpoint and returns its mailbox.
     ///
     /// # Panics
@@ -245,6 +269,9 @@ impl<M> Fabric<M> {
         let Some(chaos) = self.chaos.as_ref() else {
             return self.deliver(src, dst, payload);
         };
+        if self.blackholed(chaos, src, dst, &|| format!("{src}->{dst}")) {
+            return true;
+        }
         match chaos.injector.decide(&|| format!("{src}->{dst}")) {
             FaultAction::Deliver => {}
             FaultAction::Drop => return true,
@@ -294,6 +321,9 @@ impl<M> Fabric<M> {
         let Some(chaos) = self.chaos.as_ref() else {
             return self.deliver_frame(src, dst, payloads);
         };
+        if self.blackholed(chaos, src, dst, &|| format!("{src}->{dst} (frame of {})", payloads.len())) {
+            return true;
+        }
         match chaos.injector.decide(&|| format!("{src}->{dst} (frame of {})", payloads.len())) {
             FaultAction::Deliver => {}
             FaultAction::Drop => return true,
@@ -374,7 +404,7 @@ impl<M: Clone> Fabric<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use p4db_common::faults::{FaultKind, FaultPlan, NetFaultConfig};
+    use p4db_common::faults::{BlackholeFault, FaultKind, FaultPlan, NetFaultConfig};
     use p4db_common::{LatencyConfig, NodeId, SwitchId, WorkerId};
     use std::thread;
 
@@ -600,5 +630,46 @@ mod tests {
         // The first three were dropped; everything after the budget arrives.
         let received: Vec<u64> = std::iter::from_fn(|| mb.try_recv().map(|e| e.payload)).collect();
         assert_eq!(received, vec![3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn blackholed_switch_swallows_both_directions_until_healed() {
+        let plan = FaultPlan {
+            blackhole: Some(BlackholeFault { switch: 0, after_messages: 2, heal_after_drops: 0 }),
+            ..FaultPlan::quiet(1)
+        };
+        let f: Fabric<u64> =
+            Fabric::with_faults(LatencyModel::new(LatencyConfig::zero()), Arc::new(FaultInjector::new(&plan)));
+        let sw_mb = f.register(SW);
+        let node = EndpointId::Node(NodeId(0));
+        let node_mb = f.register(node);
+
+        // First request toward the switch still gets through (activation
+        // threshold 2): only the *count* of request-direction messages arms it.
+        assert!(f.send(node, SW, 1));
+        assert_eq!(sw_mb.try_recv().unwrap().payload, 1);
+
+        // Second request activates the hole and is swallowed — and so is the
+        // reply direction and every whole frame after it.
+        assert!(f.send(node, SW, 2), "blackhole drops are invisible to the sender");
+        assert!(f.send(SW, node, 3));
+        assert!(f.send_frame(node, SW, vec![4, 5]));
+        assert!(sw_mb.is_empty());
+        assert!(node_mb.try_recv().is_none());
+        assert_eq!(f.blackhole_drops(), 3, "a frame is one swallowed message");
+        assert_eq!(f.faults_injected(), 0, "blackhole drops are not charged to the fault budget");
+
+        // Node-to-node traffic is unaffected throughout.
+        let other = EndpointId::Node(NodeId(1));
+        let other_mb = f.register(other);
+        assert!(f.send(node, other, 9));
+        assert_eq!(other_mb.try_recv().unwrap().payload, 9);
+
+        // Healing (hardware replaced) restores delivery permanently.
+        f.heal_switch(0);
+        assert!(f.send(node, SW, 6));
+        assert_eq!(sw_mb.try_recv().unwrap().payload, 6);
+        assert!(f.send(SW, node, 7));
+        assert_eq!(node_mb.try_recv().unwrap().payload, 7);
     }
 }

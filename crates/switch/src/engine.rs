@@ -20,7 +20,7 @@ use crate::instruction::{plan_passes, InstrResult};
 use crate::lock_manager::SwitchLockTable;
 use crate::locks::{LockMask, PipelineLocks};
 use crate::memory::RegisterMemory;
-use crate::packet::{LockReply, SwitchMessage, SwitchTxn, TxnReply, WarmDecision};
+use crate::packet::{IntentStatusReply, LockReply, ProbeReply, SwitchMessage, SwitchTxn, TxnReply, WarmDecision};
 use crate::stats::{SwitchStats, SwitchStatsSnapshot};
 use p4db_common::simtime::wait_for;
 use p4db_common::sync::unpoison;
@@ -460,10 +460,47 @@ impl Engine {
             SwitchMessage::LockRelease(rel) => {
                 self.lock_table.release(rel.lock_id, rel.exclusive);
             }
+            SwitchMessage::ProbeRequest(req) => {
+                // A heartbeat is one pipeline pass that touches no registers:
+                // the reply itself is the proof of life, the executed count a
+                // coarse progress indicator for the supervisor.
+                let executed = self.gid_counter.load(Ordering::Relaxed);
+                self.fabric.send_no_latency(
+                    self.endpoint,
+                    req.origin,
+                    SwitchMessage::ProbeReply(ProbeReply { token: req.token, executed }),
+                );
+            }
+            SwitchMessage::IntentStatusRequest(req) => {
+                // Definitive answer from the audit log: has this intent been
+                // executed? Scan the buffered (not yet flushed) entries too so
+                // a batched execution is never reported as missing.
+                let gid = self
+                    .audit_buf
+                    .iter()
+                    .rev()
+                    .chain(unpoison(self.audit.lock()).iter().rev())
+                    .find(|(txn, _)| *txn == req.txn)
+                    .map(|(_, gid)| *gid);
+                self.fabric.send_no_latency(
+                    self.endpoint,
+                    req.origin,
+                    SwitchMessage::IntentStatusReply(IntentStatusReply {
+                        token: req.token,
+                        txn: req.txn,
+                        executed: gid.is_some(),
+                        gid,
+                    }),
+                );
+            }
             // Replies and decisions are egress-only; receiving one here means
             // a client misaddressed a message. Ignore rather than crash the
             // data plane.
-            SwitchMessage::TxnReply(_) | SwitchMessage::LockReply(_) | SwitchMessage::WarmDecision(_) => {}
+            SwitchMessage::TxnReply(_)
+            | SwitchMessage::LockReply(_)
+            | SwitchMessage::WarmDecision(_)
+            | SwitchMessage::ProbeReply(_)
+            | SwitchMessage::IntentStatusReply(_) => {}
         }
     }
 }
@@ -618,6 +655,62 @@ mod tests {
         let reply = send_and_wait(&rig, SwitchTxn::new(TxnHeader::new(rig.worker_ep, 5), vec![]));
         assert_eq!(reply.results.len(), 0);
         assert_eq!(reply.gid.0, 0);
+    }
+
+    #[test]
+    fn probe_replies_with_progress_counter() {
+        let rig = rig(SwitchConfig::tiny());
+        for i in 0..3u64 {
+            let txn = SwitchTxn::new(TxnHeader::new(rig.worker_ep, i), vec![Instruction::add(slot(0, 0, 0), 1)]);
+            send_and_wait(&rig, txn);
+        }
+        rig.fabric.send(
+            rig.worker_ep,
+            SW,
+            SwitchMessage::ProbeRequest(crate::packet::ProbeRequest { origin: rig.worker_ep, token: 99 }),
+        );
+        match rig.worker.recv_timeout(Duration::from_secs(10)).msg().expect("probe reply").payload {
+            SwitchMessage::ProbeReply(r) => {
+                assert_eq!(r.token, 99);
+                assert_eq!(r.executed, 3);
+            }
+            other => panic!("unexpected message {other:?}"),
+        }
+    }
+
+    #[test]
+    fn intent_status_answers_from_the_audit_log() {
+        let rig = rig(SwitchConfig::tiny());
+        let executed_txn = TxnId::compose(7, NodeId(0), WorkerId(0));
+        let mut header = TxnHeader::new(rig.worker_ep, 1);
+        header.txn_id = executed_txn;
+        send_and_wait(&rig, SwitchTxn::new(header, vec![Instruction::add(slot(0, 0, 0), 5)]));
+
+        let status = |txn: TxnId| {
+            rig.fabric.send(
+                rig.worker_ep,
+                SW,
+                SwitchMessage::IntentStatusRequest(crate::packet::IntentStatusRequest {
+                    origin: rig.worker_ep,
+                    token: txn.0,
+                    txn,
+                }),
+            );
+            match rig.worker.recv_timeout(Duration::from_secs(10)).msg().expect("status reply").payload {
+                SwitchMessage::IntentStatusReply(r) => r,
+                other => panic!("unexpected message {other:?}"),
+            }
+        };
+
+        let hit = status(executed_txn);
+        assert!(hit.executed, "executed intent must be found in the audit log");
+        assert_eq!(hit.txn, executed_txn);
+        assert_eq!(hit.gid, Some(GlobalTxnId(0)));
+
+        let never_sent = TxnId::compose(8, NodeId(0), WorkerId(0));
+        let miss = status(never_sent);
+        assert!(!miss.executed, "a lost (never executed) intent must be reported as missing");
+        assert_eq!(miss.gid, None);
     }
 
     #[test]

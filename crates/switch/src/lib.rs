@@ -47,5 +47,8 @@ pub use instruction::{apply_op, is_single_pass, plan_passes, InstrResult, Instru
 pub use lock_manager::SwitchLockTable;
 pub use locks::{locks_for_stages, LockMask, PipelineLocks};
 pub use memory::RegisterMemory;
-pub use packet::{LockRelease, LockReply, LockRequest, SwitchMessage, SwitchTxn, TxnHeader, TxnReply, WarmDecision};
+pub use packet::{
+    IntentStatusReply, IntentStatusRequest, LockRelease, LockReply, LockRequest, ProbeReply, ProbeRequest,
+    SwitchMessage, SwitchTxn, TxnHeader, TxnReply, WarmDecision,
+};
 pub use stats::{SwitchStats, SwitchStatsSnapshot};

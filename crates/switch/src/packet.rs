@@ -123,6 +123,47 @@ pub struct WarmDecision {
     pub commit: bool,
 }
 
+/// Health-check heartbeat sent to a switch by the supervisor / breaker
+/// half-open path. Costs one pipeline pass and touches no registers.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ProbeRequest {
+    pub origin: EndpointId,
+    /// Correlation token, echoed in the reply.
+    pub token: u64,
+}
+
+/// Reply to a [`ProbeRequest`]: proof of life plus a coarse progress
+/// indicator (how many transactions the switch has executed so far).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ProbeReply {
+    pub token: u64,
+    /// Transactions executed by this switch since start (its GID counter).
+    pub executed: u64,
+}
+
+/// Asks the switch whether it executed the intent logged under `txn` — the
+/// in-doubt resolver's query. Answerable because every execution is recorded
+/// in the audit log keyed by the issuing node's [`TxnId`] (exactly-once
+/// dedup, §6.1).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct IntentStatusRequest {
+    pub origin: EndpointId,
+    pub token: u64,
+    /// The intent's transaction id as logged in the coordinator WAL.
+    pub txn: TxnId,
+}
+
+/// Reply to an [`IntentStatusRequest`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct IntentStatusReply {
+    pub token: u64,
+    pub txn: TxnId,
+    /// Whether the switch's audit log contains an execution for `txn`.
+    pub executed: bool,
+    /// The GID assigned at execution, when `executed`.
+    pub gid: Option<GlobalTxnId>,
+}
+
 /// Everything that travels over the rack fabric in this system.
 #[derive(Clone, PartialEq, Debug)]
 pub enum SwitchMessage {
@@ -138,6 +179,14 @@ pub enum SwitchMessage {
     LockRelease(LockRelease),
     /// Switch → all nodes: warm transaction decision multicast.
     WarmDecision(WarmDecision),
+    /// Supervisor → switch: health-check heartbeat.
+    ProbeRequest(ProbeRequest),
+    /// Switch → supervisor: proof of life.
+    ProbeReply(ProbeReply),
+    /// Resolver → switch: did you execute this intent?
+    IntentStatusRequest(IntentStatusRequest),
+    /// Switch → resolver: definitive executed / not-executed answer.
+    IntentStatusReply(IntentStatusReply),
 }
 
 #[cfg(test)]

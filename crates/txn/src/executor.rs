@@ -19,6 +19,7 @@
 //! Chiller-style contention-centric re-ordering (Fig 18b) are variations of
 //! the cold path selected through [`EngineConfig`].
 
+use crate::health::{InDoubtEntry, SwitchHealth};
 use crate::hotset::{HotIndexCell, HotSetIndex};
 use crate::request::{OpKind, TxnOp, TxnOutcome, TxnRequest};
 use crate::switch_client::build_switch_txn;
@@ -71,6 +72,9 @@ pub struct EngineConfig {
     /// reproduce the pre-sharding engine — the baseline arm of the
     /// node-scaling benchmark and of the sharding differential suite.
     pub single_latch: bool,
+    /// In-doubt resolver retry budget: how many times a status query to the
+    /// switch is retried before an entry is re-parked as unresolved.
+    pub resolver_retries: u32,
 }
 
 impl EngineConfig {
@@ -85,6 +89,7 @@ impl EngineConfig {
             in_doubt_on_timeout: false,
             batch_size: 1,
             single_latch: false,
+            resolver_retries: 3,
         }
     }
 }
@@ -104,6 +109,11 @@ pub struct EngineShared {
     /// clock assumption the epoch machinery already makes). Unused — never
     /// ticked, never read — when no read-only transactions run.
     pub mvcc: MvccState,
+    /// Per-switch circuit breakers, degraded-mode flags and the in-doubt
+    /// ledger. With the breaker disabled (the default) every check
+    /// short-circuits to "healthy" — byte-compatible with the pre-breaker
+    /// engine.
+    pub health: SwitchHealth,
 }
 
 impl EngineShared {
@@ -260,7 +270,8 @@ impl Worker {
         }
         if self.shared.config.single_latch {
             // Seed shape: classification buffers allocated per transaction.
-            let (hot, cold) = self.classify(req, &index);
+            let (hot, cold, demoted) = self.classify(req, &index);
+            stats.degraded_hot += demoted;
             return match (hot.is_empty(), cold.is_empty()) {
                 // All-hot *and* single-owner: the abort-free switch path. A
                 // hot set spanning two switches has no single pipeline that
@@ -273,7 +284,7 @@ impl Worker {
         // Sharded path: classification reuses the worker's buffers.
         let mut hot = std::mem::take(&mut self.scratch_hot);
         let mut cold = std::mem::take(&mut self.scratch_cold);
-        self.classify_into(req, &index, &mut hot, &mut cold);
+        stats.degraded_hot += self.classify_into(req, &index, &mut hot, &mut cold);
         let result = match (hot.is_empty(), cold.is_empty()) {
             (false, true) if !Self::spans_switches(req, &hot, &index) => self.execute_hot(req, &hot, &index, stats),
             (true, _) => self.execute_host(req, &[], &cold, &index, stats),
@@ -443,6 +454,16 @@ impl Worker {
         let mut intents = Vec::with_capacity(idxs.len());
         for (slot, &i) in idxs.iter().enumerate() {
             let req = &reqs[i];
+            // Every operation is hot and the eligibility scan rejected
+            // cross-switch requests, so the first operation's owner is the
+            // whole transaction's owner.
+            let switch = index.owner(req.ops[0].tuple).unwrap_or(SwitchId(0));
+            // Breaker open: fast-fail before anything is logged or sent (no
+            // intent in flight), without failing the batchmates.
+            if self.shared.health.is_open(switch) {
+                results.push(Err(Error::Abort(AbortReason::SwitchUnavailable { switch })));
+                continue;
+            }
             let txn_id = self.next_txn_id();
             let token = self.next_token();
             let mut header = TxnHeader::new(self.endpoint, token);
@@ -464,10 +485,6 @@ impl Worker {
             if self.shared.config.log_switch_txns {
                 intents.push(LogRecord::SwitchIntent { txn: txn_id, ops: built.logged_ops.clone() });
             }
-            // Every operation is hot and the eligibility scan rejected
-            // cross-switch requests, so the first operation's owner is the
-            // whole transaction's owner.
-            let switch = index.owner(req.ops[0].tuple).unwrap_or(SwitchId(0));
             // Placeholder, overwritten once the reply (or its loss) is known.
             results.push(Err(Error::Disconnected));
             batch.push((slot, i, txn_id, token, switch, built));
@@ -476,6 +493,9 @@ impl Worker {
         if !intents.is_empty() {
             self.coordinator_storage().wal().append_group(intents);
         }
+        // The in-doubt ledger fence: every intent of this frame is in the
+        // coordinator WAL at or below this index.
+        let logged_at = self.coordinator_storage().wal().len();
         stats.record_phase(Phase::TxnEngine, watch.lap());
 
         if batch.is_empty() {
@@ -537,10 +557,11 @@ impl Worker {
         stats.record_phase(Phase::SwitchTxn, watch.lap());
 
         let mut result_records = Vec::with_capacity(batch.len());
-        for (slot, i, txn_id, token, _, built) in batch {
+        for (slot, i, txn_id, token, switch, built) in batch {
             let mut values = vec![0u64; reqs[i].ops.len()];
             results[slot] = match replies.remove(&token) {
                 Some(reply) => {
+                    self.shared.health.record_success(switch);
                     let mut logged_results = Vec::with_capacity(reply.results.len());
                     for (instr_idx, res) in reply.results.iter().enumerate() {
                         let orig = built.orig_index[instr_idx];
@@ -564,6 +585,21 @@ impl Worker {
                 }
                 // Intent logged, switch cannot abort: committed in doubt.
                 None => {
+                    stats.switch_timeouts += 1;
+                    if self.shared.health.record_failure(switch) {
+                        stats.breaker_trips += 1;
+                    }
+                    if self.shared.config.log_switch_txns {
+                        // All-hot by construction: the footprint is the whole
+                        // request, operand indices already self-contained.
+                        self.shared.health.note_in_doubt(InDoubtEntry {
+                            switch,
+                            txn: txn_id,
+                            node: self.node,
+                            logged_at,
+                            ops: reqs[i].ops.clone(),
+                        });
+                    }
                     Ok(TxnOutcome { class: TxnClass::Hot, results: values, gid: None, in_doubt: true, snapshot: None })
                 }
             };
@@ -577,28 +613,42 @@ impl Worker {
 
     /// Splits the request's operation indices into hot (switch) and cold
     /// (host) sets. Everything is cold unless the full P4DB mode is active.
-    fn classify(&self, req: &TxnRequest, index: &HotSetIndex) -> (Vec<usize>, Vec<usize>) {
+    /// The third element counts hot-eligible operations demoted to the host
+    /// path because their owning switch is in degraded mode.
+    fn classify(&self, req: &TxnRequest, index: &HotSetIndex) -> (Vec<usize>, Vec<usize>, u64) {
         let mut hot = Vec::new();
         let mut cold = Vec::new();
-        self.classify_into(req, index, &mut hot, &mut cold);
-        (hot, cold)
+        let demoted = self.classify_into(req, index, &mut hot, &mut cold);
+        (hot, cold, demoted)
     }
 
     /// [`Worker::classify`] into caller-provided buffers — the single
     /// classification rule shared by both engine arms (the sharded path
-    /// passes its reusable scratch, everything else fresh vectors).
-    fn classify_into(&self, req: &TxnRequest, index: &HotSetIndex, hot: &mut Vec<usize>, cold: &mut Vec<usize>) {
+    /// passes its reusable scratch, everything else fresh vectors). Returns
+    /// the number of operations demoted because of a degraded switch.
+    fn classify_into(&self, req: &TxnRequest, index: &HotSetIndex, hot: &mut Vec<usize>, cold: &mut Vec<usize>) -> u64 {
         hot.clear();
         cold.clear();
+        let mut demoted = 0u64;
         for (i, op) in req.ops.iter().enumerate() {
-            let is_hot =
+            let hot_eligible =
                 self.shared.config.mode == SystemMode::P4db && op.kind.switch_executable() && index.is_hot(op.tuple);
-            if is_hot {
+            // Degraded mode: the switch's values have been reconstructed
+            // into the host rows, so its tuples run under host 2PL. The
+            // check matters only for workers still holding a pre-degrade
+            // index snapshot — the post-degrade index no longer contains
+            // these tuples at all.
+            let degraded = hot_eligible && index.owner(op.tuple).is_some_and(|s| self.shared.health.is_degraded(s));
+            if degraded {
+                demoted += 1;
+            }
+            if hot_eligible && !degraded {
                 hot.push(i);
             } else {
                 cold.push(i);
             }
         }
+        demoted
     }
 
     // --- Hot transactions -------------------------------------------------
@@ -647,6 +697,12 @@ impl Worker {
         multicast_decision: bool,
         stats: &mut WorkerStats,
     ) -> Result<SwitchSubTxn> {
+        // Breaker open: fast-fail before anything is logged or sent, so no
+        // intent is in flight and the abort is clean to retry. The retry
+        // re-classifies and lands on the host path once degraded mode is up.
+        if self.shared.health.is_open(switch) {
+            return Err(Error::Abort(AbortReason::SwitchUnavailable { switch }));
+        }
         let mut watch = Stopwatch::start();
         let token = self.next_token();
         let mut header = TxnHeader::new(self.endpoint, token);
@@ -667,6 +723,9 @@ impl Worker {
                 .wal()
                 .append(LogRecord::SwitchIntent { txn: txn_id, ops: built.logged_ops.clone() });
         }
+        // The in-doubt ledger fence: the intent is in the coordinator WAL at
+        // or below this index.
+        let logged_at = self.coordinator_storage().wal().len();
         stats.record_phase(Phase::TxnEngine, watch.lap());
 
         // ½ RTT to the switch (imposed by the fabric), execution, ½ RTT back.
@@ -695,12 +754,39 @@ impl Worker {
                     if !self.shared.config.in_doubt_on_timeout {
                         return Err(Error::Disconnected);
                     }
+                    stats.switch_timeouts += 1;
+                    if self.shared.health.record_failure(switch) {
+                        stats.breaker_trips += 1;
+                    }
+                    if self.shared.config.log_switch_txns {
+                        // Self-contained footprint: operand references are
+                        // remapped from request indices to positions within
+                        // this sub-transaction (cross-group dependencies were
+                        // already patched into literals by the caller).
+                        let pos: HashMap<usize, u8> =
+                            hot_ops.iter().enumerate().map(|(p, &(orig, _))| (orig, p as u8)).collect();
+                        let ops = hot_ops
+                            .iter()
+                            .map(|&(_, mut op)| {
+                                op.operand_from = op.operand_from.and_then(|src| pos.get(&(src as usize)).copied());
+                                op
+                            })
+                            .collect();
+                        self.shared.health.note_in_doubt(InDoubtEntry {
+                            switch,
+                            txn: txn_id,
+                            node: self.node,
+                            logged_at,
+                            ops,
+                        });
+                    }
                     stats.record_phase(Phase::SwitchTxn, watch.lap());
                     return Ok(SwitchSubTxn::InDoubt);
                 }
                 RecvOutcome::Disconnected => return Err(Error::Disconnected),
             }
         };
+        self.shared.health.record_success(switch);
         // Return-path wire latency.
         self.shared.latency.impose_switch_rtt_wire();
         stats.record_phase(Phase::SwitchTxn, watch.lap());
@@ -1254,18 +1340,19 @@ impl Worker {
                     }
                     Ok(SwitchSubTxn::InDoubt) => in_doubt = true,
                     Err(e) => {
-                        // A packet that failed to *build* never logged an
-                        // intent and never left the node, so — although the
-                        // cold part is past its conflict-abort point —
+                        // A packet that failed to *build* — or was fast-
+                        // failed by an open circuit breaker — never logged
+                        // an intent and never left the node, so — although
+                        // the cold part is past its conflict-abort point —
                         // rolling it back is still sound, and the only way
-                        // not to leak its locks on a healthy cluster (a
-                        // malformed ad-hoc warm transaction). Sub-
-                        // transactions already sent to other switches stay
-                        // committed through their logged intents, exactly
-                        // like any in-doubt outcome. Any other error means
-                        // the fabric or switch is gone mid-shutdown;
-                        // propagate as before.
-                        if matches!(e, Error::InvalidTxn(_)) {
+                        // not to leak its locks. Sub-transactions already
+                        // sent to other switches stay committed through
+                        // their logged intents, exactly like any in-doubt
+                        // outcome. Any other error means the fabric or
+                        // switch is gone mid-shutdown; propagate as before.
+                        if matches!(e, Error::InvalidTxn(_))
+                            || matches!(e, Error::Abort(AbortReason::SwitchUnavailable { .. }))
+                        {
                             self.fail_host(txn_id, state, stats, &e);
                         }
                         return Err(e);
@@ -1451,6 +1538,7 @@ impl Worker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::health::BreakerConfig;
     use p4db_common::{LatencyConfig, TableId};
     use p4db_storage::recover_switch_state;
     use p4db_switch::{start_switch, ControlPlane, RegisterMemory, SwitchHandle};
@@ -1509,6 +1597,7 @@ mod tests {
             hot_index: HotIndexCell::new(hot_index),
             config: EngineConfig::new(mode, cc, switch_config),
             mvcc: MvccState::default(),
+            health: SwitchHealth::new(1, 2, BreakerConfig::default()),
         });
         Rig { shared, _switch: switch, control_plane }
     }
@@ -1804,6 +1893,7 @@ mod tests {
                 ..EngineConfig::new(SystemMode::NoSwitch, CcScheme::NoWait, cfg_rig.shared.config.switch_config)
             },
             mvcc: MvccState::default(),
+            health: SwitchHealth::new(1, 2, BreakerConfig::default()),
         });
         let mut w = Worker::new(shared.clone(), NodeId(0), WorkerId(7));
         let mut stats = WorkerStats::new();

@@ -10,12 +10,14 @@
 
 pub mod builder;
 pub mod executor;
+pub mod health;
 pub mod hotset;
 pub mod request;
 pub mod switch_client;
 
 pub use builder::{Placement, Txn};
 pub use executor::{EngineConfig, EngineShared, Worker};
+pub use health::{BreakerConfig, BreakerCore, BreakerState, InDoubtEntry, SwitchHealth};
 pub use hotset::{HotIndexCell, HotSetIndex};
 pub use p4db_storage::mvcc::MvccState;
 pub use request::{OpKind, TxnOp, TxnOutcome, TxnRequest};

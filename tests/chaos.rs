@@ -270,6 +270,51 @@ fn smoke_two_switch_crash_recovery() {
     assert!(recovery.restored_tuples > 0);
 }
 
+/// The self-healing acceptance drill: a switch is blackholed mid-run (it
+/// silently swallows every packet) and **no manual recovery is ever
+/// called** — the circuit breaker must trip, the supervisor must stand up
+/// degraded mode (hot traffic demoted to the host 2PL path), heartbeat
+/// probes must walk the breaker back through half-open once the outage
+/// clears, the in-doubt resolver must settle every parked entry, and the
+/// switch must be re-admitted — all while every wave keeps committing.
+#[test]
+fn smoke_switch_outage_liveness() {
+    let mut options = ChaosOptions::new(ChaosWorkload::SmallBank, 7);
+    options.waves = 3;
+    options.supervised = true;
+    // Blackhole only — no probabilistic message faults — so the drill is the
+    // pure outage→floor→recovery story: activates after 60 requests
+    // ("mid-run"), heals itself after swallowing 40 messages (a transient
+    // outage: the probes themselves burn it down).
+    let mut plan = p4db::common::faults::FaultPlan::quiet(7);
+    plan.blackhole = Some(p4db::common::faults::BlackholeFault { switch: 0, after_messages: 60, heal_after_drops: 40 });
+    options.faults = Some(plan);
+
+    let report = run_chaos(&options).unwrap();
+    assert_clean(&report);
+
+    // Liveness: committed throughput never hits zero in any wave, outage or
+    // not — the breaker's degraded floor, not a stall.
+    assert_eq!(report.wave_committed.len(), 3);
+    for (wave, &c) in report.wave_committed.iter().enumerate() {
+        assert!(c > 0, "wave {wave} committed nothing during the outage: {report:?}");
+    }
+
+    let sup = report.supervisor.as_ref().expect("supervised run must carry a supervisor report");
+    assert!(sup.trips_seen >= 1, "the blackhole must trip the breaker: {sup:?}");
+    assert!(sup.degraded.contains(&p4db::SwitchId(0)), "switch 0 must have been degraded: {sup:?}");
+    assert!(sup.recovered.contains(&p4db::SwitchId(0)), "switch 0 must have been re-admitted: {sup:?}");
+    assert!(sup.probes_answered > 0, "recovery must come from answered probes: {sup:?}");
+    assert!(!sup.deadline_forced, "recovery must not need the deadline escape hatch: {sup:?}");
+
+    // The swallowed replies became in-doubt commits, all of them settled.
+    assert!(report.in_doubt > 0, "a blackholed switch must strand in-doubt commits");
+    assert!(report.in_doubt_per_switch[0] > 0);
+    let resolved = report.invariants.resolved_committed + report.invariants.resolved_retried;
+    assert!(resolved > 0, "the resolver must have settled the parked entries: {:?}", report.invariants);
+    assert_eq!(report.invariants.unresolved, 0, "no entry may stay unresolved: {:?}", report.invariants);
+}
+
 /// Reproduces one scenario, driven by the `CHAOS_*` environment variables a
 /// failing run prints (`ChaosOptions::repro_env` round-trips through
 /// `ChaosOptions::from_env`, so crashes, re-offloads, mode and sizing are
